@@ -1,0 +1,33 @@
+# Convenience targets for the CAESAR reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-tables examples validate lint-smoke all
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# benchmarks with the per-figure tables printed inline
+bench-tables:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for example in examples/*.py; do \
+		echo "== $$example =="; \
+		$(PYTHON) $$example > /dev/null || exit 1; \
+	done; echo "all examples ok"
+
+validate:
+	$(PYTHON) -m repro validate-traffic
+
+# quick import smoke over every module
+lint-smoke:
+	$(PYTHON) -m pytest tests/test_misc.py -q
+
+all: test bench

@@ -1,0 +1,130 @@
+"""Figure 10: event stream characterization.
+
+(a) events per road segment of one unidirectional road — traffic, and hence
+    derived tolls/warnings, varies across segments;
+(b) events per minute for one segment — the rate ramps up over the run, and
+    derived event types track the application contexts (accident warnings
+    only during the accident phase, zero tolls before congestion, real tolls
+    during congestion).
+"""
+
+import pytest
+
+from benchmarks.common import FigureTable
+from repro.linearroad.analysis import events_per_minute, events_per_segment
+from repro.linearroad.generator import (
+    LinearRoadConfig,
+    generate_stream,
+    paper_timeline_schedules,
+    randomized_schedules,
+)
+from repro.linearroad.queries import build_traffic_model, segment_partitioner
+from repro.runtime.engine import CaesarEngine
+
+
+@pytest.fixture(scope="module")
+def fig10a_data():
+    """Randomized per-segment schedules: the Figure 10(a) variability."""
+    config = randomized_schedules(
+        LinearRoadConfig(
+            num_roads=1, segments_per_road=8, duration_minutes=18, seed=17
+        ),
+        congestion_probability=0.6,
+        accident_probability=0.3,
+    )
+    stream = generate_stream(config)
+    # min_cars scaled to the simulator's (ramped) congested pool size
+    engine = CaesarEngine(
+        build_traffic_model(min_cars=8),
+        partition_by=segment_partitioner,
+        retention=120,
+    )
+    report = engine.run(stream)
+    return stream, report
+
+
+@pytest.fixture(scope="module")
+def fig10b_data():
+    """The paper's 3-phase timeline scaled down (accident then congestion)."""
+    config = paper_timeline_schedules(
+        LinearRoadConfig(
+            num_roads=1, segments_per_road=1, duration_minutes=18, seed=17
+        )
+    )
+    stream = generate_stream(config)
+    engine = CaesarEngine(
+        build_traffic_model(), partition_by=segment_partitioner, retention=120
+    )
+    report = engine.run(stream)
+    return stream, report
+
+
+def test_fig10a_events_per_segment(fig10a_data, benchmark):
+    stream, report = fig10a_data
+    inputs = events_per_segment(stream)
+    outputs = events_per_segment(report.outputs)
+
+    table = FigureTable(
+        "Figure 10(a)", "events per road segment", "segment"
+    )
+    for seg in sorted(inputs):
+        table.add(
+            seg,
+            position_reports=inputs[seg].get("PositionReport", 0),
+            toll_notifications=outputs.get(seg, {}).get("TollNotification", 0),
+            accident_warnings=outputs.get(seg, {}).get("AccidentWarning", 0),
+            zero_tolls=outputs.get(seg, {}).get("ZeroTollNotification", 0),
+        )
+    table.show()
+
+    # Shape: event distribution varies across segments — some segments see
+    # tolls/warnings, others none.
+    tolls = table.series("toll_notifications")
+    assert max(tolls) > 0
+    assert len(set(tolls)) > 1
+
+    benchmark(lambda: events_per_segment(stream))
+
+
+def test_fig10b_events_per_minute(fig10b_data, benchmark):
+    stream, report = fig10b_data
+    inputs = events_per_minute(stream, seg=0)
+    outputs = events_per_minute(report.outputs, seg=None)
+
+    table = FigureTable(
+        "Figure 10(b)", "events per minute (1 segment)", "minute"
+    )
+    duration_minutes = max(inputs) + 1
+    for minute in range(duration_minutes):
+        table.add(
+            minute,
+            position_reports=inputs.get(minute, {}).get("PositionReport", 0),
+            zero_tolls=outputs.get(minute, {}).get("ZeroTollNotification", 0),
+            real_tolls=outputs.get(minute, {}).get("TollNotification", 0),
+            warnings=outputs.get(minute, {}).get("AccidentWarning", 0),
+        )
+    table.show()
+
+    # Shape 1: input rate ramps up over the run.
+    reports = table.series("position_reports")
+    assert sum(reports[-3:]) > sum(reports[:3])
+
+    # Shape 2: accident warnings only in the accident phase (scaled 30-50 of
+    # 180 → minutes 3-5 of 18), real tolls only in the congestion phase
+    # (scaled 70-180 → minutes 7-18).
+    warnings = table.series("warnings")
+    accident_phase = range(2, 6)
+    assert all(
+        w == 0 for m, w in enumerate(warnings) if m not in accident_phase
+    )
+    real_tolls = table.series("real_tolls")
+    congestion_start = round(duration_minutes * 70 / 180)
+    assert all(t == 0 for t in real_tolls[: congestion_start - 1])
+    assert sum(real_tolls[congestion_start + 1 :]) > 0
+
+    # Shape 3: zero tolls only before the congestion phase.
+    zero_tolls = table.series("zero_tolls")
+    assert sum(zero_tolls[:congestion_start]) > 0
+    assert all(t == 0 for t in zero_tolls[congestion_start + 1 :])
+
+    benchmark(lambda: events_per_minute(stream, seg=0))

@@ -1,0 +1,94 @@
+"""Figure 11(a): optimizer efficiency — exhaustive CI vs greedy CA search.
+
+The paper varies the number of operators in a query plan (16-24 on their
+hardware) and reports the CPU time of the query plan search on a log2 scale:
+the context-independent exhaustive search grows exponentially while the
+context-aware search stays fairly constant (2^12-fold faster at size 24).
+
+Our exact search is the O(2^n·n) subset-DP (the cheapest exhaustive
+algorithm), so we sweep a slightly smaller range to keep the suite fast —
+the exponential-vs-flat shape and a multi-thousand-fold node-count gap are
+what the figure demonstrates.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.common import FigureTable
+from repro.optimizer.search import (
+    context_aware_search,
+    exhaustive_search,
+    greedy_search,
+    make_search_space,
+)
+
+SIZES = (10, 12, 14, 16, 18)
+GROUPS = 4  # context windows per workload → groups after window grouping
+
+
+@pytest.fixture(scope="module")
+def fig11a_results():
+    rows = []
+    for size in SIZES:
+        operators = make_search_space(size, seed=7, num_groups=GROUPS)
+        exhaustive = exhaustive_search(operators)
+        context_aware = context_aware_search(operators)
+        rows.append((size, exhaustive, context_aware))
+    return rows
+
+
+def test_fig11a_search_time(fig11a_results, benchmark):
+    table = FigureTable(
+        "Figure 11(a)", "optimizer CPU time (log2 seconds)", "operators"
+    )
+    for size, exhaustive, context_aware in fig11a_results:
+        table.add(
+            size,
+            exhaustive_log2s=math.log2(max(exhaustive.elapsed_seconds, 1e-9)),
+            ca_log2s=math.log2(max(context_aware.elapsed_seconds, 1e-9)),
+            exhaustive_nodes=float(exhaustive.nodes_explored),
+            ca_nodes=float(context_aware.nodes_explored),
+            speedup=exhaustive.elapsed_seconds
+            / max(context_aware.elapsed_seconds, 1e-9),
+        )
+    table.show()
+
+    # Shape 1: exhaustive node count grows exponentially with plan size.
+    nodes = table.series("exhaustive_nodes")
+    for smaller, larger in zip(nodes, nodes[1:]):
+        assert larger > smaller * 3  # each +2 operators ≥ 3x nodes
+
+    # Shape 2: the context-aware search stays nearly flat.
+    ca_nodes = table.series("ca_nodes")
+    assert max(ca_nodes) < min(ca_nodes) * 5
+
+    # Shape 3: a very large speedup at the top of the sweep (the paper
+    # reports 2^12 at their largest size).
+    speedups = table.series("speedup")
+    assert speedups[-1] > 100
+
+    benchmark(
+        lambda: context_aware_search(
+            make_search_space(SIZES[-1], seed=7, num_groups=GROUPS)
+        )
+    )
+
+
+def test_fig11a_exhaustive_point(benchmark):
+    """Benchmark one exhaustive-search point (the expensive side)."""
+    operators = make_search_space(14, seed=7, num_groups=GROUPS)
+    result = benchmark(lambda: exhaustive_search(operators))
+    assert result.cost > 0
+
+
+def test_fig11a_search_quality(fig11a_results, benchmark):
+    """The cheap search must not be winning by returning garbage plans:
+    within each context group the greedy order's cost stays close to the
+    group optimum."""
+    for size in (8, 10, 12):
+        operators = make_search_space(size, seed=11, num_groups=1)
+        optimal = exhaustive_search(operators).cost
+        greedy = greedy_search(operators).cost
+        assert greedy <= optimal * 2.0
+    benchmark(lambda: greedy_search(make_search_space(12, seed=11)))

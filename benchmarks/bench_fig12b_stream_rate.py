@@ -1,0 +1,136 @@
+"""Figure 12(b): varying the event stream rate (number of roads) — CA vs CI.
+
+The paper increases the input rate by adding roads (2-7) at a fixed average
+workload of 10 event queries and reports maximal latency: both engines grow
+roughly linearly, the context-independent one much steeper — a 9-fold win at
+7 roads.  CAESAR is more robust to rate increases because the rate increase
+only hits it inside the critical windows.
+"""
+
+import pytest
+from dataclasses import replace
+
+from benchmarks.common import FigureTable, calibrate_seconds_per_cost_unit
+from repro.linearroad.generator import LinearRoadConfig, generate_stream
+from repro.linearroad.simulator import SegmentInterval
+from repro.linearroad.queries import (
+    build_traffic_model,
+    replicate_workload,
+    segment_partitioner,
+)
+from repro.runtime.baseline import ContextIndependentEngine
+from repro.runtime.engine import CaesarEngine
+from repro.runtime.metrics import win_ratio
+
+ROAD_COUNTS = (1, 2, 3, 4)
+REFERENCE_ROADS = 2
+QUERIES = 10
+DURATION_MINUTES = 10
+SEGMENTS = 2
+
+
+def make_stream(roads):
+    base = LinearRoadConfig(
+        num_roads=roads,
+        segments_per_road=SEGMENTS,
+        duration_minutes=DURATION_MINUTES,
+        cars_clear=8,
+        cars_congested=8,
+        cars_accident=5,
+        seed=37,
+    )
+    duration = base.duration_seconds
+    windows = [(duration // 4 - 45, duration // 4 + 45),
+               (3 * duration // 4 - 45, 3 * duration // 4 + 45)]
+    schedule = tuple(
+        SegmentInterval(xway, 0, seg, start, end)
+        for xway in range(roads)
+        for seg in range(SEGMENTS)
+        for start, end in windows
+    )
+    return generate_stream(replace(base, accident_schedule=schedule))
+
+
+def make_model():
+    # only the accident-exclusive query replicates: copies == queries
+    return replicate_workload(
+        build_traffic_model(min_cars=6), QUERIES, contexts=("accident",)
+    )
+
+
+def make_engines(spc):
+    caesar = CaesarEngine(
+        make_model(),
+        partition_by=segment_partitioner,
+        seconds_per_cost_unit=spc,
+        retention=120,
+    )
+    baseline = ContextIndependentEngine(
+        make_model(),
+        partition_by=segment_partitioner,
+        seconds_per_cost_unit=spc,
+        retention=120,
+    )
+    return caesar, baseline
+
+
+@pytest.fixture(scope="module")
+def spc():
+    _, baseline = make_engines(None)
+    report = baseline.run(make_stream(REFERENCE_ROADS), track_outputs=False)
+    return calibrate_seconds_per_cost_unit(
+        report.cost_units, stream_seconds=DURATION_MINUTES * 60
+    )
+
+
+@pytest.fixture(scope="module")
+def fig12b_results(spc):
+    rows = []
+    for roads in ROAD_COUNTS:
+        caesar, baseline = make_engines(spc)
+        rows.append(
+            (
+                roads,
+                caesar.run(make_stream(roads), track_outputs=False),
+                baseline.run(make_stream(roads), track_outputs=False),
+            )
+        )
+    return rows
+
+
+def test_fig12b_stream_rate(fig12b_results, benchmark, spc):
+    table = FigureTable(
+        "Figure 12(b)", "max latency vs number of roads", "roads"
+    )
+    for roads, ca, ci in fig12b_results:
+        table.add(
+            roads,
+            ca_s=ca.max_latency,
+            ci_s=ci.max_latency,
+            win=win_ratio(ci.max_latency, ca.max_latency),
+        )
+    table.show()
+
+    ca = table.series("ca_s")
+    ci = table.series("ci_s")
+
+    # Shape 1: latency grows with the input rate for both engines.
+    assert ci[-1] > ci[0]
+    assert ca[-1] >= ca[0]
+
+    # Shape 2: CAESAR always wins, and by a large factor at the top of the
+    # sweep (the paper reports 9x at its top road count).
+    assert all(a <= b for a, b in zip(ca, ci))
+    top_win = ci[-1] / ca[-1]
+    print(f"\nwin at {ROAD_COUNTS[-1]} roads: {top_win:.1f}x (paper: 9x at 7)")
+    assert top_win >= 3.0
+
+    # Shape 3: CAESAR is more robust to the rate increase — its latency
+    # grows by a smaller factor across the sweep.
+    assert (ca[-1] / max(ca[0], 1e-9)) < (ci[-1] / max(ci[0], 1e-9))
+
+    benchmark(
+        lambda: make_engines(spc)[0].run(
+            make_stream(1), track_outputs=False
+        )
+    )

@@ -1,0 +1,115 @@
+"""Figure 12(c): varying the context window length — win ratio of CA over CI.
+
+The paper varies the length of the critical context windows and reports the
+win ratio of context-aware over context-independent processing, annotating
+each bar with the percentage of the input event stream covered by the
+context windows *that allow suspension* of the complex workload: the win
+exceeds 3 when those windows cover more than 80% of the stream and becomes
+negligible (≈1) when they cover less than 50%.
+
+We report the deterministic CPU-processing-time win ratio (Section 7.1
+measures the win in CPU terms), which needs no latency calibration.
+"""
+
+import pytest
+from dataclasses import replace
+
+from benchmarks.common import FigureTable
+from repro.linearroad.generator import LinearRoadConfig, generate_stream
+from repro.linearroad.simulator import SegmentInterval
+from repro.linearroad.queries import (
+    build_traffic_model,
+    replicate_workload,
+    segment_partitioner,
+)
+from repro.runtime.baseline import ContextIndependentEngine
+from repro.runtime.engine import CaesarEngine
+
+#: Lengths of each of the two critical windows (seconds), aligned to the
+#: per-minute statistics granularity that drives context detection.
+WINDOW_LENGTHS = (60, 90, 120, 180, 240)
+DURATION_MINUTES = 10
+SEGMENTS = 3
+COPIES = 10  # 10 suspendable queries (one accident-exclusive query/copy)
+
+
+def make_stream(length_seconds):
+    base = LinearRoadConfig(
+        num_roads=1,
+        segments_per_road=SEGMENTS,
+        duration_minutes=DURATION_MINUTES,
+        cars_clear=8,
+        cars_congested=8,
+        cars_accident=8,
+        seed=41,
+    )
+    duration = base.duration_seconds
+    half = length_seconds // 2
+    centers = (duration // 4, 3 * duration // 4)
+    schedule = tuple(
+        SegmentInterval(0, 0, seg, center - half, center - half + length_seconds)
+        for seg in range(SEGMENTS)
+        for center in centers
+    )
+    return generate_stream(replace(base, accident_schedule=schedule))
+
+
+def suspension_coverage(length_seconds):
+    """Fraction of the stream during which the workload is suspended."""
+    return 1.0 - (2 * length_seconds) / (DURATION_MINUTES * 60)
+
+
+def run_pair(length_seconds):
+    model = replicate_workload(
+        build_traffic_model(min_cars=6), COPIES, contexts=("accident",)
+    )
+    caesar = CaesarEngine(
+        model, partition_by=segment_partitioner, retention=120
+    )
+    ca_report = caesar.run(make_stream(length_seconds), track_outputs=False)
+    model = replicate_workload(
+        build_traffic_model(min_cars=6), COPIES, contexts=("accident",)
+    )
+    baseline = ContextIndependentEngine(
+        model, partition_by=segment_partitioner, retention=120
+    )
+    ci_report = baseline.run(make_stream(length_seconds), track_outputs=False)
+    return ca_report, ci_report
+
+
+@pytest.fixture(scope="module")
+def fig12c_results():
+    return {
+        length: run_pair(length) for length in WINDOW_LENGTHS
+    }
+
+
+def test_fig12c_window_length(fig12c_results, benchmark):
+    table = FigureTable(
+        "Figure 12(c)", "win ratio vs context window length", "window_s"
+    )
+    for length in WINDOW_LENGTHS:
+        ca, ci = fig12c_results[length]
+        table.add(
+            length,
+            suspension_pct=100 * suspension_coverage(length),
+            cpu_win=ci.cost_units / ca.cost_units,
+        )
+    table.show()
+
+    wins = table.series("cpu_win")
+    coverages = [suspension_coverage(length) for length in WINDOW_LENGTHS]
+
+    # Shape 1: the win shrinks as the critical windows grow (less stream
+    # left to suspend in).
+    assert all(a >= b * 0.98 for a, b in zip(wins, wins[1:]))
+
+    # Shape 2: the paper's thresholds — win above ~3 at >80% suspension
+    # coverage, negligible below 50%.
+    for coverage, win in zip(coverages, wins):
+        if coverage > 0.8:
+            assert win > 2.5, f"win {win:.2f} at coverage {coverage:.0%}"
+        if coverage < 0.5:
+            assert win < 2.0, f"win {win:.2f} at coverage {coverage:.0%}"
+
+    benchmark(lambda: run_pair(WINDOW_LENGTHS[0]))

@@ -1,0 +1,106 @@
+"""Figure 12(d): varying the number of context windows — win ratio.
+
+Same trend as Figure 12(c): the win ratio of context-aware over
+context-independent processing exceeds 2 while the windows that allow
+suspension cover more than 80% of the input stream, and becomes negligible
+(≈1) when they cover less than 50%.  Here the knob is the *number* of
+critical windows at a fixed per-window length.
+"""
+
+import pytest
+from dataclasses import replace
+
+from benchmarks.common import FigureTable
+from repro.linearroad.generator import LinearRoadConfig, generate_stream
+from repro.linearroad.simulator import SegmentInterval
+from repro.linearroad.queries import (
+    build_traffic_model,
+    replicate_workload,
+    segment_partitioner,
+)
+from repro.runtime.baseline import ContextIndependentEngine
+from repro.runtime.engine import CaesarEngine
+
+WINDOW_COUNTS = (1, 2, 4, 6, 8)
+WINDOW_LENGTH = 60  # seconds, stats-aligned
+DURATION_MINUTES = 10
+SEGMENTS = 3
+COPIES = 10
+
+
+def make_stream(count):
+    base = LinearRoadConfig(
+        num_roads=1,
+        segments_per_road=SEGMENTS,
+        duration_minutes=DURATION_MINUTES,
+        cars_clear=8,
+        cars_congested=8,
+        cars_accident=8,
+        seed=43,
+    )
+    duration = base.duration_seconds
+    stride = duration // count
+    schedule = []
+    for index in range(count):
+        start = index * stride + (stride - WINDOW_LENGTH) // 2
+        start = (start // 30) * 30  # align to the report grid
+        schedule.extend(
+            SegmentInterval(0, 0, seg, start, start + WINDOW_LENGTH)
+            for seg in range(SEGMENTS)
+        )
+    return generate_stream(replace(base, accident_schedule=tuple(schedule)))
+
+
+def suspension_coverage(count):
+    return 1.0 - (count * WINDOW_LENGTH) / (DURATION_MINUTES * 60)
+
+
+def run_pair(count):
+    def fresh_engine(kind):
+        model = replicate_workload(
+            build_traffic_model(min_cars=6), COPIES, contexts=("accident",)
+        )
+        return kind(model, partition_by=segment_partitioner, retention=120)
+
+    ca_report = fresh_engine(CaesarEngine).run(
+        make_stream(count), track_outputs=False
+    )
+    ci_report = fresh_engine(ContextIndependentEngine).run(
+        make_stream(count), track_outputs=False
+    )
+    return ca_report, ci_report
+
+
+@pytest.fixture(scope="module")
+def fig12d_results():
+    return {count: run_pair(count) for count in WINDOW_COUNTS}
+
+
+def test_fig12d_window_number(fig12d_results, benchmark):
+    table = FigureTable(
+        "Figure 12(d)", "win ratio vs context window number", "windows"
+    )
+    for count in WINDOW_COUNTS:
+        ca, ci = fig12d_results[count]
+        table.add(
+            count,
+            suspension_pct=100 * suspension_coverage(count),
+            cpu_win=ci.cost_units / ca.cost_units,
+        )
+    table.show()
+
+    wins = table.series("cpu_win")
+    coverages = [suspension_coverage(count) for count in WINDOW_COUNTS]
+
+    # Shape 1: more critical windows → less suspension → smaller win.
+    assert all(a >= b * 0.98 for a, b in zip(wins, wins[1:]))
+
+    # Shape 2: the paper's thresholds — win above 2 at >80% coverage,
+    # negligible below 50%.
+    for coverage, win in zip(coverages, wins):
+        if coverage > 0.8:
+            assert win > 2.0, f"win {win:.2f} at coverage {coverage:.0%}"
+        if coverage < 0.5:
+            assert win < 2.0, f"win {win:.2f} at coverage {coverage:.0%}"
+
+    benchmark(lambda: run_pair(WINDOW_COUNTS[0]))

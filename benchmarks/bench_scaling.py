@@ -1,0 +1,111 @@
+"""Scalability characterization of the reproduction itself.
+
+Not a paper figure: these benchmarks characterize the Python engine's raw
+throughput so regressions in the reproduction are caught — events/second
+for the context-aware engine across partition counts and workload sizes,
+plus the pattern matcher and the grouping algorithm in isolation.
+"""
+
+import pytest
+
+from benchmarks.common import FigureTable
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.pattern import EventMatch, PatternOperator, Sequence
+from repro.core.grouping import group_context_windows
+from repro.core.windows import ContextWindowStore, WindowSpec
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.core.model import CaesarModel
+from repro.runtime.engine import CaesarEngine
+
+READING = EventType.define("Reading", value="int", sec="int", zone="int")
+
+
+def build_model(queries=4):
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN Reading r WHERE r.value > 800 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN Reading r WHERE r.value < 100 "
+        "CONTEXT alert", name="down"))
+    for index in range(queries):
+        model.add_query(parse_query(
+            f"DERIVE Out{index}(r.value) PATTERN Reading r "
+            f"WHERE r.value > {index * 100} CONTEXT alert",
+            name=f"q{index}"))
+    return model
+
+
+def build_stream(events=2000, zones=1):
+    return EventStream(
+        Event(
+            READING,
+            index // zones,
+            {
+                "value": (index * 37) % 1000,
+                "sec": index // zones,
+                "zone": index % zones,
+            },
+        )
+        for index in range(events)
+    )
+
+
+class TestEngineThroughput:
+    def test_single_partition_throughput(self, benchmark):
+        stream = build_stream()
+
+        def run():
+            return CaesarEngine(build_model()).run(
+                stream, track_outputs=False
+            )
+
+        report = benchmark(run)
+        table = FigureTable("Scaling", "engine throughput", "setup")
+        table.add("single-partition", events_per_sec=report.throughput)
+        table.show()
+        assert report.events_processed == 2000
+
+    def test_partitioned_throughput(self, benchmark):
+        stream = build_stream(zones=8)
+
+        def run():
+            return CaesarEngine(
+                build_model(), partition_by=lambda e: e["zone"]
+            ).run(stream, track_outputs=False)
+
+        report = benchmark(run)
+        assert len(report.windows_by_partition) == 8
+
+
+class TestComponentThroughput:
+    def test_pattern_matcher_throughput(self, benchmark):
+        spec = Sequence((EventMatch("Reading", "a"), EventMatch("Reading", "b")))
+        events = [
+            Event(READING, t, {"value": t % 50, "sec": t, "zone": 0})
+            for t in range(500)
+        ]
+        store = ContextWindowStore([], "d")
+
+        def run():
+            op = PatternOperator(spec, retention=20)
+            ctx = ExecutionContext(windows=store)
+            total = 0
+            for event in events:
+                total += len(op.process([event], ctx))
+            return total
+
+        matches = benchmark(run)
+        assert matches > 0
+
+    def test_grouping_throughput(self, benchmark):
+        specs = [
+            WindowSpec(f"w{i}", start=i * 7, end=i * 7 + 50)
+            for i in range(60)
+        ]
+        grouped = benchmark(lambda: group_context_windows(specs))
+        assert len(grouped) >= 60

@@ -1,0 +1,123 @@
+"""Shared infrastructure for the figure-by-figure benchmark harness.
+
+Every module in this directory regenerates one table or figure of the
+paper's Section 7 and prints the same rows/series the paper reports.  Run::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Latency methodology
+-------------------
+The paper measures wall-clock *maximal latency* on fixed hardware where the
+default workload (3 roads, 10 event queries) runs the context-independent
+baseline near its capacity — that is what makes latency a sensitive metric
+there.  Our substrate is a Python simulator, so absolute wall time carries
+no meaning; instead the engines charge deterministic *cost units* per
+operator invocation and the latency model replays a single-server queue
+(events arrive at their application timestamps, service time = cost units ×
+a seconds-per-cost-unit scale).
+
+For each figure family the scale is **calibrated once on the paper's
+reference configuration** so the context-independent baseline runs at ≈1.2×
+capacity (mirroring the paper's near-saturated hardware) and is then held
+fixed across the sweep.  Every reported comparison (who wins, by what
+factor, where the crossover falls) is between two engines under the *same*
+scale, so the shape is meaningful even though absolute seconds are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.events.stream import EventStream
+from repro.runtime.engine import EngineReport
+
+#: Utilization the CI baseline is calibrated to at the reference point.
+REFERENCE_UTILIZATION = 1.2
+
+
+def calibrate_seconds_per_cost_unit(
+    reference_cost_units: float,
+    *,
+    stream_seconds: float,
+    utilization: float = REFERENCE_UTILIZATION,
+) -> float:
+    """Scale such that the reference run needs ``utilization × stream
+    duration`` of service time — i.e. the baseline is mildly oversaturated,
+    as on the paper's testbed."""
+    if reference_cost_units <= 0:
+        raise ValueError("reference run spent no cost units")
+    return utilization * stream_seconds / reference_cost_units
+
+
+@dataclass
+class FigureRow:
+    """One printed row of a figure's data series."""
+
+    x: object
+    values: dict[str, float]
+
+
+class FigureTable:
+    """Collects and pretty-prints the series of one paper figure."""
+
+    def __init__(self, figure: str, title: str, x_label: str):
+        self.figure = figure
+        self.title = title
+        self.x_label = x_label
+        self.rows: list[FigureRow] = []
+
+    def add(self, x: object, **values: float) -> None:
+        self.rows.append(FigureRow(x, values))
+
+    def series(self, name: str) -> list[float]:
+        return [row.values[name] for row in self.rows if name in row.values]
+
+    def xs(self) -> list[object]:
+        return [row.x for row in self.rows]
+
+    def render(self) -> str:
+        if not self.rows:
+            return f"[{self.figure}] {self.title}: (no data)"
+        columns = list(dict.fromkeys(k for row in self.rows for k in row.values))
+        widths = {c: max(len(c), 12) for c in columns}
+        x_width = max(len(self.x_label), *(len(str(r.x)) for r in self.rows))
+        header = (
+            f"{self.x_label:<{x_width}}  "
+            + "  ".join(f"{c:>{widths[c]}}" for c in columns)
+        )
+        lines = [
+            f"=== {self.figure}: {self.title} ===",
+            header,
+            "-" * len(header),
+        ]
+        for row in self.rows:
+            cells = []
+            for column in columns:
+                value = row.values.get(column)
+                if value is None:
+                    cells.append(" " * widths[column])
+                elif isinstance(value, float):
+                    cells.append(f"{value:>{widths[column]}.4f}")
+                else:
+                    cells.append(f"{value!s:>{widths[column]}}")
+            lines.append(f"{row.x!s:<{x_width}}  " + "  ".join(cells))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def run_fresh(
+    engine_factory: Callable[[], object],
+    stream_factory: Callable[[], EventStream],
+) -> EngineReport:
+    """One run with a fresh engine and a fresh stream."""
+    engine = engine_factory()
+    return engine.run(stream_factory(), track_outputs=False)
+
+
+def monotonically_nondecreasing(values: Sequence[float], slack: float = 1.05) -> bool:
+    """True if the series never drops by more than ``slack`` noise."""
+    return all(b * slack >= a for a, b in zip(values, values[1:]))

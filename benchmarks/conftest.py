@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+The figure tables print to stdout; run with ``-s`` to see them inline, or
+check ``bench_output.txt`` produced by the top-level harness run.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks compare relative numbers; keep pytest-benchmark quick.
+    config.option.benchmark_min_rounds = getattr(
+        config.option, "benchmark_min_rounds", 5
+    )

@@ -1,0 +1,73 @@
+"""Health monitoring on the synthetic PAM data set (Section 7.1).
+
+Fourteen-ish subjects wear heart-rate and IMU sensors; CAESAR derives each
+subject's activity-intensity context (rest / moderate / vigorous) from the
+stream and runs only the analytics relevant to that context: high-heart-rate
+alerts during vigorous exercise, intensity summaries while active, and fall
+detection only while the subject is supposed to be at rest.
+
+Run:  python examples/health_monitoring.py
+"""
+
+from repro import win_ratio
+from repro.pam import (
+    PamConfig,
+    build_pam_model,
+    generate_pam_stream,
+    subject_partitioner,
+)
+from repro.runtime import CaesarEngine, ContextIndependentEngine
+
+SECONDS_PER_COST_UNIT = 1e-4
+
+
+def main() -> None:
+    config = PamConfig(num_subjects=6, duration_minutes=20, seed=3)
+    model = build_pam_model()
+
+    print("=== CAESAR (context-aware) ===")
+    caesar = CaesarEngine(
+        model,
+        partition_by=subject_partitioner,
+        seconds_per_cost_unit=SECONDS_PER_COST_UNIT,
+        retention=60,
+    )
+    ca_report = caesar.run(generate_pam_stream(config))
+    print(ca_report.summary())
+    print("outputs:", dict(sorted(ca_report.outputs_by_type.items())))
+
+    subject = min(ca_report.windows_by_partition)
+    print(f"\nactivity contexts of subject {subject}:")
+    for window in ca_report.windows_by_partition[subject][:12]:
+        print(f"  {window}")
+
+    alerts = [
+        e for e in ca_report.outputs if e.type_name == "HighHeartRateAlert"
+    ]
+    if alerts:
+        print("\nfirst high-heart-rate alerts:")
+        for alert in alerts[:5]:
+            print(
+                f"  subject {alert['subject']} at t={alert.timestamp}: "
+                f"{alert['heart_rate']} bpm"
+            )
+
+    print("\n=== context-independent baseline ===")
+    baseline = ContextIndependentEngine(
+        model,
+        partition_by=subject_partitioner,
+        seconds_per_cost_unit=SECONDS_PER_COST_UNIT,
+        retention=60,
+    )
+    ci_report = baseline.run(generate_pam_stream(config))
+    print(ci_report.summary())
+
+    print("\n=== comparison ===")
+    print(f"CPU cost ratio (CI / CA): "
+          f"{ci_report.cost_units / ca_report.cost_units:.2f}x")
+    print(f"max-latency win ratio:    "
+          f"{win_ratio(ci_report.max_latency, ca_report.max_latency):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: a minimal context-aware stream application.
+
+A sensor emits readings; when a reading exceeds a threshold the system
+enters the *alert* context and derives an ``Alarm`` for every reading until
+the value drops back.  Outside the alert context the alarm query is fully
+suspended — it does not even see the stream.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CaesarEngine, CaesarModel, parse_query
+from repro.events import Event, EventStream, EventType
+
+READING = EventType.define("Reading", value="int", sec="int")
+
+
+def build_model() -> CaesarModel:
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(
+        parse_query(
+            "INITIATE CONTEXT alert PATTERN Reading r WHERE r.value > 100 "
+            "CONTEXT normal",
+            name="raise_alert",
+        )
+    )
+    model.add_query(
+        parse_query(
+            "TERMINATE CONTEXT alert PATTERN Reading r WHERE r.value <= 100 "
+            "CONTEXT alert",
+            name="clear_alert",
+        )
+    )
+    model.add_query(
+        parse_query(
+            "DERIVE Alarm(r.value, r.sec) PATTERN Reading r CONTEXT alert",
+            name="alarm",
+        )
+    )
+    return model
+
+
+def build_stream() -> EventStream:
+    # values ramp up past the threshold, hold, and fall back
+    values = [40, 60, 90, 120, 150, 170, 130, 110, 90, 50, 30]
+    return EventStream(
+        Event(READING, t * 10, {"value": value, "sec": t * 10})
+        for t, value in enumerate(values)
+    )
+
+
+def main() -> None:
+    model = build_model()
+    print(model.describe())
+    print()
+
+    engine = CaesarEngine(model)
+    report = engine.run(build_stream())
+
+    print(f"processed {report.events_processed} readings "
+          f"in {report.batches} batches")
+    print(f"derived {len(report.outputs)} alarms:")
+    for alarm in report.outputs:
+        print(f"  t={alarm.timestamp:>4}  value={alarm['value']}")
+    print()
+    print("context windows observed:")
+    for window in report.windows_by_partition[None]:
+        print(f"  {window}")
+    print()
+    print(f"batches suppressed while suspended: {report.suppressed_batches}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this file exists so that editable
+installs work on environments without the ``wheel`` package (legacy
+``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""CAESAR algebra (Section 4): six operators and the query plans they form.
+
+The algebra has three operator families:
+
+* context operators unique to CAESAR — context initiation ``CI_c``, context
+  termination ``CT_c`` and context window ``CW_c``;
+* relational-style operators — filter ``FL_θ`` and projection ``PR_{A,E}``;
+* the pattern operator ``P`` implementing event matching, ``SEQ`` and
+  ``SEQ`` with negation.
+
+Operators are composed into :class:`~repro.algebra.plan.QueryPlan` pipelines;
+individual plans are stitched into combined plans per Section 4.2.
+"""
+
+from repro.algebra.expressions import (
+    And,
+    AttrRef,
+    BinaryOp,
+    Constant,
+    Expr,
+    Not,
+    Or,
+    attr,
+    binding_from_event,
+    const,
+)
+from repro.algebra.operators import Operator, OperatorStats
+from repro.algebra.context_ops import (
+    ContextInitiation,
+    ContextTermination,
+    ContextWindowOperator,
+)
+from repro.algebra.relational_ops import Filter, Projection
+from repro.algebra.pattern import (
+    EventMatch,
+    NegatedSpec,
+    PatternOperator,
+    PatternSpec,
+    Sequence,
+)
+from repro.algebra.plan import CombinedQueryPlan, QueryPlan
+
+__all__ = [
+    "And",
+    "AttrRef",
+    "BinaryOp",
+    "CombinedQueryPlan",
+    "Constant",
+    "ContextInitiation",
+    "ContextTermination",
+    "ContextWindowOperator",
+    "EventMatch",
+    "Expr",
+    "Filter",
+    "NegatedSpec",
+    "Not",
+    "Operator",
+    "OperatorStats",
+    "Or",
+    "PatternOperator",
+    "PatternSpec",
+    "Projection",
+    "QueryPlan",
+    "Sequence",
+    "attr",
+    "binding_from_event",
+    "const",
+]

@@ -1,0 +1,274 @@
+"""Expression trees for WHERE predicates (grammar ``Expr`` in Fig. 4).
+
+The grammar admits constants, attribute references and binary operations
+with arithmetic (``+ - * /``), comparison (``= ≠ > ≥ < ≤``) and logical
+(``AND OR``) operators.  We add ``NOT`` as a convenience for baseline
+engines that must fold negated context conditions into query predicates.
+
+Expressions are evaluated against a *binding*: a mapping from pattern
+variable names to events.  An attribute reference ``p2.vid`` looks up the
+event bound to ``p2`` and reads its ``vid`` attribute; an unqualified
+reference ``vid`` reads the attribute from the binding's sole event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import ExpressionError
+from repro.events.event import Event
+
+Binding = Mapping[str, Event]
+
+#: The single event bound when a predicate is evaluated over one event with
+#: no explicit pattern variable (e.g. a plain filter on a stream).
+SELF_VAR = ""
+
+
+def binding_from_event(event: Event, var: str = SELF_VAR) -> dict[str, Event]:
+    """Build a one-event binding for evaluating per-event predicates."""
+    return {var: event}
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+    def evaluate(self, binding: Binding) -> Any:
+        raise NotImplementedError
+
+    def attributes(self) -> set[tuple[str, str]]:
+        """All ``(variable, attribute)`` pairs the expression reads."""
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        """All pattern variables the expression references."""
+        return {var for var, _ in self.attributes()}
+
+    # -- operator sugar so predicates can be written in plain Python ------
+
+    def __and__(self, other: "Expr") -> "And":
+        return And(self, _as_expr(other))
+
+    def __or__(self, other: "Expr") -> "Or":
+        return Or(self, _as_expr(other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __add__(self, other: Any) -> "BinaryOp":
+        return BinaryOp("+", self, _as_expr(other))
+
+    def __sub__(self, other: Any) -> "BinaryOp":
+        return BinaryOp("-", self, _as_expr(other))
+
+    def __mul__(self, other: Any) -> "BinaryOp":
+        return BinaryOp("*", self, _as_expr(other))
+
+    def __truediv__(self, other: Any) -> "BinaryOp":
+        return BinaryOp("/", self, _as_expr(other))
+
+    def eq(self, other: Any) -> "BinaryOp":
+        return BinaryOp("=", self, _as_expr(other))
+
+    def ne(self, other: Any) -> "BinaryOp":
+        return BinaryOp("!=", self, _as_expr(other))
+
+    def gt(self, other: Any) -> "BinaryOp":
+        return BinaryOp(">", self, _as_expr(other))
+
+    def ge(self, other: Any) -> "BinaryOp":
+        return BinaryOp(">=", self, _as_expr(other))
+
+    def lt(self, other: Any) -> "BinaryOp":
+        return BinaryOp("<", self, _as_expr(other))
+
+    def le(self, other: Any) -> "BinaryOp":
+        return BinaryOp("<=", self, _as_expr(other))
+
+
+def _as_expr(value: Any) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return Constant(value)
+
+
+@dataclass(frozen=True)
+class Constant(Expr):
+    """A literal value."""
+
+    value: Any
+
+    def evaluate(self, binding: Binding) -> Any:
+        return self.value
+
+    def attributes(self) -> set[tuple[str, str]]:
+        return set()
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class AttrRef(Expr):
+    """A reference ``var.attr`` (or bare ``attr`` with ``var == SELF_VAR``)."""
+
+    var: str
+    attr: str
+
+    def evaluate(self, binding: Binding) -> Any:
+        event = binding.get(self.var)
+        if event is None:
+            if self.var == SELF_VAR and len(binding) == 1:
+                event = next(iter(binding.values()))
+            else:
+                raise ExpressionError(
+                    f"no event bound to variable {self.var or '<self>'!r}; "
+                    f"bound: {sorted(binding)}"
+                )
+        if self.attr not in event:
+            raise ExpressionError(
+                f"event {event.type_name!r} bound to {self.var or '<self>'!r} "
+                f"has no attribute {self.attr!r}"
+            )
+        return event[self.attr]
+
+    def attributes(self) -> set[tuple[str, str]]:
+        return {(self.var, self.attr)}
+
+    def __str__(self) -> str:
+        return f"{self.var}.{self.attr}" if self.var else self.attr
+
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+_COMPARISON: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """An arithmetic or comparison operation on two sub-expressions."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC and self.op not in _COMPARISON:
+            raise ExpressionError(f"unknown binary operator: {self.op!r}")
+
+    def evaluate(self, binding: Binding) -> Any:
+        left = self.left.evaluate(binding)
+        right = self.right.evaluate(binding)
+        func = _ARITHMETIC.get(self.op) or _COMPARISON[self.op]
+        try:
+            return func(left, right)
+        except TypeError as exc:
+            raise ExpressionError(
+                f"cannot apply {self.op!r} to {left!r} and {right!r}"
+            ) from exc
+        except ZeroDivisionError as exc:
+            raise ExpressionError(f"division by zero in {self}") from exc
+
+    def attributes(self) -> set[tuple[str, str]]:
+        return self.left.attributes() | self.right.attributes()
+
+    @property
+    def is_comparison(self) -> bool:
+        return self.op in _COMPARISON
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Logical conjunction with short-circuit evaluation."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, binding: Binding) -> bool:
+        return bool(self.left.evaluate(binding)) and bool(
+            self.right.evaluate(binding)
+        )
+
+    def attributes(self) -> set[tuple[str, str]]:
+        return self.left.attributes() | self.right.attributes()
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Logical disjunction with short-circuit evaluation."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, binding: Binding) -> bool:
+        return bool(self.left.evaluate(binding)) or bool(
+            self.right.evaluate(binding)
+        )
+
+    def attributes(self) -> set[tuple[str, str]]:
+        return self.left.attributes() | self.right.attributes()
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation (library extension; not part of Fig. 4's grammar)."""
+
+    operand: Expr
+
+    def evaluate(self, binding: Binding) -> bool:
+        return not bool(self.operand.evaluate(binding))
+
+    def attributes(self) -> set[tuple[str, str]]:
+        return self.operand.attributes()
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+def attr(name: str, var: str = SELF_VAR) -> AttrRef:
+    """Shorthand: ``attr("vid", "p2")`` is the reference ``p2.vid``."""
+    return AttrRef(var, name)
+
+
+def const(value: Any) -> Constant:
+    """Shorthand for :class:`Constant`."""
+    return Constant(value)
+
+
+def conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten a conjunction into its top-level conjuncts."""
+    if isinstance(expr, And):
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(exprs: list[Expr]) -> Expr:
+    """Combine expressions into one conjunction (``TRUE`` for empty input)."""
+    if not exprs:
+        return Constant(True)
+    result = exprs[0]
+    for expr in exprs[1:]:
+        result = And(result, expr)
+    return result

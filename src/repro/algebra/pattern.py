@@ -1,0 +1,512 @@
+"""Pattern operator ``P`` (Section 4.1): event matching, SEQ, SEQ with NOT.
+
+The pattern grammar (Fig. 4) is::
+
+    Patt := NOT? EventType Var? | SEQ( (Patt ,?)+ )
+
+We implement the three semantics the paper defines:
+
+1. *Event matching* ``E()`` — every input event of type ``E`` is a match.
+2. *Sequence without negation* ``SEQ(E1, ..., En)`` — all combinations of
+   events ``e1, ..., en`` with strictly increasing occurrence times
+   (skip-till-any-match, as in SASE [34]).
+3. *Sequence with negation* ``SEQ(S1, NOT E, S2)`` — sequences of ``S1 S2``
+   such that no ``E`` event falls strictly between them.  A negated element
+   may also *start* or *end* a sequence, in which case a temporal constraint
+   bounds the interval within which the negated event must not occur [34]:
+   leading negation is bounded by the guard predicate or the operator's
+   retention horizon; trailing negation requires an explicit ``within``.
+
+Matches are emitted as :class:`MatchEvent` objects that carry the full
+variable binding, so downstream ``FL_θ``/``PR_{A,E}`` operators can evaluate
+multi-variable predicates.  The partial-match state of a pattern operator is
+exactly the "context history" the runtime preserves across grouped context
+windows (Section 6.2); it is exposed via :meth:`PatternOperator.state_size`,
+:meth:`~repro.algebra.operators.Operator.reset_state` and
+:meth:`~repro.algebra.operators.Operator.expire_state_before`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.algebra.expressions import SELF_VAR, Expr
+from repro.algebra.operators import ExecutionContext, Operator
+from repro.errors import ExpressionError, PlanError
+from repro.events.event import Event
+from repro.events.timebase import TimeInterval, TimePoint
+from repro.events.types import EventType
+
+#: Event type tag for pattern matches flowing between operators.
+MATCH_EVENT_TYPE = EventType("PatternMatch")
+
+
+class MatchEvent(Event):
+    """A pattern match: an event carrying its variable binding.
+
+    The payload flattens the binding into ``"var.attr"`` keys for debugging;
+    downstream operators evaluate expressions against :attr:`binding`.
+    """
+
+    __slots__ = ("binding",)
+
+    def __init__(self, binding: Mapping[str, Event], time: TimeInterval):
+        payload: dict[str, Any] = {}
+        for var, event in binding.items():
+            prefix = f"{var}." if var else ""
+            for attr_name in event.attributes():
+                payload[f"{prefix}{attr_name}"] = event[attr_name]
+        super().__init__(
+            MATCH_EVENT_TYPE,
+            time,
+            payload,
+            derived_from=tuple(binding.values()),
+        )
+        object.__setattr__(self, "binding", dict(binding))
+
+
+def binding_of(event: Event) -> dict[str, Event]:
+    """The evaluation binding of an event: its match binding or itself."""
+    if isinstance(event, MatchEvent):
+        return event.binding
+    return {SELF_VAR: event}
+
+
+# --------------------------------------------------------------------------
+# Pattern specifications
+# --------------------------------------------------------------------------
+
+
+class PatternSpec:
+    """Base class for pattern syntax trees."""
+
+    def variables(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EventMatch(PatternSpec):
+    """``EventType Var?`` — match any event of the given type."""
+
+    type_name: str
+    var: str = SELF_VAR
+
+    def variables(self) -> tuple[str, ...]:
+        return (self.var,)
+
+    def __str__(self) -> str:
+        return f"{self.type_name} {self.var}".rstrip()
+
+
+@dataclass(frozen=True)
+class NegatedSpec(PatternSpec):
+    """``NOT EventType Var?`` with an optional guard and time bound.
+
+    ``guard`` is a predicate over the negated variable and the positive
+    variables of the enclosing sequence; a negated event only *blocks* a
+    match if the guard is satisfied.  ``within`` bounds trailing negation:
+    the match is emitted once ``within`` time units elapse after the last
+    positive event with no blocking event observed.
+    """
+
+    inner: EventMatch
+    guard: Expr | None = None
+    within: TimePoint | None = None
+
+    def variables(self) -> tuple[str, ...]:
+        return self.inner.variables()
+
+    def __str__(self) -> str:
+        return f"NOT {self.inner}"
+
+
+@dataclass(frozen=True)
+class Sequence(PatternSpec):
+    """``SEQ(...)`` — ordered composition of matches and negations."""
+
+    elements: tuple[PatternSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.elements:
+            raise PlanError("SEQ requires at least one element")
+        if not _has_positive(self):
+            raise PlanError("SEQ requires at least one positive element")
+        seen: set[str] = set()
+        for var in self.variables():
+            if var and var in seen:
+                raise PlanError(f"duplicate pattern variable: {var!r}")
+            seen.add(var)
+
+    def variables(self) -> tuple[str, ...]:
+        names: list[str] = []
+        for element in self.elements:
+            names.extend(element.variables())
+        return tuple(names)
+
+    @property
+    def positives(self) -> tuple[EventMatch, ...]:
+        return tuple(e for e in self.elements if isinstance(e, EventMatch))
+
+    def validate_flat(self) -> None:
+        """Check the invariants evaluation relies on (flat, has a positive)."""
+        for element in self.elements:
+            if isinstance(element, Sequence):
+                raise PlanError(
+                    "nested SEQ must be flattened before plan construction"
+                )
+        if not any(isinstance(e, EventMatch) for e in self.elements):
+            raise PlanError("SEQ requires at least one positive element")
+
+
+def _has_positive(spec: PatternSpec) -> bool:
+    if isinstance(spec, EventMatch):
+        return True
+    if isinstance(spec, NegatedSpec):
+        return False
+    assert isinstance(spec, Sequence)
+    return any(_has_positive(element) for element in spec.elements)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(e) for e in self.elements)
+        return f"SEQ({inner})"
+
+
+def flatten_sequence(spec: PatternSpec) -> PatternSpec:
+    """Flatten nested SEQ nodes produced by the parser into one Sequence."""
+    if not isinstance(spec, Sequence):
+        return spec
+    flat: list[PatternSpec] = []
+    for element in spec.elements:
+        element = flatten_sequence(element)
+        if isinstance(element, Sequence):
+            flat.extend(element.elements)
+        else:
+            flat.append(element)
+    return Sequence(tuple(flat))
+
+
+# --------------------------------------------------------------------------
+# Incremental evaluation state
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Partial:
+    """A partial match: bindings for the first ``k`` positive elements."""
+
+    binding: dict[str, Event]
+    next_index: int  # index into the positive-element list
+    last_time: TimePoint  # timestamp of the most recent bound event
+
+
+@dataclass
+class _PendingMatch:
+    """A completed match awaiting a trailing-negation deadline."""
+
+    binding: dict[str, Event]
+    deadline: TimePoint
+    blocked: bool = False
+
+
+@dataclass
+class _SequencePlan:
+    """Pre-analyzed structure of a Sequence: negations between positives."""
+
+    positives: tuple[EventMatch, ...]
+    #: ``gap_negations[i]`` lists negations between positive ``i-1`` and
+    #: positive ``i``; index 0 holds leading negations.
+    gap_negations: tuple[tuple[NegatedSpec, ...], ...]
+    trailing: tuple[NegatedSpec, ...]
+
+
+def _analyze(sequence: Sequence) -> _SequencePlan:
+    positives: list[EventMatch] = []
+    gaps: list[list[NegatedSpec]] = [[]]
+    for element in sequence.elements:
+        if isinstance(element, EventMatch):
+            positives.append(element)
+            gaps.append([])
+        else:
+            assert isinstance(element, NegatedSpec)
+            gaps[-1].append(element)
+    trailing = tuple(gaps.pop())
+    for negation in trailing:
+        if negation.within is None:
+            raise PlanError(
+                f"trailing negation {negation} needs an explicit 'within' "
+                "time bound (Section 4.1: a negated event ending a sequence "
+                "requires a temporal constraint)"
+            )
+    return _SequencePlan(
+        positives=tuple(positives),
+        gap_negations=tuple(tuple(g) for g in gaps),
+        trailing=trailing,
+    )
+
+
+class PatternOperator(Operator):
+    """The CAESAR pattern operator ``P``.
+
+    Parameters
+    ----------
+    spec:
+        The pattern to evaluate (:class:`EventMatch` or :class:`Sequence`).
+    retention:
+        Time horizon for partial matches and negation history.  Events and
+        partials older than ``now - retention`` are expired; this bounds both
+        memory and the lookback of leading negation.
+    """
+
+    unit_cost = 2.0
+
+    def __init__(self, spec: PatternSpec, *, retention: TimePoint = 300):
+        spec = flatten_sequence(spec)
+        super().__init__(f"P[{spec}]")
+        if retention <= 0:
+            raise PlanError(f"retention must be positive, got {retention}")
+        self.spec = spec
+        self.retention = retention
+        if isinstance(spec, Sequence):
+            spec.validate_flat()
+            self._plan: _SequencePlan | None = _analyze(spec)
+        elif isinstance(spec, EventMatch):
+            self._plan = None
+        else:
+            raise PlanError(f"unsupported pattern spec: {spec!r}")
+        self._negated_types: set[str] = set()
+        if self._plan is not None:
+            for gap in self._plan.gap_negations:
+                self._negated_types.update(n.inner.type_name for n in gap)
+            self._negated_types.update(
+                n.inner.type_name for n in self._plan.trailing
+            )
+        self._history: dict[str, deque[Event]] = {
+            t: deque() for t in self._negated_types
+        }
+        self._partials: list[_Partial] = []
+        self._pending: list[_PendingMatch] = []
+        self._now: TimePoint = 0
+
+    # ------------------------------------------------------------------
+    # state management (context history / garbage collection hooks)
+    # ------------------------------------------------------------------
+
+    def state_size(self) -> int:
+        """Number of partial matches, pending matches and history events."""
+        history = sum(len(d) for d in self._history.values())
+        return len(self._partials) + len(self._pending) + history
+
+    def reset_state(self) -> None:
+        self._partials.clear()
+        self._pending.clear()
+        for history in self._history.values():
+            history.clear()
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Copy the mutable state (used by the context history store)."""
+        return {
+            "partials": [
+                _Partial(dict(p.binding), p.next_index, p.last_time)
+                for p in self._partials
+            ],
+            "pending": [
+                _PendingMatch(dict(p.binding), p.deadline, p.blocked)
+                for p in self._pending
+            ],
+            "history": {t: deque(d) for t, d in self._history.items()},
+            "now": self._now,
+        }
+
+    def restore_state(self, snapshot: Mapping[str, Any]) -> None:
+        """Restore state saved by :meth:`snapshot_state`.
+
+        The snapshot is copied, so it can be restored any number of times
+        (e.g. replaying from one checkpoint repeatedly).
+        """
+        self._partials = [
+            _Partial(dict(p.binding), p.next_index, p.last_time)
+            for p in snapshot["partials"]
+        ]
+        self._pending = [
+            _PendingMatch(dict(p.binding), p.deadline, p.blocked)
+            for p in snapshot["pending"]
+        ]
+        self._history = {t: deque(d) for t, d in snapshot["history"].items()}
+        self._now = snapshot["now"]
+
+    def expire_state_before(self, t: TimePoint) -> int:
+        dropped = 0
+        kept = [p for p in self._partials if p.last_time >= t]
+        dropped += len(self._partials) - len(kept)
+        self._partials = kept
+        for history in self._history.values():
+            while history and history[0].timestamp < t:
+                history.popleft()
+                dropped += 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def process(self, events: list[Event], ctx: ExecutionContext) -> list[Event]:
+        out: list[Event] = []
+        for event in events:
+            out.extend(self._consume(event))
+        cost = self.unit_cost * len(events) + 0.1 * len(self._partials)
+        self._account(len(events), len(out), cost)
+        return out
+
+    def on_time_advance(self, now: TimePoint, ctx: ExecutionContext) -> list[Event]:
+        self._now = max(self._now, now)
+        self._expire(now)
+        return self._flush_pending(now)
+
+    def _consume(self, event: Event) -> list[Event]:
+        self._now = max(self._now, event.timestamp)
+        if self._plan is None:
+            return self._match_single(event)
+        emitted: list[Event] = []
+        # Negated-type events may block pending trailing-negation matches.
+        if event.type_name in self._negated_types:
+            self._block_pending(event)
+            self._history[event.type_name].append(event)
+        self._expire_horizon()
+        emitted.extend(self._advance_partials(event))
+        emitted.extend(self._flush_pending(self._now))
+        return emitted
+
+    def _match_single(self, event: Event) -> list[Event]:
+        assert isinstance(self.spec, EventMatch)
+        if event.type_name != self.spec.type_name:
+            return []
+        return [MatchEvent({self.spec.var: event}, event.time)]
+
+    def _advance_partials(self, event: Event) -> list[Event]:
+        assert self._plan is not None
+        plan = self._plan
+        emitted: list[Event] = []
+        candidates: list[_Partial] = []
+        # Extend existing partials whose next positive element matches.
+        for partial in self._partials:
+            positive = plan.positives[partial.next_index]
+            if (
+                positive.type_name == event.type_name
+                and event.timestamp > partial.last_time
+            ):
+                candidates.append(partial)
+        # A fresh partial if the event matches the first positive element.
+        if plan.positives[0].type_name == event.type_name:
+            candidates.append(_Partial({}, 0, -1.0))
+        for partial in candidates:
+            index = partial.next_index
+            binding = dict(partial.binding)
+            binding[plan.positives[index].var] = event
+            if not self._gap_clear(plan, index, binding, partial.last_time, event):
+                continue
+            extended = _Partial(binding, index + 1, event.timestamp)
+            if extended.next_index == len(plan.positives):
+                emitted.extend(self._complete(plan, extended))
+            else:
+                self._partials.append(extended)
+        return emitted
+
+    def _gap_clear(
+        self,
+        plan: _SequencePlan,
+        index: int,
+        binding: dict[str, Event],
+        previous_time: TimePoint,
+        event: Event,
+    ) -> bool:
+        """Check the negations between positive ``index-1`` and ``index``.
+
+        For leading negation (``index == 0``) the forbidden interval is the
+        retention horizon up to the event; otherwise it is strictly between
+        the two positive events.
+        """
+        for negation in plan.gap_negations[index]:
+            low = previous_time if index > 0 else event.timestamp - self.retention
+            for blocked in self._history[negation.inner.type_name]:
+                t = blocked.timestamp
+                if index > 0 and not (low < t < event.timestamp):
+                    continue
+                if index == 0 and not (low <= t < event.timestamp):
+                    continue
+                if blocked is event:
+                    continue
+                if self._guard_holds(negation, blocked, binding):
+                    return False
+        return True
+
+    def _guard_holds(
+        self, negation: NegatedSpec, blocked: Event, binding: dict[str, Event]
+    ) -> bool:
+        if negation.guard is None:
+            return True
+        guard_binding = dict(binding)
+        guard_binding[negation.inner.var] = blocked
+        try:
+            return bool(negation.guard.evaluate(guard_binding))
+        except ExpressionError:
+            return False
+
+    def _complete(self, plan: _SequencePlan, partial: _Partial) -> list[Event]:
+        if plan.trailing:
+            deadline = partial.last_time + min(
+                n.within for n in plan.trailing if n.within is not None
+            )
+            self._pending.append(_PendingMatch(partial.binding, deadline))
+            return []
+        return [self._emit(partial.binding)]
+
+    def _emit(self, binding: dict[str, Event]) -> MatchEvent:
+        time = None
+        for event in binding.values():
+            time = event.time if time is None else time.span(event.time)
+        assert time is not None
+        return MatchEvent(binding, time)
+
+    def _block_pending(self, event: Event) -> None:
+        assert self._plan is not None
+        for pending in self._pending:
+            if pending.blocked:
+                continue
+            last_time = max(e.timestamp for e in pending.binding.values())
+            if not (last_time < event.timestamp <= pending.deadline):
+                continue
+            for negation in self._plan.trailing:
+                if negation.inner.type_name != event.type_name:
+                    continue
+                if self._guard_holds(negation, event, pending.binding):
+                    pending.blocked = True
+                    break
+
+    def _flush_pending(self, now: TimePoint) -> list[Event]:
+        if not self._pending:
+            return []
+        emitted: list[Event] = []
+        remaining: list[_PendingMatch] = []
+        for pending in self._pending:
+            if pending.blocked:
+                continue
+            if now > pending.deadline:
+                emitted.append(self._emit(pending.binding))
+            else:
+                remaining.append(pending)
+        self._pending = remaining
+        return emitted
+
+    def _expire(self, now: TimePoint) -> None:
+        self._now = max(self._now, now)
+
+    def _expire_horizon(self) -> None:
+        horizon = self._now - self.retention
+        if horizon <= 0:
+            return
+        self._partials = [p for p in self._partials if p.last_time >= horizon]
+        for history in self._history.values():
+            while history and history[0].timestamp < horizon:
+                history.popleft()

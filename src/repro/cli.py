@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``describe-traffic``   print the Linear Road CAESAR model (textual Figure 1)
+``describe-pam``       print the PAM CAESAR model
+``dot-traffic``        print the traffic model as a Graphviz digraph
+``dot-pam``            print the PAM model as a Graphviz digraph
+``run-traffic``        run the traffic scenario and print the report
+``run-pam``            run the health-monitoring scenario and print the report
+``validate-traffic``   run the traffic scenario and validate its outputs
+``parse``              parse a CAESAR query from the argument and dump it
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.viz import to_dot, to_text
+from repro.errors import CaesarError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CAESAR: context-aware event stream analytics "
+        "(EDBT 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("describe-traffic", help="print the traffic model")
+    sub.add_parser("describe-pam", help="print the PAM model")
+    sub.add_parser("dot-traffic", help="traffic model as Graphviz DOT")
+    sub.add_parser("dot-pam", help="PAM model as Graphviz DOT")
+
+    run_traffic = sub.add_parser("run-traffic", help="run the traffic scenario")
+    run_traffic.add_argument("--roads", type=int, default=1)
+    run_traffic.add_argument("--segments", type=int, default=3)
+    run_traffic.add_argument("--minutes", type=int, default=12)
+    run_traffic.add_argument("--seed", type=int, default=7)
+    run_traffic.add_argument(
+        "--baseline", action="store_true",
+        help="use the context-independent engine",
+    )
+
+    run_pam = sub.add_parser("run-pam", help="run the PAM scenario")
+    run_pam.add_argument("--subjects", type=int, default=4)
+    run_pam.add_argument("--minutes", type=int, default=12)
+    run_pam.add_argument("--seed", type=int, default=5)
+    run_pam.add_argument("--baseline", action="store_true")
+
+    validate = sub.add_parser(
+        "validate-traffic",
+        help="run the traffic scenario and validate outputs against an "
+        "independent recomputation (the Linear Road correctness bar)",
+    )
+    validate.add_argument("--roads", type=int, default=1)
+    validate.add_argument("--segments", type=int, default=2)
+    validate.add_argument("--minutes", type=int, default=12)
+    validate.add_argument("--seed", type=int, default=7)
+
+    parse_cmd = sub.add_parser("parse", help="parse one CAESAR query")
+    parse_cmd.add_argument("query", help="the query text")
+    return parser
+
+
+def _cmd_describe_traffic() -> int:
+    from repro.linearroad.queries import build_traffic_model
+
+    print(to_text(build_traffic_model()))
+    return 0
+
+
+def _cmd_describe_pam() -> int:
+    from repro.pam.queries import build_pam_model
+
+    print(to_text(build_pam_model()))
+    return 0
+
+
+def _cmd_dot_traffic() -> int:
+    from repro.linearroad.queries import build_traffic_model
+
+    print(to_dot(build_traffic_model(), name="traffic"))
+    return 0
+
+
+def _cmd_dot_pam() -> int:
+    from repro.pam.queries import build_pam_model
+
+    print(to_dot(build_pam_model(), name="pam"))
+    return 0
+
+
+def _cmd_run_traffic(args: argparse.Namespace) -> int:
+    from repro.linearroad.generator import (
+        LinearRoadConfig,
+        generate_stream,
+        paper_timeline_schedules,
+    )
+    from repro.linearroad.queries import (
+        build_traffic_model,
+        segment_partitioner,
+    )
+    from repro.runtime.baseline import ContextIndependentEngine
+    from repro.runtime.engine import CaesarEngine
+
+    config = paper_timeline_schedules(
+        LinearRoadConfig(
+            num_roads=args.roads,
+            segments_per_road=args.segments,
+            duration_minutes=args.minutes,
+            seed=args.seed,
+        )
+    )
+    engine_class = (
+        ContextIndependentEngine if args.baseline else CaesarEngine
+    )
+    engine = engine_class(
+        build_traffic_model(),
+        partition_by=segment_partitioner,
+        retention=120,
+    )
+    report = engine.run(generate_stream(config))
+    print(report.summary())
+    print("outputs:", dict(sorted(report.outputs_by_type.items())))
+    return 0
+
+
+def _cmd_run_pam(args: argparse.Namespace) -> int:
+    from repro.pam.generator import PamConfig, generate_pam_stream
+    from repro.pam.queries import build_pam_model, subject_partitioner
+    from repro.runtime.baseline import ContextIndependentEngine
+    from repro.runtime.engine import CaesarEngine
+
+    config = PamConfig(
+        num_subjects=args.subjects,
+        duration_minutes=args.minutes,
+        seed=args.seed,
+    )
+    engine_class = (
+        ContextIndependentEngine if args.baseline else CaesarEngine
+    )
+    engine = engine_class(
+        build_pam_model(), partition_by=subject_partitioner, retention=60
+    )
+    report = engine.run(generate_pam_stream(config))
+    print(report.summary())
+    print("outputs:", dict(sorted(report.outputs_by_type.items())))
+    return 0
+
+
+def _cmd_validate_traffic(args: argparse.Namespace) -> int:
+    from repro.linearroad.generator import (
+        LinearRoadConfig,
+        generate_stream,
+        paper_timeline_schedules,
+    )
+    from repro.linearroad.queries import (
+        build_traffic_model,
+        segment_partitioner,
+    )
+    from repro.linearroad.validation import validate_report
+    from repro.runtime.engine import CaesarEngine
+
+    config = paper_timeline_schedules(
+        LinearRoadConfig(
+            num_roads=args.roads,
+            segments_per_road=args.segments,
+            duration_minutes=args.minutes,
+            seed=args.seed,
+        )
+    )
+    engine = CaesarEngine(
+        build_traffic_model(),
+        partition_by=segment_partitioner,
+        retention=120,
+    )
+    report = engine.run(generate_stream(config))
+    result = validate_report(generate_stream(config), report)
+    print(result.summary())
+    return 0 if result.passed else 1
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    from repro.language import parse_query
+    from repro.optimizer.planner import build_query_plan
+    from repro.optimizer.pushdown import push_context_windows_down
+
+    query = parse_query(args.query, name="cli")
+    print(query)
+    context = query.contexts[0] if query.contexts else "default"
+    plan = push_context_windows_down(build_query_plan(query, context))
+    print()
+    print(plan.describe())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "describe-traffic":
+            return _cmd_describe_traffic()
+        if args.command == "describe-pam":
+            return _cmd_describe_pam()
+        if args.command == "dot-traffic":
+            return _cmd_dot_traffic()
+        if args.command == "dot-pam":
+            return _cmd_dot_pam()
+        if args.command == "run-traffic":
+            return _cmd_run_traffic(args)
+        if args.command == "run-pam":
+            return _cmd_run_pam(args)
+        if args.command == "validate-traffic":
+            return _cmd_validate_traffic(args)
+        if args.command == "parse":
+            return _cmd_parse(args)
+    except CaesarError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - argparse enforces the command set
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

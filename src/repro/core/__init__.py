@@ -1,0 +1,34 @@
+"""CAESAR core: the context-aware model (Section 3) and its machinery.
+
+This package holds the paper's primary abstractions: context types, context
+windows and their relationships, the context bit vector, context-aware event
+query descriptors, predicate subsumption for overlap inference, and the
+context window grouping algorithm (Listing 1).
+"""
+
+from repro.core.bitvector import ContextBitVector
+from repro.core.model import CaesarModel, ContextType
+from repro.core.queries import EventQuery, QueryAction
+from repro.core.windows import (
+    ContextWindow,
+    ContextWindowStore,
+    WindowSpec,
+    windows_contained,
+    windows_guaranteed_overlap,
+)
+from repro.core.grouping import GroupedWindow, group_context_windows
+
+__all__ = [
+    "CaesarModel",
+    "ContextBitVector",
+    "ContextType",
+    "ContextWindow",
+    "ContextWindowStore",
+    "EventQuery",
+    "GroupedWindow",
+    "QueryAction",
+    "WindowSpec",
+    "group_context_windows",
+    "windows_contained",
+    "windows_guaranteed_overlap",
+]

@@ -1,0 +1,172 @@
+"""Context window grouping (Section 5.3, Listing 1).
+
+Overlapping user-defined context windows are split at their bounds into
+finer-granularity, non-overlapping *grouped* windows; the workload of each
+grouped window is the union of the workloads of the original windows
+covering it, with duplicate queries removed.  Non-overlapping windows pass
+through unchanged.
+
+The algorithm sorts windows by start bound — even though absolute bounds are
+unknown at compile time, the *order* of bounds of overlapping windows can be
+determined (from predicate subsumption, :mod:`repro.core.predicates`), so
+:class:`~repro.core.windows.WindowSpec` carries comparable bound keys.
+
+Complexity: ``O(n log n * m)`` for ``n`` windows and ``m`` predicates
+compared per window pair, as stated in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.queries import EventQuery
+from repro.core.windows import WindowSpec
+from repro.errors import OptimizerError
+from repro.events.timebase import TimePoint
+
+
+@dataclass(frozen=True)
+class GroupedWindow:
+    """A non-overlapping window produced by the grouping algorithm.
+
+    ``source_names`` records which original user-defined windows cover this
+    grouped window — the runtime's context history uses it to decide across
+    which grouped windows a query's partial matches must be preserved
+    (Section 6.2, "Context Processing").
+    """
+
+    start: TimePoint
+    end: TimePoint
+    queries: tuple[EventQuery, ...]
+    source_names: tuple[str, ...]
+
+    @property
+    def length(self) -> TimePoint:
+        return self.end - self.start
+
+    def covers(self, t: TimePoint) -> bool:
+        return self.start <= t < self.end
+
+    def __repr__(self) -> str:
+        return (
+            f"<GroupedWindow [{self.start}, {self.end}) "
+            f"sources={self.source_names} queries={len(self.queries)}>"
+        )
+
+
+def _dedup_queries(queries: Iterable[EventQuery]) -> tuple[EventQuery, ...]:
+    """Drop duplicate queries by work signature, keeping first occurrence
+    (Listing 1, lines 20-22)."""
+    seen = set()
+    kept: list[EventQuery] = []
+    for query in queries:
+        signature = query.signature()
+        if signature in seen:
+            continue
+        seen.add(signature)
+        kept.append(query)
+    return tuple(kept)
+
+
+def _merge_identical(specs: list[WindowSpec]) -> list[WindowSpec]:
+    """Merge windows with identical bounds, combining their workloads
+    (Listing 1, line 6)."""
+    by_bounds: dict[tuple[TimePoint, TimePoint], WindowSpec] = {}
+    order: list[tuple[TimePoint, TimePoint]] = []
+    for spec in specs:
+        key = (spec.start, spec.end)
+        if key in by_bounds:
+            existing = by_bounds[key]
+            by_bounds[key] = WindowSpec(
+                name=f"{existing.name}+{spec.name}",
+                start=spec.start,
+                end=spec.end,
+                queries=existing.queries + spec.queries,
+                predicates=existing.predicates + spec.predicates,
+            )
+        else:
+            by_bounds[key] = spec
+            order.append(key)
+    return [by_bounds[key] for key in order]
+
+
+def group_context_windows(
+    specs: Sequence[WindowSpec],
+) -> list[GroupedWindow]:
+    """Listing 1: split-and-group overlapping context windows.
+
+    Returns grouped windows sorted by start bound.  Post-conditions (tested
+    property-based in ``tests/core/test_grouping.py``):
+
+    * grouped windows never overlap;
+    * their union covers exactly the union of the input windows;
+    * the workload of a grouped window equals the deduplicated union of the
+      workloads of the input windows covering it.
+    """
+    if not specs:
+        return []
+    names = [s.name for s in specs]
+    if len(names) != len(set(names)):
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        raise OptimizerError(f"duplicate window spec names: {duplicates}")
+
+    # Line 4: windows that overlap no other window remain unchanged.
+    overlapping: list[WindowSpec] = []
+    grouped: list[GroupedWindow] = []
+    for spec in specs:
+        if any(spec.overlaps(other) for other in specs if other is not spec):
+            overlapping.append(spec)
+        else:
+            grouped.append(
+                GroupedWindow(
+                    start=spec.start,
+                    end=spec.end,
+                    queries=_dedup_queries(spec.queries),
+                    source_names=(spec.name,),
+                )
+            )
+
+    # Line 5: sort by start bound; line 6: merge identical windows.
+    overlapping.sort(key=lambda s: (s.start, s.end))
+    overlapping = _merge_identical(overlapping)
+
+    # Lines 8-19: sweep the window bounds; each interval between two
+    # subsequent bounds becomes one grouped window carrying the queries of
+    # all original windows active during that interval.
+    bounds = sorted({s.start for s in overlapping} | {s.end for s in overlapping})
+    for previous, nxt in zip(bounds, bounds[1:]):
+        active = [s for s in overlapping if s.start <= previous and nxt <= s.end]
+        if not active:
+            continue
+        queries = [q for spec in active for q in spec.queries]
+        grouped.append(
+            GroupedWindow(
+                start=previous,
+                end=nxt,
+                queries=_dedup_queries(queries),
+                source_names=tuple(
+                    name for spec in active for name in spec.name.split("+")
+                ),
+            )
+        )
+
+    grouped.sort(key=lambda w: (w.start, w.end))
+    return grouped
+
+
+def grouped_windows_for_source(
+    grouped: Sequence[GroupedWindow], source_name: str
+) -> list[GroupedWindow]:
+    """The grouped windows a given original window was split into.
+
+    The runtime keeps a query's partial matches alive across exactly these
+    windows (Section 6.2): when the last of them ends, the partial results
+    expire.
+    """
+    return [w for w in grouped if source_name in w.source_names]
+
+
+def total_covered_length(grouped: Sequence[GroupedWindow]) -> TimePoint:
+    """Total stream length covered by the (non-overlapping) grouped windows."""
+    return sum(w.length for w in grouped)

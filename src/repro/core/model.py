@@ -1,0 +1,220 @@
+"""The CAESAR model (Definitions 1 and 4).
+
+A CAESAR model is a tuple ``(I, O, C, c_d)``: unbounded input and output
+event streams, a finite set of context types, and a default context type
+that holds when no other context does (e.g. at system startup).  Each
+context type carries a workload of context deriving queries ``Q_d^c`` and
+context processing queries ``Q_p^c``.
+
+Unlike a classical automaton, the model has no final contexts — it is
+designed for context-aware event query *execution*, not language
+recognition.  Its translation into an executable plan (Section 4.2) lives in
+:mod:`repro.optimizer.planner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.queries import EventQuery, QueryAction
+from repro.errors import ModelError, UnknownContextError
+
+
+@dataclass
+class ContextType:
+    """A context type: a name and its query workload (Definition 1)."""
+
+    name: str
+    deriving_queries: list[EventQuery] = field(default_factory=list)
+    processing_queries: list[EventQuery] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ModelError(f"invalid context type name: {self.name!r}")
+
+    @property
+    def workload(self) -> list[EventQuery]:
+        """All queries appropriate in this context (deriving first)."""
+        return self.deriving_queries + self.processing_queries
+
+    def __repr__(self) -> str:
+        return (
+            f"<ContextType {self.name!r} "
+            f"deriving={len(self.deriving_queries)} "
+            f"processing={len(self.processing_queries)}>"
+        )
+
+
+@dataclass(frozen=True)
+class ContextTransition:
+    """An edge of the model's transition network (as drawn in Figure 1)."""
+
+    from_context: str
+    to_context: str
+    kind: QueryAction
+    query_name: str
+
+
+class CaesarModel:
+    """A CAESAR model ``(I, O, C, c_d)`` (Definition 4).
+
+    Build one by declaring contexts and attaching queries::
+
+        model = CaesarModel(default_context="clear")
+        model.add_context("congestion")
+        model.add_query(initiate_congestion_query)   # CONTEXT clear
+        model.add_query(toll_query)                  # CONTEXT congestion
+
+    A query is attached to every context named in its CONTEXT clause;
+    deriving queries additionally name a target context which must exist.
+    """
+
+    def __init__(self, default_context: str = "default"):
+        self._contexts: dict[str, ContextType] = {}
+        self.default_context = default_context
+        self.add_context(default_context)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_context(self, name: str) -> ContextType:
+        """Declare a context type; returns the (possibly existing) type."""
+        if name not in self._contexts:
+            self._contexts[name] = ContextType(name)
+        return self._contexts[name]
+
+    def add_query(self, query: EventQuery) -> None:
+        """Attach a query to every context in its CONTEXT clause.
+
+        Queries without an explicit CONTEXT clause belong to the default
+        context (the model implies it; phase 1 of plan generation makes it
+        mandatory — Section 4.2).
+        """
+        contexts = query.contexts or (self.default_context,)
+        if query.is_deriving:
+            assert query.target_context is not None
+            if query.target_context not in self._contexts:
+                raise UnknownContextError(query.target_context)
+        for context_name in contexts:
+            context = self._contexts.get(context_name)
+            if context is None:
+                raise UnknownContextError(context_name)
+            if any(q.name == query.name for q in context.workload):
+                raise ModelError(
+                    f"context {context_name!r} already has a query named "
+                    f"{query.name!r}"
+                )
+            if query.is_deriving:
+                context.deriving_queries.append(query)
+            else:
+                context.processing_queries.append(query)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def context_names(self) -> tuple[str, ...]:
+        return tuple(self._contexts)
+
+    def context(self, name: str) -> ContextType:
+        context = self._contexts.get(name)
+        if context is None:
+            raise UnknownContextError(name)
+        return context
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._contexts
+
+    def queries(self) -> Iterator[EventQuery]:
+        """All distinct queries of the model (by name, first occurrence)."""
+        seen: set[str] = set()
+        for context in self._contexts.values():
+            for query in context.workload:
+                if query.name not in seen:
+                    seen.add(query.name)
+                    yield query
+
+    def transitions(self) -> list[ContextTransition]:
+        """The transition network: edges of the Figure-1 style diagram."""
+        edges: list[ContextTransition] = []
+        for context in self._contexts.values():
+            for query in context.deriving_queries:
+                assert query.target_context is not None
+                edges.append(
+                    ContextTransition(
+                        from_context=context.name,
+                        to_context=query.target_context,
+                        kind=query.action,
+                        query_name=query.name,
+                    )
+                )
+        return edges
+
+    # ------------------------------------------------------------------
+    # phase 1 of plan generation (Section 4.2)
+    # ------------------------------------------------------------------
+
+    def to_query_set(self) -> list[EventQuery]:
+        """Translate the model into a machine-readable query set.
+
+        Contexts implied by the model become mandatory CONTEXT clauses: the
+        returned queries all carry an explicit, complete ``contexts`` tuple
+        listing every context they are evaluated in.
+        """
+        memberships: dict[str, list[str]] = {}
+        by_name: dict[str, EventQuery] = {}
+        for context in self._contexts.values():
+            for query in context.workload:
+                memberships.setdefault(query.name, []).append(context.name)
+                by_name.setdefault(query.name, query)
+        return [
+            by_name[name].with_contexts(tuple(contexts))
+            for name, contexts in memberships.items()
+        ]
+
+    def validate(self) -> None:
+        """Check well-formedness beyond what construction enforces.
+
+        * The default context exists (guaranteed by the constructor).
+        * Every SWITCH query's target differs from all contexts it belongs
+          to only when intended — we merely require targets to exist, which
+          :meth:`add_query` enforced.
+        * Every non-default context is reachable from the default context
+          through the transition network (otherwise its workload is dead
+          code, which is almost certainly a specification mistake).
+        """
+        reachable = {self.default_context}
+        frontier = [self.default_context]
+        edges = self.transitions()
+        while frontier:
+            current = frontier.pop()
+            for edge in edges:
+                if edge.from_context == current and edge.to_context not in reachable:
+                    reachable.add(edge.to_context)
+                    frontier.append(edge.to_context)
+        unreachable = set(self._contexts) - reachable
+        if unreachable:
+            raise ModelError(
+                f"contexts unreachable from the default context "
+                f"{self.default_context!r}: {sorted(unreachable)}"
+            )
+
+    def describe(self) -> str:
+        """Human-readable model summary (textual stand-in for Figure 1)."""
+        lines = [f"CaesarModel (default context: {self.default_context})"]
+        for context in self._contexts.values():
+            lines.append(f"  context {context.name}:")
+            for query in context.deriving_queries:
+                lines.append(f"    [deriving]   {query}")
+            for query in context.processing_queries:
+                lines.append(f"    [processing] {query}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CaesarModel contexts={list(self._contexts)} "
+            f"default={self.default_context!r}>"
+        )

@@ -1,0 +1,108 @@
+"""Predicate subsumption for context window relationships (Definition 2).
+
+The bounds of context windows are unknown at compile time, but the
+*predicates* of the deriving queries can be analyzed to decide whether
+windows are guaranteed to overlap (Figure 7: ``w_{c1}`` initiated when
+``X > 10``, ``w_{c2}`` when ``X > 20`` — every ``c2`` window starts inside a
+``c1`` window).  CAESAR "employs established approaches for predicate
+subsumption [14]"; we implement the threshold fragment those approaches
+cover, which suffices for the deriving predicates in the paper's figures and
+the Linear Road workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OptimizerError
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+_VALID_OPS = frozenset({"<", "<=", ">", ">=", "="})
+
+
+@dataclass(frozen=True)
+class ThresholdPredicate:
+    """A predicate of the form ``attribute op constant``."""
+
+    attribute: str
+    op: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _VALID_OPS:
+            raise OptimizerError(
+                f"unsupported threshold operator {self.op!r}; "
+                f"expected one of {sorted(_VALID_OPS)}"
+            )
+
+    def satisfied_by(self, value: float) -> bool:
+        if self.op == "<":
+            return value < self.value
+        if self.op == "<=":
+            return value <= self.value
+        if self.op == ">":
+            return value > self.value
+        if self.op == ">=":
+            return value >= self.value
+        return value == self.value
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op} {self.value}"
+
+
+def implies(p: ThresholdPredicate, q: ThresholdPredicate) -> bool:
+    """True if every value satisfying ``p`` satisfies ``q`` (``p ⇒ q``).
+
+    Predicates over different attributes never imply one another.  Equality
+    implies any comparison the constant satisfies.
+    """
+    if p.attribute != q.attribute:
+        return False
+    if p.op == "=":
+        return q.satisfied_by(p.value)
+    if q.op == "=":
+        # A one-sided range implies equality only never (ranges are infinite).
+        return False
+    greater_p = p.op in (">", ">=")
+    greater_q = q.op in (">", ">=")
+    if greater_p != greater_q:
+        return False
+    if greater_p:
+        # p: X > a (or >=) implies q: X > b (or >=) iff a is at least b,
+        # with strictness bookkeeping at equality of the constants.
+        if p.value > q.value:
+            return True
+        if p.value == q.value:
+            return not (p.op == ">=" and q.op == ">")
+        return False
+    if p.value < q.value:
+        return True
+    if p.value == q.value:
+        return not (p.op == "<=" and q.op == "<")
+    return False
+
+
+def conjunction_implies(
+    ps: tuple[ThresholdPredicate, ...], qs: tuple[ThresholdPredicate, ...]
+) -> bool:
+    """``p1 ∧ ... ∧ pn ⇒ q1 ∧ ... ∧ qm`` for threshold conjunctions.
+
+    Sound (never claims an implication that does not hold) and complete for
+    conjunctions of single-attribute thresholds without cross-attribute
+    arithmetic: each ``q`` must be implied by some single ``p``.
+    """
+    return all(any(implies(p, q) for p in ps) for q in qs)
+
+
+def specs_guaranteed_overlap_by_predicates(a, b) -> bool:
+    """Definition 2 via subsumption: does ``a``'s initiation imply ``b``'s?
+
+    ``a`` and ``b`` are :class:`~repro.core.windows.WindowSpec` objects whose
+    ``predicates`` carry the initiating conditions of their deriving queries.
+    If ``a``'s initiation predicate implies ``b``'s, then whenever a window
+    of type ``a`` starts, a window of type ``b`` holds — the windows are
+    guaranteed to overlap (Figure 7's ``X > 20 ⇒ X > 10`` example).
+    """
+    if not a.predicates or not b.predicates:
+        return False
+    return conjunction_implies(tuple(a.predicates), tuple(b.predicates))

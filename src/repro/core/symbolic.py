@@ -1,0 +1,139 @@
+"""Symbolic window bounds from predicate subsumption (Definition 2).
+
+Listing 1 sorts context windows by start bound, yet "the exact start time
+of context windows is not known at compile time" — only "the *order* of
+their beginning can be determined for overlapping context windows" by
+analyzing the deriving queries' predicates (Section 5.3, Figure 7).
+
+This module performs that analysis for threshold predicates over a
+monotone driving quantity (Figure 7's ``X``): if window ``b``'s initiation
+condition implies window ``a``'s (``X > 20 ⇒ X > 10``), then whenever ``b``
+starts, ``a`` has already started — so ``start_a ≤ start_b``.  Dually for
+termination conditions (``X < 30 ⇒ X < 40`` means ``a`` terminates no later
+than ``b``).  The inferred partial orders are embedded into integer bound
+keys that :func:`~repro.core.grouping.group_context_windows` can consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.predicates import ThresholdPredicate, conjunction_implies
+from repro.core.queries import EventQuery
+from repro.core.windows import WindowSpec
+from repro.errors import OptimizerError
+
+
+@dataclass(frozen=True)
+class SymbolicWindow:
+    """A window whose bounds are known only through its deriving predicates."""
+
+    name: str
+    initiate: tuple[ThresholdPredicate, ...]
+    terminate: tuple[ThresholdPredicate, ...]
+    queries: tuple[EventQuery, ...] = ()
+
+
+def _layer_by_implication(
+    windows: Sequence[SymbolicWindow],
+    *,
+    earlier_than,
+) -> dict[str, int]:
+    """Longest-path layering of the ``earlier_than`` partial order.
+
+    ``earlier_than(a, b)`` is True when ``a``'s bound provably precedes
+    (or coincides with the start of) ``b``'s.  Returns a layer index per
+    window name, with provably-earlier windows on strictly smaller layers
+    whenever the order is strict.
+    """
+    names = [w.name for w in windows]
+    strictly_before: dict[str, set[str]] = {name: set() for name in names}
+    for a in windows:
+        for b in windows:
+            if a.name == b.name:
+                continue
+            if earlier_than(a, b) and not earlier_than(b, a):
+                strictly_before[b.name].add(a.name)
+
+    layers: dict[str, int] = {}
+
+    def layer(name: str, visiting: tuple[str, ...] = ()) -> int:
+        if name in layers:
+            return layers[name]
+        if name in visiting:
+            raise OptimizerError(
+                f"cyclic predicate implication involving window {name!r}"
+            )
+        predecessors = strictly_before[name]
+        value = 0
+        for predecessor in predecessors:
+            value = max(value, layer(predecessor, visiting + (name,)) + 1)
+        layers[name] = value
+        return value
+
+    for name in names:
+        layer(name)
+    return layers
+
+
+def _start_precedes(a: SymbolicWindow, b: SymbolicWindow) -> bool:
+    """``a`` starts no later than ``b``: b's initiation implies a's.
+
+    When the driving quantity reaches the point that initiates ``b``, the
+    (weaker) condition initiating ``a`` already held — Figure 7's
+    ``X > 20 ⇒ X > 10``.
+    """
+    return conjunction_implies(b.initiate, a.initiate)
+
+
+def _end_precedes(a: SymbolicWindow, b: SymbolicWindow) -> bool:
+    """``a`` ends no later than ``b``: a's termination implies b's.
+
+    When the driving quantity reaches the point that terminates ``a``
+    (``X < 30``), the weaker condition terminating ``b`` (``X < 40``) holds
+    as well — so ``b`` cannot have ended strictly earlier than ``a``.
+    """
+    return conjunction_implies(a.terminate, b.terminate)
+
+
+def infer_window_specs(
+    windows: Sequence[SymbolicWindow],
+) -> list[WindowSpec]:
+    """Turn symbolic windows into :class:`WindowSpec` with consistent bounds.
+
+    The produced integer bounds respect every provable ordering:
+
+    * ``start_a ≤ start_b`` whenever ``b``'s initiation implies ``a``'s;
+    * ``end_a ≤ end_b`` whenever ``a``'s termination implies ``b``'s;
+    * every window's start precedes every window's end by construction, so
+      all windows pairwise overlap — which is the situation this analysis
+      targets (non-overlapping windows need no grouping, Listing 1 line 4).
+
+    The result feeds directly into
+    :func:`~repro.core.grouping.group_context_windows`.
+    """
+    if not windows:
+        return []
+    names = [w.name for w in windows]
+    if len(names) != len(set(names)):
+        raise OptimizerError("duplicate symbolic window names")
+
+    start_layers = _layer_by_implication(windows, earlier_than=_start_precedes)
+    end_layers = _layer_by_implication(windows, earlier_than=_end_precedes)
+    max_start_layer = max(start_layers.values())
+
+    specs = []
+    for window in windows:
+        start = start_layers[window.name]
+        end = max_start_layer + 1 + end_layers[window.name]
+        specs.append(
+            WindowSpec(
+                name=window.name,
+                start=start,
+                end=end,
+                queries=window.queries,
+                predicates=window.initiate,
+            )
+        )
+    return specs

@@ -1,0 +1,90 @@
+"""Model visualization: Figure-1-style transition diagrams.
+
+The paper's companion tool is a visual editor for the CAESAR model (its
+evaluation is explicitly future work, Section 1 footnote); what downstream
+users actually need day-to-day is the reverse direction — rendering an
+existing model for inspection.  This module renders a
+:class:`~repro.core.model.CaesarModel` as:
+
+* :func:`to_dot` — a Graphviz digraph (render with ``dot -Tsvg``), contexts
+  as nodes (default context doubly circled), one edge per deriving query
+  labelled with its action and WHERE condition;
+* :func:`to_text` — a plain-text adjacency summary for terminals and logs.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import CaesarModel
+from repro.core.queries import QueryAction
+
+_EDGE_STYLES = {
+    QueryAction.INITIATE: "solid",
+    QueryAction.SWITCH: "bold",
+    QueryAction.TERMINATE: "dashed",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _edge_label(query) -> str:
+    label = query.action.value
+    if query.where is not None:
+        label += f"\\nif {_escape(str(query.where))}"
+    return label
+
+
+def to_dot(model: CaesarModel, *, name: str = "caesar") -> str:
+    """Render the model's transition network as a Graphviz digraph.
+
+    TERMINATE edges point back to the default context when terminating the
+    plan's own context would leave no user context open — mirroring how
+    Figure 1 draws termination arrows leaving the context boxes.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=ellipse];"]
+    for context_name in model.context_names:
+        attributes = [f'label="{_escape(context_name)}"']
+        if context_name == model.default_context:
+            attributes.append("peripheries=2")
+        workload = len(model.context(context_name).processing_queries)
+        if workload:
+            attributes[0] = (
+                f'label="{_escape(context_name)}\\n({workload} queries)"'
+            )
+        lines.append(f"  \"{context_name}\" [{', '.join(attributes)}];")
+    for edge in model.transitions():
+        style = _EDGE_STYLES[edge.kind]
+        query = next(q for q in model.queries() if q.name == edge.query_name)
+        source = edge.from_context
+        if edge.kind is QueryAction.TERMINATE:
+            # terminating a context conceptually returns toward the default
+            # (the engine restores it when no user context remains)
+            target = model.default_context
+        else:
+            target = edge.to_context
+        lines.append(
+            f'  "{source}" -> "{target}" '
+            f'[label="{_edge_label(query)}", style={style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(model: CaesarModel) -> str:
+    """A terminal-friendly transition summary (textual Figure 1)."""
+    lines = [f"CAESAR model — default context: {model.default_context}"]
+    for context_name in model.context_names:
+        context = model.context(context_name)
+        marker = " (default)" if context_name == model.default_context else ""
+        lines.append(f"[{context_name}]{marker}")
+        for query in context.processing_queries:
+            assert query.derive_type is not None
+            lines.append(f"  • derives {query.derive_type.name} ({query.name})")
+        for query in context.deriving_queries:
+            condition = f" if {query.where}" if query.where is not None else ""
+            lines.append(
+                f"  → {query.action.value} {query.target_context}"
+                f"{condition} ({query.name})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,303 @@
+"""Context windows (Definitions 1-2) and the runtime window store.
+
+A *context window* ``w_c`` is the duration ``(t_i, t_t]`` of an application
+context: initiated when a deriving query matches, terminated when another
+deriving query matches.  Its duration is unknown at detection time and
+potentially unbounded — which is what distinguishes it from fixed-length
+tumbling/sliding windows and from events themselves (Section 3.1).
+
+Two representations live here:
+
+* :class:`ContextWindow` — a concrete (possibly still open) window observed
+  at runtime.
+* :class:`WindowSpec` — a compile-time description of a window used by the
+  grouping algorithm (Listing 1) and the benchmarks: bounds plus the query
+  workload associated with the window.
+
+:class:`ContextWindowStore` is the runtime store: the context bit vector,
+the set of open windows, and the log of closed windows.  It implements the
+``CI_c``/``CT_c`` semantics of Section 4.1 including default-context
+restoration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.core.bitvector import ContextBitVector
+from repro.errors import ModelError, UnknownContextError
+from repro.events.timebase import TimePoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.predicates import ThresholdPredicate
+    from repro.core.queries import EventQuery
+
+
+@dataclass
+class ContextWindow:
+    """A concrete context window ``w_c`` with duration ``(start, end]``.
+
+    ``end is None`` while the window is still open.  ``start`` is the time
+    point at which an initiating query matched; ``end`` the time point at
+    which a terminating query matched (Definition 1).
+    """
+
+    context_name: str
+    start: TimePoint
+    end: TimePoint | None = None
+
+    @property
+    def is_open(self) -> bool:
+        return self.end is None
+
+    def holds_at(self, t: TimePoint) -> bool:
+        """True if the window holds at time ``t`` (duration ``(start, end]``).
+
+        The initiating time point itself belongs to the window so that the
+        very batch that raises a context is processed within it — the
+        benchmark's toll queries rely on this (the paper's scheduler runs
+        context derivation for time ``t`` before context processing at ``t``).
+        """
+        if t < self.start:
+            return False
+        return self.end is None or t <= self.end
+
+    @property
+    def duration(self) -> TimePoint | None:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        end = "open" if self.end is None else self.end
+        return f"<w_{self.context_name} ({self.start}, {end}]>"
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A compile-time context window description for grouping/benchmarks.
+
+    ``start`` and ``end`` are *bound keys*: values whose relative order is
+    known at compile time (Listing 1 only needs the ordering of window
+    bounds, not their absolute values).  ``queries`` is the window's
+    associated workload; ``predicates`` optionally carries the threshold
+    predicates of the deriving queries so overlap can be inferred by
+    predicate subsumption (Definition 2, Figure 7).
+    """
+
+    name: str
+    start: TimePoint
+    end: TimePoint
+    queries: tuple["EventQuery", ...] = ()
+    predicates: tuple["ThresholdPredicate", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ModelError(
+                f"window spec {self.name!r} needs start < end, got "
+                f"[{self.start}, {self.end}]"
+            )
+
+    def overlaps(self, other: "WindowSpec") -> bool:
+        """True if the two specs' intervals share more than a point."""
+        return self.start < other.end and other.start < self.end
+
+    def covers(self, t: TimePoint) -> bool:
+        return self.start <= t < self.end
+
+    @property
+    def length(self) -> TimePoint:
+        return self.end - self.start
+
+
+def windows_guaranteed_overlap(a: WindowSpec, b: WindowSpec) -> bool:
+    """Definition 2: for each window of type ``a`` there is a window of type
+    ``b`` with ``w_a.start ⊑ w_b`` — here decided from the specs' bounds."""
+    return b.start <= a.start < b.end
+
+
+def windows_contained(a: WindowSpec, b: WindowSpec) -> bool:
+    """Definition 2 containment: ``a`` starts and ends within ``b``."""
+    return b.start <= a.start and a.end <= b.end
+
+
+class ContextWindowStore:
+    """Runtime store of current context windows for one stream partition.
+
+    Wraps the :class:`ContextBitVector` with actual window objects so the
+    engine can report window durations, and implements the set semantics of
+    ``CI_c`` / ``CT_c`` (Section 4.1):
+
+    * initiation is idempotent and evicts the default window;
+    * termination of the last user window restores the default window;
+    * only one window of the same type holds at a time (Section 3.3).
+    """
+
+    def __init__(self, context_names: Iterable[str], default_context: str):
+        names = set(context_names)
+        names.add(default_context)
+        self.default_context = default_context
+        self.vector = ContextBitVector(names)
+        self._open: dict[str, ContextWindow] = {}
+        self.closed: list[ContextWindow] = []
+        self._initiations = 0
+        self._terminations = 0
+        #: callbacks ``fn(kind, window)`` with kind "initiated"/"terminated";
+        #: invoked synchronously on every real transition (not on no-ops)
+        self._listeners: list = []
+        self._restore_default(0)
+
+    # ------------------------------------------------------------------
+    # CI_c / CT_c semantics
+    # ------------------------------------------------------------------
+
+    def initiate(self, name: str, t: TimePoint) -> bool:
+        """``CI_c``: open ``w_c`` unless already open; evict the default.
+
+        Returns True if a new window was actually opened.
+        """
+        if name not in self.vector:
+            raise UnknownContextError(name)
+        if name in self._open:
+            self.vector.time = t
+            return False
+        window = ContextWindow(name, t)
+        self._open[name] = window
+        self.vector.set(name, t)
+        self._initiations += 1
+        self._notify("initiated", window)
+        if name != self.default_context and self.default_context in self._open:
+            self._close(self.default_context, t)
+        return True
+
+    def terminate(self, name: str, t: TimePoint) -> bool:
+        """``CT_c``: close ``w_c``; restore the default if none remain.
+
+        Returns True if a window was actually closed.
+        """
+        if name not in self.vector:
+            raise UnknownContextError(name)
+        if name not in self._open:
+            self.vector.time = t
+            return False
+        self._close(name, t)
+        self._terminations += 1
+        if not self._open:
+            self._restore_default(t)
+        return True
+
+    def switch(self, from_name: str, to_name: str, t: TimePoint) -> None:
+        """SWITCH CONTEXT: terminate ``from_name`` and initiate ``to_name``.
+
+        The initiation happens first so the default window never flickers on
+        during the switch (the two windows are consecutive, not overlapping).
+        """
+        self.initiate(to_name, t)
+        self.terminate(from_name, t)
+
+    def _close(self, name: str, t: TimePoint) -> None:
+        window = self._open.pop(name)
+        window.end = t
+        self.closed.append(window)
+        self.vector.clear(name, t)
+        self._notify("terminated", window)
+
+    def _restore_default(self, t: TimePoint) -> None:
+        window = ContextWindow(self.default_context, t)
+        self._open[self.default_context] = window
+        self.vector.set(self.default_context, t)
+        self._notify("initiated", window)
+
+    # ------------------------------------------------------------------
+    # transition listeners
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Register ``fn(kind, window)`` for every initiation/termination.
+
+        Listeners fire synchronously inside the deriving phase, so a
+        reactive application can alert the instant a context opens rather
+        than polling the bit vector.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        self._listeners.remove(listener)
+
+    def _notify(self, kind: str, window: ContextWindow) -> None:
+        for listener in self._listeners:
+            listener(kind, window)
+
+    # ------------------------------------------------------------------
+    # lookups (used by CW_c and the router)
+    # ------------------------------------------------------------------
+
+    def is_active(self, name: str) -> bool:
+        """Constant-time: does a window of type ``name`` currently hold?"""
+        return self.vector.test(name)
+
+    def active_contexts(self) -> tuple[str, ...]:
+        return self.vector.active()
+
+    def open_window(self, name: str) -> ContextWindow | None:
+        return self._open.get(name)
+
+    def all_windows(self) -> list[ContextWindow]:
+        """Closed windows followed by the currently open ones."""
+        return self.closed + list(self._open.values())
+
+    @property
+    def time(self) -> TimePoint:
+        return self.vector.time
+
+    @property
+    def initiation_count(self) -> int:
+        return self._initiations
+
+    @property
+    def termination_count(self) -> int:
+        return self._terminations
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A copy of the store's state for engine checkpointing.
+
+        Listeners are deliberately not captured — they are wiring, not
+        state, and must be re-registered by whoever restores.
+        """
+        return {
+            "open": {
+                name: (window.start, window.end)
+                for name, window in self._open.items()
+            },
+            "closed": [
+                (w.context_name, w.start, w.end) for w in self.closed
+            ],
+            "time": self.vector.time,
+            "initiations": self._initiations,
+            "terminations": self._terminations,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        self._open = {
+            name: ContextWindow(name, start, end)
+            for name, (start, end) in snapshot["open"].items()
+        }
+        self.closed = [
+            ContextWindow(name, start, end)
+            for name, start, end in snapshot["closed"]
+        ]
+        self.vector.clear_all(snapshot["time"])
+        for name in self._open:
+            self.vector.set(name, snapshot["time"])
+        self._initiations = snapshot["initiations"]
+        self._terminations = snapshot["terminations"]
+
+    def __repr__(self) -> str:
+        active = ", ".join(self.active_contexts())
+        return f"<ContextWindowStore t={self.time} active=[{active}]>"

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the CAESAR reproduction.
+
+Every error raised by this library derives from :class:`CaesarError`, so
+applications can catch the whole family with a single ``except`` clause while
+still being able to discriminate parse errors from runtime errors.
+"""
+
+from __future__ import annotations
+
+
+class CaesarError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(CaesarError):
+    """An event does not conform to its declared event type schema."""
+
+
+class StreamOrderError(CaesarError):
+    """Events were fed to a component out of timestamp order."""
+
+
+class QueryLanguageError(CaesarError):
+    """Base class for errors in CAESAR query language processing."""
+
+
+class LexerError(QueryLanguageError):
+    """The query text contains a character sequence that is not a token."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(QueryLanguageError):
+    """The token stream does not conform to the CAESAR grammar (Fig. 4)."""
+
+
+class CompileError(QueryLanguageError):
+    """A syntactically valid query cannot be translated into algebra."""
+
+
+class ModelError(CaesarError):
+    """The CAESAR model is ill-formed (unknown contexts, missing default...)."""
+
+
+class UnknownContextError(ModelError):
+    """A query references a context type that the model does not declare."""
+
+    def __init__(self, context_name: str):
+        super().__init__(f"unknown context type: {context_name!r}")
+        self.context_name = context_name
+
+
+class PlanError(CaesarError):
+    """A query plan is structurally invalid or cannot be constructed."""
+
+
+class OptimizerError(CaesarError):
+    """The optimizer was given inputs it cannot handle."""
+
+
+class ExpressionError(CaesarError):
+    """An expression references unknown attributes or mistypes operands."""
+
+
+class RuntimeEngineError(CaesarError):
+    """The execution infrastructure reached an inconsistent state."""
+
+
+class TransactionOrderError(RuntimeEngineError):
+    """Conflicting operations were scheduled out of timestamp order."""

@@ -1,0 +1,24 @@
+"""Event substrate: typed events, interval timestamps, ordered streams.
+
+This package implements the preliminaries of Section 2 of the paper: a time
+domain of non-negative rationals, typed events with schemas, and in-order
+event streams that the CAESAR operators consume.
+"""
+
+from repro.events.timebase import TimeInterval, interval_contains, intervals_overlap
+from repro.events.types import AttributeSpec, EventSchema, EventType
+from repro.events.event import Event
+from repro.events.stream import EventStream, StreamBatch, merge_streams
+
+__all__ = [
+    "AttributeSpec",
+    "Event",
+    "EventSchema",
+    "EventStream",
+    "EventType",
+    "StreamBatch",
+    "TimeInterval",
+    "interval_contains",
+    "intervals_overlap",
+    "merge_streams",
+]

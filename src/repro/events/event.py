@@ -1,0 +1,141 @@
+"""Events: simple and complex (Section 2, "Event" and "Event Stream").
+
+A simple event carries a point timestamp assigned by its source.  A complex
+event is derived from other events; its occurrence time is the interval
+spanning all events it was derived from.  Both are represented by
+:class:`Event`, whose ``time`` is always a :class:`TimeInterval` (degenerate
+for simple events).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.events.timebase import TimeInterval, TimePoint
+from repro.events.types import EventType
+
+_EVENT_IDS = itertools.count()
+
+
+class Event:
+    """An immutable event of a given :class:`EventType`.
+
+    Attributes are accessed with :meth:`get` or indexing (``event["vid"]``).
+    Identity (``event_id``) is a process-unique sequence number used only for
+    deterministic tie-breaking and debugging — equality is by value.
+    """
+
+    __slots__ = ("event_type", "time", "_payload", "event_id", "derived_from")
+
+    def __init__(
+        self,
+        event_type: EventType,
+        time: TimeInterval | TimePoint,
+        payload: Mapping[str, Any] | None = None,
+        *,
+        derived_from: tuple["Event", ...] = (),
+        validate: bool = False,
+    ):
+        if not isinstance(time, TimeInterval):
+            time = TimeInterval.point(time)
+        payload = dict(payload or {})
+        if validate:
+            event_type.schema.validate(payload)
+        object.__setattr__(self, "event_type", event_type)
+        object.__setattr__(self, "time", time)
+        object.__setattr__(self, "_payload", payload)
+        object.__setattr__(self, "event_id", next(_EVENT_IDS))
+        object.__setattr__(self, "derived_from", tuple(derived_from))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Event instances are immutable")
+
+    @property
+    def type_name(self) -> str:
+        """Name of this event's type (``e.type`` in the paper)."""
+        return self.event_type.name
+
+    @property
+    def timestamp(self) -> TimePoint:
+        """Occurrence time point: the *end* of the occurrence interval.
+
+        For simple events this is the point timestamp; for complex events the
+        derivation completes when the last contributing event occurs, which
+        is the convention used by interval-based CEP semantics [23].
+        """
+        return self.time.end
+
+    @property
+    def start_time(self) -> TimePoint:
+        """Beginning of the occurrence interval."""
+        return self.time.start
+
+    @property
+    def is_complex(self) -> bool:
+        """True if this event was derived from other events."""
+        return bool(self.derived_from)
+
+    @property
+    def payload(self) -> dict[str, Any]:
+        """A copy of the attribute payload."""
+        return dict(self._payload)
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        return self._payload.get(attribute, default)
+
+    def __getitem__(self, attribute: str) -> Any:
+        try:
+            return self._payload[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"event of type {self.type_name!r} has no attribute "
+                f"{attribute!r}; available: {sorted(self._payload)}"
+            ) from None
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._payload
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(self._payload)
+
+    def restrict(self, attributes: Iterable[str], event_type: EventType) -> "Event":
+        """Project this event to ``attributes`` and retag it (``PR_{A,E}``)."""
+        kept = {a: self._payload[a] for a in attributes if a in self._payload}
+        return Event(event_type, self.time, kept, derived_from=self.derived_from)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.event_type == other.event_type
+            and self.time == other.time
+            and self._payload == other._payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.event_type, self.time, tuple(sorted(self._payload.items()))))
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(f"{k}={v!r}" for k, v in self._payload.items())
+        return f"{self.type_name}@{self.time}({attrs})"
+
+
+def derive_complex_event(
+    event_type: EventType,
+    contributors: Iterable[Event],
+    payload: Mapping[str, Any],
+) -> Event:
+    """Build a complex event from its contributing events.
+
+    The occurrence time is the span of all contributors' intervals, per the
+    interval semantics the paper adopts from [23].
+    """
+    contributors = tuple(contributors)
+    if not contributors:
+        raise ValueError("a complex event needs at least one contributing event")
+    time = contributors[0].time
+    for event in contributors[1:]:
+        time = time.span(event.time)
+    return Event(event_type, time, payload, derived_from=contributors)

@@ -1,0 +1,129 @@
+"""Synthetic stream builders.
+
+Reusable seeded generators for tests, benchmarks and application
+prototyping: constant-rate streams, linearly ramping rates (the Linear Road
+shape), bursty on/off traffic and random-walk attribute values.  All are
+deterministic per seed and emit timestamp-ordered events ready for
+:class:`~repro.events.stream.EventStream`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator
+
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.timebase import TimePoint
+from repro.events.types import EventType
+
+PayloadFactory = Callable[[TimePoint, random.Random], dict]
+
+
+def _default_payload(t: TimePoint, rng: random.Random) -> dict:
+    return {"value": rng.randint(0, 100), "sec": t}
+
+
+def constant_rate_stream(
+    event_type: EventType,
+    *,
+    duration: TimePoint,
+    interval: TimePoint,
+    events_per_tick: int = 1,
+    payload: PayloadFactory = _default_payload,
+    seed: int = 0,
+) -> EventStream:
+    """``events_per_tick`` events every ``interval`` time units."""
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    rng = random.Random(seed)
+
+    def generate() -> Iterator[Event]:
+        t: TimePoint = 0
+        while t < duration:
+            for _ in range(events_per_tick):
+                yield Event(event_type, t, payload(t, rng))
+            t += interval
+
+    return EventStream(generate(), name="constant-rate")
+
+
+def ramping_stream(
+    event_type: EventType,
+    *,
+    duration: TimePoint,
+    interval: TimePoint,
+    start_events: int,
+    end_events: int,
+    payload: PayloadFactory = _default_payload,
+    seed: int = 0,
+) -> EventStream:
+    """Per-tick event count ramping linearly from ``start`` to ``end``
+    (the Figure 10(b) input-rate shape)."""
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    rng = random.Random(seed)
+
+    def generate() -> Iterator[Event]:
+        t: TimePoint = 0
+        while t < duration:
+            fraction = t / duration if duration else 0
+            count = round(start_events + (end_events - start_events) * fraction)
+            for _ in range(max(0, count)):
+                yield Event(event_type, t, payload(t, rng))
+            t += interval
+
+    return EventStream(generate(), name="ramping")
+
+
+def bursty_stream(
+    event_type: EventType,
+    *,
+    duration: TimePoint,
+    interval: TimePoint,
+    quiet_events: int,
+    burst_events: int,
+    burst_every: TimePoint,
+    burst_length: TimePoint,
+    payload: PayloadFactory = _default_payload,
+    seed: int = 0,
+) -> EventStream:
+    """Quiet background traffic with periodic bursts."""
+    if interval <= 0 or burst_every <= 0:
+        raise ValueError("interval and burst_every must be positive")
+    rng = random.Random(seed)
+
+    def generate() -> Iterator[Event]:
+        t: TimePoint = 0
+        while t < duration:
+            in_burst = (t % burst_every) < burst_length
+            count = burst_events if in_burst else quiet_events
+            for _ in range(count):
+                yield Event(event_type, t, payload(t, rng))
+            t += interval
+
+    return EventStream(generate(), name="bursty")
+
+
+def random_walk_payload(
+    attribute: str = "value",
+    *,
+    start: float = 50.0,
+    step: float = 5.0,
+    low: float = 0.0,
+    high: float = 100.0,
+) -> PayloadFactory:
+    """A payload factory whose ``attribute`` follows a bounded random walk.
+
+    Useful for threshold-transition models: the value drifts across the
+    context thresholds rather than jumping randomly.
+    """
+    state = {"value": start}
+
+    def factory(t: TimePoint, rng: random.Random) -> dict:
+        state["value"] = min(
+            high, max(low, state["value"] + rng.uniform(-step, step))
+        )
+        return {attribute: round(state["value"], 2), "sec": t}
+
+    return factory

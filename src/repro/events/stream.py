@@ -1,0 +1,131 @@
+"""Event streams and batches (Section 2, "Event Stream"; Section 6.2).
+
+An :class:`EventStream` is an in-order sequence of events.  The CAESAR
+runtime routes *stream batches* — multiple subsequent events — rather than
+single events, which is one of the ingredients making context-aware routing
+lightweight (Section 6.2).  :class:`StreamBatch` groups events sharing a
+timestamp window for that purpose.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import StreamOrderError
+from repro.events.event import Event
+from repro.events.timebase import TimePoint
+
+
+class EventStream:
+    """An append-only, timestamp-ordered sequence of events.
+
+    The stream enforces the paper's in-order arrival assumption ("events
+    arrive in-order by time stamps", Section 6.2): appending an event with a
+    timestamp smaller than the last appended one raises
+    :class:`StreamOrderError`.  Equal timestamps are allowed — simultaneous
+    events form one stream transaction.
+    """
+
+    def __init__(self, events: Iterable[Event] = (), *, name: str = "stream"):
+        self.name = name
+        self._events: list[Event] = []
+        self._last_time: TimePoint | None = None
+        for event in events:
+            self.append(event)
+
+    def append(self, event: Event) -> None:
+        """Append one event, enforcing timestamp order."""
+        if self._last_time is not None and event.timestamp < self._last_time:
+            raise StreamOrderError(
+                f"stream {self.name!r}: event at t={event.timestamp} arrived "
+                f"after t={self._last_time}"
+            )
+        self._events.append(event)
+        self._last_time = event.timestamp
+
+    def extend(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.append(event)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    @property
+    def last_timestamp(self) -> TimePoint | None:
+        """Timestamp of the most recently appended event, or None if empty."""
+        return self._last_time
+
+    def events_between(self, start: TimePoint, end: TimePoint) -> list[Event]:
+        """Events with ``start <= timestamp <= end`` (linear scan)."""
+        return [e for e in self._events if start <= e.timestamp <= end]
+
+    def filter(self, predicate: Callable[[Event], bool]) -> "EventStream":
+        """A new stream holding the events satisfying ``predicate``."""
+        return EventStream(
+            (e for e in self._events if predicate(e)), name=f"{self.name}|filtered"
+        )
+
+    def batches(self) -> Iterator["StreamBatch"]:
+        """Group consecutive same-timestamp events into batches.
+
+        One batch per distinct timestamp: this is the granularity at which
+        the time-driven scheduler forms stream transactions (Section 6.2).
+        """
+        current: list[Event] = []
+        for event in self._events:
+            if current and event.timestamp != current[-1].timestamp:
+                yield StreamBatch(current)
+                current = []
+            current.append(event)
+        if current:
+            yield StreamBatch(current)
+
+
+class StreamBatch(Sequence[Event]):
+    """A non-empty group of events sharing one timestamp."""
+
+    __slots__ = ("_events", "timestamp")
+
+    def __init__(self, events: Sequence[Event]):
+        if not events:
+            raise ValueError("a stream batch must contain at least one event")
+        timestamp = events[0].timestamp
+        for event in events[1:]:
+            if event.timestamp != timestamp:
+                raise StreamOrderError(
+                    "all events in a batch must share one timestamp; got "
+                    f"{timestamp} and {event.timestamp}"
+                )
+        self._events = tuple(events)
+        self.timestamp = timestamp
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self._events[index]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return f"StreamBatch(t={self.timestamp}, n={len(self._events)})"
+
+
+def merge_streams(*streams: EventStream, name: str = "merged") -> EventStream:
+    """Merge timestamp-ordered streams into one ordered stream.
+
+    Uses a k-way heap merge; ties are broken by the event's process-unique id
+    so the merge is deterministic.
+    """
+    merged = heapq.merge(
+        *streams, key=lambda event: (event.timestamp, event.event_id)
+    )
+    return EventStream(merged, name=name)

@@ -1,0 +1,90 @@
+"""Time domain of the CAESAR model (Section 2, "Preliminaries").
+
+Time is a linearly ordered set of time points ``(T, <=)`` with ``T`` a subset
+of the non-negative rationals.  We represent time points as plain numbers
+(``int`` or ``float``); a :class:`TimeInterval` is a closed interval
+``[start, end]`` with ``start <= end``.  The occurrence time of a *complex*
+event spans the occurrence times of all events it was derived from, so
+intervals — not just points — are first-class here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+TimePoint = Union[int, float]
+
+
+@dataclass(frozen=True, slots=True)
+class TimeInterval:
+    """A closed time interval ``[start, end]`` with ``start <= end``.
+
+    A single time point ``t`` is represented as the degenerate interval
+    ``[t, t]`` (see :meth:`point`).
+    """
+
+    start: TimePoint
+    end: TimePoint
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"time must be non-negative, got start={self.start}")
+        if self.end < self.start:
+            raise ValueError(
+                f"interval end must not precede start: [{self.start}, {self.end}]"
+            )
+
+    @classmethod
+    def point(cls, t: TimePoint) -> "TimeInterval":
+        """The degenerate interval ``[t, t]`` representing a time point."""
+        return cls(t, t)
+
+    @property
+    def is_point(self) -> bool:
+        """True if this interval covers a single time point."""
+        return self.start == self.end
+
+    @property
+    def duration(self) -> TimePoint:
+        """Length of the interval (zero for a time point)."""
+        return self.end - self.start
+
+    def contains(self, t: TimePoint) -> bool:
+        """True if time point ``t`` lies within this interval (``t ⊑ w``)."""
+        return self.start <= t <= self.end
+
+    def contains_interval(self, other: "TimeInterval") -> bool:
+        """True if ``other`` lies entirely within this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """True if the two closed intervals share at least one time point."""
+        return self.start <= other.end and other.start <= self.end
+
+    def precedes(self, other: "TimeInterval") -> bool:
+        """True if this interval ends strictly before ``other`` begins."""
+        return self.end < other.start
+
+    def span(self, other: "TimeInterval") -> "TimeInterval":
+        """Smallest interval covering both operands."""
+        return TimeInterval(min(self.start, other.start), max(self.end, other.end))
+
+    def intersect(self, other: "TimeInterval") -> "TimeInterval | None":
+        """Intersection of the two intervals, or ``None`` if disjoint."""
+        if not self.overlaps(other):
+            return None
+        return TimeInterval(max(self.start, other.start), min(self.end, other.end))
+
+    def __str__(self) -> str:
+        return f"[{self.start}, {self.end}]"
+
+
+def interval_contains(interval: TimeInterval, t: TimePoint) -> bool:
+    """Module-level alias of :meth:`TimeInterval.contains` (``t ⊑ w``)."""
+    return interval.contains(t)
+
+
+def intervals_overlap(a: TimeInterval, b: TimeInterval) -> bool:
+    """Module-level alias of :meth:`TimeInterval.overlaps`."""
+    return a.overlaps(b)

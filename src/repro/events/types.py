@@ -1,0 +1,138 @@
+"""Event types and schemas (Section 2, "Event").
+
+An event type is defined by a name and a schema: the set of attributes and
+the domains of their values.  In the Linear Road benchmark, for example, a
+``PositionReport`` has integer attributes ``vid``, ``speed``, ``xway``,
+``lane``, ``dir``, ``seg`` and ``pos``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.errors import SchemaError
+
+#: Attribute domains supported by schemas.  ``object`` accepts any value and
+#: is used for derived attributes whose domain is application-defined.
+_DOMAINS: dict[str, tuple[type, ...]] = {
+    "int": (int,),
+    "float": (int, float),
+    "str": (str,),
+    "bool": (bool,),
+    "object": (object,),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeSpec:
+    """A single attribute of an event schema: its name and value domain."""
+
+    name: str
+    domain: str = "object"
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid attribute name: {self.name!r}")
+        if self.domain not in _DOMAINS:
+            raise SchemaError(
+                f"unknown domain {self.domain!r} for attribute {self.name!r}; "
+                f"expected one of {sorted(_DOMAINS)}"
+            )
+
+    def accepts(self, value: Any) -> bool:
+        """True if ``value`` belongs to this attribute's domain."""
+        expected = _DOMAINS[self.domain]
+        if self.domain == "int" and isinstance(value, bool):
+            # bool is a subclass of int but is not an integer domain value.
+            return False
+        return isinstance(value, expected)
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """An ordered collection of :class:`AttributeSpec` defining an event type."""
+
+    attributes: tuple[AttributeSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names in schema: {dupes}")
+
+    @classmethod
+    def from_mapping(cls, spec: Mapping[str, str]) -> "EventSchema":
+        """Build a schema from ``{attribute_name: domain}``."""
+        return cls(tuple(AttributeSpec(name, dom) for name, dom in spec.items()))
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def validate(self, payload: Mapping[str, Any]) -> None:
+        """Raise :class:`SchemaError` unless ``payload`` conforms.
+
+        Conformance means every schema attribute is present with a value in
+        its domain; extra keys in the payload are rejected so that typos in
+        producer code surface immediately.
+        """
+        missing = [a.name for a in self.attributes if a.name not in payload]
+        if missing:
+            raise SchemaError(f"missing attributes: {missing}")
+        extra = sorted(set(payload) - set(self.attribute_names))
+        if extra:
+            raise SchemaError(f"unexpected attributes: {extra}")
+        for attr in self.attributes:
+            value = payload[attr.name]
+            if not attr.accepts(value):
+                raise SchemaError(
+                    f"attribute {attr.name!r} expects domain {attr.domain!r}, "
+                    f"got {value!r} of type {type(value).__name__}"
+                )
+
+
+@dataclass(frozen=True)
+class EventType:
+    """A named event type with a schema (Section 2).
+
+    Event types are compared and hashed by name: within one application a
+    type name identifies a single schema, mirroring the paper's treatment of
+    types like ``PositionReport`` and ``TollNotification``.
+    """
+
+    name: str
+    schema: EventSchema = field(default_factory=EventSchema, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid event type name: {self.name!r}")
+
+    @classmethod
+    def define(cls, name: str, **attributes: str) -> "EventType":
+        """Convenience constructor: ``EventType.define("Report", vid="int")``."""
+        return cls(name, EventSchema.from_mapping(attributes))
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EventType):
+            return self.name == other.name
+        return NotImplemented
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def build_type_registry(types: Iterable[EventType]) -> dict[str, EventType]:
+    """Index event types by name, rejecting duplicate names."""
+    registry: dict[str, EventType] = {}
+    for event_type in types:
+        if event_type.name in registry:
+            raise SchemaError(f"duplicate event type name: {event_type.name!r}")
+        registry[event_type.name] = event_type
+    return registry

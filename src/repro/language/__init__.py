@@ -1,0 +1,35 @@
+"""The CAESAR event query language (Fig. 4).
+
+The language has seven clause kinds (Definition 3): context initiation,
+switch and termination; complex event derivation (DERIVE); event pattern
+matching (PATTERN); event filtering (WHERE); and context window
+specification (CONTEXT).  This package provides:
+
+* :mod:`repro.language.lexer` — tokenizer;
+* :mod:`repro.language.parser` — recursive-descent parser to an AST;
+* :mod:`repro.language.compiler` — AST to
+  :class:`~repro.core.queries.EventQuery` descriptors, including the
+  WHERE-splitting that attaches negation guards to NOT elements.
+
+The convenience entry point is :func:`parse_query`::
+
+    query = parse_query(
+        "DERIVE TollNotification(p.vid, p.sec, 5) "
+        "PATTERN NewTravelingCar p CONTEXT congestion"
+    )
+"""
+
+from repro.language.lexer import Lexer, Token, TokenKind, tokenize
+from repro.language.parser import Parser, parse
+from repro.language.compiler import compile_query, parse_query
+
+__all__ = [
+    "Lexer",
+    "Parser",
+    "Token",
+    "TokenKind",
+    "compile_query",
+    "parse",
+    "parse_query",
+    "tokenize",
+]

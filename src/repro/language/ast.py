@@ -1,0 +1,102 @@
+"""Abstract syntax tree for CAESAR queries (grammar of Fig. 4).
+
+The AST is deliberately close to the grammar: a query is either a *window*
+query (INITIATE/SWITCH/TERMINATE CONTEXT plus the clauses describing when)
+or a *retrieval* query (DERIVE ... PATTERN ... WHERE? ... CONTEXT?).  The
+compiler (:mod:`repro.language.compiler`) lowers the AST to
+:class:`~repro.core.queries.EventQuery` descriptors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.algebra.expressions import Expr
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """Base class for pattern AST nodes (``Patt`` in the grammar)."""
+
+
+@dataclass(frozen=True)
+class EventPatternNode(PatternNode):
+    """``NOT? EventType Var?``"""
+
+    type_name: str
+    var: str = ""
+    negated: bool = False
+
+    def __str__(self) -> str:
+        prefix = "NOT " if self.negated else ""
+        suffix = f" {self.var}" if self.var else ""
+        return f"{prefix}{self.type_name}{suffix}"
+
+
+@dataclass(frozen=True)
+class SeqPatternNode(PatternNode):
+    """``SEQ( (Patt ,?)+ )``"""
+
+    elements: tuple[PatternNode, ...]
+
+    def __str__(self) -> str:
+        return f"SEQ({', '.join(str(e) for e in self.elements)})"
+
+
+@dataclass(frozen=True)
+class DeriveClause:
+    """``DERIVE EventType(arg, ...)`` — the output type and its arguments."""
+
+    type_name: str
+    args: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"DERIVE {self.type_name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class WindowQueryNode:
+    """A context deriving query: (INITIATE|SWITCH|TERMINATE) CONTEXT c ..."""
+
+    action: str  # "INITIATE" | "SWITCH" | "TERMINATE"
+    target_context: str
+    pattern: PatternNode
+    where: Expr | None = None
+    contexts: tuple[str, ...] = ()
+    within: float | None = None
+
+    def __str__(self) -> str:
+        parts = [f"{self.action} CONTEXT {self.target_context}",
+                 f"PATTERN {self.pattern}"]
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.within is not None:
+            parts.append(f"WITHIN {self.within}")
+        if self.contexts:
+            parts.append(f"CONTEXT {', '.join(self.contexts)}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class RetrievalQueryNode:
+    """A context processing query: DERIVE ... PATTERN ... WHERE? CONTEXT?"""
+
+    derive: DeriveClause
+    pattern: PatternNode
+    where: Expr | None = None
+    contexts: tuple[str, ...] = ()
+    within: float | None = None
+
+    def __str__(self) -> str:
+        parts = [str(self.derive), f"PATTERN {self.pattern}"]
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.within is not None:
+            parts.append(f"WITHIN {self.within}")
+        if self.contexts:
+            parts.append(f"CONTEXT {', '.join(self.contexts)}")
+        return " ".join(parts)
+
+
+QueryNode = Union[WindowQueryNode, RetrievalQueryNode]

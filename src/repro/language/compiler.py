@@ -1,0 +1,221 @@
+"""Compiler: CAESAR query AST → :class:`~repro.core.queries.EventQuery`.
+
+Besides the straightforward clause mapping, the compiler performs the
+WHERE-split that makes negation executable: conjuncts of the WHERE predicate
+that reference a negated pattern variable become *guards* of that negated
+element (a negated event only blocks a match when its guard holds), while
+the remaining conjuncts stay in the query's filter predicate.
+
+Example — the paper's query 2::
+
+    DERIVE NewTravelingCar(p2.vid, p2.xway, p2.dir, p2.seg,
+                           p2.lane, p2.pos, p2.sec)
+    PATTERN SEQ(NOT PositionReport p1, PositionReport p2)
+    WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != 'exit'
+    CONTEXT congestion
+
+compiles to a :class:`~repro.algebra.pattern.Sequence` whose leading
+``NOT PositionReport p1`` carries the guard
+``p1.sec + 30 = p2.sec AND p1.vid = p2.vid``, with the residual filter
+``p2.lane != 'exit'``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algebra.expressions import AttrRef, Expr, conjoin, conjuncts
+from repro.algebra.pattern import EventMatch, NegatedSpec, PatternSpec, Sequence
+from repro.core.queries import EventQuery, QueryAction
+from repro.errors import CompileError
+from repro.events.types import EventType
+from repro.language.ast import (
+    EventPatternNode,
+    PatternNode,
+    QueryNode,
+    RetrievalQueryNode,
+    SeqPatternNode,
+    WindowQueryNode,
+)
+from repro.language.parser import parse
+
+_ACTIONS = {
+    "INITIATE": QueryAction.INITIATE,
+    "SWITCH": QueryAction.SWITCH,
+    "TERMINATE": QueryAction.TERMINATE,
+}
+
+
+def _assign_variables(node: PatternNode) -> PatternNode:
+    """Give every unnamed element of a multi-element SEQ a fresh variable."""
+    if not isinstance(node, SeqPatternNode):
+        return node
+    used = {e.var for e in node.elements if isinstance(e, EventPatternNode) and e.var}
+    counter = 0
+    elements: list[PatternNode] = []
+    for element in node.elements:
+        if isinstance(element, SeqPatternNode):
+            elements.append(_assign_variables(element))
+            continue
+        assert isinstance(element, EventPatternNode)
+        if element.var:
+            elements.append(element)
+            continue
+        counter += 1
+        while f"_{counter}" in used:
+            counter += 1
+        used.add(f"_{counter}")
+        elements.append(
+            EventPatternNode(element.type_name, f"_{counter}", element.negated)
+        )
+    return SeqPatternNode(tuple(elements))
+
+
+def _negated_vars(node: PatternNode) -> set[str]:
+    if isinstance(node, EventPatternNode):
+        return {node.var} if node.negated and node.var else set()
+    assert isinstance(node, SeqPatternNode)
+    result: set[str] = set()
+    for element in node.elements:
+        result |= _negated_vars(element)
+    return result
+
+
+def _split_where(
+    where: Expr | None, negated_vars: set[str]
+) -> tuple[Expr | None, dict[str, Expr]]:
+    """Partition WHERE conjuncts into residual filter and per-variable guards."""
+    if where is None:
+        return None, {}
+    residual: list[Expr] = []
+    guards: dict[str, list[Expr]] = {}
+    for conjunct in conjuncts(where):
+        referenced = conjunct.variables() & negated_vars
+        if not referenced:
+            residual.append(conjunct)
+        elif len(referenced) == 1:
+            guards.setdefault(referenced.pop(), []).append(conjunct)
+        else:
+            raise CompileError(
+                f"WHERE conjunct {conjunct} references multiple negated "
+                f"variables {sorted(referenced)}; a guard may constrain only "
+                "one negated element"
+            )
+    residual_expr = conjoin(residual) if residual else None
+    guard_exprs = {var: conjoin(exprs) for var, exprs in guards.items()}
+    return residual_expr, guard_exprs
+
+
+def _build_pattern(
+    node: PatternNode,
+    guards: Mapping[str, Expr],
+    within: float | None,
+) -> PatternSpec:
+    if isinstance(node, EventPatternNode):
+        if node.negated:
+            raise CompileError(
+                "a pattern cannot consist of a single negated element; "
+                "negation needs a positive element to anchor it"
+            )
+        return EventMatch(node.type_name, node.var)
+    assert isinstance(node, SeqPatternNode)
+    elements: list[PatternSpec] = []
+    flat = node.elements
+    last_positive = max(
+        (i for i, e in enumerate(flat)
+         if isinstance(e, EventPatternNode) and not e.negated),
+        default=-1,
+    )
+    if last_positive < 0:
+        raise CompileError("SEQ needs at least one positive element")
+    for index, element in enumerate(flat):
+        if isinstance(element, SeqPatternNode):
+            raise CompileError("nested SEQ is not supported; flatten the pattern")
+        assert isinstance(element, EventPatternNode)
+        if not element.negated:
+            elements.append(EventMatch(element.type_name, element.var))
+            continue
+        guard = guards.get(element.var)
+        trailing = index > last_positive
+        if trailing and within is None:
+            raise CompileError(
+                f"trailing negation NOT {element.type_name} requires a "
+                "WITHIN clause bounding the interval in which the negated "
+                "event must not occur (Section 4.1)"
+            )
+        elements.append(
+            NegatedSpec(
+                EventMatch(element.type_name, element.var),
+                guard=guard,
+                within=within if trailing else None,
+            )
+        )
+    return Sequence(tuple(elements))
+
+
+def compile_query(
+    node: QueryNode,
+    *,
+    name: str = "query",
+    types: Mapping[str, EventType] | None = None,
+) -> EventQuery:
+    """Lower a parsed query AST to an :class:`EventQuery` descriptor.
+
+    ``types`` maps event type names to declared :class:`EventType` objects;
+    derived types not found there are created schemaless on the fly.
+    """
+    types = dict(types or {})
+    pattern_node = _assign_variables(node.pattern)
+    negated = _negated_vars(pattern_node)
+    residual_where, guards = _split_where(node.where, negated)
+    unused_guards = set(guards) - {
+        v for v in negated
+    }
+    if unused_guards:
+        raise CompileError(f"guards for unknown variables: {sorted(unused_guards)}")
+    pattern = _build_pattern(pattern_node, guards, node.within)
+
+    if isinstance(node, WindowQueryNode):
+        return EventQuery(
+            name=name,
+            action=_ACTIONS[node.action],
+            pattern=pattern,
+            contexts=node.contexts,
+            where=residual_where,
+            target_context=node.target_context,
+        )
+    assert isinstance(node, RetrievalQueryNode)
+    derive_type = types.get(node.derive.type_name) or EventType(node.derive.type_name)
+    items: list[tuple[str, Expr]] = []
+    used_names: set[str] = set()
+    for index, arg in enumerate(node.derive.args):
+        if isinstance(arg, AttrRef):
+            base = arg.attr
+        else:
+            base = f"arg{index}"
+        attr_name = base
+        suffix = 1
+        while attr_name in used_names:
+            suffix += 1
+            attr_name = f"{base}{suffix}"
+        used_names.add(attr_name)
+        items.append((attr_name, arg))
+    return EventQuery(
+        name=name,
+        action=QueryAction.DERIVE,
+        pattern=pattern,
+        contexts=node.contexts,
+        where=residual_where,
+        derive_type=derive_type,
+        derive_items=tuple(items),
+    )
+
+
+def parse_query(
+    source: str,
+    *,
+    name: str = "query",
+    types: Mapping[str, EventType] | None = None,
+) -> EventQuery:
+    """Parse and compile one CAESAR query from text."""
+    return compile_query(parse(source), name=name, types=types)

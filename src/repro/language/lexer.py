@@ -1,0 +1,189 @@
+"""Tokenizer for the CAESAR event query language.
+
+The token set follows the grammar of Fig. 4: clause keywords, identifiers,
+numeric and string literals, the comparison/arithmetic operators (both the
+paper's typographic forms ``≠ ≤ ≥`` and their ASCII spellings), parentheses,
+commas and the attribute-access dot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexerError
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "INITIATE",
+        "SWITCH",
+        "TERMINATE",
+        "CONTEXT",
+        "DERIVE",
+        "PATTERN",
+        "WHERE",
+        "SEQ",
+        "NOT",
+        "AND",
+        "OR",
+        "WITHIN",
+    }
+)
+
+#: Multi-character operators must be matched before their prefixes.
+_OPERATORS = ("!=", ">=", "<=", "≠", "≥", "≤", "=", ">", "<", "+", "-", "*", "/")
+
+#: Canonical ASCII spelling of each operator token.
+_CANONICAL = {"≠": "!=", "≥": ">=", "≤": "<="}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r})"
+
+
+class Lexer:
+    """A single-pass tokenizer with line/column tracking for diagnostics."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> list[Token]:
+        result: list[Token] = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.kind is TokenKind.EOF:
+                return result
+
+    # ------------------------------------------------------------------
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, self.position, self.line, self.column)
+
+    def _peek(self) -> str:
+        if self.position >= len(self.source):
+            return ""
+        return self.source[self.position]
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.position : self.position + count]
+        for char in text:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.position += count
+        return text
+
+    def _skip_whitespace(self) -> None:
+        while self._peek() and self._peek() in " \t\r\n":
+            self._advance()
+
+    def _make(self, kind: TokenKind, text: str, position: int, line: int, column: int) -> Token:
+        return Token(kind, text, position, line, column)
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace()
+        position, line, column = self.position, self.line, self.column
+        char = self._peek()
+        if not char:
+            return self._make(TokenKind.EOF, "", position, line, column)
+        if char == "(":
+            self._advance()
+            return self._make(TokenKind.LPAREN, "(", position, line, column)
+        if char == ")":
+            self._advance()
+            return self._make(TokenKind.RPAREN, ")", position, line, column)
+        if char == ",":
+            self._advance()
+            return self._make(TokenKind.COMMA, ",", position, line, column)
+        if char == ".":
+            # A dot starting a number (".5") is a literal; otherwise access.
+            nxt = self.source[self.position + 1 : self.position + 2]
+            if not nxt.isdigit():
+                self._advance()
+                return self._make(TokenKind.DOT, ".", position, line, column)
+        if char.isdigit() or char == ".":
+            return self._number(position, line, column)
+        if char in ("'", '"'):
+            return self._string(position, line, column)
+        for operator in _OPERATORS:
+            if self.source.startswith(operator, self.position):
+                self._advance(len(operator))
+                canonical = _CANONICAL.get(operator, operator)
+                return self._make(
+                    TokenKind.OPERATOR, canonical, position, line, column
+                )
+        if char.isalpha() or char == "_":
+            return self._identifier(position, line, column)
+        raise self._error(f"unexpected character {char!r}")
+
+    def _number(self, position: int, line: int, column: int) -> Token:
+        text = []
+        seen_dot = False
+        while self._peek() and (self._peek().isdigit() or self._peek() == "."):
+            if self._peek() == ".":
+                # Attribute access after an integer ("5.vid") is not a number.
+                follower = self.source[self.position + 1 : self.position + 2]
+                if seen_dot or not follower.isdigit():
+                    break
+                seen_dot = True
+            text.append(self._advance())
+        return self._make(TokenKind.NUMBER, "".join(text), position, line, column)
+
+    def _string(self, position: int, line: int, column: int) -> Token:
+        quote = self._advance()
+        text = []
+        while True:
+            char = self._peek()
+            if not char:
+                raise self._error("unterminated string literal")
+            if char == "\n":
+                raise self._error("newline in string literal")
+            self._advance()
+            if char == quote:
+                break
+            text.append(char)
+        return self._make(TokenKind.STRING, "".join(text), position, line, column)
+
+    def _identifier(self, position: int, line: int, column: int) -> Token:
+        text = []
+        while self._peek() and (self._peek().isalnum() or self._peek() == "_"):
+            text.append(self._advance())
+        word = "".join(text)
+        if word.upper() in KEYWORDS:
+            return self._make(
+                TokenKind.KEYWORD, word.upper(), position, line, column
+            )
+        return self._make(TokenKind.IDENT, word, position, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; the last token is always EOF."""
+    return Lexer(source).tokens()

@@ -1,0 +1,288 @@
+"""Recursive-descent parser for the CAESAR event query language (Fig. 4).
+
+Grammar (as implemented; ``WITHIN`` is a library extension bounding trailing
+negation, cf. Section 4.1's requirement that a negated event ending a
+sequence carries a temporal constraint)::
+
+    Query      := WindowQuery | RetrievalQuery
+    WindowQuery:= (INITIATE | SWITCH | TERMINATE) CONTEXT ident
+                  Pattern Where? Within? ContextClause?
+    Retrieval  := Derive Pattern Where? Within? ContextClause?
+    Derive     := DERIVE ident "(" (Expr ("," Expr)*)? ")"
+    Pattern    := PATTERN Patt
+    Patt       := NOT? ident ident? | SEQ "(" Patt ("," Patt)* ")"
+    Where      := WHERE Expr
+    Within     := WITHIN number
+    ContextClause := CONTEXT ident ("," ident)*
+    Expr       := Or ; Or := And (OR And)* ; And := NotE (AND NotE)*
+    NotE       := NOT NotE | Cmp
+    Cmp        := Add (("=" | "!=" | ">" | ">=" | "<" | "<=") Add)?
+    Add        := Mul (("+" | "-") Mul)* ; Mul := Primary (("*" | "/") Primary)*
+    Primary    := number | string | "(" Expr ")" | ident ("." ident)?
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    And,
+    AttrRef,
+    BinaryOp,
+    Constant,
+    Expr,
+    Not,
+    Or,
+)
+from repro.errors import ParseError
+from repro.language.ast import (
+    DeriveClause,
+    EventPatternNode,
+    PatternNode,
+    QueryNode,
+    RetrievalQueryNode,
+    SeqPatternNode,
+    WindowQueryNode,
+)
+from repro.language.lexer import Token, TokenKind, tokenize
+
+_WINDOW_ACTIONS = ("INITIATE", "SWITCH", "TERMINATE")
+
+
+class Parser:
+    """Parses one CAESAR query from a token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _check(self, kind: TokenKind, text: str | None = None) -> bool:
+        token = self._peek()
+        if token.kind is not kind:
+            return False
+        return text is None or token.text == text
+
+    def _match(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, text):
+            wanted = text or kind.value
+            raise ParseError(
+                f"expected {wanted!r} but found {token.text or 'end of input'!r} "
+                f"(line {token.line}, column {token.column})"
+            )
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        return self._expect(TokenKind.KEYWORD, word)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def parse_query(self) -> QueryNode:
+        token = self._peek()
+        if token.kind is TokenKind.KEYWORD and token.text in _WINDOW_ACTIONS:
+            query = self._window_query()
+        elif token.kind is TokenKind.KEYWORD and token.text == "DERIVE":
+            query = self._retrieval_query()
+        else:
+            raise ParseError(
+                f"a query starts with INITIATE, SWITCH, TERMINATE or DERIVE; "
+                f"found {token.text or 'end of input'!r} "
+                f"(line {token.line}, column {token.column})"
+            )
+        trailing = self._peek()
+        if trailing.kind is not TokenKind.EOF:
+            raise ParseError(
+                f"unexpected input after query: {trailing.text!r} "
+                f"(line {trailing.line}, column {trailing.column})"
+            )
+        return query
+
+    def _window_query(self) -> WindowQueryNode:
+        action = self._advance().text
+        self._expect_keyword("CONTEXT")
+        target = self._expect(TokenKind.IDENT).text
+        pattern = self._pattern_clause()
+        where = self._where_clause()
+        within = self._within_clause()
+        contexts = self._context_clause()
+        return WindowQueryNode(
+            action=action,
+            target_context=target,
+            pattern=pattern,
+            where=where,
+            contexts=contexts,
+            within=within,
+        )
+
+    def _retrieval_query(self) -> RetrievalQueryNode:
+        derive = self._derive_clause()
+        pattern = self._pattern_clause()
+        where = self._where_clause()
+        within = self._within_clause()
+        contexts = self._context_clause()
+        return RetrievalQueryNode(
+            derive=derive,
+            pattern=pattern,
+            where=where,
+            contexts=contexts,
+            within=within,
+        )
+
+    # ------------------------------------------------------------------
+    # clauses
+    # ------------------------------------------------------------------
+
+    def _derive_clause(self) -> DeriveClause:
+        self._expect_keyword("DERIVE")
+        type_name = self._expect(TokenKind.IDENT).text
+        args: list[Expr] = []
+        if self._match(TokenKind.LPAREN):
+            if not self._check(TokenKind.RPAREN):
+                args.append(self._expression())
+                while self._match(TokenKind.COMMA):
+                    args.append(self._expression())
+            self._expect(TokenKind.RPAREN)
+        return DeriveClause(type_name, tuple(args))
+
+    def _pattern_clause(self) -> PatternNode:
+        self._expect_keyword("PATTERN")
+        return self._pattern()
+
+    def _pattern(self) -> PatternNode:
+        if self._match(TokenKind.KEYWORD, "SEQ"):
+            self._expect(TokenKind.LPAREN)
+            elements = [self._pattern()]
+            while self._match(TokenKind.COMMA):
+                elements.append(self._pattern())
+            self._expect(TokenKind.RPAREN)
+            return SeqPatternNode(tuple(elements))
+        negated = self._match(TokenKind.KEYWORD, "NOT") is not None
+        type_name = self._expect(TokenKind.IDENT).text
+        var = ""
+        if self._check(TokenKind.IDENT):
+            var = self._advance().text
+        return EventPatternNode(type_name=type_name, var=var, negated=negated)
+
+    def _where_clause(self) -> Expr | None:
+        if self._match(TokenKind.KEYWORD, "WHERE"):
+            return self._expression()
+        return None
+
+    def _within_clause(self) -> float | None:
+        if self._match(TokenKind.KEYWORD, "WITHIN"):
+            token = self._expect(TokenKind.NUMBER)
+            value = float(token.text)
+            return int(value) if value.is_integer() else value
+        return None
+
+    def _context_clause(self) -> tuple[str, ...]:
+        if not self._match(TokenKind.KEYWORD, "CONTEXT"):
+            return ()
+        names = [self._expect(TokenKind.IDENT).text]
+        while self._match(TokenKind.COMMA):
+            names.append(self._expect(TokenKind.IDENT).text)
+        return tuple(names)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def _expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._match(TokenKind.KEYWORD, "OR"):
+            left = Or(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self._match(TokenKind.KEYWORD, "AND"):
+            left = And(left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self._match(TokenKind.KEYWORD, "NOT"):
+            return Not(self._not_expr())
+        return self._cmp_expr()
+
+    def _cmp_expr(self) -> Expr:
+        left = self._add_expr()
+        token = self._peek()
+        if token.kind is TokenKind.OPERATOR and token.text in (
+            "=", "!=", ">", ">=", "<", "<=",
+        ):
+            op = self._advance().text
+            return BinaryOp(op, left, self._add_expr())
+        return left
+
+    def _add_expr(self) -> Expr:
+        left = self._mul_expr()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.OPERATOR and token.text in ("+", "-"):
+                op = self._advance().text
+                left = BinaryOp(op, left, self._mul_expr())
+            else:
+                return left
+
+    def _mul_expr(self) -> Expr:
+        left = self._unary_expr()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.OPERATOR and token.text in ("*", "/"):
+                op = self._advance().text
+                left = BinaryOp(op, left, self._unary_expr())
+            else:
+                return left
+
+    def _unary_expr(self) -> Expr:
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            value = float(token.text)
+            return Constant(int(value) if value.is_integer() else value)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return Constant(token.text)
+        if self._match(TokenKind.LPAREN):
+            inner = self._expression()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        if token.kind is TokenKind.IDENT:
+            first = self._advance().text
+            if self._match(TokenKind.DOT):
+                second = self._expect(TokenKind.IDENT).text
+                return AttrRef(first, second)
+            return AttrRef("", first)
+        raise ParseError(
+            f"expected an expression, found {token.text or 'end of input'!r} "
+            f"(line {token.line}, column {token.column})"
+        )
+
+
+def parse(source: str) -> QueryNode:
+    """Parse one CAESAR query from text."""
+    return Parser(tokenize(source)).parse_query()

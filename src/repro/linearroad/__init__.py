@@ -1,0 +1,52 @@
+"""Linear Road benchmark substrate [9].
+
+The paper evaluates CAESAR on the Linear Road stream benchmark: vehicles on
+configurable expressways emit position reports every 30 seconds; the system
+must derive toll notifications and accident warnings within 5 seconds, and a
+system's *L-factor* is the number of expressways it sustains within that
+constraint.
+
+The original MIT generator's traces are not redistributable, so this package
+provides a seeded traffic micro-simulator emitting the same schema and the
+same macro-structure (ramp-up of input rate over the run, accidents forming
+from stopped-car pairs, congestion emerging from dense slow traffic), plus
+the paper's CAESAR model for the workload (clear / congestion / accident
+contexts with toll and accident-warning queries).
+"""
+
+from repro.linearroad.schema import (
+    ACCIDENT_EVENT,
+    ACCIDENT_WARNING,
+    POSITION_REPORT,
+    SEGMENT_STATS,
+    TOLL_NOTIFICATION,
+    LANES,
+)
+from repro.linearroad.simulator import TrafficSimulator, SimulationConfig
+from repro.linearroad.generator import generate_stream, LinearRoadConfig
+from repro.linearroad.queries import build_traffic_model, replicate_workload
+from repro.linearroad.tolls import toll_amount
+from repro.linearroad.analysis import (
+    compute_l_factor,
+    events_per_minute,
+    events_per_segment,
+)
+
+__all__ = [
+    "ACCIDENT_EVENT",
+    "ACCIDENT_WARNING",
+    "LANES",
+    "LinearRoadConfig",
+    "POSITION_REPORT",
+    "SEGMENT_STATS",
+    "SimulationConfig",
+    "TOLL_NOTIFICATION",
+    "TrafficSimulator",
+    "build_traffic_model",
+    "compute_l_factor",
+    "events_per_minute",
+    "events_per_segment",
+    "generate_stream",
+    "replicate_workload",
+    "toll_amount",
+]

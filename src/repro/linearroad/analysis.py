@@ -1,0 +1,84 @@
+"""Linear Road analysis helpers: event distributions and the L-factor.
+
+These reproduce the benchmark-level measurements of Section 7: the events-
+per-segment and events-per-minute distributions of Figure 10 and the
+L-factor (maximal number of roads processed within the 5-second latency
+constraint) of Figure 11(b).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.linearroad.schema import LATENCY_CONSTRAINT_SECONDS
+from repro.runtime.engine import EngineReport
+
+
+def events_per_segment(
+    events: Iterable[Event],
+    *,
+    xway: int = 0,
+    direction: int = 0,
+) -> dict[int, dict[str, int]]:
+    """Event counts per segment of one unidirectional road (Figure 10(a)).
+
+    Returns ``{segment: {event_type_name: count}}``.  Derived events that
+    carry a ``seg`` attribute are attributed to their segment; events of
+    other roads are ignored.
+    """
+    counts: dict[int, dict[str, int]] = {}
+    for event in events:
+        if event.get("xway", xway) != xway or event.get("dir", direction) != direction:
+            continue
+        seg = event.get("seg")
+        if seg is None:
+            continue
+        by_type = counts.setdefault(seg, {})
+        by_type[event.type_name] = by_type.get(event.type_name, 0) + 1
+    return counts
+
+
+def events_per_minute(
+    events: Iterable[Event],
+    *,
+    seg: int | None = None,
+) -> dict[int, dict[str, int]]:
+    """Event counts per minute, optionally for one segment (Figure 10(b)).
+
+    Returns ``{minute: {event_type_name: count}}``.
+    """
+    counts: dict[int, dict[str, int]] = {}
+    for event in events:
+        if seg is not None and event.get("seg") != seg:
+            continue
+        minute = int(event.timestamp // 60)
+        by_type = counts.setdefault(minute, {})
+        by_type[event.type_name] = by_type.get(event.type_name, 0) + 1
+    return counts
+
+
+def compute_l_factor(
+    run_for_roads: Callable[[int], EngineReport],
+    *,
+    max_roads: int = 8,
+    constraint_seconds: float = LATENCY_CONSTRAINT_SECONDS,
+) -> tuple[int, dict[int, float]]:
+    """The L-factor: the largest number of roads processed within the
+    latency constraint (Figure 11(b)).
+
+    ``run_for_roads(n)`` must run the engine on an ``n``-road stream and
+    return its report.  Returns ``(l_factor, {roads: max_latency})``;
+    ``l_factor`` is 0 if even one road violates the constraint.
+    """
+    latencies: dict[int, float] = {}
+    l_factor = 0
+    for roads in range(1, max_roads + 1):
+        report = run_for_roads(roads)
+        latencies[roads] = report.max_latency
+        if report.max_latency <= constraint_seconds:
+            l_factor = roads
+        else:
+            break
+    return l_factor, latencies

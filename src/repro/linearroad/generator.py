@@ -1,0 +1,237 @@
+"""High-level stream generation for the Linear Road experiments.
+
+:class:`LinearRoadConfig` exposes the knobs the paper's experiments vary —
+number of roads, run length, context window (regime) schedules — and
+:func:`generate_stream` turns a configuration into an ordered event stream.
+Schedule builders reproduce the experiment designs: the default 3-phase
+timeline of Figure 10(b) (clear → accident 30-50 min → congestion 70-180
+min), uniformly spaced windows, and the positively/negatively skewed window
+distributions of Figure 13.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.events.stream import EventStream
+from repro.linearroad.simulator import (
+    SegmentInterval,
+    SimulationConfig,
+    TrafficSimulator,
+)
+
+
+@dataclass
+class LinearRoadConfig:
+    """Experiment-level configuration (scaled-down Linear Road defaults)."""
+
+    num_roads: int = 1
+    segments_per_road: int = 10
+    directions: int = 1  # 1 or 2 (both travel directions per expressway)
+    duration_minutes: int = 30
+    cars_clear: int = 6
+    cars_congested: int = 20
+    cars_accident: int = 10
+    churn: float = 0.10
+    ramp_start_fraction: float = 0.4
+    congestion_schedule: tuple[SegmentInterval, ...] = ()
+    accident_schedule: tuple[SegmentInterval, ...] = ()
+    seed: int = 42
+
+    @property
+    def duration_seconds(self) -> int:
+        return self.duration_minutes * 60
+
+    def to_simulation_config(self) -> SimulationConfig:
+        return SimulationConfig(
+            num_xways=self.num_roads,
+            segments_per_xway=self.segments_per_road,
+            directions=self.directions,
+            duration_seconds=self.duration_seconds,
+            cars_clear=self.cars_clear,
+            cars_congested=self.cars_congested,
+            cars_accident=self.cars_accident,
+            churn=self.churn,
+            ramp_start_fraction=self.ramp_start_fraction,
+            congestion_schedule=self.congestion_schedule,
+            accident_schedule=self.accident_schedule,
+            seed=self.seed,
+        )
+
+
+def generate_stream(config: LinearRoadConfig) -> EventStream:
+    """The full event stream for one configuration, timestamp-ordered."""
+    simulator = TrafficSimulator(config.to_simulation_config())
+    return EventStream(simulator.events(), name="linear-road")
+
+
+# ---------------------------------------------------------------------------
+# schedule builders
+# ---------------------------------------------------------------------------
+
+
+def paper_timeline_schedules(
+    config: LinearRoadConfig,
+) -> LinearRoadConfig:
+    """The Figure 10(b) timeline scaled to ``config``'s duration.
+
+    Accidents hold during minutes 30-50 of 180 (fractions 1/6 to 5/18) and
+    congestion during minutes 70-180 (fraction 7/18 to 1), applied to every
+    segment of every road.
+    """
+    duration = config.duration_seconds
+    accident = (round(duration * 30 / 180), round(duration * 50 / 180))
+    congestion = (round(duration * 70 / 180), duration)
+    accidents = []
+    congestions = []
+    for xway in range(config.num_roads):
+        for seg in range(config.segments_per_road):
+            accidents.append(
+                SegmentInterval(xway, 0, seg, accident[0], accident[1])
+            )
+            congestions.append(
+                SegmentInterval(xway, 0, seg, congestion[0], congestion[1])
+            )
+    return replace(
+        config,
+        accident_schedule=tuple(accidents),
+        congestion_schedule=tuple(congestions),
+    )
+
+
+def randomized_schedules(
+    config: LinearRoadConfig,
+    *,
+    congestion_probability: float = 0.5,
+    accident_probability: float = 0.25,
+    seed: int | None = None,
+) -> LinearRoadConfig:
+    """Segment-variable schedules: some segments congest or crash, others
+    stay clear — producing the per-segment variability of Figure 10(a)."""
+    rng = random.Random(config.seed if seed is None else seed)
+    duration = config.duration_seconds
+    accidents = []
+    congestions = []
+    for xway in range(config.num_roads):
+        for seg in range(config.segments_per_road):
+            if rng.random() < congestion_probability:
+                start = rng.randint(0, max(1, duration // 2))
+                length = rng.randint(duration // 6, duration // 2)
+                congestions.append(
+                    SegmentInterval(
+                        xway, 0, seg, start, min(duration, start + length)
+                    )
+                )
+            if rng.random() < accident_probability:
+                start = rng.randint(0, max(1, 2 * duration // 3))
+                length = rng.randint(duration // 12, duration // 4)
+                accidents.append(
+                    SegmentInterval(
+                        xway, 0, seg, start, min(duration, start + length)
+                    )
+                )
+    return replace(
+        config,
+        accident_schedule=tuple(accidents),
+        congestion_schedule=tuple(congestions),
+    )
+
+
+def uniform_congestion_windows(
+    config: LinearRoadConfig,
+    *,
+    count: int,
+    length_seconds: int,
+) -> LinearRoadConfig:
+    """``count`` equally spaced congestion windows of the given length on
+    every segment (the uniform distribution of Figure 13 and the default
+    setup of Figure 12)."""
+    duration = config.duration_seconds
+    if count < 1:
+        return replace(config, congestion_schedule=())
+    stride = duration / count
+    windows = []
+    for index in range(count):
+        start = round(index * stride + (stride - length_seconds) / 2)
+        start = max(0, start)
+        end = min(duration, start + length_seconds)
+        if end > start:
+            windows.append((start, end))
+    schedule = [
+        SegmentInterval(xway, 0, seg, start, end)
+        for xway in range(config.num_roads)
+        for seg in range(config.segments_per_road)
+        for start, end in windows
+    ]
+    return replace(config, congestion_schedule=tuple(schedule))
+
+
+def skewed_congestion_windows(
+    config: LinearRoadConfig,
+    *,
+    count: int,
+    length_seconds: int,
+    skew: str,
+    seed: int | None = None,
+) -> LinearRoadConfig:
+    """Poisson-skewed window placement (Figure 13).
+
+    ``skew="positive"`` clusters the windows near the beginning of the run
+    (where the ramped-up stream rate is still low); ``skew="negative"``
+    clusters them near the end (highest rate).
+    """
+    if skew not in ("positive", "negative"):
+        raise ValueError(f"skew must be 'positive' or 'negative', got {skew!r}")
+    rng = random.Random(config.seed if seed is None else seed)
+    duration = config.duration_seconds
+    lam = duration / max(count, 1) / 4
+    starts: list[int] = []
+    position = 0.0
+    for _ in range(count):
+        position += rng.expovariate(1.0 / lam) if lam > 0 else 0.0
+        starts.append(int(position))
+    windows = []
+    for start in starts:
+        if skew == "negative":
+            start = duration - length_seconds - start
+        if start < 0 or start >= duration:
+            # the skewed placement pushed this window off the stream — its
+            # workload is simply never activated (this is what makes the
+            # negatively skewed setup cheap in Figure 13: off-stream windows
+            # never run, while clustered on-stream windows overlap)
+            continue
+        end = min(duration, start + length_seconds)
+        if end > start:
+            windows.append((start, end))
+    schedule = [
+        SegmentInterval(xway, 0, seg, start, end)
+        for xway in range(config.num_roads)
+        for seg in range(config.segments_per_road)
+        for start, end in windows
+    ]
+    return replace(config, congestion_schedule=tuple(schedule))
+
+
+def coverage_fraction(config: LinearRoadConfig) -> float:
+    """Fraction of the run covered by congestion windows (per segment,
+    averaged) — the percentage annotated above the bars in Figures 12(c)
+    and 12(d)."""
+    duration = config.duration_seconds
+    segments = config.num_roads * config.segments_per_road
+    if duration <= 0 or segments == 0:
+        return 0.0
+    per_segment: dict[tuple, list[tuple[int, int]]] = {}
+    for interval in config.congestion_schedule:
+        key = (interval.xway, interval.direction, interval.seg)
+        per_segment.setdefault(key, []).append((interval.start, interval.end))
+    covered = 0.0
+    for intervals in per_segment.values():
+        intervals.sort()
+        last_end = 0
+        for start, end in intervals:
+            start = max(start, last_end)
+            if end > start:
+                covered += end - start
+                last_end = end
+    return covered / (duration * segments)

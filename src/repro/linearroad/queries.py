@@ -1,0 +1,257 @@
+"""The CAESAR traffic-management workload (Figures 1 and 3).
+
+Three application contexts per unidirectional road segment — *clear*
+(default), *congestion* and *accident* — with the paper's transition
+network:
+
+* clear → congestion when many slow cars (INITIATE congestion);
+* clear/congestion → accident when stopped cars (INITIATE accident —
+  congestion and accident may overlap, Section 3.4);
+* congestion ends when few fast cars (TERMINATE congestion);
+* accident ends when the stopped cars are removed (TERMINATE accident).
+
+Context processing workloads:
+
+* congestion — toll computation: the paper's query 2 detects cars entering
+  the congested segment (``SEQ(NOT PositionReport p1, PositionReport p2)``
+  with the 30-second negation guard) deriving ``NewTravelingCar``, and
+  query 1 derives ``TollNotification`` from it;
+* accident — alarm computation: warn every moving vehicle;
+* clear/accident — zero-toll notification for entering cars (the benchmark
+  requires zero toll derivation outside congestion, Figure 10(b)).
+
+Context derivation consumes the per-minute ``SegmentStats`` events (the
+"over 50 cars per minute with average speed below 40 mph" condition from
+Section 1); thresholds are parameters because the simulator's vehicle pools
+are scaled down relative to the original benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.pattern import (
+    EventMatch,
+    NegatedSpec,
+    PatternSpec,
+    Sequence,
+)
+from repro.core.model import CaesarModel
+from repro.core.queries import EventQuery
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.linearroad.schema import (
+    CONGESTION_MAX_AVG_SPEED,
+    type_registry,
+)
+
+CLEAR = "clear"
+CONGESTION = "congestion"
+ACCIDENT = "accident"
+
+
+def build_traffic_model(
+    *,
+    min_cars: int = 12,
+    max_avg_speed: float = CONGESTION_MAX_AVG_SPEED,
+    min_stopped: int = 2,
+    toll: int = 5,
+) -> CaesarModel:
+    """The Linear Road CAESAR model (Figure 3, completed).
+
+    ``min_cars``/``max_avg_speed`` are the congestion thresholds,
+    ``min_stopped`` the number of stopped cars that signals an accident and
+    ``toll`` the flat toll amount of the paper's simplified query 1.
+    """
+    types = type_registry()
+    model = CaesarModel(default_context=CLEAR)
+    model.add_context(CONGESTION)
+    model.add_context(ACCIDENT)
+
+    # ------------------------------------------------------------------
+    # context deriving queries
+    # ------------------------------------------------------------------
+
+    model.add_query(
+        parse_query(
+            f"INITIATE CONTEXT {CONGESTION} "
+            "PATTERN SegmentStats s "
+            f"WHERE s.cars >= {min_cars} AND s.avg_speed < {max_avg_speed} "
+            f"CONTEXT {CLEAR}, {ACCIDENT}",
+            name="detect_congestion",
+            types=types,
+        )
+    )
+    model.add_query(
+        parse_query(
+            f"TERMINATE CONTEXT {CONGESTION} "
+            "PATTERN SegmentStats s "
+            f"WHERE s.cars < {min_cars} OR s.avg_speed >= {max_avg_speed} "
+            f"CONTEXT {CONGESTION}",
+            name="detect_congestion_end",
+            types=types,
+        )
+    )
+    model.add_query(
+        parse_query(
+            f"INITIATE CONTEXT {ACCIDENT} "
+            "PATTERN SegmentStats s "
+            f"WHERE s.stopped_cars >= {min_stopped} "
+            f"CONTEXT {CLEAR}, {CONGESTION}",
+            name="detect_accident",
+            types=types,
+        )
+    )
+    model.add_query(
+        parse_query(
+            f"TERMINATE CONTEXT {ACCIDENT} "
+            "PATTERN SegmentStats s "
+            "WHERE s.stopped_cars = 0 "
+            f"CONTEXT {ACCIDENT}",
+            name="detect_accident_cleared",
+            types=types,
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # context processing queries
+    # ------------------------------------------------------------------
+
+    # Query 2 of Figure 3: cars entering the congested segment — no earlier
+    # report from the same vehicle 30 seconds ago, and not on an exit lane.
+    model.add_query(
+        parse_query(
+            "DERIVE NewTravelingCar(p2.vid, p2.xway, p2.dir, p2.seg, "
+            "p2.lane, p2.pos, p2.sec) "
+            "PATTERN SEQ(NOT PositionReport p1, PositionReport p2) "
+            "WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid "
+            "AND p2.lane != 'exit' "
+            f"CONTEXT {CONGESTION}",
+            name="new_traveling_car",
+            types=types,
+        )
+    )
+    # Query 1 of Figure 3: toll notification for each entering car.  The
+    # paper's form is TollNotification(p.vid, p.sec, 5); we also project the
+    # segment so per-segment analyses (Figure 10) can attribute the toll.
+    model.add_query(
+        parse_query(
+            f"DERIVE TollNotification(p.vid, p.seg, p.sec, {toll}) "
+            "PATTERN NewTravelingCar p "
+            f"CONTEXT {CONGESTION}",
+            name="toll_notification",
+            types=types,
+        )
+    )
+    # Alarm computation during accidents: warn every moving vehicle.
+    model.add_query(
+        parse_query(
+            "DERIVE AccidentWarning(p.vid, p.sec, p.seg) "
+            "PATTERN PositionReport p "
+            "WHERE p.speed > 0 "
+            f"CONTEXT {ACCIDENT}",
+            name="accident_warning",
+            types=types,
+        )
+    )
+    # Zero toll outside congestion (Figure 10(b)): entering cars are
+    # notified of a zero toll in the clear and accident contexts.
+    model.add_query(
+        parse_query(
+            "DERIVE ZeroTollNotification(p.vid, p.seg, p.sec, 0) "
+            "PATTERN PositionReport p "
+            "WHERE p.lane = 'entry' "
+            f"CONTEXT {CLEAR}, {ACCIDENT}",
+            name="zero_toll_notification",
+            types=types,
+        )
+    )
+    model.validate()
+    return model
+
+
+def replicate_workload(
+    model: CaesarModel,
+    copies: int,
+    *,
+    contexts: tuple[str, ...] | None = None,
+) -> CaesarModel:
+    """Replicate context processing queries ``copies`` times.
+
+    The paper simulates low, average and high query workloads by replicating
+    the benchmark's event queries (Section 7.1).  Deriving queries are never
+    replicated — context detection happens once regardless of workload size
+    (Section 3.2, "Context Derivation").  When ``contexts`` is given, only
+    queries belonging *exclusively* to those contexts are replicated — the
+    Figure 12(a) setup replicates exactly the queries of the critical
+    context windows, which are suspendable everywhere else.
+    """
+    if copies < 1:
+        raise ValueError(f"copies must be >= 1, got {copies}")
+    replicated = CaesarModel(default_context=model.default_context)
+    for name in model.context_names:
+        replicated.add_context(name)
+    queries = list(model.queries())
+    eligible_names = {
+        q.name
+        for q in queries
+        if q.is_processing
+        and (contexts is None or set(q.contexts) <= set(contexts))
+    }
+    # Each copy forms its own derive/consume chain: the derived types of
+    # replicated queries are renamed per copy so copies do not cross-feed
+    # (ten copies of query 2 must not multiply query 1's input tenfold).
+    replicated_types = {
+        q.derive_type.name
+        for q in queries
+        if q.name in eligible_names and q.derive_type is not None
+    }
+    for query in queries:
+        query_contexts = query.contexts or (model.default_context,)
+        replicated.add_query(query.with_contexts(query_contexts))
+    for copy_index in range(1, copies):
+        rename = {name: f"{name}_{copy_index}" for name in replicated_types}
+        for query in queries:
+            if query.name not in eligible_names:
+                continue
+            assert query.derive_type is not None
+            derive_type = EventType(
+                rename.get(query.derive_type.name, query.derive_type.name),
+                query.derive_type.schema,
+            )
+            replicated.add_query(
+                EventQuery(
+                    name=f"{query.name}#{copy_index}",
+                    action=query.action,
+                    pattern=_rename_pattern_types(query.pattern, rename),
+                    contexts=query.contexts or (model.default_context,),
+                    where=query.where,
+                    derive_type=derive_type,
+                    derive_items=query.derive_items,
+                )
+            )
+    return replicated
+
+
+def _rename_pattern_types(
+    spec: PatternSpec, rename: dict[str, str]
+) -> PatternSpec:
+    """Rewrite event type names in a pattern (used by workload replication)."""
+    if isinstance(spec, EventMatch):
+        return EventMatch(rename.get(spec.type_name, spec.type_name), spec.var)
+    if isinstance(spec, NegatedSpec):
+        return NegatedSpec(
+            EventMatch(
+                rename.get(spec.inner.type_name, spec.inner.type_name),
+                spec.inner.var,
+            ),
+            guard=spec.guard,
+            within=spec.within,
+        )
+    assert isinstance(spec, Sequence)
+    return Sequence(
+        tuple(_rename_pattern_types(element, rename) for element in spec.elements)
+    )
+
+
+def segment_partitioner(event) -> tuple:
+    """Partition key: the unidirectional road segment (Section 6.2)."""
+    return (event.get("xway"), event.get("dir"), event.get("seg"))

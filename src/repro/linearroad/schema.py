@@ -1,0 +1,101 @@
+"""Linear Road event types [9].
+
+A position report carries the attributes the benchmark defines: vehicle id,
+speed (mph), expressway, lane, direction, segment and position; all values
+integers except the lane, which we name symbolically (the paper's query 2
+tests ``p2.lane ≠ 'exit'``).
+
+``SegmentStats`` is the per-segment, per-minute statistics event every
+Linear Road implementation computes from raw reports (vehicle count, average
+speed, stopped cars); CAESAR's context deriving queries consume it — "over
+50 cars per minute move with an average speed less than 40 mph" is the
+paper's own congestion condition (Section 1).
+"""
+
+from __future__ import annotations
+
+from repro.events.types import EventType
+
+#: Lane names, entry ramp to exit ramp.
+LANES = ("entry", "left", "middle", "right", "exit")
+
+#: Position reports are emitted by every vehicle every 30 seconds.
+REPORT_INTERVAL_SECONDS = 30
+
+#: The benchmark's response-time constraint (Section 7.1).
+LATENCY_CONSTRAINT_SECONDS = 5.0
+
+#: Congestion thresholds from the paper's motivating example (Section 1).
+CONGESTION_MIN_CARS = 50
+CONGESTION_MAX_AVG_SPEED = 40
+
+POSITION_REPORT = EventType.define(
+    "PositionReport",
+    vid="int",
+    sec="int",
+    speed="int",
+    xway="int",
+    lane="str",
+    dir="int",
+    seg="int",
+    pos="int",
+)
+
+SEGMENT_STATS = EventType.define(
+    "SegmentStats",
+    sec="int",
+    xway="int",
+    dir="int",
+    seg="int",
+    cars="int",
+    avg_speed="float",
+    stopped_cars="int",
+)
+
+TOLL_NOTIFICATION = EventType.define(
+    "TollNotification",
+    vid="int",
+    sec="int",
+    toll="int",
+)
+
+ACCIDENT_EVENT = EventType.define(
+    "Accident",
+    sec="int",
+    xway="int",
+    dir="int",
+    seg="int",
+    pos="int",
+)
+
+ACCIDENT_WARNING = EventType.define(
+    "AccidentWarning",
+    vid="int",
+    sec="int",
+    seg="int",
+)
+
+NEW_TRAVELING_CAR = EventType.define(
+    "NewTravelingCar",
+    vid="int",
+    xway="int",
+    dir="int",
+    seg="int",
+    lane="str",
+    pos="int",
+    sec="int",
+)
+
+ALL_TYPES = (
+    POSITION_REPORT,
+    SEGMENT_STATS,
+    TOLL_NOTIFICATION,
+    ACCIDENT_EVENT,
+    ACCIDENT_WARNING,
+    NEW_TRAVELING_CAR,
+)
+
+
+def type_registry() -> dict[str, EventType]:
+    """All Linear Road event types indexed by name."""
+    return {event_type.name: event_type for event_type in ALL_TYPES}

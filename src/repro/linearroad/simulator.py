@@ -1,0 +1,306 @@
+"""Seeded Linear Road traffic micro-simulator.
+
+The original benchmark drives a closed traffic model through a historical
+simulation; what CAESAR's evaluation needs from it is the *stream shape*:
+
+* position reports every 30 seconds from every vehicle on the road;
+* per-segment traffic regimes — clear, congested (many slow cars), accident
+  (stopped-car pairs plus slowed traffic) — that hold for schedulable
+  intervals of unknown-to-the-engine duration;
+* input rate ramping up over the 3-hour run (Figure 10(b));
+* per-minute segment statistics (vehicle count, average speed, stopped
+  cars) from which the context deriving queries detect regime changes.
+
+Each segment hosts a pool of vehicles whose size depends on the regime and
+on the ramp factor; a small per-tick churn replaces vehicles with fresh ones
+(cars entering/leaving the segment), which is what produces
+``NewTravelingCar`` matches — and hence toll notifications — during
+congestion.  Everything is driven by a single seeded RNG, so a configuration
+always yields the identical stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import CaesarError
+from repro.events.event import Event
+from repro.linearroad.schema import (
+    LANES,
+    POSITION_REPORT,
+    REPORT_INTERVAL_SECONDS,
+    SEGMENT_STATS,
+)
+
+#: Feet per Linear Road segment (one mile).
+SEGMENT_FEET = 5280
+
+
+@dataclass(frozen=True)
+class SegmentInterval:
+    """A scheduled traffic regime on one unidirectional segment."""
+
+    xway: int
+    direction: int
+    seg: int
+    start: int  # seconds
+    end: int  # seconds
+
+    def covers(self, t: int) -> bool:
+        return self.start <= t < self.end
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class SimulationConfig:
+    """Parameters of one simulated run."""
+
+    num_xways: int = 1
+    segments_per_xway: int = 10
+    directions: int = 1
+    duration_seconds: int = 1800
+    report_interval: int = REPORT_INTERVAL_SECONDS
+    stats_interval: int = 60
+    #: vehicles per segment in each regime (before the ramp factor)
+    cars_clear: int = 6
+    cars_congested: int = 20
+    cars_accident: int = 10
+    #: input rate ramps linearly from this fraction to 1.0 over the run
+    ramp_start_fraction: float = 0.4
+    #: per-tick probability that a vehicle leaves and a new one enters
+    churn: float = 0.10
+    congestion_schedule: tuple[SegmentInterval, ...] = ()
+    accident_schedule: tuple[SegmentInterval, ...] = ()
+    seed: int = 42
+    #: emit per-minute SegmentStats events (set False when the engine
+    #: derives the statistics itself via repro.linearroad.stats)
+    emit_stats: bool = True
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise CaesarError("duration must be positive")
+        if not 0 <= self.churn <= 1:
+            raise CaesarError(f"churn must be in [0, 1], got {self.churn}")
+        if self.report_interval <= 0 or self.stats_interval <= 0:
+            raise CaesarError("intervals must be positive")
+
+    def segment_keys(self) -> list[tuple[int, int, int]]:
+        return [
+            (xway, direction, seg)
+            for xway in range(self.num_xways)
+            for direction in range(self.directions)
+            for seg in range(self.segments_per_xway)
+        ]
+
+
+class _Vehicle:
+    """A vehicle in a segment pool."""
+
+    __slots__ = ("vid", "pos", "lane", "entering", "stopped")
+
+    def __init__(self, vid: int, pos: int, lane: str, entering: bool = True):
+        self.vid = vid
+        self.pos = pos
+        self.lane = lane
+        self.entering = entering
+        self.stopped = False
+
+
+class _SegmentState:
+    """Vehicle pool and accident bookkeeping for one segment."""
+
+    def __init__(self, key: tuple[int, int, int]):
+        self.key = key
+        self.vehicles: list[_Vehicle] = []
+        self.accident_pair: list[_Vehicle] = []
+        #: distinct vids and speed samples within the current stats window
+        self.window_vids: set[int] = set()
+        self.window_speed_sum: float = 0.0
+        self.window_speed_count: int = 0
+
+
+class TrafficSimulator:
+    """Generates the Linear Road event stream for one configuration."""
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._next_vid = 1
+        self._segments = {
+            key: _SegmentState(key) for key in config.segment_keys()
+        }
+
+    # ------------------------------------------------------------------
+    # regimes
+    # ------------------------------------------------------------------
+
+    def _regime(self, key: tuple[int, int, int], t: int) -> str:
+        xway, direction, seg = key
+        for interval in self.config.accident_schedule:
+            if (
+                interval.xway == xway
+                and interval.direction == direction
+                and interval.seg == seg
+                and interval.covers(t)
+            ):
+                return "accident"
+        for interval in self.config.congestion_schedule:
+            if (
+                interval.xway == xway
+                and interval.direction == direction
+                and interval.seg == seg
+                and interval.covers(t)
+            ):
+                return "congestion"
+        return "clear"
+
+    def _target_count(self, regime: str, t: int) -> int:
+        config = self.config
+        base = {
+            "clear": config.cars_clear,
+            "congestion": config.cars_congested,
+            "accident": config.cars_accident,
+        }[regime]
+        ramp = config.ramp_start_fraction + (1.0 - config.ramp_start_fraction) * (
+            t / config.duration_seconds
+        )
+        return max(1, round(base * ramp))
+
+    def _speed(self, regime: str, vehicle: _Vehicle) -> int:
+        if vehicle.stopped:
+            return 0
+        rng = self._rng
+        if regime == "clear":
+            return rng.randint(52, 68)
+        if regime == "congestion":
+            return rng.randint(15, 35)
+        return rng.randint(8, 25)  # crawling past an accident
+
+    # ------------------------------------------------------------------
+    # vehicle pool maintenance
+    # ------------------------------------------------------------------
+
+    def _spawn(self, state: _SegmentState) -> _Vehicle:
+        seg = state.key[2]
+        vehicle = _Vehicle(
+            vid=self._next_vid,
+            pos=seg * SEGMENT_FEET + self._rng.randint(0, SEGMENT_FEET - 1),
+            lane="entry",
+        )
+        self._next_vid += 1
+        state.vehicles.append(vehicle)
+        return vehicle
+
+    def _adjust_pool(self, state: _SegmentState, regime: str, t: int) -> None:
+        target = self._target_count(regime, t)
+        while len(state.vehicles) < target:
+            self._spawn(state)
+        while len(state.vehicles) > target:
+            victim = next(
+                (v for v in state.vehicles if not v.stopped), state.vehicles[0]
+            )
+            state.vehicles.remove(victim)
+        # churn: replace some traveling vehicles with fresh entrants
+        for index, vehicle in enumerate(list(state.vehicles)):
+            if vehicle.stopped:
+                continue
+            if self._rng.random() < self.config.churn:
+                state.vehicles.remove(vehicle)
+                self._spawn(state)
+
+    def _maintain_accident(self, state: _SegmentState, regime: str) -> None:
+        if regime == "accident":
+            if not state.accident_pair:
+                candidates = [v for v in state.vehicles if not v.stopped][:2]
+                while len(candidates) < 2:
+                    candidates.append(self._spawn(state))
+                crash_pos = candidates[0].pos
+                for vehicle in candidates[:2]:
+                    vehicle.stopped = True
+                    vehicle.pos = crash_pos
+                    vehicle.lane = "right"
+                state.accident_pair = candidates[:2]
+        else:
+            for vehicle in state.accident_pair:
+                vehicle.stopped = False
+            state.accident_pair = []
+
+    # ------------------------------------------------------------------
+    # event generation
+    # ------------------------------------------------------------------
+
+    def events(self) -> Iterator[Event]:
+        """Yield the full run's events in timestamp order."""
+        config = self.config
+        for t in range(0, config.duration_seconds, config.report_interval):
+            if config.emit_stats and t and t % config.stats_interval == 0:
+                # statistics summarizing the window that just closed; they
+                # share the batch timestamp so context derivation sees them
+                # before the batch's reports are processed
+                yield from self._stats(t)
+            yield from self._tick(t)
+
+    def _tick(self, t: int) -> Iterator[Event]:
+        for key, state in self._segments.items():
+            regime = self._regime(key, t)
+            self._adjust_pool(state, regime, t)
+            self._maintain_accident(state, regime)
+            xway, direction, seg = key
+            for vehicle in state.vehicles:
+                speed = self._speed(regime, vehicle)
+                lane = vehicle.lane
+                if vehicle.entering:
+                    vehicle.entering = False
+                elif not vehicle.stopped:
+                    vehicle.lane = self._rng.choice(LANES[1:4])
+                    lane = vehicle.lane
+                    vehicle.pos = seg * SEGMENT_FEET + (
+                        (vehicle.pos + speed * 44 // 30) % SEGMENT_FEET
+                    )
+                state.window_vids.add(vehicle.vid)
+                state.window_speed_sum += speed
+                state.window_speed_count += 1
+                yield Event(
+                    POSITION_REPORT,
+                    t,
+                    {
+                        "vid": vehicle.vid,
+                        "sec": t,
+                        "speed": speed,
+                        "xway": xway,
+                        "lane": lane,
+                        "dir": direction,
+                        "seg": seg,
+                        "pos": vehicle.pos,
+                    },
+                )
+
+    def _stats(self, t: int) -> Iterator[Event]:
+        for key, state in self._segments.items():
+            xway, direction, seg = key
+            if state.window_speed_count:
+                avg_speed = state.window_speed_sum / state.window_speed_count
+            else:
+                avg_speed = 0.0
+            stopped = sum(1 for v in state.vehicles if v.stopped)
+            yield Event(
+                SEGMENT_STATS,
+                t,
+                {
+                    "sec": t,
+                    "xway": xway,
+                    "dir": direction,
+                    "seg": seg,
+                    "cars": len(state.window_vids),
+                    "avg_speed": round(avg_speed, 2),
+                    "stopped_cars": stopped,
+                },
+            )
+            state.window_vids.clear()
+            state.window_speed_sum = 0.0
+            state.window_speed_count = 0

@@ -1,0 +1,53 @@
+"""Engine-side segment statistics (the aggregation stage of Linear Road).
+
+Every Linear Road implementation computes per-segment, per-minute
+statistics (vehicle count, average speed) from the raw position reports;
+the CAESAR context deriving queries consume them.  The simulator can emit
+these statistics itself (its default), or — using this module — the engine
+derives them with the windowed :class:`~repro.algebra.aggregate
+.AggregateOperator`, exercising the full raw-reports-only pipeline::
+
+    engine = CaesarEngine(
+        build_traffic_model(),
+        preprocessors=(segment_stats_aggregator(),),
+        partition_by=segment_partitioner,
+    )
+    stream = generate_stream(config_without_stats)   # emit_stats=False
+
+The derived events carry the same schema as the simulator's
+``SegmentStats``, so the rest of the model is unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.aggregate import AggregateFunction, AggregateOperator
+from repro.algebra.expressions import attr
+from repro.events.timebase import TimePoint
+from repro.linearroad.schema import SEGMENT_STATS
+
+
+def segment_stats_aggregator(
+    *, window: TimePoint = 60
+) -> AggregateOperator:
+    """Per-minute segment statistics from raw position reports.
+
+    * ``cars`` — distinct vehicles seen in the window;
+    * ``avg_speed`` — average reported speed;
+    * ``stopped_cars`` — distinct vehicles that reported speed 0.
+    """
+    return AggregateOperator(
+        "PositionReport",
+        SEGMENT_STATS,
+        window=window,
+        group_by=("xway", "dir", "seg"),
+        functions=(
+            AggregateFunction("cars", "count_distinct", "vid"),
+            AggregateFunction("avg_speed", "avg", "speed"),
+            AggregateFunction(
+                "stopped_cars",
+                "count_distinct",
+                "vid",
+                predicate=attr("speed").eq(0),
+            ),
+        ),
+    )

@@ -1,0 +1,66 @@
+"""Linear Road toll computation [9].
+
+The benchmark charges toll on a segment when it is congested: the number of
+vehicles exceeds 50 and their average speed over the last 5 minutes is below
+40 mph, and no accident is in the downstream proximity.  The toll amount is
+``2 × (cars - 150)²`` cents, floored at zero.
+
+The paper's simplified query 1 uses a constant toll; the real formula lives
+here for the domain examples and the analysis module.
+"""
+
+from __future__ import annotations
+
+from repro.linearroad.schema import CONGESTION_MAX_AVG_SPEED, CONGESTION_MIN_CARS
+
+#: Benchmark toll coefficient (cents).
+TOLL_COEFFICIENT = 2
+
+#: Vehicle count at which the toll formula bottoms out.
+TOLL_PIVOT_CARS = 150
+
+
+def is_tollable(
+    cars: int,
+    avg_speed: float,
+    *,
+    min_cars: int = CONGESTION_MIN_CARS,
+    max_avg_speed: float = CONGESTION_MAX_AVG_SPEED,
+    accident_nearby: bool = False,
+) -> bool:
+    """True if the benchmark would charge toll in this segment state."""
+    if accident_nearby:
+        return False
+    return cars > min_cars and avg_speed < max_avg_speed
+
+
+def toll_amount(cars: int, *, coefficient: int = TOLL_COEFFICIENT) -> int:
+    """The benchmark toll in cents: ``coefficient × (cars - 150)²``.
+
+    The formula is quadratic in the vehicle surplus; with fewer cars than
+    the pivot it still yields a positive toll (the benchmark's published
+    constant-150 form), never negative.
+    """
+    if cars < 0:
+        raise ValueError(f"car count must be non-negative, got {cars}")
+    return coefficient * (cars - TOLL_PIVOT_CARS) ** 2
+
+
+def toll_for_segment(
+    cars: int,
+    avg_speed: float,
+    *,
+    accident_nearby: bool = False,
+    min_cars: int = CONGESTION_MIN_CARS,
+    max_avg_speed: float = CONGESTION_MAX_AVG_SPEED,
+) -> int:
+    """Toll charged to a vehicle entering the segment (0 when not tollable)."""
+    if not is_tollable(
+        cars,
+        avg_speed,
+        min_cars=min_cars,
+        max_avg_speed=max_avg_speed,
+        accident_nearby=accident_nearby,
+    ):
+        return 0
+    return toll_amount(cars)

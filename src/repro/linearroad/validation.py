@@ -1,0 +1,152 @@
+"""Linear Road output validation.
+
+The original benchmark ships a validator that recomputes the expected
+outputs from the raw input and diffs them against the system's responses;
+an implementation only "passes" Linear Road if its answers are *correct*
+within the latency constraint.  This module provides that check for the
+reproduction's workload:
+
+* :func:`expected_toll_vehicles` — recompute, directly from the input
+  stream and the detected congestion windows, which (vehicle, time) pairs
+  must receive a toll notification (the query-2 semantics: a report with no
+  same-vehicle report 30 s earlier *within the window*, not on an exit
+  lane);
+* :func:`validate_report` — diff an engine report against the expectation
+  and check the latency constraint, returning a :class:`ValidationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.windows import ContextWindow
+from repro.events.event import Event
+from repro.linearroad.schema import (
+    LATENCY_CONSTRAINT_SECONDS,
+    REPORT_INTERVAL_SECONDS,
+)
+from repro.runtime.engine import EngineReport
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one engine run."""
+
+    expected_tolls: int
+    produced_tolls: int
+    missing: list[tuple] = field(default_factory=list)
+    spurious: list[tuple] = field(default_factory=list)
+    max_latency: float = 0.0
+    latency_ok: bool = True
+
+    @property
+    def correct(self) -> bool:
+        return not self.missing and not self.spurious
+
+    @property
+    def passed(self) -> bool:
+        return self.correct and self.latency_ok
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{status}] tolls expected={self.expected_tolls} "
+            f"produced={self.produced_tolls} missing={len(self.missing)} "
+            f"spurious={len(self.spurious)} "
+            f"max_latency={self.max_latency:.3f}s "
+            f"(constraint ok: {self.latency_ok})"
+        )
+
+
+def _congestion_windows(
+    windows_by_partition: dict,
+) -> dict[tuple, list[ContextWindow]]:
+    result: dict[tuple, list[ContextWindow]] = {}
+    for key, windows in windows_by_partition.items():
+        result[key] = [w for w in windows if w.context_name == "congestion"]
+    return result
+
+
+def expected_toll_vehicles(
+    stream: Iterable[Event],
+    windows_by_partition: dict,
+    *,
+    report_interval: int = REPORT_INTERVAL_SECONDS,
+) -> set[tuple]:
+    """Recompute the (partition, vid, sec) set that must be tolled.
+
+    A position report earns a toll iff it falls inside a congestion window
+    of its segment, is not on an exit lane, and the same vehicle produced
+    no report ``report_interval`` seconds earlier *inside the window* (the
+    context scopes the negation — Section 3.4).
+    """
+    congestion = _congestion_windows(windows_by_partition)
+
+    def occupies(window: ContextWindow, t) -> bool:
+        # engine occupancy semantics: the initiating batch is processed in
+        # the window, the terminating batch no longer is
+        return window.start <= t and (window.end is None or t < window.end)
+
+    #: (partition, vid, sec) of all in-window reports, for negation lookup
+    in_window_reports: set[tuple] = set()
+    candidates: list[tuple] = []
+    for event in stream:
+        if event.type_name != "PositionReport":
+            continue
+        key = (event["xway"], event["dir"], event["seg"])
+        windows = congestion.get(key, [])
+        inside = any(occupies(w, event.timestamp) for w in windows)
+        if not inside:
+            continue
+        in_window_reports.add((key, event["vid"], event["sec"]))
+        if event["lane"] != "exit":
+            candidates.append((key, event["vid"], event["sec"]))
+    expected = set()
+    for key, vid, sec in candidates:
+        window = next(w for w in congestion[key] if occupies(w, sec))
+        predecessor = (key, vid, sec - report_interval)
+        # the predecessor only blocks if it falls inside the same window
+        blocked = (
+            predecessor in in_window_reports
+            and occupies(window, sec - report_interval)
+        )
+        if not blocked:
+            expected.add((key, vid, sec))
+    return expected
+
+
+def validate_report(
+    stream: Iterable[Event],
+    report: EngineReport,
+    *,
+    constraint_seconds: float = LATENCY_CONSTRAINT_SECONDS,
+    report_interval: int = REPORT_INTERVAL_SECONDS,
+) -> ValidationResult:
+    """Diff the engine's toll notifications against the recomputation."""
+    expected = expected_toll_vehicles(
+        stream, report.windows_by_partition, report_interval=report_interval
+    )
+    produced = set()
+    for event in report.outputs:
+        if event.type_name != "TollNotification":
+            continue
+        key = None
+        if "seg" in event:
+            # the reproduction's query 1 projects the segment; xway/dir are
+            # recoverable from the partition windows
+            for partition in report.windows_by_partition:
+                if partition[2] == event["seg"]:
+                    key = partition
+                    break
+        produced.add((key, event["vid"], event["sec"]))
+    missing = sorted(expected - produced)
+    spurious = sorted(produced - expected)
+    return ValidationResult(
+        expected_tolls=len(expected),
+        produced_tolls=len(produced),
+        missing=missing,
+        spurious=spurious,
+        max_latency=report.max_latency,
+        latency_ok=report.max_latency <= constraint_seconds,
+    )

@@ -1,0 +1,47 @@
+"""CAESAR optimizer (Section 5).
+
+* :mod:`repro.optimizer.planner` — Table 1 translation of event queries to
+  individual plans and their composition into combined plans (Section 4.2).
+* :mod:`repro.optimizer.pushdown` — the context window push-down strategy
+  (Section 5.2, Theorem 1).
+* :mod:`repro.optimizer.rules` — classic context-oblivious rewrites the
+  CAESAR optimizer inherits (filter merging, filter/projection reordering).
+* :mod:`repro.optimizer.cost` — the CPU cost model (Section 5.1).
+* :mod:`repro.optimizer.search` — exhaustive (context-independent) versus
+  greedy context-aware plan search (Section 5.3, Figure 11a).
+* :mod:`repro.optimizer.sharing` — shared execution of grouped context
+  windows' workloads (Section 5.3).
+"""
+
+from repro.optimizer.planner import build_combined_plans, build_query_plan
+from repro.optimizer.pushdown import is_pushed_down, push_context_windows_down
+from repro.optimizer.apply import full_optimize, reorder_filters
+from repro.optimizer.cost import CostModel, estimate_plan_cost
+from repro.optimizer.search import (
+    LogicalOperator,
+    SearchResult,
+    context_aware_search,
+    exhaustive_search,
+    greedy_search,
+    make_search_space,
+)
+from repro.optimizer.sharing import SharedWorkload, build_shared_workload
+
+__all__ = [
+    "CostModel",
+    "LogicalOperator",
+    "SearchResult",
+    "SharedWorkload",
+    "build_combined_plans",
+    "build_query_plan",
+    "build_shared_workload",
+    "context_aware_search",
+    "estimate_plan_cost",
+    "exhaustive_search",
+    "full_optimize",
+    "greedy_search",
+    "is_pushed_down",
+    "make_search_space",
+    "push_context_windows_down",
+    "reorder_filters",
+]

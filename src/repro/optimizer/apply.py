@@ -1,0 +1,85 @@
+"""Applying the plan search to real operator pipelines.
+
+:mod:`repro.optimizer.search` measures search strategies over an abstract
+operator model (that is what Figure 11(a) compares); this module closes the
+loop for real plans: it extracts each plan's *commutable segment* — the run
+of filters above the pattern — scores the filters with the cost model, and
+reorders them best-rank-first (most selective per unit of cost), composing
+with the context window push-down and the classic rewrites into the full
+optimization pipeline::
+
+    plan = full_optimize(plan, cost_model)
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import Operator
+from repro.algebra.plan import QueryPlan
+from repro.algebra.relational_ops import Filter
+from repro.optimizer.cost import CostModel
+from repro.optimizer.pushdown import push_context_windows_down
+from repro.optimizer.rules import (
+    merge_adjacent_filters,
+    swap_filter_below_projection,
+)
+
+
+def _filter_rank(filter_op: Filter, model: CostModel) -> float:
+    """The classic pipelined-selection rank: ``(selectivity - 1) / cost``.
+
+    More negative = filters more per unit of cost = run earlier.
+    """
+    selectivity = model.selectivity(filter_op)
+    return (selectivity - 1.0) / model.unit_cost(filter_op)
+
+
+def reorder_filters(
+    plan: QueryPlan, model: CostModel | None = None
+) -> QueryPlan:
+    """Order each adjacent run of filters by rank (cheapest-selective first).
+
+    Only *adjacent* filters commute unconditionally — a filter cannot move
+    across a projection or pattern without the preservation analysis of
+    :mod:`repro.optimizer.rules` — so runs are reordered in place.
+    """
+    model = model or CostModel()
+    operators: list[Operator] = []
+    run: list[Filter] = []
+
+    def flush() -> None:
+        if run:
+            run.sort(key=lambda f: _filter_rank(f, model))
+            operators.extend(run)
+            run.clear()
+
+    for operator in plan.operators:
+        if isinstance(operator, Filter):
+            run.append(operator)
+        else:
+            flush()
+            operators.append(operator)
+    flush()
+    if operators == plan.operators:
+        return plan
+    return QueryPlan(operators, name=plan.name, context_name=plan.context_name)
+
+
+def full_optimize(
+    plan: QueryPlan, model: CostModel | None = None
+) -> QueryPlan:
+    """The complete single-plan optimization pipeline.
+
+    1. context window push-down (Section 5.2, Theorem 1);
+    2. classic rewrites — filter/projection swap, then filter runs
+       reordered by rank (Section 5.2's "existing approaches");
+    3. adjacent-filter merging happens *after* the reorder so the merged
+       conjunct evaluates its cheapest-selective condition first
+       (``And`` evaluation short-circuits left to right).
+    """
+    model = model or CostModel()
+    plan = push_context_windows_down(plan)
+    # swap filters below projections first so the reorderable run is maximal
+    plan = swap_filter_below_projection(plan)
+    plan = reorder_filters(plan, model)
+    plan = merge_adjacent_filters(plan)
+    return plan

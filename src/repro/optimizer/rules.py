@@ -1,0 +1,90 @@
+"""Context-oblivious rewrite rules the CAESAR optimizer inherits (Section 5.2).
+
+"Since some operators of the CAESAR algebra are similar to other stream
+algebras, existing approaches, from operator reordering to operator merging,
+can be exploited by the CAESAR optimizer as well."  We implement the two the
+paper names:
+
+* adjacent filters merge into a single filter with the conjoined predicate;
+* a projection and a filter may swap if the projection discards no
+  attribute the filter reads.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import And
+from repro.algebra.operators import Operator
+from repro.algebra.plan import QueryPlan
+from repro.algebra.relational_ops import Filter, Projection
+
+
+def merge_adjacent_filters(plan: QueryPlan) -> QueryPlan:
+    """Combine runs of adjacent filters into one conjunctive filter."""
+    operators: list[Operator] = []
+    for operator in plan.operators:
+        if (
+            isinstance(operator, Filter)
+            and operators
+            and isinstance(operators[-1], Filter)
+        ):
+            previous = operators.pop()
+            operators.append(
+                Filter(And(previous.predicate, operator.predicate))
+            )
+        else:
+            operators.append(operator)
+    if len(operators) == len(plan.operators):
+        return plan
+    return QueryPlan(operators, name=plan.name, context_name=plan.context_name)
+
+
+def projection_preserves(projection: Projection, filter_op: Filter) -> bool:
+    """True if ``projection`` keeps every attribute ``filter_op`` reads.
+
+    After a projection the events are re-typed, so the filter would read the
+    *output* attribute names; the swap is safe only when each referenced
+    attribute is produced by the projection under the same name.
+    """
+    produced = {name for name, _ in projection.items}
+    needed = {attr for _, attr in filter_op.predicate.attributes()}
+    return needed <= produced
+
+
+def swap_filter_below_projection(plan: QueryPlan) -> QueryPlan:
+    """Push filters below adjacent projections when semantics allow.
+
+    A filter directly above a projection commutes with it if the projection
+    passes through (by name) every attribute the filter reads — then the
+    filter can run first on the cheaper, un-projected events.  The rewrite
+    additionally requires the filter's references to resolve against the
+    projection's *inputs*, which holds exactly when the projection items are
+    identity attribute references.
+    """
+    operators = list(plan.operators)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(operators) - 1):
+            below, above = operators[index], operators[index + 1]
+            if not (isinstance(below, Projection) and isinstance(above, Filter)):
+                continue
+            if not projection_preserves(below, above):
+                continue
+            identity = all(
+                getattr(expr, "attr", None) == name for name, expr in below.items
+            )
+            if not identity:
+                continue
+            operators[index], operators[index + 1] = above, below
+            changed = True
+    if operators == plan.operators:
+        return plan
+    return QueryPlan(operators, name=plan.name, context_name=plan.context_name)
+
+
+def apply_classic_rewrites(plan: QueryPlan) -> QueryPlan:
+    """Apply all context-oblivious rewrites to a fixpoint."""
+    rewritten = swap_filter_below_projection(merge_adjacent_filters(plan))
+    if rewritten.operators == plan.operators:
+        return plan
+    return apply_classic_rewrites(rewritten)

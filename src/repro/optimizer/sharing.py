@@ -1,0 +1,176 @@
+"""Context workload sharing (Section 5.3).
+
+Given user-defined (possibly overlapping) context windows with their query
+workloads, the sharing optimizer:
+
+1. runs the context window grouping algorithm (Listing 1) to obtain
+   non-overlapping grouped windows;
+2. builds **one** plan instance per distinct query (by work signature) and
+   activates it during the union of the grouped windows that carry the
+   query — so overlapping windows execute each shared query once instead of
+   once per window;
+3. merges adjacent activation intervals, which is what keeps a query's
+   partial matches alive across consecutive grouped windows split from the
+   same user window (the *context history* requirement of Section 6.2).
+
+The non-shared baseline (:func:`build_nonshared_workload`) instantiates one
+plan per (window, query) pair — each window runs its own copy of every
+query, which is what a context-unaware engine would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.algebra.plan import QueryPlan
+from repro.core.grouping import GroupedWindow, group_context_windows
+from repro.core.queries import EventQuery
+from repro.core.windows import WindowSpec
+from repro.events.timebase import TimePoint
+from repro.optimizer.planner import build_query_plan
+
+
+@dataclass
+class ExecutionUnit:
+    """A plan plus the time intervals during which it is active.
+
+    Intervals are half-open ``[start, end)``, sorted and non-overlapping.
+    Outside its intervals the unit is suspended: the scheduled engine feeds
+    it nothing and its state is reset on deactivation boundaries where no
+    adjacent interval continues it.
+    """
+
+    plan: QueryPlan
+    intervals: tuple[tuple[TimePoint, TimePoint], ...]
+    query_names: tuple[str, ...] = ()
+
+    def active_at(self, t: TimePoint) -> bool:
+        return any(start <= t < end for start, end in self.intervals)
+
+    def interval_index_at(self, t: TimePoint) -> int | None:
+        """Index of the activation interval covering ``t``, if any."""
+        for index, (start, end) in enumerate(self.intervals):
+            if start <= t < end:
+                return index
+        return None
+
+    def total_active_length(self) -> TimePoint:
+        return sum(end - start for start, end in self.intervals)
+
+    def __repr__(self) -> str:
+        spans = ", ".join(f"[{s}, {e})" for s, e in self.intervals)
+        return f"<ExecutionUnit {self.plan.name!r} active {spans}>"
+
+
+@dataclass
+class SharedWorkload:
+    """The output of the sharing optimizer: execution units + grouping."""
+
+    units: list[ExecutionUnit]
+    grouped: list[GroupedWindow]
+    shared: bool
+
+    @property
+    def plan_count(self) -> int:
+        return len(self.units)
+
+    def active_units(self, t: TimePoint) -> list[ExecutionUnit]:
+        return [unit for unit in self.units if unit.active_at(t)]
+
+    def span(self) -> tuple[TimePoint, TimePoint] | None:
+        """Earliest start and latest end over all units, if any."""
+        starts = [s for unit in self.units for s, _ in unit.intervals]
+        ends = [e for unit in self.units for _, e in unit.intervals]
+        if not starts:
+            return None
+        return min(starts), max(ends)
+
+
+def _merge_intervals(
+    intervals: list[tuple[TimePoint, TimePoint]]
+) -> tuple[tuple[TimePoint, TimePoint], ...]:
+    """Sort and coalesce touching/overlapping half-open intervals."""
+    if not intervals:
+        return ()
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for start, end in intervals[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return tuple(merged)
+
+
+def build_shared_workload(
+    specs: Sequence[WindowSpec],
+    *,
+    retention: TimePoint = 300,
+) -> SharedWorkload:
+    """Shared execution of the windows' workloads via window grouping.
+
+    One plan per distinct query signature; the plan's activation is the
+    union of all grouped windows whose workload contains the query.
+    """
+    grouped = group_context_windows(specs)
+    plan_for: dict[tuple, QueryPlan] = {}
+    intervals_for: dict[tuple, list[tuple[TimePoint, TimePoint]]] = {}
+    names_for: dict[tuple, list[str]] = {}
+    for window in grouped:
+        for query in window.queries:
+            signature = query.signature()
+            if signature not in plan_for:
+                plan_for[signature] = build_query_plan(
+                    query,
+                    context="+".join(window.source_names),
+                    retention=retention,
+                    with_context_window=False,
+                )
+                intervals_for[signature] = []
+                names_for[signature] = []
+            intervals_for[signature].append((window.start, window.end))
+            if query.name not in names_for[signature]:
+                names_for[signature].append(query.name)
+    units = [
+        ExecutionUnit(
+            plan=plan,
+            intervals=_merge_intervals(intervals_for[signature]),
+            query_names=tuple(names_for[signature]),
+        )
+        for signature, plan in plan_for.items()
+    ]
+    return SharedWorkload(units=units, grouped=grouped, shared=True)
+
+
+def build_nonshared_workload(
+    specs: Sequence[WindowSpec],
+    *,
+    retention: TimePoint = 300,
+) -> SharedWorkload:
+    """The default non-shared execution: one plan per (window, query).
+
+    Overlapping windows each run their own instance of every query they
+    carry — the redundant work the sharing optimizer removes (Figure 14's
+    baseline).
+    """
+    units: list[ExecutionUnit] = []
+    for spec in specs:
+        for query in spec.queries:
+            plan = build_query_plan(
+                query,
+                context=spec.name,
+                retention=retention,
+                with_context_window=False,
+            )
+            units.append(
+                ExecutionUnit(
+                    plan=plan,
+                    intervals=((spec.start, spec.end),),
+                    query_names=(query.name,),
+                )
+            )
+    return SharedWorkload(
+        units=units, grouped=group_context_windows(specs), shared=False
+    )

@@ -1,0 +1,26 @@
+"""Physical Activity Monitoring (PAM) substrate [26].
+
+The paper's second evaluation data set is PAMAP2: physical activity
+recordings (heart rate, IMUs on hand/chest/ankle) of 14 subjects over about
+75 minutes, 1.6 GB.  The raw data set is not redistributable, so this
+package generates a seeded synthetic equivalent with the same schema and —
+what matters for CAESAR — the same *context structure*: subjects move
+through activity episodes (lying, sitting, walking, running, cycling, ...)
+of durations unknown in advance, and the engine derives those activity
+contexts from the sensor stream and runs per-activity analytics.
+"""
+
+from repro.pam.schema import ACTIVITY_REPORT, ACTIVITIES, type_registry
+from repro.pam.generator import PamConfig, generate_pam_stream
+from repro.pam.queries import build_pam_model, replicate_pam_workload, subject_partitioner
+
+__all__ = [
+    "ACTIVITIES",
+    "ACTIVITY_REPORT",
+    "PamConfig",
+    "build_pam_model",
+    "generate_pam_stream",
+    "replicate_pam_workload",
+    "subject_partitioner",
+    "type_registry",
+]

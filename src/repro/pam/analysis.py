@@ -1,0 +1,114 @@
+"""PAM analysis helpers: activity/context distributions per subject.
+
+The PAM analog of :mod:`repro.linearroad.analysis`: summarize how each
+subject's time divides across the intensity contexts, how many alerts and
+summaries each produced, and the per-minute event distribution — the kind
+of characterization Figure 10 gives for Linear Road, applied to the
+physical activity monitoring data set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.windows import ContextWindow
+from repro.events.event import Event
+from repro.events.timebase import TimePoint
+from repro.runtime.engine import EngineReport
+
+
+@dataclass
+class SubjectSummary:
+    """Per-subject breakdown of one monitored run."""
+
+    subject: object
+    seconds_by_context: dict[str, TimePoint] = field(default_factory=dict)
+    outputs_by_type: dict[str, int] = field(default_factory=dict)
+    transitions: int = 0
+
+    @property
+    def dominant_context(self) -> str | None:
+        if not self.seconds_by_context:
+            return None
+        return max(self.seconds_by_context, key=self.seconds_by_context.get)
+
+    def active_fraction(self, *, rest_context: str = "rest") -> float:
+        """Fraction of monitored time spent outside the rest context."""
+        total = sum(self.seconds_by_context.values())
+        if total <= 0:
+            return 0.0
+        resting = self.seconds_by_context.get(rest_context, 0)
+        return (total - resting) / total
+
+
+def _window_seconds(
+    windows: Iterable[ContextWindow], horizon: TimePoint
+) -> dict[str, TimePoint]:
+    seconds: dict[str, TimePoint] = {}
+    for window in windows:
+        end = window.end if window.end is not None else horizon
+        length = max(0, end - window.start)
+        seconds[window.context_name] = (
+            seconds.get(window.context_name, 0) + length
+        )
+    return seconds
+
+
+def summarize_subjects(
+    report: EngineReport, *, horizon: TimePoint | None = None
+) -> dict[object, SubjectSummary]:
+    """Per-subject summaries from an engine report.
+
+    ``horizon`` caps open windows (defaults to the latest window start/end
+    observed anywhere in the report).
+    """
+    if horizon is None:
+        horizon = 0
+        for windows in report.windows_by_partition.values():
+            for window in windows:
+                horizon = max(horizon, window.start)
+                if window.end is not None:
+                    horizon = max(horizon, window.end)
+    summaries: dict[object, SubjectSummary] = {}
+    for subject, windows in report.windows_by_partition.items():
+        summary = SubjectSummary(subject=subject)
+        summary.seconds_by_context = _window_seconds(windows, horizon)
+        summary.transitions = max(0, len(windows) - 1)
+        summaries[subject] = summary
+    for event in report.outputs:
+        subject = event.get("subject")
+        if subject in summaries:
+            by_type = summaries[subject].outputs_by_type
+            by_type[event.type_name] = by_type.get(event.type_name, 0) + 1
+    return summaries
+
+
+def intensity_minutes(
+    events: Iterable[Event],
+    *,
+    rest_max_hr: float = 85,
+    vigorous_min_hr: float = 130,
+) -> dict[int, dict[str, int]]:
+    """Per-minute report counts bucketed by heart-rate band.
+
+    Returns ``{minute: {"rest": n, "moderate": n, "vigorous": n}}`` — the
+    stream-side ground truth the derived contexts should track.
+    """
+    buckets: dict[int, dict[str, int]] = {}
+    for event in events:
+        if "heart_rate" not in event:
+            continue
+        minute = int(event.timestamp // 60)
+        rate = event["heart_rate"]
+        if rate < rest_max_hr:
+            band = "rest"
+        elif rate < vigorous_min_hr:
+            band = "moderate"
+        else:
+            band = "vigorous"
+        by_band = buckets.setdefault(
+            minute, {"rest": 0, "moderate": 0, "vigorous": 0}
+        )
+        by_band[band] += 1
+    return buckets

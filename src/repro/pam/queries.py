@@ -1,0 +1,164 @@
+"""The PAM CAESAR model: activity-intensity contexts and their workloads.
+
+Three contexts per subject — *rest* (default), *moderate* and *vigorous* —
+derived from heart rate, with per-context analytics:
+
+* vigorous — high-heart-rate alerts and intensity summaries (only relevant
+  while the subject exercises);
+* moderate — intensity summaries;
+* rest — fall detection: a sudden ankle-acceleration spike followed by no
+  movement is only alarming while the subject is supposed to be at rest.
+
+The workload's structure matches the traffic model's (deriving queries on
+the sensor stream, suspendable processing queries per context), which is why
+the paper reports the same CAESAR win on both data sets (Figure 12(a)).
+"""
+
+from __future__ import annotations
+
+from repro.core.model import CaesarModel
+from repro.language import parse_query
+from repro.linearroad.queries import replicate_workload
+from repro.pam.schema import (
+    REST_MAX_HR,
+    VIGOROUS_MIN_HR,
+    type_registry,
+)
+
+REST = "rest"
+MODERATE = "moderate"
+VIGOROUS = "vigorous"
+
+
+def build_pam_model(
+    *,
+    rest_max_hr: float = REST_MAX_HR,
+    vigorous_min_hr: float = VIGOROUS_MIN_HR,
+) -> CaesarModel:
+    """The physical-activity-monitoring CAESAR model."""
+    types = type_registry()
+    model = CaesarModel(default_context=REST)
+    model.add_context(MODERATE)
+    model.add_context(VIGOROUS)
+
+    # ------------------------------------------------------------------
+    # context deriving queries: heart-rate bands with switch transitions
+    # ------------------------------------------------------------------
+
+    model.add_query(
+        parse_query(
+            f"INITIATE CONTEXT {MODERATE} "
+            "PATTERN ActivityReport r "
+            f"WHERE r.heart_rate >= {rest_max_hr} "
+            f"AND r.heart_rate < {vigorous_min_hr} "
+            f"CONTEXT {REST}",
+            name="enter_moderate",
+            types=types,
+        )
+    )
+    model.add_query(
+        parse_query(
+            f"SWITCH CONTEXT {VIGOROUS} "
+            "PATTERN ActivityReport r "
+            f"WHERE r.heart_rate >= {vigorous_min_hr} "
+            f"CONTEXT {MODERATE}",
+            name="moderate_to_vigorous",
+            types=types,
+        )
+    )
+    model.add_query(
+        parse_query(
+            f"INITIATE CONTEXT {VIGOROUS} "
+            "PATTERN ActivityReport r "
+            f"WHERE r.heart_rate >= {vigorous_min_hr} "
+            f"CONTEXT {REST}",
+            name="rest_to_vigorous",
+            types=types,
+        )
+    )
+    model.add_query(
+        parse_query(
+            f"SWITCH CONTEXT {MODERATE} "
+            "PATTERN ActivityReport r "
+            f"WHERE r.heart_rate < {vigorous_min_hr} "
+            f"AND r.heart_rate >= {rest_max_hr} "
+            f"CONTEXT {VIGOROUS}",
+            name="vigorous_to_moderate",
+            types=types,
+        )
+    )
+    model.add_query(
+        parse_query(
+            f"TERMINATE CONTEXT {MODERATE} "
+            "PATTERN ActivityReport r "
+            f"WHERE r.heart_rate < {rest_max_hr} "
+            f"CONTEXT {MODERATE}",
+            name="moderate_to_rest",
+            types=types,
+        )
+    )
+    model.add_query(
+        parse_query(
+            f"TERMINATE CONTEXT {VIGOROUS} "
+            "PATTERN ActivityReport r "
+            f"WHERE r.heart_rate < {rest_max_hr} "
+            f"CONTEXT {VIGOROUS}",
+            name="vigorous_to_rest",
+            types=types,
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # context processing queries
+    # ------------------------------------------------------------------
+
+    model.add_query(
+        parse_query(
+            "DERIVE HighHeartRateAlert(r.subject, r.sec, r.heart_rate) "
+            "PATTERN ActivityReport r "
+            "WHERE r.heart_rate >= 170 "
+            f"CONTEXT {VIGOROUS}",
+            name="high_hr_alert",
+            types=types,
+        )
+    )
+    model.add_query(
+        parse_query(
+            "DERIVE IntensitySummary(r.subject, r.sec, r.heart_rate) "
+            "PATTERN ActivityReport r "
+            f"CONTEXT {MODERATE}, {VIGOROUS}",
+            name="intensity_summary",
+            types=types,
+        )
+    )
+    # Fall detection while at rest: an ankle-acceleration spike with no
+    # subsequent movement report within 15 seconds.
+    model.add_query(
+        parse_query(
+            "DERIVE FallWarning(spike.subject, spike.sec) "
+            "PATTERN SEQ(ActivityReport spike, NOT ActivityReport move) "
+            "WHERE spike.ankle_acc >= 25 AND move.subject = spike.subject "
+            "AND move.hand_acc >= 12 "
+            "WITHIN 15 "
+            f"CONTEXT {REST}",
+            name="fall_warning",
+            types=types,
+        )
+    )
+    model.validate()
+    return model
+
+
+def replicate_pam_workload(
+    model: CaesarModel,
+    copies: int,
+    *,
+    contexts: tuple[str, ...] | None = (VIGOROUS, MODERATE),
+) -> CaesarModel:
+    """Replicate the suspendable PAM processing queries (Section 7.1)."""
+    return replicate_workload(model, copies, contexts=contexts)
+
+
+def subject_partitioner(event) -> object:
+    """Partition key: the monitored subject (one context vector each)."""
+    return event.get("subject")

@@ -1,0 +1,64 @@
+"""PAM event types, mirroring the PAMAP2 schema [26].
+
+One ``ActivityReport`` per subject per second: heart rate (bpm) and the
+magnitude of acceleration at the three IMU positions (hand, chest, ankle),
+in m/s².  Derived alert/summary events are what the context processing
+queries produce.
+"""
+
+from __future__ import annotations
+
+from repro.events.types import EventType
+
+#: Activity episodes the synthetic subjects move through (a subset of the
+#: PAMAP2 protocol activities), with per-activity sensor statistics
+#: ``(heart_rate_mean, hand_acc_mean, chest_acc_mean, ankle_acc_mean)``.
+ACTIVITIES: dict[str, tuple[float, float, float, float]] = {
+    "lying": (62.0, 9.8, 9.8, 9.8),
+    "sitting": (70.0, 10.0, 9.9, 9.8),
+    "standing": (78.0, 10.3, 10.0, 9.9),
+    "walking": (100.0, 13.5, 11.0, 16.0),
+    "cycling": (115.0, 12.0, 10.5, 14.0),
+    "running": (155.0, 22.0, 16.0, 28.0),
+}
+
+#: Heart-rate thresholds separating the intensity contexts.
+REST_MAX_HR = 85
+VIGOROUS_MIN_HR = 130
+
+ACTIVITY_REPORT = EventType.define(
+    "ActivityReport",
+    subject="int",
+    sec="int",
+    heart_rate="float",
+    hand_acc="float",
+    chest_acc="float",
+    ankle_acc="float",
+)
+
+HIGH_HR_ALERT = EventType.define(
+    "HighHeartRateAlert",
+    subject="int",
+    sec="int",
+    heart_rate="float",
+)
+
+FALL_WARNING = EventType.define(
+    "FallWarning",
+    subject="int",
+    sec="int",
+)
+
+INTENSITY_SUMMARY = EventType.define(
+    "IntensitySummary",
+    subject="int",
+    sec="int",
+    heart_rate="float",
+)
+
+ALL_TYPES = (ACTIVITY_REPORT, HIGH_HR_ALERT, FALL_WARNING, INTENSITY_SUMMARY)
+
+
+def type_registry() -> dict[str, EventType]:
+    """All PAM event types indexed by name."""
+    return {event_type.name: event_type for event_type in ALL_TYPES}

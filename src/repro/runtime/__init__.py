@@ -1,0 +1,52 @@
+"""CAESAR execution infrastructure (Section 6).
+
+The core pieces: the context-aware stream router, the time-driven
+transaction scheduler, the event distributor with its per-partition queues,
+the context history store, the garbage collector — and the two engines that
+tie them together: :class:`~repro.runtime.engine.CaesarEngine` (context-
+aware) and :class:`~repro.runtime.baseline.ContextIndependentEngine` (the
+state-of-the-art comparator).
+
+Extensions: :class:`~repro.runtime.session.EngineSession` (incremental
+feeding), :class:`~repro.runtime.reorder.ReorderBuffer` (bounded
+out-of-order handling) and :mod:`~repro.runtime.reporting` (JSON export,
+ASCII context timelines).
+"""
+
+from repro.runtime.engine import CaesarEngine, EngineReport, ScheduledWorkloadEngine
+from repro.runtime.baseline import ContextIndependentEngine
+from repro.runtime.metrics import LatencyTracker, win_ratio
+from repro.runtime.router import ContextAwareStreamRouter
+from repro.runtime.scheduler import TimeDrivenScheduler
+from repro.runtime.queues import EventDistributor
+from repro.runtime.history import ContextHistory
+from repro.runtime.garbage import GarbageCollector
+from repro.runtime.reorder import ReorderBuffer
+from repro.runtime.session import EngineSession
+from repro.runtime.checkpoint import capture_checkpoint, restore_checkpoint
+from repro.runtime.reporting import (
+    outputs_to_rows,
+    render_timeline,
+    report_to_dict,
+)
+
+__all__ = [
+    "CaesarEngine",
+    "ContextAwareStreamRouter",
+    "ContextHistory",
+    "ContextIndependentEngine",
+    "EngineReport",
+    "EngineSession",
+    "EventDistributor",
+    "GarbageCollector",
+    "LatencyTracker",
+    "ReorderBuffer",
+    "ScheduledWorkloadEngine",
+    "TimeDrivenScheduler",
+    "capture_checkpoint",
+    "outputs_to_rows",
+    "render_timeline",
+    "report_to_dict",
+    "restore_checkpoint",
+    "win_ratio",
+]

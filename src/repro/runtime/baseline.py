@@ -1,0 +1,46 @@
+"""Context-independent baseline engine (Section 7.3's comparator).
+
+State-of-the-art CEP engines [34, 5, 32] evaluate every query continuously,
+regardless of the current application context: plans are never suspended and
+context scoping — if an application needs it — is enforced by an un-pushed
+window/filter in the middle of each plan (the "non-optimized query plan" of
+Figure 6(a) and Figure 11(b)).
+
+:class:`ContextIndependentEngine` is the :class:`CaesarEngine` configured
+that way: every batch is routed to every plan (``context_aware=False``), and
+context windows stay where Table 1's naive translation puts them
+(``optimize=False``), so patterns and filters busy-wait on the entire stream
+while only the final emission is gated.  The outputs are identical to the
+context-aware engine's — which the integration tests assert — only the cost
+differs.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import CaesarModel
+from repro.events.timebase import TimePoint
+from repro.runtime.engine import CaesarEngine
+from repro.runtime.queues import Partitioner, single_partition
+
+
+class ContextIndependentEngine(CaesarEngine):
+    """The paper's baseline: all queries, all the time."""
+
+    def __init__(
+        self,
+        model: CaesarModel,
+        *,
+        retention: TimePoint = 300,
+        partition_by: Partitioner = single_partition,
+        seconds_per_cost_unit: float | None = None,
+        gc_interval: TimePoint = 60,
+    ):
+        super().__init__(
+            model,
+            optimize=False,
+            context_aware=False,
+            retention=retention,
+            partition_by=partition_by,
+            seconds_per_cost_unit=seconds_per_cost_unit,
+            gc_interval=gc_interval,
+        )

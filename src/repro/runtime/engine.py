@@ -1,0 +1,493 @@
+"""The CAESAR engines (Section 6).
+
+:class:`CaesarEngine` executes a :class:`~repro.core.model.CaesarModel`
+end-to-end: per stream partition it keeps a context window store (the bit
+vector), routes each timestamp's batch first through the context *deriving*
+plans and then through the context *processing* plans of the currently
+active contexts, discards partial matches of terminated windows, and
+garbage-collects expired state.  With ``context_aware=False`` and
+``optimize=False`` the very same machinery behaves like a state-of-the-art
+context-independent engine — every plan receives every batch and the context
+window operator sits un-pushed in the middle of each plan.
+
+:class:`ScheduledWorkloadEngine` executes a
+:class:`~repro.optimizer.sharing.SharedWorkload`: plans activated and
+suspended by precomputed window intervals, used for the workload-sharing
+experiments (Figures 13-14) where window bounds are part of the experiment
+design.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.algebra.operators import ExecutionContext, Operator
+from repro.algebra.plan import CombinedQueryPlan, clone_operator
+from repro.core.model import CaesarModel
+from repro.core.windows import ContextWindow, ContextWindowStore
+from repro.errors import RuntimeEngineError
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.timebase import TimePoint
+from repro.optimizer.planner import build_plans_for_queries, build_combined_plans
+from repro.optimizer.pushdown import push_down_combined
+from repro.optimizer.sharing import ExecutionUnit, SharedWorkload
+from repro.runtime.garbage import GarbageCollector
+from repro.runtime.history import ContextHistory
+from repro.runtime.metrics import LatencyTracker
+from repro.runtime.queues import EventDistributor, Partitioner, single_partition
+from repro.runtime.router import ContextAwareStreamRouter
+from repro.runtime.scheduler import TimeDrivenScheduler
+from repro.runtime.transactions import StreamTransaction
+
+
+@dataclass
+class EngineReport:
+    """Outcome of one engine run over a stream."""
+
+    outputs: list[Event]
+    events_processed: int
+    batches: int
+    cost_units: float
+    wall_seconds: float
+    max_latency: float
+    mean_latency: float
+    outputs_by_type: dict[str, int] = field(default_factory=dict)
+    windows_by_partition: dict[object, list[ContextWindow]] = field(
+        default_factory=dict
+    )
+    suppressed_batches: int = 0
+    routed_batches: int = 0
+    gc_collected: int = 0
+    history_discards: int = 0
+    #: cost units per context across all partitions (deriving + processing),
+    #: the observable footprint of suspension: suspended contexts spend 0
+    cost_by_context: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Events per wall second."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.events_processed / self.wall_seconds
+
+    def summary(self) -> str:
+        output_count = sum(self.outputs_by_type.values())
+        return (
+            f"events={self.events_processed} batches={self.batches} "
+            f"outputs={output_count} cost={self.cost_units:.0f} "
+            f"max_latency={self.max_latency:.3f}s "
+            f"mean_latency={self.mean_latency:.4f}s "
+            f"wall={self.wall_seconds:.3f}s"
+        )
+
+
+@dataclass
+class _PartitionRuntime:
+    """Per-partition state: window store, routers, history, GC."""
+
+    store: ContextWindowStore
+    deriving_router: ContextAwareStreamRouter
+    processing_router: ContextAwareStreamRouter
+    history: ContextHistory
+    gc: GarbageCollector
+    preprocessors: list[Operator] = field(default_factory=list)
+    closed_seen: int = 0
+
+    def cost_units(self) -> float:
+        return (
+            self.deriving_router.cost_units
+            + self.processing_router.cost_units
+            + sum(op.stats.cost_units for op in self.preprocessors)
+        )
+
+
+class CaesarEngine:
+    """Context-aware execution of a CAESAR model.
+
+    Parameters
+    ----------
+    model:
+        The CAESAR model to execute.
+    optimize:
+        Apply the context window push-down to every plan (Section 5.2).
+    context_aware:
+        Route batches only to plans of active contexts (Section 6.2).  With
+        both flags False the engine is the context-independent baseline.
+    retention:
+        Pattern-state retention horizon in stream time units.
+    partition_by:
+        Maps each event to its partition key (e.g. road segment).  Each
+        partition gets its own context bit vector and plan instances.
+    seconds_per_cost_unit:
+        If set, batch service times for the latency model are computed as
+        ``cost_units × seconds_per_cost_unit`` (deterministic); otherwise
+        measured wall-clock time is used.
+    """
+
+    def __init__(
+        self,
+        model: CaesarModel,
+        *,
+        optimize: bool = True,
+        context_aware: bool = True,
+        retention: TimePoint = 300,
+        partition_by: Partitioner = single_partition,
+        seconds_per_cost_unit: float | None = None,
+        gc_interval: TimePoint = 60,
+        preprocessors: tuple[Operator, ...] = (),
+        on_context_transition=None,
+    ):
+        self.model = model
+        self.optimize = optimize
+        self.context_aware = context_aware
+        self.retention = retention
+        self.partition_by = partition_by
+        self.seconds_per_cost_unit = seconds_per_cost_unit
+        self.gc_interval = gc_interval
+        #: always-active stages applied to every batch before context
+        #: derivation — e.g. the windowed statistics computation every
+        #: Linear Road implementation performs (see repro.algebra.aggregate);
+        #: cloned per partition, their outputs join the batch
+        self.preprocessor_templates = tuple(preprocessors)
+        #: optional callback ``fn(partition, kind, window)`` fired
+        #: synchronously on every context initiation/termination
+        self.on_context_transition = on_context_transition
+
+        queries = model.to_query_set()
+        deriving = [q for q in queries if q.is_deriving]
+        processing = [q for q in queries if q.is_processing]
+        self._deriving_templates = self._templates(deriving)
+        self._processing_templates = self._templates(processing)
+        self._partitions: dict[object, _PartitionRuntime] = {}
+
+    # ------------------------------------------------------------------
+    # plan construction
+    # ------------------------------------------------------------------
+
+    def _templates(self, queries) -> dict[str, CombinedQueryPlan]:
+        plans = build_plans_for_queries(queries, retention=self.retention)
+        combined = build_combined_plans(plans)
+        if self.optimize:
+            combined = [push_down_combined(c) for c in combined]
+        templates: dict[str, CombinedQueryPlan] = {}
+        for plan in combined:
+            if plan.context_name is None:
+                raise RuntimeEngineError("combined plan without a context")
+            templates[plan.context_name] = plan
+        return templates
+
+    def _partition(self, key: object) -> _PartitionRuntime:
+        runtime = self._partitions.get(key)
+        if runtime is not None:
+            return runtime
+        store = ContextWindowStore(
+            self.model.context_names, self.model.default_context
+        )
+        if self.on_context_transition is not None:
+            callback = self.on_context_transition
+
+            def listener(kind, window, _key=key):
+                callback(_key, kind, window)
+
+            store.add_listener(listener)
+        deriving = {
+            name: plan.clone() for name, plan in self._deriving_templates.items()
+        }
+        processing = {
+            name: plan.clone()
+            for name, plan in self._processing_templates.items()
+        }
+        runtime = _PartitionRuntime(
+            store=store,
+            deriving_router=ContextAwareStreamRouter(
+                deriving, context_aware=self.context_aware
+            ),
+            processing_router=ContextAwareStreamRouter(
+                processing, context_aware=self.context_aware
+            ),
+            history=ContextHistory(),
+            gc=GarbageCollector(
+                list(deriving.values()) + list(processing.values()),
+                retention=self.retention,
+                interval=self.gc_interval,
+            ),
+            preprocessors=[
+                clone_operator(op) for op in self.preprocessor_templates
+            ],
+        )
+        self._partitions[key] = runtime
+        return runtime
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        stream: EventStream,
+        *,
+        track_outputs: bool = True,
+    ) -> EngineReport:
+        """Process a whole stream and report metrics.
+
+        The time-driven scheduler guarantees that for each timestamp the
+        context derivation phase completes before context processing starts
+        (Section 6.2), per partition.
+        """
+        distributor = EventDistributor(self.partition_by)
+        scheduler = TimeDrivenScheduler(distributor)
+        latency = LatencyTracker()
+        outputs: list[Event] = []
+        outputs_by_type: dict[str, int] = {}
+        events_processed = 0
+        batches = 0
+        wall_started = _time.perf_counter()
+
+        for batch in stream.batches():
+            distributor.distribute(batch)
+            t = batch.timestamp
+            cost_before = self._total_cost_units()
+            wall_before = _time.perf_counter()
+            batch_outputs: list[Event] = []
+
+            def execute(transaction: StreamTransaction) -> None:
+                derived = self._execute_transaction(transaction)
+                batch_outputs.extend(derived)
+
+            scheduler.run_time(t, execute)
+            if self.seconds_per_cost_unit is not None:
+                service = (
+                    self._total_cost_units() - cost_before
+                ) * self.seconds_per_cost_unit
+            else:
+                service = _time.perf_counter() - wall_before
+            latency.record(float(t), service)
+            events_processed += len(batch)
+            batches += 1
+            for event in batch_outputs:
+                outputs_by_type[event.type_name] = (
+                    outputs_by_type.get(event.type_name, 0) + 1
+                )
+            if track_outputs:
+                outputs.extend(batch_outputs)
+
+        wall_seconds = _time.perf_counter() - wall_started
+        return EngineReport(
+            outputs=outputs,
+            events_processed=events_processed,
+            batches=batches,
+            cost_units=self._total_cost_units(),
+            wall_seconds=wall_seconds,
+            max_latency=latency.max_latency,
+            mean_latency=latency.mean_latency,
+            outputs_by_type=outputs_by_type,
+            windows_by_partition={
+                key: runtime.store.all_windows()
+                for key, runtime in self._partitions.items()
+            },
+            suppressed_batches=sum(
+                p.deriving_router.batches_suppressed
+                + p.processing_router.batches_suppressed
+                for p in self._partitions.values()
+            ),
+            routed_batches=sum(
+                p.deriving_router.batches_routed
+                + p.processing_router.batches_routed
+                for p in self._partitions.values()
+            ),
+            gc_collected=sum(p.gc.collected for p in self._partitions.values()),
+            history_discards=sum(
+                p.history.discards for p in self._partitions.values()
+            ),
+            cost_by_context=self._cost_by_context(),
+        )
+
+    def _cost_by_context(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for runtime in self._partitions.values():
+            for router in (runtime.deriving_router, runtime.processing_router):
+                for name, cost in router.cost_by_context.items():
+                    totals[name] = totals.get(name, 0.0) + cost
+        return totals
+
+    def _execute_transaction(self, transaction: StreamTransaction) -> list[Event]:
+        runtime = self._partition(transaction.partition)
+        store = runtime.store
+        t = transaction.timestamp
+        ctx = ExecutionContext(windows=store, now=t)
+
+        # Phase 0 — always-active preprocessing stages (e.g. windowed
+        # statistics); their derivations join the batch.
+        events = transaction.events
+        for operator in runtime.preprocessors:
+            derived = operator.process(events, ctx)
+            derived.extend(operator.on_time_advance(t, ctx))
+            if derived:
+                events = events + derived
+        transaction.events = events
+
+        # Phase 1 — context derivation (Section 6.2: derivation for time t
+        # completes before any processing at t).
+        active_before = set(store.active_contexts())
+        runtime.deriving_router.route(transaction.events, store, ctx)
+        active_after = set(store.active_contexts())
+        for context_name in active_before | active_after:
+            if (context_name in active_before) != (context_name in active_after):
+                transaction.record_write(context_name)
+
+        # Partial matches of terminated windows are safely discarded
+        # (Section 6.2, "Context Processing").
+        new_closed = store.closed[runtime.closed_seen :]
+        runtime.closed_seen = len(store.closed)
+        for window in new_closed:
+            plan = runtime.processing_router.plan_for(window.context_name)
+            if plan is not None:
+                runtime.history.on_context_terminated(plan)
+        # A (re)initiated window starts with a clean slate: queries consume
+        # only events that arrive *during* their context window (Section
+        # 3.4), so pre-window pattern state must not leak in.  For the
+        # context-aware engine this is a no-op (suspended plans saw
+        # nothing); it keeps the context-independent configuration — whose
+        # patterns busy-wait on the whole stream — output-equivalent.
+        for context_name in active_after - active_before:
+            plan = runtime.processing_router.plan_for(context_name)
+            if plan is not None and not self.context_aware:
+                plan.reset_state()
+
+        # Phase 2 — context processing within the active contexts.
+        for context_name in store.active_contexts():
+            transaction.record_read(context_name)
+        derived = runtime.processing_router.route(transaction.events, store, ctx)
+        derived.extend(runtime.processing_router.advance_time(t, store, ctx))
+
+        runtime.gc.maybe_collect(t)
+        return derived
+
+    def _total_cost_units(self) -> float:
+        return sum(p.cost_units() for p in self._partitions.values())
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def partition_keys(self) -> tuple[object, ...]:
+        return tuple(self._partitions)
+
+    def partition_store(self, key: object) -> ContextWindowStore:
+        return self._partition(key).store
+
+    def describe_plans(self) -> str:
+        lines = ["Deriving plans:"]
+        for name, plan in self._deriving_templates.items():
+            for individual in plan.plans:
+                lines.append(f"  [{name}] {individual!r}")
+        lines.append("Processing plans:")
+        for name, plan in self._processing_templates.items():
+            for individual in plan.plans:
+                lines.append(f"  [{name}] {individual!r}")
+        return "\n".join(lines)
+
+
+class ScheduledWorkloadEngine:
+    """Executes a :class:`SharedWorkload` whose activations are time-driven.
+
+    Used by the sharing experiments: window bounds are part of the
+    experiment design, so plans are activated/suspended by the precomputed
+    intervals instead of by context deriving queries.  Suspension semantics
+    match the context-aware engine: a unit outside its activation intervals
+    receives no events, and its partial matches are discarded when an
+    activation interval ends (merged intervals persist state across adjacent
+    grouped windows — the context history behaviour of Section 6.2).
+    """
+
+    def __init__(
+        self,
+        workload: SharedWorkload,
+        *,
+        context_aware: bool = True,
+        seconds_per_cost_unit: float | None = None,
+    ):
+        self.workload = workload
+        self.context_aware = context_aware
+        self.seconds_per_cost_unit = seconds_per_cost_unit
+        self._store = ContextWindowStore([], "default")
+        #: activation interval each unit was last seen in (None = inactive);
+        #: crossing an interval boundary discards the unit's partial matches
+        self._last_interval: dict[int, int | None] = {
+            id(unit): None for unit in workload.units
+        }
+
+    def run(self, stream: EventStream, *, track_outputs: bool = True) -> EngineReport:
+        latency = LatencyTracker()
+        outputs: list[Event] = []
+        outputs_by_type: dict[str, int] = {}
+        events_processed = 0
+        batches = 0
+        cost_total = 0.0
+        suppressed = 0
+        routed = 0
+        wall_started = _time.perf_counter()
+        for batch in stream.batches():
+            t = batch.timestamp
+            ctx = ExecutionContext(windows=self._store, now=t)
+            cost_before = cost_total
+            wall_before = _time.perf_counter()
+            batch_outputs: list[Event] = []
+            events = list(batch)
+            for unit in self.workload.units:
+                interval = unit.interval_index_at(t)
+                if interval is None and not self.context_aware:
+                    interval = -1  # the CI baseline is always active
+                previous = self._last_interval[id(unit)]
+                if interval is None:
+                    if previous is not None:
+                        # the activation interval ended: partial matches of
+                        # the suspended queries are safely discarded
+                        unit.plan.reset_state()
+                    self._last_interval[id(unit)] = None
+                    suppressed += 1
+                    continue
+                if previous is not None and previous != interval:
+                    # re-activated in a *different* interval: the originating
+                    # user window ended in between, so stale state must not
+                    # leak across (Section 6.2, context history)
+                    unit.plan.reset_state()
+                if previous is None and interval >= 0:
+                    # activation after a silent gap (no batches arrived while
+                    # the unit was suspended): clear pre-window state
+                    unit.plan.reset_state()
+                self._last_interval[id(unit)] = interval
+                routed += 1
+                before = unit.plan.total_cost_units()
+                batch_outputs.extend(unit.plan.execute(events, ctx))
+                batch_outputs.extend(unit.plan.advance_time(t, ctx))
+                cost_total += unit.plan.total_cost_units() - before
+            if self.seconds_per_cost_unit is not None:
+                service = (cost_total - cost_before) * self.seconds_per_cost_unit
+            else:
+                service = _time.perf_counter() - wall_before
+            latency.record(float(t), service)
+            events_processed += len(events)
+            batches += 1
+            for event in batch_outputs:
+                outputs_by_type[event.type_name] = (
+                    outputs_by_type.get(event.type_name, 0) + 1
+                )
+            if track_outputs:
+                outputs.extend(batch_outputs)
+        wall_seconds = _time.perf_counter() - wall_started
+        return EngineReport(
+            outputs=outputs,
+            events_processed=events_processed,
+            batches=batches,
+            cost_units=cost_total,
+            wall_seconds=wall_seconds,
+            max_latency=latency.max_latency,
+            mean_latency=latency.mean_latency,
+            outputs_by_type=outputs_by_type,
+            suppressed_batches=suppressed,
+            routed_batches=routed,
+        )

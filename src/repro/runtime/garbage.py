@@ -1,0 +1,53 @@
+"""Garbage collector (Section 6.1, storage layer).
+
+"The garbage collector ensures that only the values which are relevant to
+the current contexts are kept."  Concretely it expires pattern partial
+matches and negation histories older than the retention horizon, across all
+plans, every ``interval`` time units.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algebra.plan import CombinedQueryPlan
+from repro.events.timebase import TimePoint
+
+
+class GarbageCollector:
+    """Periodic state expiry over a set of combined plans."""
+
+    def __init__(
+        self,
+        plans: Iterable[CombinedQueryPlan],
+        *,
+        retention: TimePoint = 300,
+        interval: TimePoint = 60,
+    ):
+        if interval <= 0:
+            raise ValueError(f"gc interval must be positive, got {interval}")
+        self._plans = list(plans)
+        self.retention = retention
+        self.interval = interval
+        self._last_run: TimePoint = 0
+        self.collected = 0
+        self.runs = 0
+
+    def maybe_collect(self, now: TimePoint) -> int:
+        """Run a collection if ``interval`` has elapsed; returns items freed."""
+        if now - self._last_run < self.interval:
+            return 0
+        return self.collect(now)
+
+    def collect(self, now: TimePoint) -> int:
+        """Expire all state older than ``now - retention``."""
+        horizon = now - self.retention
+        freed = 0
+        for combined in self._plans:
+            for plan in combined.plans:
+                for operator in plan.operators:
+                    freed += operator.expire_state_before(horizon)
+        self._last_run = now
+        self.collected += freed
+        self.runs += 1
+        return freed

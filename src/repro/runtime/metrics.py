@@ -1,0 +1,97 @@
+"""Latency, throughput and win-ratio metrics (Section 7.1, "Metrics").
+
+The paper's *maximal latency* is the longest interval from an event's
+arrival to the derivation of the complex event based on it, measured on a
+machine whose processing speed sets the scale.  We reproduce the metric with
+a deterministic single-server queueing model: events arrive at their
+application timestamps, each batch takes a *service time* (either measured
+wall-clock time or cost units × a configurable seconds-per-cost-unit), and
+latency is completion time minus arrival time.  When the engine cannot keep
+up with the arrival rate the queue grows and the maximal latency climbs —
+exactly the behaviour the Linear Road 5-second constraint probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.events.timebase import TimePoint
+
+
+class LatencyTracker:
+    """Single-server FIFO queue latency model.
+
+    ``record(arrival, service)`` returns the latency of the batch:
+    the server starts the batch at ``max(arrival, previous finish)`` and
+    finishes after ``service`` seconds.
+    """
+
+    def __init__(self) -> None:
+        self._previous_finish = 0.0
+        self.max_latency = 0.0
+        self._sum = 0.0
+        self._count = 0
+        self.total_service = 0.0
+
+    def record(self, arrival: float, service: float) -> float:
+        if service < 0:
+            raise ValueError(f"service time must be non-negative, got {service}")
+        start = max(arrival, self._previous_finish)
+        finish = start + service
+        self._previous_finish = finish
+        latency = finish - arrival
+        self.max_latency = max(self.max_latency, latency)
+        self._sum += latency
+        self._count += 1
+        self.total_service += service
+        return latency
+
+    @property
+    def mean_latency(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def batches(self) -> int:
+        return self._count
+
+    def reset(self) -> None:
+        self._previous_finish = 0.0
+        self.max_latency = 0.0
+        self._sum = 0.0
+        self._count = 0
+        self.total_service = 0.0
+
+
+def win_ratio(baseline_latency: float, caesar_latency: float) -> float:
+    """Win ratio of context-aware over context-independent analytics:
+    baseline maximal latency divided by CAESAR maximal latency
+    (Section 7.1).  Degenerate zero latencies yield a ratio of 1."""
+    if caesar_latency <= 0:
+        return 1.0 if baseline_latency <= 0 else float("inf")
+    return baseline_latency / caesar_latency
+
+
+@dataclass
+class ThroughputSample:
+    """Events processed and the wall/modelled seconds they took."""
+
+    events: int
+    seconds: float
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else float("inf")
+
+
+@dataclass
+class SegmentStats:
+    """Per-partition event accounting (used for Figure 10 style reports)."""
+
+    key: object
+    events_in: int = 0
+    outputs_by_type: dict[str, int] = field(default_factory=dict)
+
+    def record_output(self, type_name: str, count: int = 1) -> None:
+        self.outputs_by_type[type_name] = (
+            self.outputs_by_type.get(type_name, 0) + count
+        )

@@ -1,0 +1,103 @@
+"""Bounded out-of-order handling (library extension).
+
+The paper assumes events arrive in timestamp order (Section 6.2: "events
+arrive in-order by time stamps"); real sources jitter.  The standard remedy
+is a bounded reorder buffer: hold arriving events for up to ``max_delay``
+stream-time units, release them sorted once the watermark (largest seen
+timestamp minus ``max_delay``) passes them, and count — or raise on —
+events arriving later than the bound.
+
+Place it in front of the engine::
+
+    buffer = ReorderBuffer(max_delay=60)
+    ordered = buffer.feed(jittered_events)   # plus buffer.flush() at the end
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from repro.errors import StreamOrderError
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.timebase import TimePoint
+
+
+class ReorderBuffer:
+    """Sorts a jittered event feed within a bounded delay.
+
+    Parameters
+    ----------
+    max_delay:
+        How far (in stream time) an event may lag the newest seen event and
+        still be placed correctly.
+    on_late:
+        ``"drop"`` silently discards events older than the watermark
+        (counted in :attr:`late_events`); ``"raise"`` raises
+        :class:`~repro.errors.StreamOrderError`.
+    """
+
+    def __init__(self, max_delay: TimePoint, *, on_late: str = "drop"):
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be non-negative, got {max_delay}")
+        if on_late not in ("drop", "raise"):
+            raise ValueError(f"on_late must be 'drop' or 'raise', got {on_late!r}")
+        self.max_delay = max_delay
+        self.on_late = on_late
+        self._heap: list[tuple[TimePoint, int, Event]] = []
+        self._max_seen: TimePoint = -1
+        self._last_released: TimePoint = -1
+        self.late_events = 0
+        self.reordered_events = 0
+
+    @property
+    def watermark(self) -> TimePoint:
+        """Events at or below this timestamp are safe to release."""
+        return self._max_seen - self.max_delay
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: Event) -> list[Event]:
+        """Insert one event; returns the events released by its arrival."""
+        if event.timestamp < self._last_released:
+            self.late_events += 1
+            if self.on_late == "raise":
+                raise StreamOrderError(
+                    f"event at t={event.timestamp} arrived after the reorder "
+                    f"bound (already released up to t={self._last_released})"
+                )
+            return []
+        if self._heap and event.timestamp < self._max_seen:
+            self.reordered_events += 1
+        heapq.heappush(
+            self._heap, (event.timestamp, event.event_id, event)
+        )
+        self._max_seen = max(self._max_seen, event.timestamp)
+        return self._release(self.watermark)
+
+    def _release(self, up_to: TimePoint) -> list[Event]:
+        released: list[Event] = []
+        while self._heap and self._heap[0][0] <= up_to:
+            _, _, event = heapq.heappop(self._heap)
+            released.append(event)
+            self._last_released = event.timestamp
+        return released
+
+    def feed(self, events: Iterable[Event]) -> Iterator[Event]:
+        """Push many events, yielding releases as the watermark advances."""
+        for event in events:
+            yield from self.push(event)
+
+    def flush(self) -> list[Event]:
+        """Release everything still buffered (end of stream)."""
+        return self._release(self._max_seen)
+
+    def sort_stream(self, events: Iterable[Event]) -> EventStream:
+        """Convenience: a fully ordered :class:`EventStream` from a
+        jittered feed (feed + flush)."""
+        ordered = list(self.feed(events))
+        ordered.extend(self.flush())
+        return EventStream(ordered, name="reordered")

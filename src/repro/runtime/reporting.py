@@ -1,0 +1,125 @@
+"""Report exports and context-timeline rendering.
+
+Engine runs produce :class:`~repro.runtime.engine.EngineReport` objects;
+this module turns them into machine-readable dictionaries (for JSON
+serialization or dataframes) and human-readable context timelines::
+
+    print(render_timeline(report))
+    json.dump(report_to_dict(report), fh)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.windows import ContextWindow
+from repro.runtime.engine import EngineReport
+
+
+def report_to_dict(report: EngineReport, *, include_outputs: bool = False) -> dict:
+    """A JSON-serializable summary of an engine run.
+
+    ``include_outputs`` adds every derived event (type, time, payload) —
+    potentially large; off by default.
+    """
+    result: dict[str, Any] = {
+        "events_processed": report.events_processed,
+        "batches": report.batches,
+        "cost_units": report.cost_units,
+        "wall_seconds": report.wall_seconds,
+        "max_latency": report.max_latency,
+        "mean_latency": report.mean_latency,
+        "throughput": report.throughput,
+        "outputs_by_type": dict(report.outputs_by_type),
+        "suppressed_batches": report.suppressed_batches,
+        "routed_batches": report.routed_batches,
+        "gc_collected": report.gc_collected,
+        "history_discards": report.history_discards,
+        "cost_by_context": dict(report.cost_by_context),
+        "windows": {
+            _partition_key(key): [_window_to_dict(w) for w in windows]
+            for key, windows in report.windows_by_partition.items()
+        },
+    }
+    if include_outputs:
+        result["outputs"] = [
+            {
+                "type": event.type_name,
+                "start": event.start_time,
+                "end": event.timestamp,
+                "payload": event.payload,
+            }
+            for event in report.outputs
+        ]
+    return result
+
+
+def _partition_key(key: object) -> str:
+    if key is None:
+        return "<default>"
+    return str(key)
+
+
+def _window_to_dict(window: ContextWindow) -> dict:
+    return {
+        "context": window.context_name,
+        "start": window.start,
+        "end": window.end,
+        "open": window.is_open,
+    }
+
+
+def render_timeline(
+    report: EngineReport,
+    *,
+    partition: object = ...,
+    width: int = 60,
+) -> str:
+    """An ASCII context timeline per partition.
+
+    Each context gets one lane; ``#`` marks the spans its windows held::
+
+        partition (0, 0, 0)  [0 .. 720]
+          clear       ######------------------########----------
+          accident    ------########----------------------------
+          congestion  --------------##########------------------
+    """
+    partitions = report.windows_by_partition
+    if partition is not ...:
+        partitions = {partition: partitions[partition]}
+    lines: list[str] = []
+    for key, windows in partitions.items():
+        if not windows:
+            continue
+        start = min(w.start for w in windows)
+        end = max(
+            (w.end for w in windows if w.end is not None),
+            default=start,
+        )
+        end = max(end, max(w.start for w in windows))
+        span = max(end - start, 1)
+        lines.append(f"partition {_partition_key(key)}  [{start} .. {end}]")
+        contexts = sorted({w.context_name for w in windows})
+        label_width = max(len(c) for c in contexts)
+        for context in contexts:
+            lane = ["-"] * width
+            for window in windows:
+                if window.context_name != context:
+                    continue
+                w_end = window.end if window.end is not None else end
+                lo = int((window.start - start) / span * (width - 1))
+                hi = int((w_end - start) / span * (width - 1))
+                for position in range(lo, max(hi, lo) + 1):
+                    lane[position] = "#"
+            lines.append(f"  {context:<{label_width}}  {''.join(lane)}")
+    return "\n".join(lines)
+
+
+def outputs_to_rows(report: EngineReport) -> list[dict]:
+    """Flatten derived events into rows (e.g. for csv.DictWriter)."""
+    rows = []
+    for event in report.outputs:
+        row = {"type": event.type_name, "time": event.timestamp}
+        row.update(event.payload)
+        rows.append(row)
+    return rows

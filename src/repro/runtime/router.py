@@ -1,0 +1,89 @@
+"""Context-aware stream router (Section 6.2).
+
+Based on the context window vector, the router knows which query workloads
+are currently active and directs each stream batch only to the combined
+plans of active contexts.  Plans of inactive contexts receive *no input* —
+they are suspended rather than busy-waiting.  Routing is lightweight: one
+bit-vector scan per batch, and it operates on batches (multiple events),
+not single events.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.plan import CombinedQueryPlan
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+
+
+class ContextAwareStreamRouter:
+    """Routes stream batches to the plans of currently active contexts."""
+
+    def __init__(
+        self,
+        plans_by_context: dict[str, CombinedQueryPlan],
+        *,
+        context_aware: bool = True,
+    ):
+        self._plans_by_context = dict(plans_by_context)
+        self.context_aware = context_aware
+        self.batches_routed = 0
+        self.batches_suppressed = 0
+        #: cumulative cost units spent by plans this router executed
+        self.cost_units = 0.0
+        #: the same, broken down per context
+        self.cost_by_context: dict[str, float] = {
+            name: 0.0 for name in self._plans_by_context
+        }
+
+    @property
+    def contexts(self) -> tuple[str, ...]:
+        return tuple(self._plans_by_context)
+
+    def plan_for(self, context_name: str) -> CombinedQueryPlan | None:
+        return self._plans_by_context.get(context_name)
+
+    def all_plans(self) -> list[CombinedQueryPlan]:
+        return list(self._plans_by_context.values())
+
+    def route(
+        self,
+        events: list[Event],
+        store: ContextWindowStore,
+        ctx: ExecutionContext,
+    ) -> list[Event]:
+        """Dispatch one batch; returns all derived output events.
+
+        In context-aware mode only the plans of active contexts run; in the
+        context-independent mode (the baseline) every plan receives every
+        batch and relies on its embedded ``CW`` operator for semantics.
+        """
+        outputs: list[Event] = []
+        for context_name, plan in self._plans_by_context.items():
+            if self.context_aware and not store.is_active(context_name):
+                self.batches_suppressed += 1
+                continue
+            self.batches_routed += 1
+            before = plan.total_cost_units()
+            outputs.extend(plan.execute(events, ctx))
+            delta = plan.total_cost_units() - before
+            self.cost_units += delta
+            self.cost_by_context[context_name] += delta
+        return outputs
+
+    def advance_time(
+        self, now, store: ContextWindowStore, ctx: ExecutionContext
+    ) -> list[Event]:
+        """Propagate a time tick to active plans (trailing negations)."""
+        outputs: list[Event] = []
+        for context_name, plan in self._plans_by_context.items():
+            if self.context_aware and not store.is_active(context_name):
+                continue
+            before = plan.total_cost_units()
+            outputs.extend(plan.advance_time(now, ctx))
+            delta = plan.total_cost_units() - before
+            self.cost_units += delta
+            self.cost_by_context[context_name] += delta
+        return outputs

@@ -1,0 +1,67 @@
+"""Time-driven stream-transaction scheduler (Section 6.2).
+
+For each timestamp ``t`` the scheduler waits until the event distributor's
+progress passed ``t`` and all transactions with smaller timestamps finished,
+then extracts all events with timestamp ``t`` from the queues, wraps each
+partition's events into one stream transaction and submits them for
+execution.  Context derivation for ``t`` always runs before context
+processing at ``t`` — the executor callback receives the transaction and
+performs the two phases in order.
+
+The scheduler is serial (our substrate is single-process), but it still
+*verifies* the correctness condition — conflicting operations sorted by
+timestamps — through the :class:`~repro.runtime.transactions.TransactionLog`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import RuntimeEngineError
+from repro.events.timebase import TimePoint
+from repro.runtime.queues import EventDistributor, PartitionKey
+from repro.runtime.transactions import StreamTransaction, TransactionLog
+
+Executor = Callable[[StreamTransaction], None]
+
+
+class TimeDrivenScheduler:
+    """Forms and submits stream transactions in timestamp order."""
+
+    def __init__(
+        self,
+        distributor: EventDistributor,
+        *,
+        log: TransactionLog | None = None,
+    ):
+        self._distributor = distributor
+        self.log = log if log is not None else TransactionLog()
+        self._last_scheduled: TimePoint = -1
+        self.transactions_executed = 0
+
+    def run_time(self, t: TimePoint, executor: Executor) -> list[StreamTransaction]:
+        """Extract, execute and commit all transactions for timestamp ``t``."""
+        if t <= self._last_scheduled:
+            raise RuntimeEngineError(
+                f"scheduler asked to run t={t} after t={self._last_scheduled}"
+            )
+        if self._distributor.progress < t:
+            raise RuntimeEngineError(
+                f"event distributor progress {self._distributor.progress} has "
+                f"not reached t={t}; distribute the events first"
+            )
+        transactions: list[StreamTransaction] = []
+        for key in self._distributor.partitions:
+            events = self._distributor.take_until(key, t)
+            if not events:
+                continue
+            transaction = StreamTransaction(
+                partition=key, timestamp=t, events=events
+            )
+            executor(transaction)
+            transaction.commit()
+            self.log.register(transaction)
+            transactions.append(transaction)
+            self.transactions_executed += 1
+        self._last_scheduled = t
+        return transactions

@@ -1,0 +1,132 @@
+"""Incremental execution sessions (library extension).
+
+:meth:`CaesarEngine.run` consumes a complete stream; long-running services
+feed events as they arrive.  :class:`EngineSession` wraps an engine with an
+incremental interface::
+
+    session = EngineSession(engine)
+    alarms = session.feed(batch_of_events)   # events in timestamp order
+    ...
+    report = session.close()                 # final metrics
+
+Feeding preserves all engine semantics — per-partition context derivation
+before processing, suspension, history discard, garbage collection — and
+enforces the in-order arrival contract across calls.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Iterable, TYPE_CHECKING
+
+from repro.errors import RuntimeEngineError, StreamOrderError
+from repro.events.event import Event
+from repro.events.timebase import TimePoint
+from repro.runtime.metrics import LatencyTracker
+from repro.runtime.queues import EventDistributor
+from repro.runtime.scheduler import TimeDrivenScheduler
+from repro.runtime.transactions import StreamTransaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.engine import CaesarEngine, EngineReport
+
+
+class EngineSession:
+    """A stateful, incremental run of a :class:`CaesarEngine`."""
+
+    def __init__(self, engine: "CaesarEngine"):
+        self.engine = engine
+        self._distributor = EventDistributor(engine.partition_by)
+        self._scheduler = TimeDrivenScheduler(self._distributor)
+        self._latency = LatencyTracker()
+        self._last_time: TimePoint | None = None
+        self._events_processed = 0
+        self._batches = 0
+        self._outputs_by_type: dict[str, int] = {}
+        self._wall_started = _time.perf_counter()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    def feed(self, events: Iterable[Event]) -> list[Event]:
+        """Process the next events (timestamp-ordered); returns derivations.
+
+        Events within one call may span several timestamps; each distinct
+        timestamp forms its own stream transactions.
+        """
+        if self._closed:
+            raise RuntimeEngineError("session is closed")
+        outputs: list[Event] = []
+        pending: list[Event] = []
+        for event in events:
+            if self._last_time is not None and event.timestamp < self._last_time:
+                raise StreamOrderError(
+                    f"event at t={event.timestamp} arrived after "
+                    f"t={self._last_time}"
+                )
+            if pending and event.timestamp != pending[-1].timestamp:
+                outputs.extend(self._run_batch(pending))
+                pending = []
+            pending.append(event)
+            self._last_time = event.timestamp
+        if pending:
+            outputs.extend(self._run_batch(pending))
+        return outputs
+
+    def _run_batch(self, batch: list[Event]) -> list[Event]:
+        engine = self.engine
+        self._distributor.distribute(batch)
+        t = batch[0].timestamp
+        cost_before = engine._total_cost_units()
+        wall_before = _time.perf_counter()
+        outputs: list[Event] = []
+
+        def execute(transaction: StreamTransaction) -> None:
+            outputs.extend(engine._execute_transaction(transaction))
+
+        self._scheduler.run_time(t, execute)
+        if engine.seconds_per_cost_unit is not None:
+            service = (
+                engine._total_cost_units() - cost_before
+            ) * engine.seconds_per_cost_unit
+        else:
+            service = _time.perf_counter() - wall_before
+        self._latency.record(float(t), service)
+        self._events_processed += len(batch)
+        self._batches += 1
+        for event in outputs:
+            self._outputs_by_type[event.type_name] = (
+                self._outputs_by_type.get(event.type_name, 0) + 1
+            )
+        return outputs
+
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> TimePoint | None:
+        """Timestamp of the most recently fed event."""
+        return self._last_time
+
+    def active_contexts(self, partition=None) -> tuple[str, ...]:
+        """Currently active contexts of a partition (for dashboards)."""
+        return self.engine._partition(partition).store.active_contexts()
+
+    def close(self) -> "EngineReport":
+        """Finish the session and return the accumulated report."""
+        from repro.runtime.engine import EngineReport
+
+        self._closed = True
+        return EngineReport(
+            outputs=[],
+            events_processed=self._events_processed,
+            batches=self._batches,
+            cost_units=self.engine._total_cost_units(),
+            wall_seconds=_time.perf_counter() - self._wall_started,
+            max_latency=self._latency.max_latency,
+            mean_latency=self._latency.mean_latency,
+            outputs_by_type=dict(self._outputs_by_type),
+            windows_by_partition={
+                key: runtime.store.all_windows()
+                for key, runtime in self.engine._partitions.items()
+            },
+        )

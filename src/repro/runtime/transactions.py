@@ -1,0 +1,100 @@
+"""Stream transactions (Section 6.2, "Correct Context Management").
+
+A *stream transaction* is the sequence of operations triggered by all input
+events sharing one timestamp (one transaction per partition).  A schedule of
+read/write operations on the shared context data is correct if conflicting
+operations — two operations on the same value, at least one a write — are
+processed sorted by timestamps.  :class:`TransactionLog` records the
+operations and verifies that ordering, raising
+:class:`~repro.errors.TransactionOrderError` on violation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import TransactionOrderError
+from repro.events.event import Event
+from repro.events.timebase import TimePoint
+
+
+class OperationKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class ContextOperation:
+    """One read or write of the shared context data (the bit vector)."""
+
+    kind: OperationKind
+    context_name: str
+    timestamp: TimePoint
+
+
+@dataclass
+class StreamTransaction:
+    """All operations triggered by one partition's events at one timestamp."""
+
+    partition: object
+    timestamp: TimePoint
+    events: list[Event] = field(default_factory=list)
+    operations: list[ContextOperation] = field(default_factory=list)
+    committed: bool = False
+
+    def record_read(self, context_name: str) -> None:
+        self.operations.append(
+            ContextOperation(OperationKind.READ, context_name, self.timestamp)
+        )
+
+    def record_write(self, context_name: str) -> None:
+        self.operations.append(
+            ContextOperation(OperationKind.WRITE, context_name, self.timestamp)
+        )
+
+    def commit(self) -> None:
+        self.committed = True
+
+
+class TransactionLog:
+    """Verifies that conflicting operations execute in timestamp order.
+
+    Per partition and context name, a write at time ``t`` must not be
+    followed by any operation with a timestamp ``< t`` (and symmetrically a
+    read must not precede an earlier write that has not yet executed —
+    which, for a serial executor, reduces to timestamps never decreasing
+    per conflict pair).
+    """
+
+    def __init__(self) -> None:
+        self._last_write: dict[tuple[object, str], TimePoint] = {}
+        self._last_any: dict[tuple[object, str], TimePoint] = {}
+        self.transactions = 0
+
+    def register(self, transaction: StreamTransaction) -> None:
+        for operation in transaction.operations:
+            key = (transaction.partition, operation.context_name)
+            if operation.kind is OperationKind.WRITE:
+                last = self._last_any.get(key)
+                if last is not None and operation.timestamp < last:
+                    raise TransactionOrderError(
+                        f"write of context {operation.context_name!r} at "
+                        f"t={operation.timestamp} after operation at t={last} "
+                        f"(partition {transaction.partition!r})"
+                    )
+                self._last_write[key] = operation.timestamp
+                self._last_any[key] = operation.timestamp
+            else:
+                last_write = self._last_write.get(key)
+                if last_write is not None and operation.timestamp < last_write:
+                    raise TransactionOrderError(
+                        f"read of context {operation.context_name!r} at "
+                        f"t={operation.timestamp} after write at t={last_write} "
+                        f"(partition {transaction.partition!r})"
+                    )
+                self._last_any[key] = max(
+                    self._last_any.get(key, operation.timestamp),
+                    operation.timestamp,
+                )
+        self.transactions += 1

@@ -1,0 +1,138 @@
+"""Testing toolkit for CAESAR applications.
+
+Applications built on this library need to test their *models*: given this
+stream, did the right contexts open at the right times, and were the right
+events derived?  :func:`trace_model` runs a model over events and returns a
+:class:`ModelTrace` with assertion-friendly accessors::
+
+    trace = trace_model(model, events, partition_by=my_partitioner)
+    trace.assert_context_active("congestion", at=450, partition=(0, 0, 3))
+    trace.assert_derived("TollNotification", count=12)
+    assert trace.transitions(partition=(0, 0, 3))[:2] == [
+        ("clear", "congestion"), ("congestion", "clear")]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.model import CaesarModel
+from repro.core.windows import ContextWindow
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.timebase import TimePoint
+from repro.runtime.engine import CaesarEngine, EngineReport
+from repro.runtime.queues import Partitioner, single_partition
+
+
+@dataclass
+class ModelTrace:
+    """The observable behaviour of one model run."""
+
+    report: EngineReport
+    default_context: str
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def windows(self, partition: object = None) -> list[ContextWindow]:
+        return self.report.windows_by_partition.get(partition, [])
+
+    def contexts_at(
+        self, at: TimePoint, *, partition: object = None
+    ) -> tuple[str, ...]:
+        """Context names whose windows held at time ``at`` (``[start, end)``
+        occupancy, so a context is not counted at its own termination
+        instant)."""
+        names = []
+        for window in self.windows(partition):
+            if window.start <= at and (window.end is None or at < window.end):
+                names.append(window.context_name)
+        return tuple(sorted(set(names)))
+
+    def transitions(self, *, partition: object = None) -> list[tuple[str, str]]:
+        """Context hand-offs in order: ``(from, to)`` for each window whose
+        opening closed (or followed) another."""
+        windows = sorted(self.windows(partition), key=lambda w: w.start)
+        hops = []
+        for previous, current in zip(windows, windows[1:]):
+            hops.append((previous.context_name, current.context_name))
+        return hops
+
+    def derived(self, type_name: str) -> list[Event]:
+        return [e for e in self.report.outputs if e.type_name == type_name]
+
+    # ------------------------------------------------------------------
+    # assertions
+    # ------------------------------------------------------------------
+
+    def assert_context_active(
+        self, context: str, *, at: TimePoint, partition: object = None
+    ) -> None:
+        active = self.contexts_at(at, partition=partition)
+        if context not in active:
+            raise AssertionError(
+                f"context {context!r} not active at t={at} "
+                f"(partition {partition!r}; active: {active})"
+            )
+
+    def assert_context_inactive(
+        self, context: str, *, at: TimePoint, partition: object = None
+    ) -> None:
+        active = self.contexts_at(at, partition=partition)
+        if context in active:
+            raise AssertionError(
+                f"context {context!r} unexpectedly active at t={at} "
+                f"(partition {partition!r})"
+            )
+
+    def assert_derived(
+        self,
+        type_name: str,
+        *,
+        count: int | None = None,
+        at_least: int | None = None,
+    ) -> None:
+        actual = len(self.derived(type_name))
+        if count is not None and actual != count:
+            raise AssertionError(
+                f"expected exactly {count} {type_name!r} events, got {actual}"
+            )
+        if at_least is not None and actual < at_least:
+            raise AssertionError(
+                f"expected at least {at_least} {type_name!r} events, "
+                f"got {actual}"
+            )
+        if count is None and at_least is None and actual == 0:
+            raise AssertionError(f"no {type_name!r} events were derived")
+
+    def assert_nothing_derived(self, type_name: str) -> None:
+        actual = len(self.derived(type_name))
+        if actual:
+            raise AssertionError(
+                f"expected no {type_name!r} events, got {actual}"
+            )
+
+
+def trace_model(
+    model: CaesarModel,
+    events: Iterable[Event] | EventStream,
+    *,
+    partition_by: Partitioner = single_partition,
+    retention: TimePoint = 300,
+    optimize: bool = True,
+) -> ModelTrace:
+    """Run ``model`` over ``events`` and return its :class:`ModelTrace`."""
+    stream = (
+        events if isinstance(events, EventStream) else EventStream(events)
+    )
+    engine = CaesarEngine(
+        model,
+        optimize=optimize,
+        partition_by=partition_by,
+        retention=retention,
+    )
+    report = engine.run(stream)
+    return ModelTrace(report=report, default_context=model.default_context)

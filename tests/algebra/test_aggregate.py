@@ -1,0 +1,230 @@
+"""Tests for the windowed aggregation operator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.aggregate import AggregateFunction, AggregateOperator
+from repro.algebra.expressions import attr
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.plan import clone_operator
+from repro.core.windows import ContextWindowStore
+from repro.errors import PlanError
+from repro.events.event import Event
+from repro.events.types import EventType
+
+REPORT = EventType.define("Report", vid="int", speed="int", seg="int")
+STATS = EventType.define("Stats", seg="int", cars="int", avg_speed="float")
+
+
+def ctx():
+    return ExecutionContext(windows=ContextWindowStore([], "d"), now=0)
+
+
+def report(t, vid=1, speed=50, seg=0):
+    return Event(REPORT, t, {"vid": vid, "speed": speed, "seg": seg})
+
+
+def make_op(**overrides):
+    defaults = dict(
+        window=60,
+        group_by=("seg",),
+        functions=(
+            AggregateFunction("cars", "count_distinct", "vid"),
+            AggregateFunction("avg_speed", "avg", "speed"),
+        ),
+    )
+    defaults.update(overrides)
+    return AggregateOperator("Report", STATS, **defaults)
+
+
+class TestValidation:
+    def test_needs_positive_window(self):
+        with pytest.raises(PlanError, match="positive"):
+            make_op(window=0)
+
+    def test_needs_functions(self):
+        with pytest.raises(PlanError, match="at least one function"):
+            make_op(functions=())
+
+    def test_unknown_function(self):
+        with pytest.raises(PlanError, match="unknown aggregate"):
+            AggregateFunction("x", "median", "speed")
+
+    def test_non_count_needs_attribute(self):
+        with pytest.raises(PlanError, match="needs an attribute"):
+            AggregateFunction("x", "sum")
+
+    def test_duplicate_output_names(self):
+        with pytest.raises(PlanError, match="duplicate"):
+            make_op(
+                functions=(
+                    AggregateFunction("seg", "count"),  # collides with group_by
+                )
+            )
+
+
+class TestWindowing:
+    def test_flush_on_crossing_boundary(self):
+        op = make_op()
+        assert op.process([report(10, vid=1), report(40, vid=2)], ctx()) == []
+        out = op.process([report(70, vid=3)], ctx())
+        assert len(out) == 1
+        stats = out[0]
+        assert stats.timestamp == 60  # window end
+        assert stats["cars"] == 2
+        assert stats["avg_speed"] == 50.0
+        assert stats["seg"] == 0
+
+    def test_flush_on_time_advance(self):
+        op = make_op()
+        op.process([report(10)], ctx())
+        out = op.on_time_advance(60, ctx())
+        assert len(out) == 1
+
+    def test_no_flush_before_boundary(self):
+        op = make_op()
+        op.process([report(10)], ctx())
+        assert op.on_time_advance(59, ctx()) == []
+
+    def test_empty_windows_emit_nothing(self):
+        op = make_op()
+        op.process([report(10)], ctx())
+        op.on_time_advance(60, ctx())
+        # no events in [60, 120) — nothing to emit at 120
+        assert op.on_time_advance(121, ctx()) == []
+
+    def test_multiple_windows_flush_in_order(self):
+        op = make_op()
+        op.process([report(10)], ctx())
+        # the next event jumps two windows ahead; both pending windows flush
+        out = op.process([report(70)], ctx())
+        assert [e.timestamp for e in out] == [60]
+        out = op.process([report(200)], ctx())
+        assert [e.timestamp for e in out] == [120]
+
+
+class TestGrouping:
+    def test_groups_emit_separately(self):
+        op = make_op()
+        op.process(
+            [report(10, vid=1, seg=0), report(20, vid=2, seg=1)], ctx()
+        )
+        out = op.on_time_advance(60, ctx())
+        assert {e["seg"] for e in out} == {0, 1}
+
+    def test_distinct_count(self):
+        op = make_op()
+        op.process(
+            [report(10, vid=1), report(20, vid=1), report(30, vid=2)], ctx()
+        )
+        [stats] = op.on_time_advance(60, ctx())
+        assert stats["cars"] == 2
+
+
+class TestFunctions:
+    def test_all_functions(self):
+        op = AggregateOperator(
+            "Report",
+            STATS,
+            window=60,
+            functions=(
+                AggregateFunction("n", "count"),
+                AggregateFunction("total", "sum", "speed"),
+                AggregateFunction("mean", "avg", "speed"),
+                AggregateFunction("slowest", "min", "speed"),
+                AggregateFunction("fastest", "max", "speed"),
+            ),
+        )
+        op.process(
+            [report(1, speed=10), report(2, speed=20), report(3, speed=60)],
+            ctx(),
+        )
+        [stats] = op.on_time_advance(60, ctx())
+        assert stats["n"] == 3
+        assert stats["total"] == 90
+        assert stats["mean"] == 30
+        assert stats["slowest"] == 10
+        assert stats["fastest"] == 60
+
+    def test_predicate_filtered_aggregate(self):
+        op = AggregateOperator(
+            "Report",
+            STATS,
+            window=60,
+            functions=(
+                AggregateFunction(
+                    "stopped", "count_distinct", "vid",
+                    predicate=attr("speed").eq(0),
+                ),
+            ),
+        )
+        op.process(
+            [report(1, vid=1, speed=0), report(2, vid=2, speed=50),
+             report(3, vid=1, speed=0)],
+            ctx(),
+        )
+        [stats] = op.on_time_advance(60, ctx())
+        assert stats["stopped"] == 1
+
+    def test_other_types_ignored(self):
+        other = EventType.define("Other", vid="int")
+        op = make_op()
+        op.process([Event(other, 10, {"vid": 9})], ctx())
+        assert op.on_time_advance(60, ctx()) == []
+
+
+class TestStateManagement:
+    def test_state_size_and_reset(self):
+        op = make_op()
+        op.process([report(10, seg=0), report(10, seg=1)], ctx())
+        assert op.state_size() == 2
+        op.reset_state()
+        assert op.state_size() == 0
+
+    def test_expire(self):
+        op = make_op()
+        op.process([report(10)], ctx())
+        assert op.expire_state_before(500) == 1
+        assert op.state_size() == 0
+
+    def test_clone(self):
+        op = make_op()
+        op.process([report(10)], ctx())
+        clone = clone_operator(op)
+        assert clone.state_size() == 0
+        assert clone.window == op.window
+        assert clone.functions == op.functions
+
+
+class TestAgainstReference:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=300),  # time
+                st.integers(min_value=1, max_value=4),  # vid
+                st.integers(min_value=0, max_value=80),  # speed
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_batch_reference(self, rows):
+        rows.sort(key=lambda r: r[0])
+        events = [report(t, vid=v, speed=s) for t, v, s in rows]
+        op = make_op(group_by=())
+        out = []
+        for event in events:
+            out.extend(op.process([event], ctx()))
+        out.extend(op.on_time_advance(10_000, ctx()))
+        # reference: bucket by window index
+        buckets = {}
+        for t, v, s in rows:
+            buckets.setdefault(t // 60, []).append((v, s))
+        assert len(out) == len(buckets)
+        for stats in out:
+            index = stats.timestamp // 60 - 1
+            bucket = buckets[index]
+            assert stats["cars"] == len({v for v, _ in bucket})
+            expected_avg = sum(s for _, s in bucket) / len(bucket)
+            assert stats["avg_speed"] == pytest.approx(expected_avg)

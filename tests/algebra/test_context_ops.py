@@ -1,0 +1,124 @@
+"""Tests for CI_c, CT_c and CW_c — the context operators (Section 4.1)."""
+
+from repro.algebra.context_ops import (
+    ContextInitiation,
+    ContextTermination,
+    ContextWindowOperator,
+)
+from repro.algebra.operators import ExecutionContext
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.types import EventType
+
+TRIGGER = EventType.define("Trigger", n="int")
+
+
+def trigger(t):
+    return Event(TRIGGER, t, {"n": 0})
+
+
+def make_ctx():
+    store = ContextWindowStore(["congestion", "accident"], "clear")
+    return store, ExecutionContext(windows=store, now=0)
+
+
+class TestContextInitiation:
+    def test_initiation_opens_window_and_evicts_default(self):
+        store, ctx = make_ctx()
+        op = ContextInitiation("congestion")
+        out = op.process([trigger(5)], ctx)
+        assert out == [trigger(5)]  # pass-through by value
+        assert store.is_active("congestion")
+        assert not store.is_active("clear")
+
+    def test_initiation_is_idempotent(self):
+        store, ctx = make_ctx()
+        op = ContextInitiation("congestion")
+        op.process([trigger(5)], ctx)
+        op.process([trigger(9)], ctx)
+        # still exactly one open congestion window, started at 5
+        window = store.open_window("congestion")
+        assert window.start == 5
+        assert store.initiation_count == 1
+
+    def test_stats_accounting(self):
+        _, ctx = make_ctx()
+        op = ContextInitiation("congestion")
+        op.process([trigger(1), trigger(1)], ctx)
+        assert op.stats.invocations == 1
+        assert op.stats.events_in == 2
+        assert op.stats.events_out == 2
+
+
+class TestContextTermination:
+    def test_termination_closes_window(self):
+        store, ctx = make_ctx()
+        ContextInitiation("congestion").process([trigger(2)], ctx)
+        ContextTermination("congestion").process([trigger(8)], ctx)
+        assert not store.is_active("congestion")
+        closed = store.closed[-1]
+        assert (closed.context_name, closed.start, closed.end) == (
+            "congestion", 2, 8,
+        )
+
+    def test_last_termination_restores_default(self):
+        store, ctx = make_ctx()
+        ContextInitiation("congestion").process([trigger(2)], ctx)
+        ContextTermination("congestion").process([trigger(8)], ctx)
+        assert store.is_active("clear")
+
+    def test_termination_of_inactive_context_is_noop(self):
+        store, ctx = make_ctx()
+        ContextTermination("congestion").process([trigger(3)], ctx)
+        assert store.termination_count == 0
+        assert store.is_active("clear")
+
+    def test_overlapping_contexts_keep_default_evicted(self):
+        store, ctx = make_ctx()
+        ContextInitiation("congestion").process([trigger(1)], ctx)
+        ContextInitiation("accident").process([trigger(2)], ctx)
+        ContextTermination("congestion").process([trigger(3)], ctx)
+        # accident still holds, so the default must not return
+        assert store.is_active("accident")
+        assert not store.is_active("clear")
+
+
+class TestContextWindowOperator:
+    def test_passes_events_while_active(self):
+        store, ctx = make_ctx()
+        store.initiate("congestion", 0)
+        op = ContextWindowOperator("congestion")
+        events = [trigger(1), trigger(1)]
+        assert op.process(events, ctx) == events
+
+    def test_drops_events_while_inactive(self):
+        _, ctx = make_ctx()
+        op = ContextWindowOperator("congestion")
+        assert op.process([trigger(1)], ctx) == []
+
+    def test_suspends_pipeline_when_inactive(self):
+        _, ctx = make_ctx()
+        op = ContextWindowOperator("congestion")
+        assert op.suspends_pipeline(ctx) is True
+        assert op.stats.suspensions == 1
+
+    def test_does_not_suspend_when_active(self):
+        store, ctx = make_ctx()
+        store.initiate("congestion", 0)
+        op = ContextWindowOperator("congestion")
+        assert op.suspends_pipeline(ctx) is False
+
+    def test_default_context_window(self):
+        _, ctx = make_ctx()
+        op = ContextWindowOperator("clear")
+        # the default holds at startup
+        assert op.suspends_pipeline(ctx) is False
+
+    def test_constant_cost_per_batch(self):
+        store, ctx = make_ctx()
+        store.initiate("congestion", 0)
+        op = ContextWindowOperator("congestion")
+        op.process([trigger(1)] * 100, ctx)
+        op.process([trigger(2)], ctx)
+        # cost is charged per batch, not per event (Section 5.1)
+        assert op.stats.cost_units == 2 * op.unit_cost

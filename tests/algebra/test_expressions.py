@@ -1,0 +1,172 @@
+"""Tests for the WHERE-predicate expression trees."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    And,
+    AttrRef,
+    BinaryOp,
+    Constant,
+    Not,
+    Or,
+    attr,
+    binding_from_event,
+    conjoin,
+    conjuncts,
+    const,
+)
+from repro.errors import ExpressionError
+from repro.events.event import Event
+from repro.events.types import EventType
+
+REPORT = EventType.define("Report", vid="int", sec="int", lane="str")
+
+
+def bind(**attrs):
+    """A binding with one event per keyword: bind(p={'vid': 1})."""
+    return {
+        var: Event(REPORT, 0, payload) for var, payload in attrs.items()
+    }
+
+
+class TestLeaves:
+    def test_constant(self):
+        assert const(5).evaluate({}) == 5
+        assert const("exit").attributes() == set()
+
+    def test_attr_ref_qualified(self):
+        binding = bind(p={"vid": 9, "sec": 0, "lane": "exit"})
+        assert AttrRef("p", "vid").evaluate(binding) == 9
+
+    def test_attr_ref_unqualified_single_event(self):
+        event = Event(REPORT, 0, {"vid": 3, "sec": 0, "lane": "x"})
+        assert attr("vid").evaluate(binding_from_event(event)) == 3
+
+    def test_attr_ref_unbound_variable(self):
+        with pytest.raises(ExpressionError, match="no event bound"):
+            AttrRef("q", "vid").evaluate(bind(p={"vid": 1, "sec": 0, "lane": ""}))
+
+    def test_attr_ref_missing_attribute(self):
+        binding = {"p": Event(REPORT, 0, {"vid": 1})}
+        with pytest.raises(ExpressionError, match="no attribute"):
+            AttrRef("p", "speed").evaluate(binding)
+
+    def test_attributes_extraction(self):
+        expr = (attr("sec", "p1") + 30).eq(attr("sec", "p2"))
+        assert expr.attributes() == {("p1", "sec"), ("p2", "sec")}
+        assert expr.variables() == {"p1", "p2"}
+
+
+class TestArithmetic:
+    def test_operations(self):
+        binding = bind(p={"vid": 10, "sec": 4, "lane": ""})
+        v = attr("vid", "p")
+        assert (v + 5).evaluate(binding) == 15
+        assert (v - 5).evaluate(binding) == 5
+        assert (v * 2).evaluate(binding) == 20
+        assert (v / 4).evaluate(binding) == 2.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExpressionError, match="division by zero"):
+            (const(1) / const(0)).evaluate({})
+
+    def test_type_mismatch(self):
+        with pytest.raises(ExpressionError, match="cannot apply"):
+            (const("a") - const(1)).evaluate({})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError, match="unknown binary operator"):
+            BinaryOp("%", const(1), const(2))
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 3, 3, True),
+            ("=", 3, 4, False),
+            ("!=", 3, 4, True),
+            (">", 4, 3, True),
+            (">=", 3, 3, True),
+            ("<", 3, 4, True),
+            ("<=", 4, 3, False),
+        ],
+    )
+    def test_comparison_table(self, op, left, right, expected):
+        assert BinaryOp(op, const(left), const(right)).evaluate({}) is expected
+
+    def test_is_comparison_flag(self):
+        assert BinaryOp("=", const(1), const(1)).is_comparison
+        assert not BinaryOp("+", const(1), const(1)).is_comparison
+
+
+class TestLogic:
+    def test_and_or_not(self):
+        t, f = const(True), const(False)
+        assert And(t, t).evaluate({}) is True
+        assert And(t, f).evaluate({}) is False
+        assert Or(f, t).evaluate({}) is True
+        assert Or(f, f).evaluate({}) is False
+        assert Not(f).evaluate({}) is True
+
+    def test_short_circuit_and(self):
+        # right side would raise; short circuit avoids it
+        bad = AttrRef("missing", "x")
+        assert And(const(False), bad).evaluate({}) is False
+
+    def test_short_circuit_or(self):
+        bad = AttrRef("missing", "x")
+        assert Or(const(True), bad).evaluate({}) is True
+
+    def test_operator_sugar(self):
+        expr = const(True) & const(False) | ~const(False)
+        assert expr.evaluate({}) is True
+
+
+class TestConjunctHelpers:
+    def test_conjuncts_flattens(self):
+        a, b, c = const(1), const(2), const(3)
+        expr = And(And(a, b), c)
+        assert conjuncts(expr) == [a, b, c]
+
+    def test_conjuncts_of_non_conjunction(self):
+        expr = Or(const(1), const(2))
+        assert conjuncts(expr) == [expr]
+
+    def test_conjoin_empty_is_true(self):
+        assert conjoin([]).evaluate({}) is True
+
+    def test_conjoin_roundtrip(self):
+        parts = [const(True), const(True), const(False)]
+        assert conjoin(parts).evaluate({}) is False
+
+    def test_conjoin_single(self):
+        single = const(42)
+        assert conjoin([single]) is single
+
+
+class TestPaperPredicates:
+    def test_query2_predicate(self):
+        """p1.sec + 30 = p2.sec AND p1.vid = p2.vid (Figure 3, query 2)."""
+        predicate = (attr("sec", "p1") + 30).eq(attr("sec", "p2")) & attr(
+            "vid", "p1"
+        ).eq(attr("vid", "p2"))
+        match = bind(
+            p1={"vid": 1, "sec": 0, "lane": "middle"},
+            p2={"vid": 1, "sec": 30, "lane": "middle"},
+        )
+        assert predicate.evaluate(match) is True
+        wrong_gap = bind(
+            p1={"vid": 1, "sec": 0, "lane": "middle"},
+            p2={"vid": 1, "sec": 60, "lane": "middle"},
+        )
+        assert predicate.evaluate(wrong_gap) is False
+
+    def test_lane_exclusion(self):
+        predicate = attr("lane", "p2").ne("exit")
+        assert predicate.evaluate(bind(p2={"vid": 1, "sec": 0, "lane": "middle"}))
+        assert not predicate.evaluate(bind(p2={"vid": 1, "sec": 0, "lane": "exit"}))
+
+    def test_str_rendering(self):
+        expr = (attr("sec", "p1") + 30).eq(attr("sec", "p2"))
+        assert str(expr) == "((p1.sec + 30) = p2.sec)"

@@ -1,0 +1,117 @@
+"""Advanced pattern shapes: combined negations, interval-timed inputs."""
+
+import pytest
+
+from repro.algebra.expressions import attr
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.pattern import (
+    EventMatch,
+    NegatedSpec,
+    PatternOperator,
+    Sequence,
+)
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.timebase import TimeInterval
+from repro.events.types import EventType
+
+A = EventType.define("A", n="int")
+B = EventType.define("B", n="int")
+C = EventType.define("C", n="int")
+D = EventType.define("D", n="int")
+
+
+def ev(event_type, t, n=0):
+    return Event(event_type, t, {"n": n})
+
+
+def ctx():
+    return ExecutionContext(windows=ContextWindowStore([], "d"), now=0)
+
+
+class TestCombinedNegations:
+    def make_op(self):
+        """SEQ(NOT A x, B b, NOT C c, D d, NOT A z) WITHIN 10 — leading,
+        interleaved and trailing negation in one pattern."""
+        spec = Sequence(
+            (
+                NegatedSpec(EventMatch("A", "x")),
+                EventMatch("B", "b"),
+                NegatedSpec(EventMatch("C", "c")),
+                EventMatch("D", "d"),
+                NegatedSpec(EventMatch("A", "z"), within=10),
+            )
+        )
+        return PatternOperator(spec, retention=100)
+
+    def feed(self, op, events, advance_to=None):
+        out = []
+        for event in events:
+            out.extend(op.process([event], ctx()))
+        if advance_to is not None:
+            out.extend(op.on_time_advance(advance_to, ctx()))
+        return out
+
+    def test_clean_match(self):
+        op = self.make_op()
+        out = self.feed(op, [ev(B, 1), ev(D, 2)], advance_to=20)
+        assert len(out) == 1
+
+    def test_leading_negation_blocks(self):
+        op = self.make_op()
+        out = self.feed(op, [ev(A, 0), ev(B, 1), ev(D, 2)], advance_to=20)
+        assert out == []
+
+    def test_interleaved_negation_blocks(self):
+        op = self.make_op()
+        out = self.feed(
+            op, [ev(B, 1), ev(C, 1.5), ev(D, 2)], advance_to=20
+        )
+        assert out == []
+
+    def test_trailing_negation_blocks(self):
+        op = self.make_op()
+        out = self.feed(
+            op, [ev(B, 1), ev(D, 2), ev(A, 5)], advance_to=20
+        )
+        assert out == []
+
+    def test_trailing_negated_event_after_deadline_harmless(self):
+        op = self.make_op()
+        out = self.feed(op, [ev(B, 1), ev(D, 2), ev(A, 13)])
+        assert len(out) == 1
+
+
+class TestIntervalTimedInputs:
+    """Complex events carry interval occurrence times; SEQ orders them by
+    their *end* points — the interval semantics the paper adopts from [23]
+    (a derivation 'occurs' when its last contributing event does)."""
+
+    def make_op(self):
+        return PatternOperator(
+            Sequence((EventMatch("A", "a"), EventMatch("B", "b"))),
+            retention=100,
+        )
+
+    def interval_event(self, event_type, start, end, n=0):
+        return Event(event_type, TimeInterval(start, end), {"n": n})
+
+    def test_sequence_by_end_times(self):
+        op = self.make_op()
+        # a spans [0, 10], b spans [2, 12]: ends strictly increase → match
+        op.process([self.interval_event(A, 0, 10)], ctx())
+        out = op.process([self.interval_event(B, 2, 12)], ctx())
+        assert len(out) == 1
+        assert out[0].time == TimeInterval(0, 12)
+
+    def test_equal_end_times_do_not_match(self):
+        op = self.make_op()
+        op.process([self.interval_event(A, 0, 10)], ctx())
+        out = op.process([self.interval_event(B, 5, 10)], ctx())
+        assert out == []
+
+    def test_match_time_spans_all_contributors(self):
+        op = self.make_op()
+        op.process([self.interval_event(A, 3, 5)], ctx())
+        [match] = op.process([self.interval_event(B, 0, 9)], ctx())
+        assert match.time == TimeInterval(0, 9)

@@ -1,0 +1,150 @@
+"""Tests for SEQ with negation — leading, interleaved and trailing NOT."""
+
+from repro.algebra.expressions import attr
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.pattern import (
+    EventMatch,
+    NegatedSpec,
+    PatternOperator,
+    Sequence,
+)
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.types import EventType
+
+A = EventType.define("A", n="int")
+B = EventType.define("B", n="int")
+REPORT = EventType.define("PositionReport", vid="int", sec="int")
+
+
+def ev(event_type, t, **payload):
+    payload.setdefault("n", 0)
+    if event_type is REPORT:
+        payload = {k: v for k, v in payload.items() if k != "n"}
+    return Event(event_type, t, payload)
+
+
+def ctx():
+    return ExecutionContext(windows=ContextWindowStore([], "default"), now=0)
+
+
+class TestInterleavedNegation:
+    def spec(self, guard=None):
+        return Sequence(
+            (
+                EventMatch("A", "a"),
+                NegatedSpec(EventMatch("B", "b"), guard=guard),
+                EventMatch("A", "c"),
+            )
+        )
+
+    def test_match_without_blocker(self):
+        op = PatternOperator(self.spec())
+        op.process([ev(A, 1)], ctx())
+        assert len(op.process([ev(A, 3)], ctx())) >= 1
+
+    def test_blocked_by_event_in_gap(self):
+        op = PatternOperator(self.spec())
+        op.process([ev(A, 1)], ctx())
+        op.process([ev(B, 2)], ctx())
+        # the (1, 3) pairing is blocked; the only other pairing uses the
+        # first A as start again which is also blocked
+        matches = op.process([ev(A, 3)], ctx())
+        assert all(
+            not (m.binding["a"].timestamp < 2 < m.binding["c"].timestamp)
+            for m in matches
+        )
+
+    def test_blocker_outside_gap_does_not_block(self):
+        op = PatternOperator(self.spec())
+        op.process([ev(B, 0)], ctx())  # before the sequence starts
+        op.process([ev(A, 1)], ctx())
+        assert len(op.process([ev(A, 3)], ctx())) >= 1
+
+    def test_guard_limits_blocking(self):
+        guard = attr("n", "b").eq(attr("n", "a"))
+        op = PatternOperator(self.spec(guard))
+        op.process([ev(A, 1, n=7)], ctx())
+        op.process([ev(B, 2, n=99)], ctx())  # guard fails: n differs
+        assert len(op.process([ev(A, 3, n=7)], ctx())) >= 1
+
+
+class TestLeadingNegation:
+    def make_op(self):
+        """The paper's query 2: no report from the same vehicle 30 s ago."""
+        guard = (attr("sec", "p1") + 30).eq(attr("sec", "p2")) & attr(
+            "vid", "p1"
+        ).eq(attr("vid", "p2"))
+        spec = Sequence(
+            (
+                NegatedSpec(EventMatch("PositionReport", "p1"), guard=guard),
+                EventMatch("PositionReport", "p2"),
+            )
+        )
+        return PatternOperator(spec, retention=120)
+
+    def test_first_report_matches(self):
+        op = self.make_op()
+        out = op.process([ev(REPORT, 0, vid=1, sec=0)], ctx())
+        assert len(out) == 1
+
+    def test_consecutive_report_blocked(self):
+        op = self.make_op()
+        op.process([ev(REPORT, 0, vid=1, sec=0)], ctx())
+        assert op.process([ev(REPORT, 30, vid=1, sec=30)], ctx()) == []
+
+    def test_report_after_gap_matches_again(self):
+        op = self.make_op()
+        op.process([ev(REPORT, 0, vid=1, sec=0)], ctx())
+        # no report at 60, so the 90-report has no blocker at sec 60
+        out = op.process([ev(REPORT, 90, vid=1, sec=90)], ctx())
+        assert len(out) == 1
+
+    def test_other_vehicle_does_not_block(self):
+        op = self.make_op()
+        op.process([ev(REPORT, 0, vid=1, sec=0)], ctx())
+        out = op.process([ev(REPORT, 30, vid=2, sec=30)], ctx())
+        assert len(out) == 1
+
+
+class TestTrailingNegation:
+    def make_op(self, guard=None, within=10):
+        spec = Sequence(
+            (
+                EventMatch("A", "a"),
+                NegatedSpec(EventMatch("B", "b"), guard=guard, within=within),
+            )
+        )
+        return PatternOperator(spec)
+
+    def test_emitted_after_deadline(self):
+        op = self.make_op()
+        assert op.process([ev(A, 0)], ctx()) == []  # pending
+        out = op.on_time_advance(11, ctx())
+        assert len(out) == 1
+        assert out[0].binding["a"].timestamp == 0
+
+    def test_not_emitted_before_deadline(self):
+        op = self.make_op()
+        op.process([ev(A, 0)], ctx())
+        assert op.on_time_advance(9, ctx()) == []
+
+    def test_blocked_by_negated_event_within_window(self):
+        op = self.make_op()
+        op.process([ev(A, 0)], ctx())
+        op.process([ev(B, 5)], ctx())
+        assert op.on_time_advance(20, ctx()) == []
+
+    def test_negated_event_after_deadline_does_not_block(self):
+        op = self.make_op()
+        op.process([ev(A, 0)], ctx())
+        out = op.process([ev(B, 11)], ctx())
+        # the deadline (10) passed when B at 11 arrived → match flushes
+        assert len(out) == 1
+
+    def test_guarded_trailing_negation(self):
+        guard = attr("n", "b").eq(attr("n", "a"))
+        op = self.make_op(guard=guard)
+        op.process([ev(A, 0, n=1)], ctx())
+        op.process([ev(B, 5, n=2)], ctx())  # guard fails → does not block
+        assert len(op.on_time_advance(11, ctx())) == 1

@@ -1,0 +1,189 @@
+"""Property test: the incremental pattern matcher against a brute-force
+reference implementation of the Section 4.1 semantics.
+
+The reference enumerates *all* combinations of events (skip-till-any-match)
+with strictly increasing timestamps and checks negation by scanning the
+full stream — exponential, but unambiguously correct for small inputs.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import attr
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.pattern import (
+    EventMatch,
+    NegatedSpec,
+    PatternOperator,
+    Sequence,
+)
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.types import EventType
+
+A = EventType.define("A", n="int")
+B = EventType.define("B", n="int")
+C = EventType.define("C", n="int")
+TYPES = {"A": A, "B": B, "C": C}
+
+
+def ctx():
+    return ExecutionContext(windows=ContextWindowStore([], "d"), now=0)
+
+
+def reference_sequence_matches(events, positives, gap_negations):
+    """All bindings per Section 4.1's SEQ semantics.
+
+    ``positives`` is a list of (type_name, var); ``gap_negations[i]`` lists
+    (type_name, guard) forbidden strictly between positive i-1 and i (for
+    i = 0: any earlier event blocks).
+    """
+    matches = []
+    candidates = [
+        [e for e in events if e.type_name == type_name]
+        for type_name, _ in positives
+    ]
+    for combo in itertools.product(*candidates):
+        times = [e.timestamp for e in combo]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            continue
+        binding = {var: event for (_, var), event in zip(positives, combo)}
+        blocked = False
+        for index, negations in enumerate(gap_negations):
+            low = times[index - 1] if index > 0 else float("-inf")
+            high = times[index] if index < len(times) else float("inf")
+            for type_name, guard in negations:
+                for event in events:
+                    if event.type_name != type_name or event in combo:
+                        continue
+                    if not (low < event.timestamp < high):
+                        continue
+                    guard_binding = dict(binding)
+                    guard_binding["neg"] = event
+                    if guard is None or bool(guard.evaluate(guard_binding)):
+                        blocked = True
+                        break
+                if blocked:
+                    break
+            if blocked:
+                break
+        if not blocked:
+            matches.append(binding)
+    return matches
+
+
+def binding_key(binding):
+    return tuple(
+        sorted((var, e.timestamp, e["n"]) for var, e in binding.items())
+    )
+
+
+events_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["A", "B", "C"]),
+        st.integers(min_value=0, max_value=100),
+    ),
+    min_size=0,
+    max_size=14,
+).map(
+    lambda pairs: [
+        Event(TYPES[name], t, {"n": i})
+        for i, (name, t) in enumerate(sorted(pairs, key=lambda p: p[1]))
+    ]
+)
+
+
+class TestAgainstReference:
+    @given(events_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_plain_sequence(self, events):
+        spec = Sequence((EventMatch("A", "x"), EventMatch("B", "y")))
+        op = PatternOperator(spec, retention=1000)
+        incremental = []
+        for event in events:
+            incremental.extend(op.process([event], ctx()))
+        expected = reference_sequence_matches(
+            events, [("A", "x"), ("B", "y")], [[], []]
+        )
+        assert sorted(binding_key(m.binding) for m in incremental) == sorted(
+            binding_key(b) for b in expected
+        )
+
+    @given(events_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_three_step_sequence(self, events):
+        spec = Sequence(
+            (EventMatch("A", "x"), EventMatch("B", "y"), EventMatch("C", "z"))
+        )
+        op = PatternOperator(spec, retention=1000)
+        incremental = []
+        for event in events:
+            incremental.extend(op.process([event], ctx()))
+        expected = reference_sequence_matches(
+            events, [("A", "x"), ("B", "y"), ("C", "z")], [[], [], []]
+        )
+        assert sorted(binding_key(m.binding) for m in incremental) == sorted(
+            binding_key(b) for b in expected
+        )
+
+    @given(events_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_interleaved_negation(self, events):
+        spec = Sequence(
+            (
+                EventMatch("A", "x"),
+                NegatedSpec(EventMatch("C", "neg")),
+                EventMatch("B", "y"),
+            )
+        )
+        op = PatternOperator(spec, retention=1000)
+        incremental = []
+        for event in events:
+            incremental.extend(op.process([event], ctx()))
+        expected = reference_sequence_matches(
+            events, [("A", "x"), ("B", "y")], [[], [("C", None)], []]
+        )
+        assert sorted(binding_key(m.binding) for m in incremental) == sorted(
+            binding_key(b) for b in expected
+        )
+
+    @given(events_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_guarded_interleaved_negation(self, events):
+        guard = attr("n", "neg").gt(attr("n", "x"))
+        spec = Sequence(
+            (
+                EventMatch("A", "x"),
+                NegatedSpec(EventMatch("C", "neg"), guard=guard),
+                EventMatch("B", "y"),
+            )
+        )
+        op = PatternOperator(spec, retention=1000)
+        incremental = []
+        for event in events:
+            incremental.extend(op.process([event], ctx()))
+        expected = reference_sequence_matches(
+            events, [("A", "x"), ("B", "y")], [[], [("C", guard)], []]
+        )
+        assert sorted(binding_key(m.binding) for m in incremental) == sorted(
+            binding_key(b) for b in expected
+        )
+
+    @given(events_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_batch_vs_single_event_feeding(self, events):
+        """Feeding whole same-timestamp batches equals event-at-a-time."""
+        spec = Sequence((EventMatch("A", "x"), EventMatch("B", "y")))
+        one_by_one = PatternOperator(spec, retention=1000)
+        batched = PatternOperator(spec, retention=1000)
+        single_out = []
+        for event in events:
+            single_out.extend(one_by_one.process([event], ctx()))
+        batch_out = []
+        for _, group in itertools.groupby(events, key=lambda e: e.timestamp):
+            batch_out.extend(batched.process(list(group), ctx()))
+        assert sorted(binding_key(m.binding) for m in single_out) == sorted(
+            binding_key(m.binding) for m in batch_out
+        )

@@ -1,0 +1,104 @@
+"""Tests for time propagation through plans (trailing negation plumbing)."""
+
+from repro.algebra.expressions import attr
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.pattern import (
+    EventMatch,
+    NegatedSpec,
+    PatternOperator,
+    Sequence,
+)
+from repro.algebra.plan import CombinedQueryPlan, QueryPlan
+from repro.algebra.relational_ops import Projection
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.types import EventType
+
+A = EventType.define("A", n="int")
+B = EventType.define("B", n="int")
+OUT = EventType.define("Out", n="int")
+FINAL = EventType.define("Final", n="int")
+
+
+def ctx(active=()):
+    store = ContextWindowStore(["c1"], "default")
+    for name in active:
+        store.initiate(name, 0)
+    return ExecutionContext(windows=store, now=0)
+
+
+def trailing_plan():
+    spec = Sequence(
+        (EventMatch("A", "a"), NegatedSpec(EventMatch("B", "b"), within=10))
+    )
+    return QueryPlan(
+        [PatternOperator(spec), Projection(OUT, [("n", attr("n", "a"))])],
+        name="trailing",
+    )
+
+
+class TestQueryPlanAdvanceTime:
+    def test_deadline_emission_flows_through_downstream_operators(self):
+        plan = trailing_plan()
+        context = ctx()
+        assert plan.execute([Event(A, 0, {"n": 7})], context) == []
+        out = plan.advance_time(11, context)
+        assert [e.type_name for e in out] == ["Out"]
+        assert out[0]["n"] == 7
+
+    def test_no_emission_before_deadline(self):
+        plan = trailing_plan()
+        context = ctx()
+        plan.execute([Event(A, 0, {"n": 7})], context)
+        assert plan.advance_time(9, context) == []
+
+    def test_suspended_plan_does_not_advance(self):
+        spec = Sequence(
+            (EventMatch("A", "a"), NegatedSpec(EventMatch("B", "b"), within=10))
+        )
+        from repro.algebra.context_ops import ContextWindowOperator
+
+        plan = QueryPlan(
+            [
+                ContextWindowOperator("c1"),
+                PatternOperator(spec),
+                Projection(OUT, [("n", attr("n", "a"))]),
+            ]
+        )
+        active = ctx(active=["c1"])
+        plan.execute([Event(A, 0, {"n": 7})], active)
+        inactive = ctx()  # c1 not active here
+        assert plan.advance_time(50, inactive) == []
+
+    def test_empty_batch_still_reaches_pending_state(self):
+        """A batch with zero surviving events must still traverse operators
+        that hold pending timed state (the _needs_time_signal path)."""
+        plan = trailing_plan()
+        context = ctx()
+        plan.execute([Event(A, 0, {"n": 7})], context)
+        # an empty execute at t past the deadline does not flush by itself
+        # (process only sees events); advance_time is the flushing channel
+        assert plan.execute([], context) == []
+        assert len(plan.advance_time(20, context)) == 1
+
+
+class TestCombinedPlanAdvanceTime:
+    def test_flushed_match_feeds_consumer_plan(self):
+        producer = trailing_plan()
+        consumer = QueryPlan(
+            [
+                PatternOperator(EventMatch("Out", "o")),
+                Projection(FINAL, [("n", attr("n", "o"))]),
+            ],
+            name="consumer",
+        )
+        combined = CombinedQueryPlan([producer, consumer])
+        context = ctx()
+        combined.execute([Event(A, 0, {"n": 3})], context)
+        out = combined.advance_time(15, context)
+        assert [e.type_name for e in out] == ["Final"]
+        assert out[0]["n"] == 3
+
+    def test_advance_without_pending_state_is_silent(self):
+        combined = CombinedQueryPlan([trailing_plan()])
+        assert combined.advance_time(100, ctx()) == []

@@ -1,0 +1,89 @@
+"""Tests for FL_θ (filter) and PR_{A,E} (projection)."""
+
+from repro.algebra.expressions import attr, const
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.pattern import MatchEvent
+from repro.algebra.relational_ops import Filter, Projection
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.timebase import TimeInterval
+from repro.events.types import EventType
+
+REPORT = EventType.define("Report", vid="int", sec="int", speed="int")
+TOLL = EventType.define("TollNotification", vid="int", sec="int", toll="int")
+
+
+def ctx():
+    return ExecutionContext(
+        windows=ContextWindowStore([], "default"), now=0
+    )
+
+
+def report(t, vid=1, speed=50):
+    return Event(REPORT, t, {"vid": vid, "sec": t, "speed": speed})
+
+
+class TestFilter:
+    def test_keeps_satisfying_events(self):
+        op = Filter(attr("speed").gt(40))
+        fast, slow = report(0, speed=60), report(0, speed=20)
+        assert op.process([fast, slow], ctx()) == [fast]
+
+    def test_drops_events_with_missing_attributes(self):
+        op = Filter(attr("missing").gt(1))
+        assert op.process([report(0)], ctx()) == []
+
+    def test_filter_on_match_event_binding(self):
+        predicate = attr("vid", "a").eq(attr("vid", "b"))
+        op = Filter(predicate)
+        same = MatchEvent(
+            {"a": report(0, vid=1), "b": report(1, vid=1)}, TimeInterval(0, 1)
+        )
+        different = MatchEvent(
+            {"a": report(0, vid=1), "b": report(1, vid=2)}, TimeInterval(0, 1)
+        )
+        assert op.process([same, different], ctx()) == [same]
+
+    def test_cost_charged_per_event(self):
+        op = Filter(const(True))
+        op.process([report(0)] * 5, ctx())
+        assert op.stats.cost_units == 5 * op.unit_cost
+        assert op.stats.events_out == 5
+
+
+class TestProjection:
+    def test_projects_plain_event(self):
+        op = Projection(
+            TOLL,
+            [("vid", attr("vid")), ("sec", attr("sec")), ("toll", const(5))],
+        )
+        [out] = op.process([report(30, vid=7)], ctx())
+        assert out.type_name == "TollNotification"
+        assert out.payload == {"vid": 7, "sec": 30, "toll": 5}
+        assert out.time == TimeInterval(30, 30)
+        assert out.derived_from == (report(30, vid=7),)
+
+    def test_projects_match_event_with_variables(self):
+        op = Projection(TOLL, [("vid", attr("vid", "p")), ("sec", attr("sec", "p")), ("toll", const(5))])
+        inner = report(10, vid=3)
+        match = MatchEvent({"p": inner}, TimeInterval(10, 10))
+        [out] = op.process([match], ctx())
+        assert out["vid"] == 3
+        assert out.derived_from == (inner,)
+
+    def test_projection_preserves_interval_time(self):
+        op = Projection(TOLL, [("vid", attr("vid", "a"))])
+        match = MatchEvent(
+            {"a": report(0), "b": report(40)}, TimeInterval(0, 40)
+        )
+        [out] = op.process([match], ctx())
+        assert out.time == TimeInterval(0, 40)
+
+    def test_unresolvable_item_drops_event(self):
+        op = Projection(TOLL, [("vid", attr("vid", "nope"))])
+        assert op.process([report(0)], ctx()) == []
+
+    def test_arithmetic_in_items(self):
+        op = Projection(TOLL, [("toll", attr("speed") * 2)])
+        [out] = op.process([report(0, speed=30)], ctx())
+        assert out["toll"] == 60

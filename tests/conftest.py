@@ -1,0 +1,76 @@
+"""Shared fixtures for the CAESAR test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.operators import ExecutionContext
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+
+
+@pytest.fixture
+def position_report_type() -> EventType:
+    return EventType.define(
+        "PositionReport",
+        vid="int",
+        sec="int",
+        speed="int",
+        seg="int",
+        lane="str",
+    )
+
+
+@pytest.fixture
+def reading_type() -> EventType:
+    return EventType.define("Reading", value="int", sec="int")
+
+
+@pytest.fixture
+def store() -> ContextWindowStore:
+    """A window store with two user contexts and a default."""
+    return ContextWindowStore(["congestion", "accident"], "clear")
+
+
+@pytest.fixture
+def ctx(store: ContextWindowStore) -> ExecutionContext:
+    return ExecutionContext(windows=store, now=0)
+
+
+def make_report(event_type: EventType, t: int, vid: int = 1, **overrides) -> Event:
+    """One position report with sensible defaults."""
+    payload = {
+        "vid": vid,
+        "sec": t,
+        "speed": 55,
+        "seg": 0,
+        "lane": "middle",
+    }
+    payload.update(overrides)
+    return Event(event_type, t, payload)
+
+
+def make_readings(reading_type: EventType, values, *, step: int = 10) -> EventStream:
+    """A stream of Reading events, one per ``step`` time units."""
+    return EventStream(
+        Event(reading_type, i * step, {"value": value, "sec": i * step})
+        for i, value in enumerate(values)
+    )
+
+
+@pytest.fixture
+def report_factory(position_report_type):
+    def factory(t: int, vid: int = 1, **overrides) -> Event:
+        return make_report(position_report_type, t, vid, **overrides)
+
+    return factory
+
+
+@pytest.fixture
+def readings_factory(reading_type):
+    def factory(values, *, step: int = 10) -> EventStream:
+        return make_readings(reading_type, values, step=step)
+
+    return factory

@@ -1,0 +1,101 @@
+"""Tests for the context bit vector (Section 6.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitvector import ContextBitVector
+from repro.errors import UnknownContextError
+
+
+class TestLayout:
+    def test_alphabetical_bit_order(self):
+        vector = ContextBitVector(["congestion", "accident", "clear"])
+        assert vector.names == ("accident", "clear", "congestion")
+
+    def test_size_is_context_count(self):
+        assert ContextBitVector(["a", "b", "c"]).size == 3
+
+    def test_duplicates_collapse(self):
+        assert ContextBitVector(["a", "a", "b"]).size == 2
+
+    def test_contains(self):
+        vector = ContextBitVector(["a"])
+        assert "a" in vector
+        assert "z" not in vector
+
+    def test_iteration(self):
+        assert list(ContextBitVector(["b", "a"])) == ["a", "b"]
+
+
+class TestMutation:
+    def test_set_and_test(self):
+        vector = ContextBitVector(["a", "b"])
+        assert vector.set("a", 5) is True
+        assert vector.test("a")
+        assert not vector.test("b")
+        assert vector.time == 5
+
+    def test_set_is_idempotent(self):
+        vector = ContextBitVector(["a"])
+        vector.set("a", 1)
+        assert vector.set("a", 2) is False
+        assert vector.test("a")
+        assert vector.time == 2  # timestamp still updates
+
+    def test_clear(self):
+        vector = ContextBitVector(["a"])
+        vector.set("a", 1)
+        assert vector.clear("a", 3) is True
+        assert not vector.test("a")
+        assert vector.clear("a", 4) is False
+
+    def test_multiple_contexts_may_hold(self):
+        """Overlapping windows: multiple entries set to 1 (Section 6.2)."""
+        vector = ContextBitVector(["accident", "congestion"])
+        vector.set("accident", 1)
+        vector.set("congestion", 1)
+        assert vector.active() == ("accident", "congestion")
+        assert vector.count_active() == 2
+
+    def test_clear_all(self):
+        vector = ContextBitVector(["a", "b"])
+        vector.set("a", 1)
+        vector.set("b", 1)
+        vector.clear_all(9)
+        assert vector.count_active() == 0
+        assert vector.time == 9
+
+    def test_unknown_context_rejected(self):
+        vector = ContextBitVector(["a"])
+        with pytest.raises(UnknownContextError):
+            vector.set("zzz", 0)
+        with pytest.raises(UnknownContextError):
+            vector.test("zzz")
+
+    def test_raw_value_tracks_bits(self):
+        vector = ContextBitVector(["a", "b"])
+        vector.set("b", 0)
+        assert vector.value == 0b10
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=40
+        ),
+        st.lists(st.booleans(), min_size=1, max_size=40),
+    )
+    def test_vector_mirrors_reference_set(self, names, set_flags):
+        """The bit vector always agrees with a plain-set reference model."""
+        vector = ContextBitVector(["a", "b", "c", "d"])
+        reference: set[str] = set()
+        for t, (name, flag) in enumerate(zip(names, set_flags)):
+            if flag:
+                vector.set(name, t)
+                reference.add(name)
+            else:
+                vector.clear(name, t)
+                reference.discard(name)
+            assert set(vector.active()) == reference
+            assert vector.count_active() == len(reference)

@@ -1,0 +1,207 @@
+"""Tests for the context window grouping algorithm (Listing 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import (
+    GroupedWindow,
+    group_context_windows,
+    grouped_windows_for_source,
+    total_covered_length,
+)
+from repro.core.queries import EventQuery, QueryAction
+from repro.core.windows import WindowSpec
+from repro.algebra.pattern import EventMatch
+from repro.algebra.expressions import attr
+from repro.errors import OptimizerError
+from repro.events.types import EventType
+
+OUT = EventType.define("Out", n="int")
+
+
+def query(name, threshold=0):
+    """Distinct thresholds give distinct work signatures."""
+    return EventQuery(
+        name=name,
+        action=QueryAction.DERIVE,
+        pattern=EventMatch("A", "a"),
+        where=attr("n", "a").gt(threshold),
+        derive_type=OUT,
+        derive_items=(("n", attr("n", "a")),),
+    )
+
+
+Q1 = query("Q1", 1)
+Q2 = query("Q2", 2)
+Q3 = query("Q3", 3)
+
+
+class TestFigure7:
+    """The paper's worked example: w_c1 [10, 30) with {Q1, Q3} and
+    w_c2 [20, 40) with {Q1, Q2}."""
+
+    def setup_method(self):
+        self.specs = [
+            WindowSpec("c1", start=10, end=30, queries=(Q1, Q3)),
+            WindowSpec("c2", start=20, end=40, queries=(Q1, Q2)),
+        ]
+        self.grouped = group_context_windows(self.specs)
+
+    def test_three_grouped_windows(self):
+        assert len(self.grouped) == 3
+        assert [(w.start, w.end) for w in self.grouped] == [
+            (10, 20), (20, 30), (30, 40),
+        ]
+
+    def test_workloads(self):
+        first, middle, last = self.grouped
+        assert {q.name for q in first.queries} == {"Q1", "Q3"}
+        assert {q.name for q in middle.queries} == {"Q1", "Q2", "Q3"}
+        assert {q.name for q in last.queries} == {"Q1", "Q2"}
+
+    def test_shared_query_not_duplicated_in_overlap(self):
+        middle = self.grouped[1]
+        q1_count = sum(1 for q in middle.queries if q.signature() == Q1.signature())
+        assert q1_count == 1
+
+    def test_sources(self):
+        first, middle, last = self.grouped
+        assert first.source_names == ("c1",)
+        assert set(middle.source_names) == {"c1", "c2"}
+        assert last.source_names == ("c2",)
+
+    def test_grouped_windows_for_source(self):
+        c1_windows = grouped_windows_for_source(self.grouped, "c1")
+        assert [(w.start, w.end) for w in c1_windows] == [(10, 20), (20, 30)]
+
+
+class TestSpecialCases:
+    def test_empty_input(self):
+        assert group_context_windows([]) == []
+
+    def test_non_overlapping_windows_unchanged(self):
+        specs = [
+            WindowSpec("a", start=0, end=10, queries=(Q1,)),
+            WindowSpec("b", start=20, end=30, queries=(Q2,)),
+        ]
+        grouped = group_context_windows(specs)
+        assert [(w.start, w.end) for w in grouped] == [(0, 10), (20, 30)]
+        assert grouped[0].source_names == ("a",)
+
+    def test_identical_windows_merged(self):
+        """Listing 1, line 6: identical windows keep one merged workload."""
+        specs = [
+            WindowSpec("a", start=0, end=10, queries=(Q1,)),
+            WindowSpec("b", start=0, end=10, queries=(Q2,)),
+            # overlap partner forces them through the grouping path
+            WindowSpec("c", start=5, end=15, queries=(Q3,)),
+        ]
+        grouped = group_context_windows(specs)
+        assert [(w.start, w.end) for w in grouped] == [(0, 5), (5, 10), (10, 15)]
+        assert {q.name for q in grouped[1].queries} == {"Q1", "Q2", "Q3"}
+
+    def test_duplicate_queries_dropped(self):
+        """Lines 20-22: a query shared by overlapping windows appears once."""
+        clone_of_q1 = query("Q1_clone", 1)  # same signature as Q1
+        specs = [
+            WindowSpec("a", start=0, end=20, queries=(Q1,)),
+            WindowSpec("b", start=10, end=30, queries=(clone_of_q1,)),
+        ]
+        grouped = group_context_windows(specs)
+        middle = next(w for w in grouped if w.start == 10)
+        assert len(middle.queries) == 1
+
+    def test_containment(self):
+        specs = [
+            WindowSpec("outer", start=0, end=100, queries=(Q1,)),
+            WindowSpec("inner", start=40, end=60, queries=(Q2,)),
+        ]
+        grouped = group_context_windows(specs)
+        assert [(w.start, w.end) for w in grouped] == [
+            (0, 40), (40, 60), (60, 100),
+        ]
+        assert {q.name for q in grouped[1].queries} == {"Q1", "Q2"}
+
+    def test_duplicate_names_rejected(self):
+        specs = [
+            WindowSpec("same", start=0, end=10),
+            WindowSpec("same", start=5, end=15),
+        ]
+        with pytest.raises(OptimizerError, match="duplicate window spec"):
+            group_context_windows(specs)
+
+    def test_total_covered_length(self):
+        grouped = [
+            GroupedWindow(0, 10, (), ("a",)),
+            GroupedWindow(20, 25, (), ("b",)),
+        ]
+        assert total_covered_length(grouped) == 15
+
+
+# ---------------------------------------------------------------------------
+# Property-based validation of the Listing 1 post-conditions
+# ---------------------------------------------------------------------------
+
+ALL_QUERIES = [query(f"q{i}", i) for i in range(6)]
+
+
+@st.composite
+def window_specs(draw):
+    count = draw(st.integers(min_value=1, max_value=8))
+    specs = []
+    for index in range(count):
+        start = draw(st.integers(min_value=0, max_value=80))
+        length = draw(st.integers(min_value=1, max_value=40))
+        query_indexes = draw(
+            st.sets(st.integers(0, len(ALL_QUERIES) - 1), min_size=1, max_size=4)
+        )
+        specs.append(
+            WindowSpec(
+                f"w{index}",
+                start=start,
+                end=start + length,
+                queries=tuple(ALL_QUERIES[i] for i in sorted(query_indexes)),
+            )
+        )
+    return specs
+
+
+class TestGroupingProperties:
+    @given(window_specs())
+    @settings(max_examples=150)
+    def test_grouped_windows_never_overlap(self, specs):
+        grouped = group_context_windows(specs)
+        for i, a in enumerate(grouped):
+            for b in grouped[i + 1 :]:
+                assert a.end <= b.start or b.end <= a.start
+
+    @given(window_specs())
+    @settings(max_examples=150)
+    def test_coverage_preserved(self, specs):
+        """The union of grouped windows equals the union of the inputs."""
+        grouped = group_context_windows(specs)
+        horizon = max(s.end for s in specs) + 1
+        for t in range(0, horizon):
+            in_original = any(s.covers(t) for s in specs)
+            in_grouped = any(w.covers(t) for w in grouped)
+            assert in_original == in_grouped, f"coverage differs at t={t}"
+
+    @given(window_specs())
+    @settings(max_examples=150)
+    def test_workload_is_union_of_covering_windows(self, specs):
+        grouped = group_context_windows(specs)
+        for window in grouped:
+            t = window.start
+            expected = {
+                q.signature() for s in specs if s.covers(t) for q in s.queries
+            }
+            actual = {q.signature() for q in window.queries}
+            assert actual == expected
+
+    @given(window_specs())
+    @settings(max_examples=150)
+    def test_no_duplicate_queries_within_group(self, specs):
+        for window in group_context_windows(specs):
+            signatures = [q.signature() for q in window.queries]
+            assert len(signatures) == len(set(signatures))

@@ -1,0 +1,153 @@
+"""Tests for the CAESAR model (Definitions 1 and 4)."""
+
+import pytest
+
+from repro.core.model import CaesarModel, ContextType
+from repro.core.queries import QueryAction
+from repro.errors import ModelError, UnknownContextError
+from repro.language import parse_query
+
+
+def traffic_model():
+    model = CaesarModel(default_context="clear")
+    model.add_context("congestion")
+    model.add_context("accident")
+    model.add_query(
+        parse_query(
+            "INITIATE CONTEXT congestion PATTERN Stats s WHERE s.cars > 50 "
+            "CONTEXT clear",
+            name="detect_congestion",
+        )
+    )
+    model.add_query(
+        parse_query(
+            "TERMINATE CONTEXT congestion PATTERN Stats s WHERE s.cars < 10 "
+            "CONTEXT congestion",
+            name="end_congestion",
+        )
+    )
+    model.add_query(
+        parse_query(
+            "INITIATE CONTEXT accident PATTERN Accident "
+            "CONTEXT clear, congestion",
+            name="detect_accident",
+        )
+    )
+    model.add_query(
+        parse_query(
+            "TERMINATE CONTEXT accident PATTERN Cleared CONTEXT accident",
+            name="accident_cleared",
+        )
+    )
+    model.add_query(
+        parse_query(
+            "DERIVE Toll(p.vid) PATTERN Car p CONTEXT congestion",
+            name="toll",
+        )
+    )
+    return model
+
+
+class TestConstruction:
+    def test_default_context_exists(self):
+        model = CaesarModel(default_context="clear")
+        assert "clear" in model
+        assert model.default_context == "clear"
+
+    def test_add_context_idempotent(self):
+        model = CaesarModel()
+        first = model.add_context("c")
+        second = model.add_context("c")
+        assert first is second
+
+    def test_invalid_context_name(self):
+        with pytest.raises(ModelError, match="invalid context"):
+            ContextType("not a name!")
+
+    def test_query_attached_to_all_its_contexts(self):
+        model = traffic_model()
+        assert any(
+            q.name == "detect_accident"
+            for q in model.context("clear").deriving_queries
+        )
+        assert any(
+            q.name == "detect_accident"
+            for q in model.context("congestion").deriving_queries
+        )
+
+    def test_query_without_context_goes_to_default(self):
+        model = CaesarModel(default_context="d")
+        model.add_query(parse_query("DERIVE X(a.n) PATTERN A a", name="q"))
+        assert model.context("d").processing_queries[0].name == "q"
+
+    def test_unknown_context_clause_rejected(self):
+        model = CaesarModel()
+        with pytest.raises(UnknownContextError):
+            model.add_query(
+                parse_query("DERIVE X(a.n) PATTERN A a CONTEXT nope", name="q")
+            )
+
+    def test_unknown_target_context_rejected(self):
+        model = CaesarModel()
+        with pytest.raises(UnknownContextError):
+            model.add_query(
+                parse_query("INITIATE CONTEXT nope PATTERN A a", name="q")
+            )
+
+    def test_duplicate_query_name_in_context_rejected(self):
+        model = CaesarModel()
+        model.add_query(parse_query("DERIVE X(a.n) PATTERN A a", name="q"))
+        with pytest.raises(ModelError, match="already has a query"):
+            model.add_query(parse_query("DERIVE Y(a.n) PATTERN A a", name="q"))
+
+
+class TestInspection:
+    def test_queries_deduplicated_by_name(self):
+        model = traffic_model()
+        names = [q.name for q in model.queries()]
+        assert len(names) == len(set(names)) == 5
+
+    def test_transitions(self):
+        model = traffic_model()
+        edges = {
+            (e.from_context, e.to_context, e.kind) for e in model.transitions()
+        }
+        assert ("clear", "congestion", QueryAction.INITIATE) in edges
+        assert ("congestion", "accident", QueryAction.INITIATE) in edges
+        assert ("accident", "accident", QueryAction.TERMINATE) in edges
+
+    def test_describe_mentions_all_contexts(self):
+        text = traffic_model().describe()
+        for name in ("clear", "congestion", "accident"):
+            assert f"context {name}:" in text
+
+
+class TestQuerySetTranslation:
+    def test_contexts_become_mandatory(self):
+        """Phase 1 (Section 4.2): every query carries explicit contexts."""
+        model = traffic_model()
+        for query in model.to_query_set():
+            assert query.contexts
+
+    def test_multi_context_query_merged(self):
+        model = traffic_model()
+        by_name = {q.name: q for q in model.to_query_set()}
+        assert set(by_name["detect_accident"].contexts) == {
+            "clear", "congestion",
+        }
+
+
+class TestValidation:
+    def test_valid_model_passes(self):
+        traffic_model().validate()
+
+    def test_unreachable_context_rejected(self):
+        model = CaesarModel(default_context="clear")
+        model.add_context("island")
+        model.add_query(
+            parse_query(
+                "DERIVE X(a.n) PATTERN A a CONTEXT island", name="dead"
+            )
+        )
+        with pytest.raises(ModelError, match="unreachable"):
+            model.validate()

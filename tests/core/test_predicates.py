@@ -1,0 +1,108 @@
+"""Tests for predicate subsumption (Definition 2 / Figure 7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.predicates import (
+    ThresholdPredicate,
+    conjunction_implies,
+    implies,
+    specs_guaranteed_overlap_by_predicates,
+)
+from repro.core.windows import WindowSpec
+from repro.errors import OptimizerError
+
+
+def p(op, value, attribute="X"):
+    return ThresholdPredicate(attribute, op, value)
+
+
+class TestSatisfaction:
+    @pytest.mark.parametrize(
+        "op,threshold,value,expected",
+        [
+            ("<", 10, 9, True), ("<", 10, 10, False),
+            ("<=", 10, 10, True), (">", 10, 11, True),
+            (">", 10, 10, False), (">=", 10, 10, True),
+            ("=", 10, 10, True), ("=", 10, 9, False),
+        ],
+    )
+    def test_satisfied_by(self, op, threshold, value, expected):
+        assert p(op, threshold).satisfied_by(value) is expected
+
+    def test_invalid_operator(self):
+        with pytest.raises(OptimizerError, match="unsupported"):
+            ThresholdPredicate("X", "~", 1)
+
+
+class TestImplication:
+    def test_figure7_example(self):
+        """X > 20 implies X > 10 — so the windows are guaranteed to overlap."""
+        assert implies(p(">", 20), p(">", 10))
+        assert not implies(p(">", 10), p(">", 20))
+
+    def test_less_than_direction(self):
+        assert implies(p("<", 30), p("<", 40))
+        assert not implies(p("<", 40), p("<", 30))
+
+    def test_strictness_at_equal_constants(self):
+        assert implies(p(">", 10), p(">=", 10))
+        assert not implies(p(">=", 10), p(">", 10))
+        assert implies(p("<", 10), p("<=", 10))
+        assert not implies(p("<=", 10), p("<", 10))
+
+    def test_opposite_directions_never_imply(self):
+        assert not implies(p(">", 10), p("<", 100))
+
+    def test_different_attributes_never_imply(self):
+        assert not implies(p(">", 20, "X"), p(">", 10, "Y"))
+
+    def test_equality_implies_satisfied_comparisons(self):
+        assert implies(p("=", 25), p(">", 10))
+        assert not implies(p("=", 5), p(">", 10))
+
+    def test_range_never_implies_equality(self):
+        assert not implies(p(">", 10), p("=", 25))
+
+    def test_reflexive(self):
+        assert implies(p(">", 10), p(">", 10))
+
+    @given(
+        st.sampled_from([">", ">=", "<", "<="]),
+        st.integers(-100, 100),
+        st.sampled_from([">", ">=", "<", "<="]),
+        st.integers(-100, 100),
+        st.integers(-200, 200),
+    )
+    def test_soundness(self, op1, v1, op2, v2, sample):
+        """If implies(p, q), every sample satisfying p satisfies q."""
+        a, b = p(op1, v1), p(op2, v2)
+        if implies(a, b) and a.satisfied_by(sample):
+            assert b.satisfied_by(sample)
+
+
+class TestConjunctions:
+    def test_conjunction_implication(self):
+        strong = (p(">", 20), p("<", 30))
+        weak = (p(">", 10),)
+        assert conjunction_implies(strong, weak)
+        assert not conjunction_implies(weak, strong)
+
+    def test_empty_consequent_always_implied(self):
+        assert conjunction_implies((p(">", 1),), ())
+
+
+class TestWindowSpecOverlap:
+    def test_overlap_from_predicates(self):
+        """Figure 7: c2 initiated when X > 20, c1 when X > 10 — whenever a
+        c2 window starts, a c1 window holds."""
+        c1 = WindowSpec("c1", start=0, end=30, predicates=(p(">", 10),))
+        c2 = WindowSpec("c2", start=10, end=40, predicates=(p(">", 20),))
+        assert specs_guaranteed_overlap_by_predicates(c2, c1)
+        assert not specs_guaranteed_overlap_by_predicates(c1, c2)
+
+    def test_no_predicates_means_no_guarantee(self):
+        a = WindowSpec("a", start=0, end=10)
+        b = WindowSpec("b", start=0, end=10, predicates=(p(">", 1),))
+        assert not specs_guaranteed_overlap_by_predicates(a, b)

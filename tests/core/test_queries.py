@@ -1,0 +1,135 @@
+"""Tests for context-aware event query descriptors (Definition 3)."""
+
+import pytest
+
+from repro.algebra.expressions import attr
+from repro.algebra.pattern import EventMatch
+from repro.core.queries import EventQuery, QueryAction
+from repro.errors import ModelError
+from repro.events.types import EventType
+
+TOLL = EventType.define("Toll", vid="int")
+
+
+def deriving(name="q", action=QueryAction.INITIATE, target="congestion"):
+    return EventQuery(
+        name=name,
+        action=action,
+        pattern=EventMatch("Stats", "s"),
+        contexts=("clear",),
+        target_context=target,
+    )
+
+
+def processing(name="q", contexts=("congestion",)):
+    return EventQuery(
+        name=name,
+        action=QueryAction.DERIVE,
+        pattern=EventMatch("Car", "p"),
+        contexts=contexts,
+        derive_type=TOLL,
+        derive_items=(("vid", attr("vid", "p")),),
+    )
+
+
+class TestValidation:
+    def test_deriving_requires_target(self):
+        with pytest.raises(ModelError, match="requires a target"):
+            EventQuery(
+                name="bad",
+                action=QueryAction.INITIATE,
+                pattern=EventMatch("A"),
+            )
+
+    def test_deriving_cannot_derive_events(self):
+        with pytest.raises(ModelError, match="cannot also carry"):
+            EventQuery(
+                name="bad",
+                action=QueryAction.TERMINATE,
+                pattern=EventMatch("A"),
+                target_context="c",
+                derive_type=TOLL,
+            )
+
+    def test_processing_requires_derive_type(self):
+        with pytest.raises(ModelError, match="output event type"):
+            EventQuery(
+                name="bad",
+                action=QueryAction.DERIVE,
+                pattern=EventMatch("A"),
+            )
+
+    def test_processing_cannot_target_context(self):
+        with pytest.raises(ModelError, match="cannot .* target|cannot"):
+            EventQuery(
+                name="bad",
+                action=QueryAction.DERIVE,
+                pattern=EventMatch("A"),
+                derive_type=TOLL,
+                target_context="c",
+            )
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "action",
+        [QueryAction.INITIATE, QueryAction.SWITCH, QueryAction.TERMINATE],
+    )
+    def test_deriving_actions(self, action):
+        query = deriving(action=action)
+        assert query.is_deriving
+        assert not query.is_processing
+
+    def test_derive_is_processing(self):
+        assert processing().is_processing
+
+
+class TestSignature:
+    def test_signature_ignores_name_and_contexts(self):
+        a = processing(name="a", contexts=("c1",))
+        b = processing(name="b", contexts=("c2", "c3"))
+        assert a.signature() == b.signature()
+
+    def test_signature_differs_on_pattern(self):
+        a = processing()
+        b = EventQuery(
+            name="b",
+            action=QueryAction.DERIVE,
+            pattern=EventMatch("Truck", "p"),
+            derive_type=TOLL,
+            derive_items=(("vid", attr("vid", "p")),),
+        )
+        assert a.signature() != b.signature()
+
+    def test_signature_differs_on_where(self):
+        a = processing()
+        b = EventQuery(
+            name="b",
+            action=QueryAction.DERIVE,
+            pattern=EventMatch("Car", "p"),
+            where=attr("vid", "p").gt(1),
+            derive_type=TOLL,
+            derive_items=(("vid", attr("vid", "p")),),
+        )
+        assert a.signature() != b.signature()
+
+
+class TestWithContexts:
+    def test_recontexting(self):
+        query = processing(contexts=("c1",))
+        moved = query.with_contexts(("c2", "c3"))
+        assert moved.contexts == ("c2", "c3")
+        assert moved.signature() == query.signature()
+        assert moved.name == query.name
+
+
+class TestStr:
+    def test_deriving_str(self):
+        text = str(deriving())
+        assert text.startswith("INITIATE CONTEXT congestion")
+        assert "PATTERN Stats s" in text
+        assert "CONTEXT clear" in text
+
+    def test_processing_str(self):
+        text = str(processing())
+        assert text.startswith("DERIVE Toll(p.vid)")

@@ -1,0 +1,120 @@
+"""Tests for symbolic window ordering from predicate subsumption."""
+
+import pytest
+
+from repro.algebra.expressions import attr
+from repro.algebra.pattern import EventMatch
+from repro.core.grouping import group_context_windows
+from repro.core.predicates import ThresholdPredicate
+from repro.core.queries import EventQuery, QueryAction
+from repro.core.symbolic import SymbolicWindow, infer_window_specs
+from repro.errors import OptimizerError
+from repro.events.types import EventType
+
+OUT = EventType.define("Out", n="int")
+
+
+def p(op, value):
+    return ThresholdPredicate("X", op, value)
+
+
+def query(name, threshold):
+    return EventQuery(
+        name=name,
+        action=QueryAction.DERIVE,
+        pattern=EventMatch("A", "a"),
+        where=attr("n", "a").gt(threshold),
+        derive_type=OUT,
+        derive_items=(("n", attr("n", "a")),),
+    )
+
+
+Q1, Q2, Q3 = query("Q1", 1), query("Q2", 2), query("Q3", 3)
+
+
+def figure7_windows():
+    """Figure 7: c1 initiated at X>10 terminated at X<30 with {Q1, Q3};
+    c2 initiated at X>20 terminated at X<40 with {Q1, Q2}."""
+    return [
+        SymbolicWindow(
+            "c1", initiate=(p(">", 10),), terminate=(p("<", 30),),
+            queries=(Q1, Q3),
+        ),
+        SymbolicWindow(
+            "c2", initiate=(p(">", 20),), terminate=(p("<", 40),),
+            queries=(Q1, Q2),
+        ),
+    ]
+
+
+class TestFigure7Ordering:
+    def test_start_order_inferred(self):
+        specs = {s.name: s for s in infer_window_specs(figure7_windows())}
+        # X>20 implies X>10: c1 starts no later than c2
+        assert specs["c1"].start < specs["c2"].start
+
+    def test_end_order_inferred(self):
+        specs = {s.name: s for s in infer_window_specs(figure7_windows())}
+        # X<30 implies X<40: c1 ends no later than c2
+        assert specs["c1"].end < specs["c2"].end
+
+    def test_feeds_grouping_with_figure7_result(self):
+        """The inferred bounds reproduce Figure 7's split: three grouped
+        windows with workloads {Q1,Q3}, {Q1,Q2,Q3}, {Q1,Q2}."""
+        grouped = group_context_windows(infer_window_specs(figure7_windows()))
+        workloads = [
+            frozenset(q.name for q in window.queries) for window in grouped
+        ]
+        assert workloads == [
+            frozenset({"Q1", "Q3"}),
+            frozenset({"Q1", "Q2", "Q3"}),
+            frozenset({"Q1", "Q2"}),
+        ]
+
+
+class TestGeneralProperties:
+    def test_empty(self):
+        assert infer_window_specs([]) == []
+
+    def test_duplicate_names_rejected(self):
+        windows = [
+            SymbolicWindow("w", (p(">", 1),), (p("<", 2),)),
+            SymbolicWindow("w", (p(">", 3),), (p("<", 4),)),
+        ]
+        with pytest.raises(OptimizerError, match="duplicate"):
+            infer_window_specs(windows)
+
+    def test_incomparable_windows_share_layers(self):
+        """Predicates over different attributes imply nothing — both
+        windows land on the same start layer."""
+        windows = [
+            SymbolicWindow("a", (ThresholdPredicate("X", ">", 1),), (p("<", 9),)),
+            SymbolicWindow("b", (ThresholdPredicate("Y", ">", 1),), (p("<", 9),)),
+        ]
+        specs = {s.name: s for s in infer_window_specs(windows)}
+        assert specs["a"].start == specs["b"].start
+
+    def test_three_level_nesting(self):
+        windows = [
+            SymbolicWindow("outer", (p(">", 10),), (p("<", 90),), (Q1,)),
+            SymbolicWindow("middle", (p(">", 20),), (p("<", 80),), (Q2,)),
+            SymbolicWindow("inner", (p(">", 30),), (p("<", 70),), (Q3,)),
+        ]
+        specs = {s.name: s for s in infer_window_specs(windows)}
+        assert specs["outer"].start < specs["middle"].start < specs["inner"].start
+        assert specs["inner"].end < specs["middle"].end < specs["outer"].end
+        grouped = group_context_windows(infer_window_specs(windows))
+        # 5 grouped windows: onion layers in, peak, and out
+        assert len(grouped) == 5
+        peak = grouped[2]
+        assert {q.name for q in peak.queries} == {"Q1", "Q2", "Q3"}
+
+    def test_all_starts_precede_all_ends(self):
+        specs = infer_window_specs(figure7_windows())
+        max_start = max(s.start for s in specs)
+        min_end = min(s.end for s in specs)
+        assert max_start < min_end
+
+    def test_predicates_carried_into_specs(self):
+        specs = infer_window_specs(figure7_windows())
+        assert all(s.predicates for s in specs)

@@ -1,0 +1,58 @@
+"""Tests for the model visualization (Figure-1-style diagrams)."""
+
+from repro.core.viz import to_dot, to_text
+from repro.linearroad.queries import build_traffic_model
+from repro.pam.queries import build_pam_model
+
+
+class TestDot:
+    def test_all_contexts_are_nodes(self):
+        dot = to_dot(build_traffic_model())
+        for name in ("clear", "congestion", "accident"):
+            assert f'"{name}"' in dot
+
+    def test_default_context_double_circled(self):
+        dot = to_dot(build_traffic_model())
+        clear_line = next(
+            line for line in dot.splitlines()
+            if line.strip().startswith('"clear" [')
+        )
+        assert "peripheries=2" in clear_line
+
+    def test_transitions_are_edges(self):
+        dot = to_dot(build_traffic_model())
+        assert '"clear" -> "congestion"' in dot
+        assert '"clear" -> "accident"' in dot
+        # terminations return to the default context
+        assert '"accident" -> "clear"' in dot
+
+    def test_edge_labels_carry_conditions(self):
+        dot = to_dot(build_traffic_model(min_cars=12))
+        assert "initiate" in dot
+        assert "terminate" in dot
+        assert "12" in dot  # the threshold appears in a label
+
+    def test_valid_digraph_structure(self):
+        dot = to_dot(build_pam_model(), name="pam")
+        assert dot.startswith("digraph pam {")
+        assert dot.rstrip().endswith("}")
+        # balanced quotes on every line
+        assert all(line.count('"') % 2 == 0 for line in dot.splitlines())
+
+    def test_workload_sizes_annotated(self):
+        dot = to_dot(build_traffic_model())
+        assert "queries)" in dot
+
+
+class TestText:
+    def test_mentions_every_context_and_query(self):
+        text = to_text(build_traffic_model())
+        for name in ("clear", "congestion", "accident"):
+            assert f"[{name}]" in text
+        assert "derives TollNotification" in text
+        assert "initiate congestion" in text
+        assert "(default)" in text
+
+    def test_switch_transitions_rendered(self):
+        text = to_text(build_pam_model())
+        assert "switch vigorous" in text

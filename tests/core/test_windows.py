@@ -1,0 +1,154 @@
+"""Tests for context windows and the runtime window store (Definitions 1-2)."""
+
+import pytest
+
+from repro.core.windows import (
+    ContextWindow,
+    ContextWindowStore,
+    WindowSpec,
+    windows_contained,
+    windows_guaranteed_overlap,
+)
+from repro.errors import ModelError, UnknownContextError
+
+
+class TestContextWindow:
+    def test_open_window(self):
+        window = ContextWindow("congestion", 10)
+        assert window.is_open
+        assert window.duration is None
+        assert window.holds_at(10)
+        assert window.holds_at(1_000_000)
+        assert not window.holds_at(9)
+
+    def test_closed_window(self):
+        window = ContextWindow("congestion", 10, 50)
+        assert not window.is_open
+        assert window.duration == 40
+        assert window.holds_at(50)
+        assert not window.holds_at(51)
+
+
+class TestWindowSpec:
+    def test_bounds_validated(self):
+        with pytest.raises(ModelError, match="start < end"):
+            WindowSpec("w", start=5, end=5)
+
+    def test_overlap(self):
+        a = WindowSpec("a", start=0, end=10)
+        b = WindowSpec("b", start=5, end=15)
+        c = WindowSpec("c", start=10, end=20)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # half-open: touching is not overlap
+
+    def test_covers(self):
+        spec = WindowSpec("w", start=0, end=10)
+        assert spec.covers(0)
+        assert not spec.covers(10)
+
+    def test_guaranteed_overlap(self):
+        outer = WindowSpec("outer", start=0, end=100)
+        inner = WindowSpec("inner", start=20, end=50)
+        assert windows_guaranteed_overlap(inner, outer)
+        assert not windows_guaranteed_overlap(outer, inner)
+
+    def test_containment(self):
+        outer = WindowSpec("outer", start=0, end=100)
+        inner = WindowSpec("inner", start=20, end=50)
+        straddling = WindowSpec("s", start=50, end=150)
+        assert windows_contained(inner, outer)
+        assert not windows_contained(straddling, outer)
+
+
+class TestStoreLifecycle:
+    def make(self):
+        return ContextWindowStore(["congestion", "accident"], "clear")
+
+    def test_default_holds_at_startup(self):
+        store = self.make()
+        assert store.active_contexts() == ("clear",)
+
+    def test_initiate_evicts_default(self):
+        store = self.make()
+        assert store.initiate("congestion", 5) is True
+        assert store.active_contexts() == ("congestion",)
+        # the default window got closed at time 5
+        assert store.closed[-1].context_name == "clear"
+        assert store.closed[-1].end == 5
+
+    def test_initiate_idempotent(self):
+        store = self.make()
+        store.initiate("congestion", 5)
+        assert store.initiate("congestion", 9) is False
+        assert store.open_window("congestion").start == 5
+
+    def test_terminate_restores_default(self):
+        store = self.make()
+        store.initiate("congestion", 5)
+        assert store.terminate("congestion", 12) is True
+        assert store.active_contexts() == ("clear",)
+        assert store.open_window("clear").start == 12
+
+    def test_terminate_missing_window_noop(self):
+        store = self.make()
+        assert store.terminate("accident", 3) is False
+        assert store.active_contexts() == ("clear",)
+
+    def test_overlapping_windows(self):
+        store = self.make()
+        store.initiate("congestion", 1)
+        store.initiate("accident", 2)
+        assert set(store.active_contexts()) == {"accident", "congestion"}
+        store.terminate("congestion", 3)
+        assert store.active_contexts() == ("accident",)
+        assert not store.is_active("clear")
+
+    def test_switch_avoids_default_flicker(self):
+        store = ContextWindowStore(["moderate", "vigorous"], "rest")
+        store.initiate("moderate", 1)
+        store.switch("moderate", "vigorous", 7)
+        assert store.active_contexts() == ("vigorous",)
+        # the default never opened during the switch
+        clear_windows = [
+            w for w in store.closed if w.context_name == "rest" and w.start == 7
+        ]
+        assert clear_windows == []
+
+    def test_unknown_context(self):
+        store = self.make()
+        with pytest.raises(UnknownContextError):
+            store.initiate("nope", 0)
+        with pytest.raises(UnknownContextError):
+            store.terminate("nope", 0)
+
+    def test_counts(self):
+        store = self.make()
+        store.initiate("congestion", 1)
+        store.initiate("congestion", 2)
+        store.terminate("congestion", 3)
+        assert store.initiation_count == 1
+        assert store.termination_count == 1
+
+    def test_all_windows_history(self):
+        store = self.make()
+        store.initiate("congestion", 1)
+        store.terminate("congestion", 4)
+        names = [w.context_name for w in store.all_windows()]
+        # closed: clear (evicted), congestion; open: clear (restored)
+        assert names == ["clear", "congestion", "clear"]
+
+    def test_vector_and_window_set_agree(self):
+        store = self.make()
+        operations = [
+            ("initiate", "congestion", 1),
+            ("initiate", "accident", 2),
+            ("terminate", "congestion", 3),
+            ("terminate", "accident", 4),
+            ("initiate", "congestion", 5),
+        ]
+        for op, name, t in operations:
+            getattr(store, op)(name, t)
+            open_names = {
+                w.context_name for w in store.all_windows() if w.is_open
+            }
+            assert set(store.active_contexts()) == open_names

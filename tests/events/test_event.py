@@ -1,0 +1,100 @@
+"""Tests for simple and complex events."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.events.event import Event, derive_complex_event
+from repro.events.timebase import TimeInterval
+from repro.events.types import EventType
+
+REPORT = EventType.define("Report", vid="int", speed="int")
+ALERT = EventType.define("Alert", vid="int")
+
+
+class TestEventBasics:
+    def test_point_timestamp_becomes_interval(self):
+        event = Event(REPORT, 30, {"vid": 1, "speed": 50})
+        assert event.time == TimeInterval(30, 30)
+        assert event.timestamp == 30
+        assert event.start_time == 30
+
+    def test_attribute_access(self):
+        event = Event(REPORT, 0, {"vid": 7, "speed": 60})
+        assert event["vid"] == 7
+        assert event.get("speed") == 60
+        assert event.get("missing", -1) == -1
+        assert "vid" in event
+        assert "missing" not in event
+
+    def test_missing_attribute_raises(self):
+        event = Event(REPORT, 0, {"vid": 7, "speed": 60})
+        with pytest.raises(SchemaError, match="no attribute"):
+            event["lane"]
+
+    def test_immutability(self):
+        event = Event(REPORT, 0, {"vid": 1, "speed": 10})
+        with pytest.raises(AttributeError):
+            event.time = TimeInterval.point(5)
+
+    def test_payload_is_a_copy(self):
+        event = Event(REPORT, 0, {"vid": 1, "speed": 10})
+        payload = event.payload
+        payload["vid"] = 999
+        assert event["vid"] == 1
+
+    def test_validation_on_request(self):
+        with pytest.raises(SchemaError):
+            Event(REPORT, 0, {"vid": 1}, validate=True)
+        Event(REPORT, 0, {"vid": 1, "speed": 2}, validate=True)
+
+    def test_type_name(self):
+        assert Event(REPORT, 0, {}).type_name == "Report"
+
+    def test_event_ids_unique_and_increasing(self):
+        first = Event(REPORT, 0, {})
+        second = Event(REPORT, 0, {})
+        assert second.event_id > first.event_id
+
+
+class TestEventEquality:
+    def test_value_equality(self):
+        a = Event(REPORT, 5, {"vid": 1, "speed": 2})
+        b = Event(REPORT, 5, {"vid": 1, "speed": 2})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_payload(self):
+        a = Event(REPORT, 5, {"vid": 1, "speed": 2})
+        b = Event(REPORT, 5, {"vid": 1, "speed": 3})
+        assert a != b
+
+    def test_different_time(self):
+        assert Event(REPORT, 5, {"vid": 1}) != Event(REPORT, 6, {"vid": 1})
+
+
+class TestRestrict:
+    def test_restrict_projects_and_retags(self):
+        event = Event(REPORT, 3, {"vid": 9, "speed": 40})
+        restricted = event.restrict(["vid"], ALERT)
+        assert restricted.type_name == "Alert"
+        assert restricted.payload == {"vid": 9}
+        assert restricted.time == event.time
+
+
+class TestComplexEvents:
+    def test_derive_spans_contributors(self):
+        e1 = Event(REPORT, 10, {"vid": 1, "speed": 0})
+        e2 = Event(REPORT, 40, {"vid": 2, "speed": 0})
+        complex_event = derive_complex_event(ALERT, [e1, e2], {"vid": 1})
+        assert complex_event.time == TimeInterval(10, 40)
+        assert complex_event.is_complex
+        assert complex_event.derived_from == (e1, e2)
+        # timestamp of a complex event is the end of its interval
+        assert complex_event.timestamp == 40
+
+    def test_derive_requires_contributors(self):
+        with pytest.raises(ValueError, match="at least one"):
+            derive_complex_event(ALERT, [], {})
+
+    def test_simple_event_is_not_complex(self):
+        assert not Event(REPORT, 0, {}).is_complex

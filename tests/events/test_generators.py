@@ -1,0 +1,102 @@
+"""Tests for the synthetic stream builders."""
+
+import pytest
+
+from repro.events.generators import (
+    bursty_stream,
+    constant_rate_stream,
+    ramping_stream,
+    random_walk_payload,
+)
+from repro.events.types import EventType
+
+TICK = EventType.define("Tick", value="int", sec="int")
+
+
+class TestConstantRate:
+    def test_count_and_spacing(self):
+        stream = constant_rate_stream(
+            TICK, duration=100, interval=10, events_per_tick=2
+        )
+        assert len(stream) == 20
+        timestamps = sorted({e.timestamp for e in stream})
+        assert timestamps == list(range(0, 100, 10))
+
+    def test_deterministic(self):
+        a = constant_rate_stream(TICK, duration=50, interval=5, seed=3)
+        b = constant_rate_stream(TICK, duration=50, interval=5, seed=3)
+        assert [e.payload for e in a] == [e.payload for e in b]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError, match="positive"):
+            constant_rate_stream(TICK, duration=10, interval=0)
+
+
+class TestRamping:
+    def test_rate_increases(self):
+        stream = ramping_stream(
+            TICK, duration=100, interval=10, start_events=1, end_events=9
+        )
+        first = sum(1 for e in stream if e.timestamp == 0)
+        last = sum(1 for e in stream if e.timestamp == 90)
+        assert first == 1
+        assert last >= 8
+
+    def test_descending_ramp(self):
+        stream = ramping_stream(
+            TICK, duration=100, interval=10, start_events=9, end_events=1
+        )
+        first = sum(1 for e in stream if e.timestamp == 0)
+        last = sum(1 for e in stream if e.timestamp == 90)
+        assert first > last
+
+
+class TestBursty:
+    def test_bursts_have_more_events(self):
+        stream = bursty_stream(
+            TICK,
+            duration=200,
+            interval=10,
+            quiet_events=1,
+            burst_events=10,
+            burst_every=100,
+            burst_length=20,
+        )
+        in_burst = sum(1 for e in stream if e.timestamp == 0)
+        quiet = sum(1 for e in stream if e.timestamp == 50)
+        assert in_burst == 10
+        assert quiet == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="positive"):
+            bursty_stream(
+                TICK, duration=10, interval=10, quiet_events=1,
+                burst_events=2, burst_every=0, burst_length=1,
+            )
+
+
+class TestRandomWalk:
+    def test_bounded(self):
+        payload = random_walk_payload("value", start=50, step=20, low=0, high=100)
+        stream = constant_rate_stream(
+            TICK, duration=1000, interval=1, payload=payload, seed=7
+        )
+        values = [e["value"] for e in stream]
+        assert all(0 <= v <= 100 for v in values)
+
+    def test_walk_moves(self):
+        payload = random_walk_payload("value", step=10)
+        stream = constant_rate_stream(
+            TICK, duration=100, interval=1, payload=payload, seed=7
+        )
+        values = {e["value"] for e in stream}
+        assert len(values) > 10
+
+    def test_steps_bounded(self):
+        payload = random_walk_payload("value", step=5)
+        stream = constant_rate_stream(
+            TICK, duration=200, interval=1, payload=payload, seed=7
+        )
+        values = [e["value"] for e in stream]
+        diffs = [abs(b - a) for a, b in zip(values, values[1:])]
+        assert max(diffs) <= 5 + 1e-9

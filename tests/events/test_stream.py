@@ -1,0 +1,113 @@
+"""Tests for event streams and batches."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StreamOrderError
+from repro.events.event import Event
+from repro.events.stream import EventStream, StreamBatch, merge_streams
+from repro.events.types import EventType
+
+TICK = EventType.define("Tick", n="int")
+
+
+def tick(t, n=0):
+    return Event(TICK, t, {"n": n})
+
+
+class TestEventStream:
+    def test_append_in_order(self):
+        stream = EventStream()
+        stream.append(tick(1))
+        stream.append(tick(2))
+        assert len(stream) == 2
+        assert stream.last_timestamp == 2
+
+    def test_equal_timestamps_allowed(self):
+        stream = EventStream([tick(5), tick(5)])
+        assert len(stream) == 2
+
+    def test_out_of_order_rejected(self):
+        stream = EventStream([tick(5)])
+        with pytest.raises(StreamOrderError, match="arrived"):
+            stream.append(tick(4))
+
+    def test_indexing_and_iteration(self):
+        events = [tick(0), tick(1), tick(2)]
+        stream = EventStream(events)
+        assert stream[1] is events[1]
+        assert list(stream) == events
+
+    def test_events_between(self):
+        stream = EventStream([tick(0), tick(5), tick(10), tick(15)])
+        selected = stream.events_between(5, 10)
+        assert [e.timestamp for e in selected] == [5, 10]
+
+    def test_filter(self):
+        stream = EventStream([tick(0, 1), tick(1, 2), tick(2, 3)])
+        filtered = stream.filter(lambda e: e["n"] > 1)
+        assert [e["n"] for e in filtered] == [2, 3]
+
+
+class TestBatches:
+    def test_batches_group_by_timestamp(self):
+        stream = EventStream([tick(0), tick(0), tick(1), tick(2), tick(2)])
+        batches = list(stream.batches())
+        assert [b.timestamp for b in batches] == [0, 1, 2]
+        assert [len(b) for b in batches] == [2, 1, 2]
+
+    def test_empty_stream_yields_no_batches(self):
+        assert list(EventStream().batches()) == []
+
+    def test_batch_rejects_mixed_timestamps(self):
+        with pytest.raises(StreamOrderError, match="share one timestamp"):
+            StreamBatch([tick(1), tick(2)])
+
+    def test_batch_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            StreamBatch([])
+
+    def test_batch_sequence_protocol(self):
+        batch = StreamBatch([tick(3, 1), tick(3, 2)])
+        assert len(batch) == 2
+        assert batch[0]["n"] == 1
+        assert [e["n"] for e in batch] == [1, 2]
+
+
+class TestMerge:
+    def test_merge_preserves_global_order(self):
+        a = EventStream([tick(0), tick(4), tick(8)])
+        b = EventStream([tick(1), tick(4), tick(9)])
+        merged = merge_streams(a, b)
+        times = [e.timestamp for e in merged]
+        assert times == sorted(times)
+        assert len(merged) == 6
+
+    def test_merge_empty_streams(self):
+        assert len(merge_streams(EventStream(), EventStream())) == 0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), max_size=30),
+        st.lists(st.integers(min_value=0, max_value=100), max_size=30),
+    )
+    def test_merge_property(self, times_a, times_b):
+        a = EventStream(tick(t) for t in sorted(times_a))
+        b = EventStream(tick(t) for t in sorted(times_b))
+        merged = merge_streams(a, b)
+        assert len(merged) == len(times_a) + len(times_b)
+        times = [e.timestamp for e in merged]
+        assert times == sorted(times_a + times_b)
+
+
+class TestStreamProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=40))
+    def test_batches_partition_the_stream(self, times):
+        stream = EventStream(tick(t) for t in sorted(times))
+        batches = list(stream.batches())
+        # batches cover every event exactly once, in order
+        flattened = [e for batch in batches for e in batch]
+        assert flattened == list(stream)
+        # batch timestamps strictly increase
+        stamps = [b.timestamp for b in batches]
+        assert stamps == sorted(set(stamps))

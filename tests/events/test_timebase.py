@@ -1,0 +1,123 @@
+"""Tests for the time domain (Section 2 preliminaries)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.events.timebase import TimeInterval, interval_contains, intervals_overlap
+
+
+class TestTimeIntervalConstruction:
+    def test_point_interval(self):
+        interval = TimeInterval.point(5)
+        assert interval.start == 5
+        assert interval.end == 5
+        assert interval.is_point
+        assert interval.duration == 0
+
+    def test_proper_interval(self):
+        interval = TimeInterval(2, 7)
+        assert not interval.is_point
+        assert interval.duration == 5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            TimeInterval(-1, 4)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="precede"):
+            TimeInterval(5, 3)
+
+    def test_fractional_times_allowed(self):
+        interval = TimeInterval(0.5, 1.75)
+        assert interval.duration == 1.25
+
+
+class TestContainment:
+    def test_contains_endpoints(self):
+        interval = TimeInterval(2, 7)
+        assert interval.contains(2)
+        assert interval.contains(7)
+
+    def test_contains_interior(self):
+        assert TimeInterval(2, 7).contains(5)
+
+    def test_excludes_outside(self):
+        interval = TimeInterval(2, 7)
+        assert not interval.contains(1.9)
+        assert not interval.contains(7.1)
+
+    def test_contains_interval(self):
+        assert TimeInterval(0, 10).contains_interval(TimeInterval(2, 7))
+        assert not TimeInterval(2, 7).contains_interval(TimeInterval(0, 10))
+        assert TimeInterval(2, 7).contains_interval(TimeInterval(2, 7))
+
+    def test_module_level_alias(self):
+        assert interval_contains(TimeInterval(0, 4), 3)
+
+
+class TestOverlap:
+    def test_overlapping(self):
+        assert TimeInterval(0, 5).overlaps(TimeInterval(3, 8))
+
+    def test_touching_counts_as_overlap(self):
+        # closed intervals share the boundary point
+        assert TimeInterval(0, 5).overlaps(TimeInterval(5, 8))
+
+    def test_disjoint(self):
+        assert not TimeInterval(0, 4).overlaps(TimeInterval(5, 8))
+        assert not intervals_overlap(TimeInterval(6, 9), TimeInterval(0, 5))
+
+    def test_precedes(self):
+        assert TimeInterval(0, 4).precedes(TimeInterval(5, 8))
+        assert not TimeInterval(0, 5).precedes(TimeInterval(5, 8))
+
+
+class TestSpanAndIntersect:
+    def test_span(self):
+        assert TimeInterval(1, 3).span(TimeInterval(5, 9)) == TimeInterval(1, 9)
+
+    def test_span_is_commutative(self):
+        a, b = TimeInterval(1, 3), TimeInterval(2, 9)
+        assert a.span(b) == b.span(a)
+
+    def test_intersect_overlapping(self):
+        assert TimeInterval(0, 5).intersect(TimeInterval(3, 8)) == TimeInterval(3, 5)
+
+    def test_intersect_disjoint_is_none(self):
+        assert TimeInterval(0, 2).intersect(TimeInterval(3, 8)) is None
+
+
+bounded_times = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def intervals(draw):
+    start = draw(bounded_times)
+    end = draw(st.integers(min_value=start, max_value=start + 10_000))
+    return TimeInterval(start, end)
+
+
+class TestIntervalProperties:
+    @given(intervals(), intervals())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(intervals(), intervals())
+    def test_span_covers_both(self, a, b):
+        span = a.span(b)
+        assert span.contains_interval(a)
+        assert span.contains_interval(b)
+
+    @given(intervals(), intervals())
+    def test_intersection_inside_both(self, a, b):
+        intersection = a.intersect(b)
+        if intersection is None:
+            assert not a.overlaps(b)
+        else:
+            assert a.contains_interval(intersection)
+            assert b.contains_interval(intersection)
+
+    @given(intervals(), bounded_times)
+    def test_contains_consistent_with_bounds(self, interval, t):
+        assert interval.contains(t) == (interval.start <= t <= interval.end)

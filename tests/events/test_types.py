@@ -1,0 +1,108 @@
+"""Tests for event types and schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.events.types import (
+    AttributeSpec,
+    EventSchema,
+    EventType,
+    build_type_registry,
+)
+
+
+class TestAttributeSpec:
+    def test_valid_spec(self):
+        spec = AttributeSpec("vid", "int")
+        assert spec.accepts(42)
+
+    def test_int_domain_rejects_bool(self):
+        assert not AttributeSpec("flag", "int").accepts(True)
+
+    def test_float_domain_accepts_int(self):
+        assert AttributeSpec("speed", "float").accepts(55)
+
+    def test_str_domain(self):
+        spec = AttributeSpec("lane", "str")
+        assert spec.accepts("exit")
+        assert not spec.accepts(4)
+
+    def test_object_domain_accepts_anything(self):
+        spec = AttributeSpec("blob")
+        assert spec.accepts([1, 2])
+        assert spec.accepts(None) or True  # None is an object too
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError, match="invalid attribute name"):
+            AttributeSpec("not a name", "int")
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(SchemaError, match="unknown domain"):
+            AttributeSpec("x", "decimal")
+
+
+class TestEventSchema:
+    def test_from_mapping_preserves_order(self):
+        schema = EventSchema.from_mapping({"a": "int", "b": "str"})
+        assert schema.attribute_names == ("a", "b")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            EventSchema((AttributeSpec("a", "int"), AttributeSpec("a", "str")))
+
+    def test_contains(self):
+        schema = EventSchema.from_mapping({"vid": "int"})
+        assert "vid" in schema
+        assert "speed" not in schema
+
+    def test_validate_accepts_conforming_payload(self):
+        schema = EventSchema.from_mapping({"vid": "int", "lane": "str"})
+        schema.validate({"vid": 3, "lane": "exit"})  # should not raise
+
+    def test_validate_missing_attribute(self):
+        schema = EventSchema.from_mapping({"vid": "int"})
+        with pytest.raises(SchemaError, match="missing"):
+            schema.validate({})
+
+    def test_validate_extra_attribute(self):
+        schema = EventSchema.from_mapping({"vid": "int"})
+        with pytest.raises(SchemaError, match="unexpected"):
+            schema.validate({"vid": 1, "oops": 2})
+
+    def test_validate_wrong_domain(self):
+        schema = EventSchema.from_mapping({"vid": "int"})
+        with pytest.raises(SchemaError, match="domain"):
+            schema.validate({"vid": "three"})
+
+
+class TestEventType:
+    def test_define_helper(self):
+        et = EventType.define("Report", vid="int", lane="str")
+        assert et.name == "Report"
+        assert et.schema.attribute_names == ("vid", "lane")
+
+    def test_equality_by_name(self):
+        a = EventType.define("Report", vid="int")
+        b = EventType.define("Report", speed="int")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert EventType("A") != EventType("B")
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError, match="invalid event type name"):
+            EventType("3Bad")
+
+    def test_str(self):
+        assert str(EventType("Report")) == "Report"
+
+
+class TestTypeRegistry:
+    def test_registry(self):
+        registry = build_type_registry([EventType("A"), EventType("B")])
+        assert set(registry) == {"A", "B"}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate event type"):
+            build_type_registry([EventType("A"), EventType("A")])

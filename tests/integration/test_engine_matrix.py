@@ -1,0 +1,111 @@
+"""All four engine configurations derive identical outputs.
+
+The two optimization dimensions — context window push-down (``optimize``)
+and context-aware routing (``context_aware``) — are independent switches;
+Figure 11(b) uses (optimize, ¬context_aware) vs (¬optimize, ¬context_aware)
+while Figure 12 uses the full CA engine vs the full CI baseline.  All four
+corners must be output-equivalent, and costs must be ordered: every
+optimization can only reduce work.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime.engine import CaesarEngine
+
+READING = EventType.define("Reading", value="int", sec="int")
+
+
+def build_model():
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN Reading r WHERE r.value > 100 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN Reading r WHERE r.value <= 100 "
+        "CONTEXT alert", name="down"))
+    model.add_query(parse_query(
+        "DERIVE Alarm(r.value, r.sec) PATTERN Reading r CONTEXT alert",
+        name="alarm"))
+    model.add_query(parse_query(
+        "DERIVE Pair(a.sec, b.sec) PATTERN SEQ(Reading a, Reading b) "
+        "WHERE a.value = b.value CONTEXT alert", name="pairs"))
+    return model
+
+
+def stream(values):
+    return EventStream(
+        Event(READING, t * 10, {"value": v, "sec": t * 10})
+        for t, v in enumerate(values)
+    )
+
+
+def run(optimize, context_aware, values):
+    engine = CaesarEngine(
+        build_model(),
+        optimize=optimize,
+        context_aware=context_aware,
+        retention=500,
+    )
+    return engine.run(stream(values))
+
+
+def outputs_key(report):
+    return sorted(
+        (e.type_name, e.start_time, e.timestamp,
+         str(sorted(e.payload.items())))
+        for e in report.outputs
+    )
+
+
+FLAG_CORNERS = list(itertools.product([True, False], repeat=2))
+
+
+class TestEngineMatrix:
+    @given(st.lists(st.integers(0, 250), min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_all_corners_equivalent(self, values):
+        reports = {
+            flags: run(*flags, values) for flags in FLAG_CORNERS
+        }
+        keys = {flags: outputs_key(r) for flags, r in reports.items()}
+        reference = keys[(True, True)]
+        for flags, key in keys.items():
+            assert key == reference, f"outputs differ for flags {flags}"
+
+    @given(st.lists(st.integers(0, 250), min_size=5, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_cost_ordering(self, values):
+        """The fully optimized corner never costs more than the fully
+        unoptimized one (small bookkeeping tolerance, cf. the equivalence
+        suite's note on state-reset timing)."""
+        full = run(True, True, values)
+        none = run(False, False, values)
+        assert full.cost_units <= none.cost_units * 1.02 + 2.0
+
+    def test_routing_alone_suspends(self):
+        """context_aware routing suppresses batches even without push-down."""
+        values = [10] * 20  # alert never activates
+        report = run(False, True, values)
+        assert report.suppressed_batches > 0
+
+    def test_pushdown_alone_suspends_pipelines(self):
+        """With routing off, the pushed-down window still guards the plans:
+        pattern operators of the inactive context never run."""
+        values = [10] * 20
+        report = run(True, False, values)
+        # everything was routed (no router suppression)...
+        assert report.suppressed_batches == 0
+        # ...but the alert workload spent only the window lookups
+        alert_cost = report.cost_by_context["alert"]
+        normal_cost = report.cost_by_context["normal"]
+        assert alert_cost < normal_cost / 2

@@ -1,0 +1,118 @@
+"""Model-level fuzzing: random well-formed models never crash the engine,
+and the CA/CI equivalence holds across randomly generated context graphs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime.baseline import ContextIndependentEngine
+from repro.runtime.engine import CaesarEngine
+
+READING = EventType.define("Reading", value="int", sec="int")
+
+CONTEXT_NAMES = ("base", "c1", "c2", "c3")
+
+
+@st.composite
+def random_model(draw):
+    """A random chain/graph of contexts with threshold transitions.
+
+    Context i is entered when ``value`` crosses ``100 * (i + 1)`` and left
+    below it — randomly via INITIATE/TERMINATE or SWITCH — plus a random
+    number of DERIVE queries per context.
+    """
+    depth = draw(st.integers(min_value=1, max_value=3))
+    model = CaesarModel(default_context="base")
+    for index in range(depth):
+        model.add_context(CONTEXT_NAMES[index + 1])
+    for index in range(depth):
+        source = CONTEXT_NAMES[index]
+        target = CONTEXT_NAMES[index + 1]
+        threshold = 100 * (index + 1)
+        use_switch = index > 0 and draw(st.booleans())
+        if use_switch:
+            model.add_query(parse_query(
+                f"SWITCH CONTEXT {target} PATTERN Reading r "
+                f"WHERE r.value >= {threshold} CONTEXT {source}",
+                name=f"up{index}"))
+            if source != "base":
+                model.add_query(parse_query(
+                    f"SWITCH CONTEXT {source} PATTERN Reading r "
+                    f"WHERE r.value < {threshold} CONTEXT {target}",
+                    name=f"down{index}"))
+            else:
+                model.add_query(parse_query(
+                    f"TERMINATE CONTEXT {target} PATTERN Reading r "
+                    f"WHERE r.value < {threshold} CONTEXT {target}",
+                    name=f"down{index}"))
+        else:
+            model.add_query(parse_query(
+                f"INITIATE CONTEXT {target} PATTERN Reading r "
+                f"WHERE r.value >= {threshold} CONTEXT {source}",
+                name=f"up{index}"))
+            model.add_query(parse_query(
+                f"TERMINATE CONTEXT {target} PATTERN Reading r "
+                f"WHERE r.value < {threshold} CONTEXT {target}",
+                name=f"down{index}"))
+        query_count = draw(st.integers(min_value=0, max_value=2))
+        for q in range(query_count):
+            model.add_query(parse_query(
+                f"DERIVE Out{index}_{q}(r.value, r.sec) PATTERN Reading r "
+                f"WHERE r.value > {q * 37} CONTEXT {target}",
+                name=f"d{index}_{q}"))
+    return model
+
+
+values_strategy = st.lists(
+    st.integers(min_value=0, max_value=400), min_size=1, max_size=50
+)
+
+
+def build_stream(values):
+    return EventStream(
+        Event(READING, t * 10, {"value": v, "sec": t * 10})
+        for t, v in enumerate(values)
+    )
+
+
+def output_key(report):
+    return sorted(
+        (e.type_name, e.timestamp, str(sorted(e.payload.items())))
+        for e in report.outputs
+    )
+
+
+class TestModelFuzz:
+    @given(random_model(), values_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_engine_never_crashes(self, model, values):
+        report = CaesarEngine(model).run(build_stream(values))
+        assert report.events_processed == len(values)
+
+    @given(random_model(), values_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_ca_ci_equivalence_on_random_models(self, model, values):
+        ca = CaesarEngine(model).run(build_stream(values))
+        ci = ContextIndependentEngine(model).run(build_stream(values))
+        assert output_key(ca) == output_key(ci)
+
+    @given(random_model(), values_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_window_set_always_consistent(self, model, values):
+        engine = CaesarEngine(model)
+        engine.run(build_stream(values))
+        store = engine.partition_store(None)
+        open_names = {
+            w.context_name for w in store.all_windows() if w.is_open
+        }
+        assert set(store.active_contexts()) == open_names
+        # exactly the default is open iff no user context is
+        if open_names == {"base"}:
+            assert store.is_active("base")
+        else:
+            assert "base" not in open_names

@@ -1,0 +1,105 @@
+"""End-to-end overlapping contexts (Section 3.4): accident during
+congestion — both workloads run concurrently on the same partition."""
+
+import pytest
+from dataclasses import replace
+
+from repro.linearroad.generator import LinearRoadConfig, generate_stream
+from repro.linearroad.queries import (
+    ACCIDENT,
+    CLEAR,
+    CONGESTION,
+    build_traffic_model,
+    segment_partitioner,
+)
+from repro.linearroad.simulator import SegmentInterval
+from repro.runtime.engine import CaesarEngine
+
+
+@pytest.fixture(scope="module")
+def report():
+    """Congestion holds [120, 480); an accident strikes inside it
+    [240, 360) — the paper's motivating overlap.  The run ends with a clear
+    phase so the minute-granular statistics can observe both terminations.
+    """
+    base = LinearRoadConfig(
+        num_roads=1,
+        segments_per_road=1,
+        duration_minutes=10,
+        cars_clear=8,
+        cars_congested=16,
+        cars_accident=16,
+        seed=29,
+    )
+    config = replace(
+        base,
+        congestion_schedule=(SegmentInterval(0, 0, 0, 120, 480),),
+        accident_schedule=(SegmentInterval(0, 0, 0, 240, 360),),
+    )
+    engine = CaesarEngine(
+        build_traffic_model(min_cars=6),
+        partition_by=segment_partitioner,
+        retention=120,
+    )
+    return engine.run(generate_stream(config))
+
+
+def occupies(window, t):
+    return window.start <= t and (window.end is None or t < window.end)
+
+
+class TestOverlap:
+    def test_both_contexts_hold_simultaneously(self, report):
+        windows = report.windows_by_partition[(0, 0, 0)]
+        # probe the middle of the accident phase
+        t = 320
+        active = {w.context_name for w in windows if occupies(w, t)}
+        assert CONGESTION in active
+        assert ACCIDENT in active
+        assert CLEAR not in active
+
+    def test_accident_does_not_terminate_congestion(self, report):
+        """Query 3's point (Section 3.4): initiating accident must leave
+        the congestion window running."""
+        windows = report.windows_by_partition[(0, 0, 0)]
+        congestion_windows = [
+            w for w in windows if w.context_name == CONGESTION
+        ]
+        # one uninterrupted congestion window spanning the accident
+        assert len(congestion_windows) == 1
+        accident_windows = [w for w in windows if w.context_name == ACCIDENT]
+        assert len(accident_windows) == 1
+        assert congestion_windows[0].start < accident_windows[0].start
+        assert (
+            accident_windows[0].end is not None
+            and congestion_windows[0].end is not None
+            and accident_windows[0].end < congestion_windows[0].end
+        )
+
+    def test_both_workloads_produce_during_overlap(self, report):
+        windows = report.windows_by_partition[(0, 0, 0)]
+        accident = next(w for w in windows if w.context_name == ACCIDENT)
+        overlap_tolls = [
+            e for e in report.outputs
+            if e.type_name == "TollNotification"
+            and accident.start <= e.timestamp < accident.end
+        ]
+        overlap_warnings = [
+            e for e in report.outputs
+            if e.type_name == "AccidentWarning"
+            and accident.start <= e.timestamp < accident.end
+        ]
+        assert overlap_tolls, "toll workload suspended during the overlap"
+        assert overlap_warnings, "accident workload missing during overlap"
+
+    def test_default_restored_only_after_both_end(self, report):
+        windows = report.windows_by_partition[(0, 0, 0)]
+        congestion_end = next(
+            w for w in windows if w.context_name == CONGESTION
+        ).end
+        clear_restorations = [
+            w for w in windows
+            if w.context_name == CLEAR and w.start > 0
+        ]
+        assert clear_restorations
+        assert min(w.start for w in clear_restorations) >= congestion_end

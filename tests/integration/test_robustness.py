@@ -1,0 +1,143 @@
+"""Failure injection and edge-case robustness of the full engine."""
+
+import pytest
+
+from repro.core.model import CaesarModel
+from repro.errors import StreamOrderError
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime.engine import CaesarEngine
+
+READING = EventType.define("Reading", value="int", sec="int")
+MIXED = EventType.define("Mixed", label="str")
+
+
+def build_model():
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN Reading r WHERE r.value > 100 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN Reading r WHERE r.value <= 100 "
+        "CONTEXT alert", name="down"))
+    model.add_query(parse_query(
+        "DERIVE Alarm(r.value) PATTERN Reading r CONTEXT alert",
+        name="alarm"))
+    return model
+
+
+def reading(t, value):
+    return Event(READING, t, {"value": value, "sec": t})
+
+
+class TestEdgeStreams:
+    def test_empty_stream(self):
+        report = CaesarEngine(build_model()).run(EventStream())
+        assert report.events_processed == 0
+        assert report.outputs == []
+        assert report.max_latency == 0.0
+
+    def test_single_event(self):
+        report = CaesarEngine(build_model()).run(
+            EventStream([reading(0, 500)])
+        )
+        assert report.outputs_by_type == {"Alarm": 1}
+
+    def test_all_events_same_timestamp(self):
+        events = [reading(5, v) for v in (150, 160, 170)]
+        report = CaesarEngine(build_model()).run(EventStream(events))
+        assert report.batches == 1
+        # the first event raises the context; all three are processed in it
+        assert report.outputs_by_type == {"Alarm": 3}
+
+    def test_huge_timestamp_gaps(self):
+        events = [reading(0, 150), reading(10**9, 160)]
+        report = CaesarEngine(build_model()).run(EventStream(events))
+        assert report.outputs_by_type["Alarm"] == 2
+
+    def test_fractional_timestamps(self):
+        events = [reading(0.5, 150), reading(1.25, 90), reading(2.75, 120)]
+        report = CaesarEngine(build_model()).run(EventStream(events))
+        assert report.outputs_by_type["Alarm"] == 2
+
+
+class TestForeignAndMalformedEvents:
+    def test_unknown_event_types_flow_through_harmlessly(self):
+        events = [
+            reading(0, 150),
+            Event(MIXED, 1, {"label": "noise"}),
+            reading(2, 160),
+        ]
+        report = CaesarEngine(build_model()).run(EventStream(events))
+        assert report.outputs_by_type["Alarm"] == 2
+
+    def test_missing_attributes_drop_from_predicates(self):
+        """A Reading without `value` cannot satisfy the WHERE predicates —
+        it is ignored rather than crashing the engine."""
+        events = [
+            Event(READING, 0, {"sec": 0}),  # malformed: no value
+            reading(1, 150),
+        ]
+        report = CaesarEngine(build_model()).run(EventStream(events))
+        assert report.outputs_by_type["Alarm"] == 1
+
+    def test_derive_item_on_missing_attribute_drops_event(self):
+        model = CaesarModel(default_context="d")
+        model.add_query(parse_query(
+            "DERIVE Out(r.nonexistent) PATTERN Reading r", name="q"))
+        report = CaesarEngine(model).run(EventStream([reading(0, 1)]))
+        assert report.outputs == []
+
+
+class TestStreamContractViolations:
+    def test_out_of_order_stream_construction_rejected(self):
+        with pytest.raises(StreamOrderError):
+            EventStream([reading(10, 1), reading(5, 1)])
+
+
+class TestStateAccounting:
+    def test_gc_reclaims_state_of_starved_patterns(self):
+        """A pattern expires its own stale state while consuming; the
+        garbage collector covers patterns whose input dries up."""
+        model = CaesarModel(default_context="d")
+        model.add_query(parse_query(
+            "DERIVE Pair(a.sec, b.sec) PATTERN SEQ(Reading a, Marker b)",
+            name="pairs"))
+        engine = CaesarEngine(model, retention=50, gc_interval=50)
+        # readings open partial matches; Marker events never come, and the
+        # unrelated Mixed traffic keeps time moving without feeding the
+        # pattern — only the GC can reclaim the stale partials
+        events = [reading(t, t) for t in range(0, 50, 10)]
+        events += [
+            Event(MIXED, t, {"label": "noise"}) for t in range(50, 2000, 10)
+        ]
+        report = engine.run(EventStream(events))
+        assert report.gc_collected >= 5
+
+    def test_history_discard_counted(self):
+        engine = CaesarEngine(build_model())
+        values = [150, 50, 150, 50, 150, 50]
+        events = [reading(t * 10, v) for t, v in enumerate(values)]
+        report = engine.run(EventStream(events))
+        # the alert context terminated multiple times
+        assert report.history_discards >= 2
+
+    def test_rerunning_engine_instance_continues_state(self):
+        """An engine instance holds its partitions across run() calls —
+        time must keep moving forward."""
+        engine = CaesarEngine(build_model())
+        engine.run(EventStream([reading(0, 150)]))
+        report = engine.run(EventStream([reading(10, 160)]))
+        # the alert context raised in the first run still holds
+        assert report.outputs_by_type.get("Alarm") == 1
+
+
+class TestLargeBatches:
+    def test_thousand_event_batch(self):
+        events = [reading(1, 150 + i % 10) for i in range(1000)]
+        report = CaesarEngine(build_model()).run(EventStream(events))
+        assert report.events_processed == 1000
+        assert report.outputs_by_type["Alarm"] == 1000

@@ -1,0 +1,114 @@
+"""Tests for the application testing toolkit (repro.testing)."""
+
+import pytest
+
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.testing import trace_model
+
+READING = EventType.define("Reading", value="int", sec="int", zone="int")
+
+
+def build_model():
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN Reading r WHERE r.value > 100 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN Reading r WHERE r.value <= 100 "
+        "CONTEXT alert", name="down"))
+    model.add_query(parse_query(
+        "DERIVE Alarm(r.value) PATTERN Reading r CONTEXT alert",
+        name="alarm"))
+    return model
+
+
+def make_trace(values=(50, 150, 90, 130, 40), zone=0):
+    events = [
+        Event(READING, t * 10, {"value": v, "sec": t * 10, "zone": zone})
+        for t, v in enumerate(values)
+    ]
+    return trace_model(build_model(), events)
+
+
+class TestLookups:
+    def test_contexts_at(self):
+        trace = make_trace()
+        assert trace.contexts_at(0) == ("normal",)
+        assert trace.contexts_at(15) == ("alert",)
+        assert trace.contexts_at(20) == ("normal",)
+
+    def test_transitions(self):
+        trace = make_trace()
+        assert trace.transitions() == [
+            ("normal", "alert"),
+            ("alert", "normal"),
+            ("normal", "alert"),
+            ("alert", "normal"),
+        ]
+
+    def test_derived(self):
+        trace = make_trace()
+        assert [e["value"] for e in trace.derived("Alarm")] == [150, 130]
+        assert trace.derived("Nothing") == []
+
+
+class TestAssertions:
+    def test_assert_context_active_passes(self):
+        make_trace().assert_context_active("alert", at=12)
+
+    def test_assert_context_active_fails_with_diagnostics(self):
+        with pytest.raises(AssertionError, match="not active at t=0"):
+            make_trace().assert_context_active("alert", at=0)
+
+    def test_assert_context_inactive(self):
+        trace = make_trace()
+        trace.assert_context_inactive("alert", at=0)
+        with pytest.raises(AssertionError, match="unexpectedly active"):
+            trace.assert_context_inactive("alert", at=12)
+
+    def test_assert_derived_exact(self):
+        trace = make_trace()
+        trace.assert_derived("Alarm", count=2)
+        with pytest.raises(AssertionError, match="exactly 5"):
+            trace.assert_derived("Alarm", count=5)
+
+    def test_assert_derived_at_least(self):
+        trace = make_trace()
+        trace.assert_derived("Alarm", at_least=1)
+        with pytest.raises(AssertionError, match="at least 10"):
+            trace.assert_derived("Alarm", at_least=10)
+
+    def test_assert_derived_default_nonzero(self):
+        trace = make_trace()
+        trace.assert_derived("Alarm")
+        with pytest.raises(AssertionError, match="no 'Missing' events"):
+            trace.assert_derived("Missing")
+
+    def test_assert_nothing_derived(self):
+        trace = make_trace(values=(10, 20, 30))
+        trace.assert_nothing_derived("Alarm")
+        with pytest.raises(AssertionError, match="expected no"):
+            make_trace().assert_nothing_derived("Alarm")
+
+
+class TestPartitioned:
+    def test_partitioned_trace(self):
+        events = []
+        for t in range(4):
+            events.append(
+                Event(READING, t * 10,
+                      {"value": 150 if t else 10, "sec": t * 10, "zone": 1})
+            )
+            events.append(
+                Event(READING, t * 10,
+                      {"value": 10, "sec": t * 10, "zone": 2})
+            )
+        trace = trace_model(
+            build_model(), events, partition_by=lambda e: e["zone"]
+        )
+        trace.assert_context_active("alert", at=15, partition=1)
+        trace.assert_context_inactive("alert", at=15, partition=2)

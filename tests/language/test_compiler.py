@@ -1,0 +1,145 @@
+"""Tests for compiling query ASTs into EventQuery descriptors."""
+
+import pytest
+
+from repro.algebra.pattern import EventMatch, NegatedSpec, Sequence
+from repro.core.queries import QueryAction
+from repro.errors import CompileError
+from repro.events.types import EventType
+from repro.language import parse_query
+
+
+class TestDerivingQueries:
+    def test_initiate(self):
+        query = parse_query(
+            "INITIATE CONTEXT accident PATTERN Accident CONTEXT clear",
+            name="q3",
+        )
+        assert query.action is QueryAction.INITIATE
+        assert query.target_context == "accident"
+        assert query.contexts == ("clear",)
+        assert query.is_deriving
+
+    def test_switch(self):
+        query = parse_query(
+            "SWITCH CONTEXT clear PATTERN Stats s WHERE s.cars < 10 "
+            "CONTEXT congestion"
+        )
+        assert query.action is QueryAction.SWITCH
+        assert query.where is not None
+
+    def test_terminate(self):
+        query = parse_query(
+            "TERMINATE CONTEXT accident PATTERN Stats s CONTEXT accident"
+        )
+        assert query.action is QueryAction.TERMINATE
+
+
+class TestProcessingQueries:
+    def test_derive_items_named_from_attrs(self):
+        query = parse_query(
+            "DERIVE Toll(p.vid, p.sec, 5) PATTERN Car p CONTEXT congestion"
+        )
+        assert query.action is QueryAction.DERIVE
+        names = [name for name, _ in query.derive_items]
+        assert names == ["vid", "sec", "arg2"]
+
+    def test_duplicate_item_names_deduplicated(self):
+        query = parse_query("DERIVE X(a.n, b.n) PATTERN SEQ(A a, B b)")
+        names = [name for name, _ in query.derive_items]
+        assert names == ["n", "n2"]
+
+    def test_declared_type_used(self):
+        toll = EventType.define("Toll", vid="int")
+        query = parse_query(
+            "DERIVE Toll(p.vid) PATTERN Car p", types={"Toll": toll}
+        )
+        assert query.derive_type is toll
+
+    def test_undeclared_type_created_schemaless(self):
+        query = parse_query("DERIVE Fresh(p.vid) PATTERN Car p")
+        assert query.derive_type.name == "Fresh"
+
+
+class TestWhereSplit:
+    def test_guard_extraction(self):
+        """Conjuncts referencing a negated variable become its guard."""
+        query = parse_query(
+            "DERIVE X(p2.vid) "
+            "PATTERN SEQ(NOT PositionReport p1, PositionReport p2) "
+            "WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid "
+            "AND p2.lane != 'exit'"
+        )
+        assert isinstance(query.pattern, Sequence)
+        negated = query.pattern.elements[0]
+        assert isinstance(negated, NegatedSpec)
+        assert negated.guard is not None
+        assert negated.guard.variables() == {"p1", "p2"}
+        # residual filter only references positive variables
+        assert query.where is not None
+        assert query.where.variables() == {"p2"}
+
+    def test_no_guard_when_where_ignores_negated_var(self):
+        query = parse_query(
+            "DERIVE X(p2.vid) PATTERN SEQ(NOT A p1, B p2) WHERE p2.vid > 3"
+        )
+        assert query.pattern.elements[0].guard is None
+
+    def test_conjunct_over_two_negated_vars_rejected(self):
+        with pytest.raises(CompileError, match="multiple negated"):
+            parse_query(
+                "DERIVE X(p.vid) PATTERN SEQ(NOT A a, P p, NOT B b) "
+                "WHERE a.n = b.n"
+            )
+
+
+class TestPatternCompilation:
+    def test_single_negated_pattern_rejected(self):
+        with pytest.raises(CompileError, match="single negated"):
+            parse_query("DERIVE X PATTERN NOT A a")
+
+    def test_nested_seq_rejected(self):
+        with pytest.raises(CompileError, match="nested SEQ"):
+            parse_query("DERIVE X PATTERN SEQ(A a, SEQ(B b, C c))")
+
+    def test_unnamed_elements_get_fresh_variables(self):
+        query = parse_query("DERIVE X PATTERN SEQ(A, B, C c)")
+        variables = query.pattern.variables()
+        assert len(variables) == 3
+        assert len(set(variables)) == 3
+        assert "c" in variables
+
+    def test_trailing_negation_needs_within(self):
+        with pytest.raises(CompileError, match="WITHIN"):
+            parse_query("DERIVE X PATTERN SEQ(A a, NOT B b) WHERE b.n = a.n")
+
+    def test_trailing_negation_with_within(self):
+        query = parse_query(
+            "DERIVE X(a.n) PATTERN SEQ(A a, NOT B b) WHERE b.n = a.n WITHIN 15"
+        )
+        trailing = query.pattern.elements[1]
+        assert isinstance(trailing, NegatedSpec)
+        assert trailing.within == 15
+
+    def test_leading_negation_has_no_within(self):
+        query = parse_query(
+            "DERIVE X(p2.vid) PATTERN SEQ(NOT A p1, B p2) "
+            "WHERE p1.vid = p2.vid WITHIN 20"
+        )
+        leading = query.pattern.elements[0]
+        assert leading.within is None
+
+    def test_single_event_pattern(self):
+        query = parse_query("DERIVE X(p.vid) PATTERN Car p")
+        assert query.pattern == EventMatch("Car", "p")
+
+
+class TestRoundTrip:
+    def test_str_of_compiled_query_reparses(self):
+        source = (
+            "DERIVE Toll(p.vid, p.sec, 5) PATTERN NewTravelingCar p "
+            "WHERE p.lane != 'exit' CONTEXT congestion"
+        )
+        query = parse_query(source, name="q1")
+        reparsed = parse_query(str(query), name="q1b")
+        assert reparsed.signature() == query.signature()

@@ -1,0 +1,132 @@
+"""Tests for the CAESAR query language tokenizer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.language.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_keywords_case_insensitive(self):
+        for word in ("DERIVE", "derive", "Derive"):
+            token = tokenize(word)[0]
+            assert token.kind is TokenKind.KEYWORD
+            assert token.text == "DERIVE"
+
+    def test_all_keywords(self):
+        source = "INITIATE SWITCH TERMINATE CONTEXT DERIVE PATTERN WHERE SEQ NOT AND OR WITHIN"
+        assert all(k is TokenKind.KEYWORD for k in kinds(source)[:-1])
+
+    def test_identifiers(self):
+        [token, _] = tokenize("PositionReport")
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "PositionReport"
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert texts("seg_2 _x") == ["seg_2", "_x"]
+
+    def test_numbers(self):
+        assert texts("42 3.5") == ["42", "3.5"]
+        assert kinds("42")[0] is TokenKind.NUMBER
+
+    def test_strings_single_and_double_quotes(self):
+        assert texts("'exit'") == ["exit"]
+        assert texts('"exit"') == ["exit"]
+        assert kinds("'exit'")[0] is TokenKind.STRING
+
+    def test_punctuation(self):
+        assert kinds("( ) , .")[:-1] == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.COMMA,
+            TokenKind.DOT,
+        ]
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("=", "="), ("!=", "!="), (">", ">"), (">=", ">="),
+            ("<", "<"), ("<=", "<="), ("+", "+"), ("-", "-"),
+            ("*", "*"), ("/", "/"),
+        ],
+    )
+    def test_ascii_operators(self, source, expected):
+        token = tokenize(source)[0]
+        assert token.kind is TokenKind.OPERATOR
+        assert token.text == expected
+
+    @pytest.mark.parametrize(
+        "source,canonical", [("≠", "!="), ("≥", ">="), ("≤", "<=")]
+    )
+    def test_unicode_operators_canonicalized(self, source, canonical):
+        assert tokenize(source)[0].text == canonical
+
+    def test_attribute_access(self):
+        tokens = tokenize("p2.vid")
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.IDENT, TokenKind.DOT, TokenKind.IDENT,
+        ]
+
+    def test_number_followed_by_dot_digit(self):
+        # "3.5" is one number, not 3 . 5
+        assert texts("3.5") == ["3.5"]
+
+
+class TestDiagnostics:
+    def test_unknown_character(self):
+        with pytest.raises(LexerError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexerError, match="newline"):
+            tokenize("'line\nbreak'")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("DERIVE X\nPATTERN Y")
+        pattern_token = tokens[2]
+        assert pattern_token.text == "PATTERN"
+        assert pattern_token.line == 2
+        assert pattern_token.column == 1
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexerError) as info:
+            tokenize("ab\ncd @")
+        assert info.value.line == 2
+        assert info.value.column == 4
+
+
+class TestRealQueries:
+    def test_query_two_tokenizes(self):
+        source = (
+            "DERIVE NewTravelingCar(p2.vid, p2.sec) "
+            "PATTERN SEQ(NOT PositionReport p1, PositionReport p2) "
+            "WHERE p1.sec + 30 = p2.sec AND p2.lane != 'exit' "
+            "CONTEXT congestion"
+        )
+        tokens = tokenize(source)
+        assert tokens[-1].kind is TokenKind.EOF
+        keyword_texts = [
+            t.text for t in tokens if t.kind is TokenKind.KEYWORD
+        ]
+        assert keyword_texts == [
+            "DERIVE", "PATTERN", "SEQ", "NOT", "WHERE", "AND", "CONTEXT",
+        ]

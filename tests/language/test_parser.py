@@ -1,0 +1,163 @@
+"""Tests for the recursive-descent parser (grammar of Fig. 4)."""
+
+import pytest
+
+from repro.algebra.expressions import And, AttrRef, BinaryOp, Constant, Not, Or
+from repro.errors import ParseError
+from repro.language.ast import (
+    EventPatternNode,
+    RetrievalQueryNode,
+    SeqPatternNode,
+    WindowQueryNode,
+)
+from repro.language.parser import parse
+
+
+class TestWindowQueries:
+    def test_initiate(self):
+        node = parse("INITIATE CONTEXT accident PATTERN Accident")
+        assert isinstance(node, WindowQueryNode)
+        assert node.action == "INITIATE"
+        assert node.target_context == "accident"
+        assert node.pattern == EventPatternNode("Accident")
+
+    def test_switch_with_where_and_context(self):
+        node = parse(
+            "SWITCH CONTEXT clear PATTERN SegmentStats s "
+            "WHERE s.avg_speed >= 40 CONTEXT congestion"
+        )
+        assert node.action == "SWITCH"
+        assert node.target_context == "clear"
+        assert node.contexts == ("congestion",)
+        assert isinstance(node.where, BinaryOp)
+
+    def test_terminate(self):
+        node = parse("TERMINATE CONTEXT accident PATTERN Cleared CONTEXT accident")
+        assert node.action == "TERMINATE"
+
+    def test_multi_context_clause(self):
+        node = parse(
+            "INITIATE CONTEXT accident PATTERN Accident CONTEXT clear, congestion"
+        )
+        assert node.contexts == ("clear", "congestion")
+
+
+class TestRetrievalQueries:
+    def test_derive_with_args(self):
+        node = parse(
+            "DERIVE TollNotification(p.vid, p.sec, 5) "
+            "PATTERN NewTravelingCar p CONTEXT congestion"
+        )
+        assert isinstance(node, RetrievalQueryNode)
+        assert node.derive.type_name == "TollNotification"
+        assert node.derive.args == (
+            AttrRef("p", "vid"), AttrRef("p", "sec"), Constant(5),
+        )
+        assert node.pattern == EventPatternNode("NewTravelingCar", "p")
+
+    def test_derive_without_args(self):
+        node = parse("DERIVE Ping PATTERN Tick t")
+        assert node.derive.args == ()
+
+    def test_derive_empty_parens(self):
+        node = parse("DERIVE Ping() PATTERN Tick t")
+        assert node.derive.args == ()
+
+    def test_within_clause(self):
+        node = parse(
+            "DERIVE X(a.n) PATTERN SEQ(A a, NOT B b) WHERE b.n = a.n WITHIN 15"
+        )
+        assert node.within == 15
+
+    def test_fractional_within(self):
+        node = parse("DERIVE X(a.n) PATTERN A a WITHIN 2.5")
+        assert node.within == 2.5
+
+
+class TestPatterns:
+    def test_seq_with_negation(self):
+        node = parse(
+            "DERIVE X PATTERN SEQ(NOT PositionReport p1, PositionReport p2)"
+        )
+        pattern = node.pattern
+        assert isinstance(pattern, SeqPatternNode)
+        assert pattern.elements[0] == EventPatternNode(
+            "PositionReport", "p1", negated=True
+        )
+        assert pattern.elements[1] == EventPatternNode("PositionReport", "p2")
+
+    def test_nested_seq(self):
+        node = parse("DERIVE X PATTERN SEQ(A a, SEQ(B b, C c))")
+        inner = node.pattern.elements[1]
+        assert isinstance(inner, SeqPatternNode)
+
+    def test_pattern_variable_optional(self):
+        node = parse("DERIVE X PATTERN Accident")
+        assert node.pattern.var == ""
+
+
+class TestExpressions:
+    def expr(self, source):
+        return parse(f"DERIVE X PATTERN A a WHERE {source}").where
+
+    def test_precedence_and_over_or(self):
+        expr = self.expr("a.x = 1 OR a.y = 2 AND a.z = 3")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.right, And)
+
+    def test_precedence_arithmetic_over_comparison(self):
+        expr = self.expr("a.x + 30 = a.y")
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "="
+        assert isinstance(expr.left, BinaryOp)
+        assert expr.left.op == "+"
+
+    def test_precedence_mul_over_add(self):
+        expr = self.expr("a.x + 2 * 3 = 7")
+        assert expr.left.right.op == "*"
+
+    def test_parentheses(self):
+        expr = self.expr("(a.x + 2) * 3 = 7")
+        assert expr.left.op == "*"
+        assert expr.left.left.op == "+"
+
+    def test_not_expression(self):
+        expr = self.expr("NOT a.x = 1")
+        assert isinstance(expr, Not)
+
+    def test_string_literal(self):
+        expr = self.expr("a.lane != 'exit'")
+        assert expr.right == Constant("exit")
+
+    def test_unqualified_attribute(self):
+        expr = self.expr("speed > 40")
+        assert expr.left == AttrRef("", "speed")
+
+    def test_unicode_operators(self):
+        expr = self.expr("a.x ≠ 1 AND a.y ≥ 2")
+        assert expr.left.op == "!="
+        assert expr.right.op == ">="
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source,message",
+        [
+            ("", "starts with"),
+            ("SELECT x FROM y", "starts with"),
+            ("DERIVE X", "expected 'PATTERN'"),
+            ("DERIVE X PATTERN", "expected an expression|expected"),
+            ("INITIATE accident PATTERN A", "expected 'CONTEXT'"),
+            ("DERIVE X PATTERN A a WHERE", "expected an expression"),
+            ("DERIVE X PATTERN SEQ(A a", r"expected '\)'"),
+            ("DERIVE X PATTERN A a trailing", "unexpected input"),
+            ("DERIVE X(p.vid PATTERN A a", r"expected '\)'"),
+        ],
+    )
+    def test_error_cases(self, source, message):
+        with pytest.raises(ParseError, match=message):
+            parse(source)
+
+    def test_error_reports_location(self):
+        with pytest.raises(ParseError, match=r"line 1, column"):
+            parse("DERIVE X PATTERN A a WHERE +")

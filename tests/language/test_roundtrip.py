@@ -1,0 +1,85 @@
+"""Property tests: random queries survive a print → parse round trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.language import parse_query
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper()
+    not in {
+        "INITIATE", "SWITCH", "TERMINATE", "CONTEXT", "DERIVE",
+        "PATTERN", "WHERE", "SEQ", "NOT", "AND", "OR", "WITHIN",
+    }
+)
+type_names = st.from_regex(r"[A-Z][A-Za-z0-9]{0,8}", fullmatch=True)
+
+
+@st.composite
+def comparison(draw, var):
+    attribute = draw(identifiers)
+    op = draw(st.sampled_from(["=", "!=", ">", ">=", "<", "<="]))
+    value = draw(st.integers(min_value=0, max_value=999))
+    return f"{var}.{attribute} {op} {value}"
+
+
+@st.composite
+def where_clause(draw, var):
+    parts = draw(st.lists(comparison(var), min_size=1, max_size=3))
+    connective = draw(st.sampled_from([" AND ", " OR "]))
+    return connective.join(parts)
+
+
+@st.composite
+def processing_query(draw):
+    out_type = draw(type_names)
+    in_type = draw(type_names)
+    var = draw(identifiers)
+    attributes = draw(st.lists(identifiers, min_size=1, max_size=4, unique=True))
+    args = ", ".join(f"{var}.{a}" for a in attributes)
+    source = f"DERIVE {out_type}({args}) PATTERN {in_type} {var}"
+    if draw(st.booleans()):
+        source += f" WHERE {draw(where_clause(var))}"
+    contexts = draw(st.lists(identifiers, max_size=2, unique=True))
+    if contexts:
+        source += f" CONTEXT {', '.join(contexts)}"
+    return source
+
+
+@st.composite
+def deriving_query(draw):
+    action = draw(st.sampled_from(["INITIATE", "SWITCH", "TERMINATE"]))
+    target = draw(identifiers)
+    in_type = draw(type_names)
+    var = draw(identifiers)
+    source = f"{action} CONTEXT {target} PATTERN {in_type} {var}"
+    if draw(st.booleans()):
+        source += f" WHERE {draw(where_clause(var))}"
+    context = draw(identifiers)
+    source += f" CONTEXT {context}"
+    return source
+
+
+class TestRoundTrip:
+    @given(processing_query())
+    @settings(max_examples=150, deadline=None)
+    def test_processing_round_trip(self, source):
+        first = parse_query(source, name="q")
+        second = parse_query(str(first), name="q")
+        assert first.signature() == second.signature()
+        assert first.contexts == second.contexts
+
+    @given(deriving_query())
+    @settings(max_examples=150, deadline=None)
+    def test_deriving_round_trip(self, source):
+        first = parse_query(source, name="q")
+        second = parse_query(str(first), name="q")
+        assert first.signature() == second.signature()
+        assert first.target_context == second.target_context
+
+    @given(processing_query())
+    @settings(max_examples=100, deadline=None)
+    def test_parse_is_deterministic(self, source):
+        a = parse_query(source, name="q")
+        b = parse_query(source, name="q")
+        assert a.signature() == b.signature()

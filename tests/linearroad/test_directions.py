@@ -1,0 +1,61 @@
+"""Tests for bidirectional expressways."""
+
+from repro.linearroad.generator import LinearRoadConfig, generate_stream
+from repro.linearroad.queries import build_traffic_model, segment_partitioner
+from repro.linearroad.simulator import SegmentInterval
+from repro.runtime.engine import CaesarEngine
+from dataclasses import replace
+
+
+def two_direction_config():
+    return LinearRoadConfig(
+        num_roads=1,
+        segments_per_road=2,
+        directions=2,
+        duration_minutes=8,
+        seed=13,
+    )
+
+
+class TestBidirectional:
+    def test_both_directions_emit(self):
+        stream = generate_stream(two_direction_config())
+        directions = {
+            e["dir"] for e in stream if e.type_name == "PositionReport"
+        }
+        assert directions == {0, 1}
+
+    def test_directions_are_independent_partitions(self):
+        """Congestion scheduled on direction 0 must not open windows on
+        direction 1 of the same segment."""
+        config = two_direction_config()
+        duration = config.duration_seconds
+        schedule = (SegmentInterval(0, 0, 0, 120, duration),)
+        config = replace(
+            config, congestion_schedule=schedule, cars_congested=15
+        )
+        engine = CaesarEngine(
+            build_traffic_model(min_cars=5),
+            partition_by=segment_partitioner,
+            retention=120,
+        )
+        report = engine.run(generate_stream(config))
+        congested_dir0 = any(
+            w.context_name == "congestion"
+            for w in report.windows_by_partition[(0, 0, 0)]
+        )
+        congested_dir1 = any(
+            w.context_name == "congestion"
+            for w in report.windows_by_partition.get((0, 1, 0), [])
+        )
+        assert congested_dir0
+        assert not congested_dir1
+
+    def test_double_the_partitions(self):
+        engine = CaesarEngine(
+            build_traffic_model(),
+            partition_by=segment_partitioner,
+            retention=120,
+        )
+        report = engine.run(generate_stream(two_direction_config()))
+        assert len(report.windows_by_partition) == 4  # 2 segs × 2 dirs

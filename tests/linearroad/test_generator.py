@@ -1,0 +1,146 @@
+"""Tests for the experiment-level Linear Road stream generation."""
+
+import pytest
+
+from repro.linearroad.generator import (
+    LinearRoadConfig,
+    coverage_fraction,
+    generate_stream,
+    paper_timeline_schedules,
+    randomized_schedules,
+    skewed_congestion_windows,
+    uniform_congestion_windows,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        num_roads=1, segments_per_road=2, duration_minutes=10, seed=5
+    )
+    defaults.update(overrides)
+    return LinearRoadConfig(**defaults)
+
+
+class TestGeneration:
+    def test_stream_is_ordered_and_nonempty(self):
+        stream = generate_stream(small_config())
+        assert len(stream) > 0
+        times = [e.timestamp for e in stream]
+        assert times == sorted(times)
+
+    def test_duration_seconds(self):
+        assert small_config(duration_minutes=3).duration_seconds == 180
+
+
+class TestPaperTimeline:
+    def test_schedules_scale_with_duration(self):
+        config = paper_timeline_schedules(small_config(duration_minutes=18))
+        duration = config.duration_seconds
+        accident = config.accident_schedule[0]
+        congestion = config.congestion_schedule[0]
+        assert accident.start == round(duration * 30 / 180)
+        assert accident.end == round(duration * 50 / 180)
+        assert congestion.start == round(duration * 70 / 180)
+        assert congestion.end == duration
+
+    def test_every_segment_scheduled(self):
+        config = paper_timeline_schedules(small_config())
+        assert len(config.accident_schedule) == 2
+        assert len(config.congestion_schedule) == 2
+
+
+class TestUniformWindows:
+    def test_count_and_length(self):
+        config = uniform_congestion_windows(
+            small_config(), count=3, length_seconds=60
+        )
+        per_segment = [
+            w for w in config.congestion_schedule if w.seg == 0
+        ]
+        assert len(per_segment) == 3
+        assert all(w.length == 60 for w in per_segment)
+
+    def test_windows_equally_spaced(self):
+        config = uniform_congestion_windows(
+            small_config(), count=3, length_seconds=60
+        )
+        starts = sorted(w.start for w in config.congestion_schedule if w.seg == 0)
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert len(set(gaps)) == 1
+
+    def test_zero_count(self):
+        config = uniform_congestion_windows(
+            small_config(), count=0, length_seconds=60
+        )
+        assert config.congestion_schedule == ()
+
+    def test_coverage_fraction(self):
+        config = uniform_congestion_windows(
+            small_config(duration_minutes=10), count=2, length_seconds=60
+        )
+        assert coverage_fraction(config) == pytest.approx(120 / 600)
+
+
+class TestSkewedWindows:
+    def test_positive_skew_clusters_early(self):
+        config = skewed_congestion_windows(
+            small_config(duration_minutes=30),
+            count=5, length_seconds=60, skew="positive",
+        )
+        starts = [w.start for w in config.congestion_schedule if w.seg == 0]
+        midpoint = config.duration_seconds / 2
+        assert sum(1 for s in starts if s < midpoint) >= 4
+
+    def test_negative_skew_clusters_late(self):
+        config = skewed_congestion_windows(
+            small_config(duration_minutes=30),
+            count=5, length_seconds=60, skew="negative",
+        )
+        starts = [w.start for w in config.congestion_schedule if w.seg == 0]
+        midpoint = config.duration_seconds / 2
+        assert sum(1 for s in starts if s >= midpoint) >= 4
+
+    def test_invalid_skew(self):
+        with pytest.raises(ValueError, match="skew"):
+            skewed_congestion_windows(
+                small_config(), count=1, length_seconds=60, skew="sideways"
+            )
+
+
+class TestRandomizedSchedules:
+    def test_deterministic_per_seed(self):
+        a = randomized_schedules(small_config(), seed=4)
+        b = randomized_schedules(small_config(), seed=4)
+        assert a.congestion_schedule == b.congestion_schedule
+        assert a.accident_schedule == b.accident_schedule
+
+    def test_probability_extremes(self):
+        none = randomized_schedules(
+            small_config(), congestion_probability=0.0,
+            accident_probability=0.0,
+        )
+        assert none.congestion_schedule == ()
+        all_segments = randomized_schedules(
+            small_config(), congestion_probability=1.0,
+            accident_probability=1.0,
+        )
+        assert len(all_segments.congestion_schedule) == 2
+
+
+class TestCoverage:
+    def test_overlapping_windows_not_double_counted(self):
+        from repro.linearroad.simulator import SegmentInterval
+        from dataclasses import replace
+
+        config = replace(
+            small_config(duration_minutes=10),
+            congestion_schedule=(
+                SegmentInterval(0, 0, 0, 0, 300),
+                SegmentInterval(0, 0, 0, 200, 400),
+            ),
+        )
+        # segment 0 covered [0, 400) = 400s of 600; segment 1 uncovered
+        assert coverage_fraction(config) == pytest.approx(400 / 1200)
+
+    def test_empty_schedule(self):
+        assert coverage_fraction(small_config()) == 0.0

@@ -1,0 +1,143 @@
+"""Tests for the Linear Road CAESAR model (Figures 1 and 3)."""
+
+import pytest
+
+from repro.core.queries import QueryAction
+from repro.linearroad.generator import (
+    LinearRoadConfig,
+    generate_stream,
+    paper_timeline_schedules,
+)
+from repro.linearroad.queries import (
+    ACCIDENT,
+    CLEAR,
+    CONGESTION,
+    build_traffic_model,
+    replicate_workload,
+    segment_partitioner,
+)
+from repro.runtime.engine import CaesarEngine
+
+
+class TestModelStructure:
+    def test_contexts(self):
+        model = build_traffic_model()
+        assert set(model.context_names) == {CLEAR, CONGESTION, ACCIDENT}
+        assert model.default_context == CLEAR
+
+    def test_transition_network_matches_figure_1(self):
+        model = build_traffic_model()
+        edges = {
+            (e.from_context, e.to_context) for e in model.transitions()
+        }
+        assert (CLEAR, CONGESTION) in edges  # initiate if many slow cars
+        assert (CLEAR, ACCIDENT) in edges  # initiate if stopped cars
+        assert (CONGESTION, ACCIDENT) in edges  # accidents during congestion
+        assert (CONGESTION, CONGESTION) in edges  # terminate if few fast cars
+        assert (ACCIDENT, ACCIDENT) in edges  # terminate if cars removed
+
+    def test_toll_chain_in_congestion(self):
+        model = build_traffic_model()
+        congestion_queries = {
+            q.name for q in model.context(CONGESTION).processing_queries
+        }
+        assert {"new_traveling_car", "toll_notification"} <= congestion_queries
+
+    def test_model_validates(self):
+        build_traffic_model().validate()
+
+
+class TestReplication:
+    def test_replication_counts(self):
+        model = replicate_workload(build_traffic_model(), 3)
+        processing = [q for q in model.queries() if q.is_processing]
+        # 4 base processing queries, replicated eligible ones twice more
+        assert len(processing) == 4 + 2 * 4
+
+    def test_deriving_queries_never_replicated(self):
+        model = replicate_workload(build_traffic_model(), 5)
+        deriving = [q for q in model.queries() if q.is_deriving]
+        assert len(deriving) == 4
+
+    def test_context_filter(self):
+        model = replicate_workload(
+            build_traffic_model(), 3, contexts=(CONGESTION,)
+        )
+        replicated = [q for q in model.queries() if "#" in q.name]
+        assert all(CONGESTION in q.contexts for q in replicated)
+
+    def test_copies_have_distinct_derive_chains(self):
+        """Copies must not cross-feed: each derives its own event types."""
+        model = replicate_workload(
+            build_traffic_model(), 2, contexts=(CONGESTION,)
+        )
+        derive_types = [
+            q.derive_type.name
+            for q in model.queries()
+            if q.is_processing and CONGESTION in q.contexts
+        ]
+        assert len(derive_types) == len(set(derive_types))
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            replicate_workload(build_traffic_model(), 0)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def report(self):
+        config = paper_timeline_schedules(
+            LinearRoadConfig(
+                num_roads=1, segments_per_road=2, duration_minutes=12, seed=7
+            )
+        )
+        engine = CaesarEngine(
+            build_traffic_model(),
+            partition_by=segment_partitioner,
+            retention=120,
+        )
+        return engine.run(generate_stream(config))
+
+    def test_all_three_contexts_derived(self, report):
+        windows = report.windows_by_partition[(0, 0, 0)]
+        names = {w.context_name for w in windows}
+        assert names == {CLEAR, CONGESTION, ACCIDENT}
+
+    def test_context_timeline_matches_schedule(self, report):
+        """Scaled timeline: accident ≈ [120, 240), congestion ≈ [280, end)."""
+        windows = report.windows_by_partition[(0, 0, 0)]
+        accident = next(w for w in windows if w.context_name == ACCIDENT)
+        congestion = next(w for w in windows if w.context_name == CONGESTION)
+        # detection happens at the per-minute statistics granularity
+        assert 120 <= accident.start <= 240
+        assert accident.end is not None and accident.end <= 330
+        assert 280 <= congestion.start <= 420
+        assert congestion.is_open  # congestion holds until the end
+
+    def test_tolls_only_during_congestion(self, report):
+        windows = report.windows_by_partition[(0, 0, 0)]
+        congestion = next(w for w in windows if w.context_name == CONGESTION)
+        tolls = [
+            e for e in report.outputs
+            if e.type_name == "TollNotification"
+        ]
+        assert tolls
+        assert all(e.timestamp >= congestion.start for e in tolls)
+
+    def test_warnings_only_during_accident(self, report):
+        windows = {
+            key: ws for key, ws in report.windows_by_partition.items()
+        }
+        warnings = [
+            e for e in report.outputs if e.type_name == "AccidentWarning"
+        ]
+        assert warnings
+        for warning in warnings:
+            seg_windows = windows[(0, 0, warning["seg"])]
+            accident_windows = [
+                w for w in seg_windows if w.context_name == ACCIDENT
+            ]
+            assert any(w.holds_at(warning.timestamp) for w in accident_windows)
+
+    def test_segment_partitioner(self, report):
+        assert set(report.windows_by_partition) == {(0, 0, 0), (0, 0, 1)}

@@ -1,0 +1,168 @@
+"""Tests for the Linear Road traffic micro-simulator."""
+
+import pytest
+
+from repro.errors import CaesarError
+from repro.events.stream import EventStream
+from repro.linearroad.simulator import (
+    SegmentInterval,
+    SimulationConfig,
+    TrafficSimulator,
+)
+
+
+def simulate(**overrides):
+    defaults = dict(
+        num_xways=1,
+        segments_per_xway=2,
+        duration_seconds=600,
+        seed=3,
+    )
+    defaults.update(overrides)
+    config = SimulationConfig(**defaults)
+    return config, list(TrafficSimulator(config).events())
+
+
+class TestBasicStream:
+    def test_events_are_timestamp_ordered(self):
+        _, events = simulate()
+        times = [e.timestamp for e in events]
+        assert times == sorted(times)
+        EventStream(events)  # does not raise
+
+    def test_reports_every_interval(self):
+        config, events = simulate()
+        reports = [e for e in events if e.type_name == "PositionReport"]
+        times = {e.timestamp for e in reports}
+        assert times == set(range(0, 600, 30))
+
+    def test_stats_every_minute(self):
+        _, events = simulate()
+        stats = [e for e in events if e.type_name == "SegmentStats"]
+        times = sorted({e.timestamp for e in stats})
+        assert times == list(range(60, 600, 60))
+
+    def test_report_schema(self):
+        _, events = simulate()
+        report = next(e for e in events if e.type_name == "PositionReport")
+        for attribute in ("vid", "sec", "speed", "xway", "lane", "dir", "seg", "pos"):
+            assert attribute in report
+
+    def test_deterministic_for_seed(self):
+        _, first = simulate(seed=9)
+        _, second = simulate(seed=9)
+        assert [e.payload for e in first] == [e.payload for e in second]
+
+    def test_different_seeds_differ(self):
+        _, first = simulate(seed=1)
+        _, second = simulate(seed=2)
+        assert [e.payload for e in first] != [e.payload for e in second]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(CaesarError):
+            SimulationConfig(duration_seconds=0)
+        with pytest.raises(CaesarError):
+            SimulationConfig(churn=2.0)
+
+
+class TestRegimes:
+    def congested(self):
+        return simulate(
+            congestion_schedule=(SegmentInterval(0, 0, 0, 120, 360),),
+            cars_clear=5,
+            cars_congested=15,
+        )
+
+    def test_congestion_raises_car_count_and_drops_speed(self):
+        _, events = self.congested()
+        in_window = [
+            e for e in events
+            if e.type_name == "PositionReport"
+            and e["seg"] == 0 and 120 <= e.timestamp < 360
+        ]
+        outside = [
+            e for e in events
+            if e.type_name == "PositionReport"
+            and e["seg"] == 0 and e.timestamp < 120
+        ]
+        avg_in = sum(e["speed"] for e in in_window) / len(in_window)
+        avg_out = sum(e["speed"] for e in outside) / len(outside)
+        assert avg_in < 40 < avg_out
+
+    def test_congestion_stats_reflect_regime(self):
+        _, events = self.congested()
+        stats = [
+            e for e in events
+            if e.type_name == "SegmentStats" and e["seg"] == 0
+        ]
+        congested = [s for s in stats if 180 <= s.timestamp <= 360]
+        clear = [s for s in stats if s.timestamp < 120]
+        assert all(s["avg_speed"] < 40 for s in congested)
+        assert all(s["avg_speed"] > 40 for s in clear)
+
+    def test_other_segment_unaffected(self):
+        _, events = self.congested()
+        other = [
+            e for e in events
+            if e.type_name == "PositionReport"
+            and e["seg"] == 1 and 120 <= e.timestamp < 360
+        ]
+        avg = sum(e["speed"] for e in other) / len(other)
+        assert avg > 40
+
+
+class TestAccidents:
+    def crashed(self):
+        return simulate(
+            accident_schedule=(SegmentInterval(0, 0, 0, 120, 300),),
+        )
+
+    def test_two_stopped_cars_at_same_position(self):
+        _, events = self.crashed()
+        stopped = [
+            e for e in events
+            if e.type_name == "PositionReport"
+            and e.timestamp == 150 and e["speed"] == 0
+        ]
+        assert len(stopped) == 2
+        assert stopped[0]["pos"] == stopped[1]["pos"]
+
+    def test_stats_count_stopped_cars(self):
+        _, events = self.crashed()
+        stats = [
+            e for e in events
+            if e.type_name == "SegmentStats" and e["seg"] == 0
+        ]
+        during = [s for s in stats if 180 <= s.timestamp <= 300]
+        after = [s for s in stats if s.timestamp > 330]
+        assert all(s["stopped_cars"] >= 2 for s in during)
+        assert all(s["stopped_cars"] == 0 for s in after)
+
+    def test_accident_clears_after_window(self):
+        _, events = self.crashed()
+        late_stopped = [
+            e for e in events
+            if e.type_name == "PositionReport"
+            and e.timestamp >= 330 and e["speed"] == 0
+        ]
+        assert late_stopped == []
+
+
+class TestRamp:
+    def test_event_rate_increases_over_run(self):
+        _, events = simulate(
+            duration_seconds=1200, ramp_start_fraction=0.3, cars_clear=10
+        )
+        reports = [e for e in events if e.type_name == "PositionReport"]
+        first_quarter = sum(1 for e in reports if e.timestamp < 300)
+        last_quarter = sum(1 for e in reports if e.timestamp >= 900)
+        assert last_quarter > first_quarter * 1.5
+
+    def test_vids_globally_unique_per_snapshot(self):
+        _, events = simulate()
+        for t in (0, 300, 570):
+            vids = [
+                e["vid"] for e in events
+                if e.type_name == "PositionReport" and e.timestamp == t
+            ]
+            assert len(vids) == len(set(vids))

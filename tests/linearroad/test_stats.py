@@ -1,0 +1,95 @@
+"""Tests for the engine-side statistics pipeline (raw reports only)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.events.stream import EventStream
+from repro.linearroad.generator import (
+    LinearRoadConfig,
+    generate_stream,
+    paper_timeline_schedules,
+)
+from repro.linearroad.queries import build_traffic_model, segment_partitioner
+from repro.linearroad.simulator import TrafficSimulator
+from repro.linearroad.stats import segment_stats_aggregator
+from repro.runtime.engine import CaesarEngine
+
+
+def raw_stream(config):
+    """The stream without simulator-emitted statistics."""
+    sim_config = replace(config.to_simulation_config(), emit_stats=False)
+    return EventStream(TrafficSimulator(sim_config).events())
+
+
+@pytest.fixture(scope="module")
+def config():
+    return paper_timeline_schedules(
+        LinearRoadConfig(
+            num_roads=1, segments_per_road=2, duration_minutes=12, seed=7
+        )
+    )
+
+
+class TestEngineDerivedStats:
+    def test_raw_stream_has_no_stats(self, config):
+        stream = raw_stream(config)
+        assert all(e.type_name != "SegmentStats" for e in stream)
+
+    def test_contexts_derived_from_raw_reports(self, config):
+        engine = CaesarEngine(
+            build_traffic_model(),
+            preprocessors=(segment_stats_aggregator(),),
+            partition_by=segment_partitioner,
+            retention=120,
+        )
+        report = engine.run(raw_stream(config))
+        names = {
+            w.context_name
+            for windows in report.windows_by_partition.values()
+            for w in windows
+        }
+        assert {"clear", "congestion", "accident"} <= names
+        assert report.outputs_by_type.get("TollNotification", 0) > 0
+        assert report.outputs_by_type.get("AccidentWarning", 0) > 0
+
+    def test_matches_simulator_stats_contexts(self, config):
+        """Engine-derived and simulator-emitted statistics detect the same
+        context *sequence* (boundaries may differ by one detection lag)."""
+        with_sim_stats = CaesarEngine(
+            build_traffic_model(),
+            partition_by=segment_partitioner,
+            retention=120,
+        ).run(generate_stream(config))
+        with_engine_stats = CaesarEngine(
+            build_traffic_model(),
+            preprocessors=(segment_stats_aggregator(),),
+            partition_by=segment_partitioner,
+            retention=120,
+        ).run(raw_stream(config))
+        for key in with_sim_stats.windows_by_partition:
+            sim_sequence = [
+                w.context_name
+                for w in with_sim_stats.windows_by_partition[key]
+            ]
+            engine_sequence = [
+                w.context_name
+                for w in with_engine_stats.windows_by_partition[key]
+            ]
+            assert sim_sequence == engine_sequence
+
+    def test_no_preprocessor_no_contexts(self, config):
+        """Sanity: without the aggregation stage, the raw stream never
+        triggers a context transition (the deriving queries consume stats)."""
+        engine = CaesarEngine(
+            build_traffic_model(),
+            partition_by=segment_partitioner,
+            retention=120,
+        )
+        report = engine.run(raw_stream(config))
+        names = {
+            w.context_name
+            for windows in report.windows_by_partition.values()
+            for w in windows
+        }
+        assert names == {"clear"}

@@ -1,0 +1,106 @@
+"""Tests for toll computation and the analysis helpers."""
+
+import pytest
+
+from repro.events.event import Event
+from repro.events.types import EventType
+from repro.linearroad.analysis import (
+    compute_l_factor,
+    events_per_minute,
+    events_per_segment,
+)
+from repro.linearroad.tolls import is_tollable, toll_amount, toll_for_segment
+from repro.runtime.engine import EngineReport
+
+
+class TestTolls:
+    def test_toll_formula(self):
+        assert toll_amount(150) == 0
+        assert toll_amount(151) == 2
+        assert toll_amount(160) == 2 * 100
+
+    def test_negative_cars_rejected(self):
+        with pytest.raises(ValueError):
+            toll_amount(-1)
+
+    def test_tollable_conditions(self):
+        assert is_tollable(60, 30.0)
+        assert not is_tollable(40, 30.0)  # too few cars
+        assert not is_tollable(60, 45.0)  # too fast
+        assert not is_tollable(60, 30.0, accident_nearby=True)
+
+    def test_toll_for_segment(self):
+        assert toll_for_segment(60, 30.0) == toll_amount(60)
+        assert toll_for_segment(60, 50.0) == 0
+        assert toll_for_segment(60, 30.0, accident_nearby=True) == 0
+
+    def test_custom_thresholds(self):
+        assert is_tollable(20, 30.0, min_cars=10)
+        assert not is_tollable(20, 30.0, min_cars=30)
+
+
+EV = EventType.define("Ev", seg="int", xway="int", dir="int")
+
+
+def ev(t, seg, xway=0, direction=0):
+    return Event(EV, t, {"seg": seg, "xway": xway, "dir": direction})
+
+
+class TestDistributions:
+    def test_events_per_segment(self):
+        events = [ev(0, 0), ev(0, 0), ev(0, 1), ev(0, 5, xway=1)]
+        counts = events_per_segment(events, xway=0)
+        assert counts[0]["Ev"] == 2
+        assert counts[1]["Ev"] == 1
+        assert 5 not in counts  # other expressway excluded
+
+    def test_events_per_minute(self):
+        events = [ev(0, 0), ev(59, 0), ev(60, 0), ev(125, 0)]
+        counts = events_per_minute(events)
+        assert counts[0]["Ev"] == 2
+        assert counts[1]["Ev"] == 1
+        assert counts[2]["Ev"] == 1
+
+    def test_events_per_minute_segment_filter(self):
+        events = [ev(0, 0), ev(0, 3)]
+        counts = events_per_minute(events, seg=3)
+        assert counts[0]["Ev"] == 1
+
+
+def fake_report(max_latency):
+    return EngineReport(
+        outputs=[],
+        events_processed=0,
+        batches=0,
+        cost_units=0.0,
+        wall_seconds=0.0,
+        max_latency=max_latency,
+        mean_latency=0.0,
+    )
+
+
+class TestLFactor:
+    def test_l_factor_found(self):
+        latencies = {1: 1.0, 2: 2.0, 3: 4.0, 4: 7.0}
+
+        l_factor, curve = compute_l_factor(
+            lambda roads: fake_report(latencies[roads]),
+            max_roads=4,
+            constraint_seconds=5.0,
+        )
+        assert l_factor == 3
+        # the search stops right after the first violation
+        assert set(curve) == {1, 2, 3, 4}
+
+    def test_all_roads_within_constraint(self):
+        l_factor, _ = compute_l_factor(
+            lambda roads: fake_report(0.5), max_roads=3
+        )
+        assert l_factor == 3
+
+    def test_immediate_violation(self):
+        l_factor, curve = compute_l_factor(
+            lambda roads: fake_report(100.0), max_roads=5
+        )
+        assert l_factor == 0
+        assert list(curve) == [1]

@@ -1,0 +1,104 @@
+"""Tests for the Linear Road output validator."""
+
+import pytest
+
+from repro.linearroad.generator import (
+    LinearRoadConfig,
+    generate_stream,
+    paper_timeline_schedules,
+    uniform_congestion_windows,
+)
+from repro.linearroad.queries import build_traffic_model, segment_partitioner
+from repro.linearroad.validation import validate_report
+from repro.runtime.baseline import ContextIndependentEngine
+from repro.runtime.engine import CaesarEngine
+
+
+@pytest.fixture(scope="module")
+def config():
+    return paper_timeline_schedules(
+        LinearRoadConfig(
+            num_roads=1, segments_per_road=2, duration_minutes=12, seed=7
+        )
+    )
+
+
+class TestEngineValidates:
+    def test_caesar_engine_outputs_validate(self, config):
+        """The context-aware engine's toll notifications exactly match the
+        independent recomputation from the raw stream — the Linear Road
+        correctness bar."""
+        engine = CaesarEngine(
+            build_traffic_model(),
+            partition_by=segment_partitioner,
+            retention=120,
+        )
+        stream = generate_stream(config)
+        report = engine.run(stream)
+        result = validate_report(generate_stream(config), report)
+        assert result.correct, result.summary()
+        assert result.expected_tolls > 0
+
+    def test_baseline_outputs_validate(self, config):
+        engine = ContextIndependentEngine(
+            build_traffic_model(),
+            partition_by=segment_partitioner,
+            retention=120,
+        )
+        report = engine.run(generate_stream(config))
+        result = validate_report(generate_stream(config), report)
+        assert result.correct, result.summary()
+
+    def test_uniform_windows_validate(self):
+        cfg = uniform_congestion_windows(
+            LinearRoadConfig(
+                num_roads=1, segments_per_road=2, duration_minutes=10,
+                cars_congested=15, seed=19,
+            ),
+            count=2,
+            length_seconds=120,
+        )
+        engine = CaesarEngine(
+            build_traffic_model(min_cars=6),
+            partition_by=segment_partitioner,
+            retention=120,
+        )
+        report = engine.run(generate_stream(cfg))
+        result = validate_report(generate_stream(cfg), report)
+        assert result.correct, result.summary()
+
+
+class TestValidationDetectsErrors:
+    def test_detects_missing_tolls(self, config):
+        """Feeding the validator a report with outputs removed flags them."""
+        engine = CaesarEngine(
+            build_traffic_model(),
+            partition_by=segment_partitioner,
+            retention=120,
+        )
+        report = engine.run(generate_stream(config))
+        # sabotage: drop half the toll notifications
+        tolls = [
+            e for e in report.outputs if e.type_name == "TollNotification"
+        ]
+        assert tolls
+        report.outputs = [
+            e for e in report.outputs
+            if e.type_name != "TollNotification"
+        ] + tolls[::2]
+        result = validate_report(generate_stream(config), report)
+        assert not result.correct
+        assert len(result.missing) == len(tolls) - len(tolls[::2])
+        assert "FAIL" in result.summary()
+
+    def test_latency_verdict(self, config):
+        engine = CaesarEngine(
+            build_traffic_model(),
+            partition_by=segment_partitioner,
+            retention=120,
+            seconds_per_cost_unit=10.0,  # absurd scale: guaranteed violation
+        )
+        report = engine.run(generate_stream(config))
+        result = validate_report(generate_stream(config), report)
+        assert not result.latency_ok
+        assert not result.passed

@@ -1,0 +1,139 @@
+"""Tests for applying the search/rank ordering to real plans."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.context_ops import ContextWindowOperator
+from repro.algebra.expressions import BinaryOp, Constant, attr
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.pattern import EventMatch, PatternOperator
+from repro.algebra.plan import QueryPlan, clone_operator
+from repro.algebra.relational_ops import Filter, Projection
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.types import EventType
+from repro.optimizer.apply import full_optimize, reorder_filters
+from repro.optimizer.cost import CostModel
+
+A = EventType.define("A", n="int", m="int")
+OUT = EventType.define("Out", n="int")
+
+
+def ctx(active=("c1",)):
+    store = ContextWindowStore(["c1"], "default")
+    for name in active:
+        store.initiate(name, 0)
+    return ExecutionContext(windows=store, now=0)
+
+
+def events(count=20):
+    return [Event(A, 1, {"n": i, "m": i * 3 % 17}) for i in range(count)]
+
+
+class _SelectivityModel(CostModel):
+    """A cost model that reads per-filter selectivity from an attribute."""
+
+    def __init__(self, selectivities):
+        super().__init__()
+        self._selectivities = selectivities
+
+    def selectivity(self, operator):
+        if isinstance(operator, Filter):
+            return self._selectivities.get(
+                str(operator.predicate), super().selectivity(operator)
+            )
+        return super().selectivity(operator)
+
+
+class TestReorderFilters:
+    def test_selective_filter_moves_first(self):
+        weak = Filter(attr("n").gt(1))
+        strong = Filter(attr("n").gt(15))
+        model = _SelectivityModel({
+            str(weak.predicate): 0.9,
+            str(strong.predicate): 0.1,
+        })
+        plan = QueryPlan([PatternOperator(EventMatch("A", "")), weak, strong])
+        reordered = reorder_filters(plan, model)
+        filters = [op for op in reordered.operators if isinstance(op, Filter)]
+        assert filters[0] is strong
+        assert filters[1] is weak
+
+    def test_runs_do_not_cross_barriers(self):
+        """Filters separated by a projection stay on their own side."""
+        f1 = Filter(attr("n").gt(1))
+        f2 = Filter(attr("n").gt(2))
+        projection = Projection(OUT, [("n", attr("n"))])
+        plan = QueryPlan(
+            [PatternOperator(EventMatch("A", "")), f1, projection, f2]
+        )
+        reordered = reorder_filters(plan)
+        position = [type(op).__name__ for op in reordered.operators]
+        assert position == [
+            "PatternOperator", "Filter", "Projection", "Filter",
+        ]
+
+    def test_unchanged_plan_returned_as_is(self):
+        plan = QueryPlan([PatternOperator(EventMatch("A", ""))])
+        assert reorder_filters(plan) is plan
+
+
+class TestFullOptimize:
+    def make_plan(self):
+        return QueryPlan(
+            [
+                PatternOperator(EventMatch("A", "")),
+                Filter(attr("n").gt(2)),
+                ContextWindowOperator("c1"),
+                Filter(attr("m").gt(4)),
+                Projection(OUT, [("n", attr("n"))]),
+            ],
+            name="p",
+            context_name="c1",
+        )
+
+    def test_window_lands_at_bottom(self):
+        optimized = full_optimize(self.make_plan())
+        assert isinstance(optimized.operators[0], ContextWindowOperator)
+
+    def test_filters_merge_after_reorder(self):
+        optimized = full_optimize(self.make_plan())
+        filters = [op for op in optimized.operators if isinstance(op, Filter)]
+        assert len(filters) == 1  # the adjacent run merged
+
+    def test_equivalence(self):
+        plan = self.make_plan()
+        optimized = full_optimize(
+            QueryPlan(
+                [clone_operator(op) for op in plan.operators],
+                name="p", context_name="c1",
+            )
+        )
+        batch = events()
+        out_a = plan.execute(list(batch), ctx())
+        out_b = optimized.execute(list(batch), ctx())
+        key = lambda out: sorted(str(sorted(e.payload.items())) for e in out)
+        assert key(out_a) == key(out_b)
+
+    @given(st.permutations([0.1, 0.5, 0.9]))
+    @settings(max_examples=10, deadline=None)
+    def test_equivalence_under_any_selectivity_model(self, selectivities):
+        f1 = Filter(attr("n").gt(3))
+        f2 = Filter(attr("n").lt(18))
+        f3 = Filter(attr("m").gt(2))
+        model = _SelectivityModel({
+            str(f1.predicate): selectivities[0],
+            str(f2.predicate): selectivities[1],
+            str(f3.predicate): selectivities[2],
+        })
+        operators = [PatternOperator(EventMatch("A", "")), f1, f2, f3]
+        plan = QueryPlan([clone_operator(op) for op in operators])
+        optimized = full_optimize(
+            QueryPlan([clone_operator(op) for op in operators]), model
+        )
+        batch = events()
+        key = lambda out: sorted(str(sorted(e.payload.items())) for e in out)
+        assert key(plan.execute(list(batch), ctx())) == key(
+            optimized.execute(list(batch), ctx())
+        )

@@ -1,0 +1,77 @@
+"""Tests for the CPU cost model (Section 5.1)."""
+
+import pytest
+
+from repro.algebra.context_ops import (
+    ContextInitiation,
+    ContextTermination,
+    ContextWindowOperator,
+)
+from repro.algebra.expressions import attr
+from repro.algebra.pattern import EventMatch, PatternOperator
+from repro.algebra.plan import QueryPlan
+from repro.algebra.relational_ops import Filter, Projection
+from repro.events.types import EventType
+from repro.optimizer.cost import CostModel, estimate_plan_cost
+
+OUT = EventType.define("Out", n="int")
+
+
+class TestCostModel:
+    def test_unit_costs_by_kind(self):
+        model = CostModel()
+        assert model.unit_cost(PatternOperator(EventMatch("A"))) == 2.0
+        assert model.unit_cost(Filter(attr("n").gt(1))) == 1.0
+        assert model.unit_cost(Projection(OUT, [("n", attr("n"))])) == 0.5
+        # context operators are constant and cheap (Section 5.1)
+        assert model.unit_cost(ContextInitiation("c")) == pytest.approx(0.1)
+        assert model.unit_cost(ContextTermination("c")) == pytest.approx(0.1)
+        assert model.unit_cost(ContextWindowOperator("c")) == pytest.approx(0.05)
+
+    def test_selectivity_defaults(self):
+        model = CostModel()
+        assert model.selectivity(Filter(attr("n").gt(1))) == 0.5
+        assert model.selectivity(Projection(OUT, [("n", attr("n"))])) == 1.0
+
+    def test_window_selectivity_from_activity(self):
+        model = CostModel(context_activity={"busy": 0.9, "rare": 0.1})
+        assert model.selectivity(ContextWindowOperator("busy")) == 0.9
+        assert model.selectivity(ContextWindowOperator("rare")) == 0.1
+        assert model.selectivity(ContextWindowOperator("unknown")) == 0.5
+
+
+class TestPlanCost:
+    def test_rate_attenuation(self):
+        """Downstream operators are charged at the attenuated rate."""
+        plan = QueryPlan(
+            [
+                Filter(attr("n").gt(1)),  # sel 0.5
+                Filter(attr("n").lt(9)),  # charged at rate 0.5
+            ]
+        )
+        cost = estimate_plan_cost(plan, CostModel(), input_rate=1.0)
+        assert cost == pytest.approx(1.0 * 1.0 + 0.5 * 1.0)
+
+    def test_window_charged_per_batch_not_per_event(self):
+        plan = QueryPlan([ContextWindowOperator("c")])
+        cost_high_rate = estimate_plan_cost(plan, input_rate=1000.0)
+        cost_low_rate = estimate_plan_cost(plan, input_rate=1.0)
+        assert cost_high_rate == cost_low_rate
+
+    def test_input_rate_scales_cost(self):
+        plan = QueryPlan([Filter(attr("n").gt(1))])
+        assert estimate_plan_cost(plan, input_rate=10.0) == pytest.approx(
+            10 * estimate_plan_cost(plan, input_rate=1.0)
+        )
+
+    def test_rare_context_window_shields_upstream(self):
+        model = CostModel(context_activity={"rare": 0.1})
+        shielded = QueryPlan(
+            [ContextWindowOperator("rare"), PatternOperator(EventMatch("A"))]
+        )
+        exposed = QueryPlan(
+            [PatternOperator(EventMatch("A")), ContextWindowOperator("rare")]
+        )
+        assert estimate_plan_cost(shielded, model) < estimate_plan_cost(
+            exposed, model
+        )

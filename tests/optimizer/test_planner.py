@@ -1,0 +1,134 @@
+"""Tests for Table 1 plan construction and combined plans (Section 4.2)."""
+
+import pytest
+
+from repro.algebra.context_ops import (
+    ContextInitiation,
+    ContextTermination,
+    ContextWindowOperator,
+)
+from repro.algebra.pattern import PatternOperator
+from repro.algebra.relational_ops import Filter, Projection
+from repro.language import parse_query
+from repro.optimizer.planner import (
+    build_combined_plans,
+    build_plans_for_queries,
+    build_query_plan,
+)
+
+
+def op_types(plan):
+    return [type(op).__name__ for op in plan.operators]
+
+
+class TestIndividualPlans:
+    def test_processing_query_plan_matches_figure_6a(self):
+        """Initial plan order: pattern, filter, context window, projection."""
+        query = parse_query(
+            "DERIVE Toll(p.vid, p.sec, 5) PATTERN NewTravelingCar p "
+            "WHERE p.lane != 'exit' CONTEXT congestion",
+            name="q1",
+        )
+        plan = build_query_plan(query, "congestion")
+        assert op_types(plan) == [
+            "PatternOperator", "Filter", "ContextWindowOperator", "Projection",
+        ]
+        assert plan.context_name == "congestion"
+
+    def test_processing_without_where(self):
+        query = parse_query(
+            "DERIVE Toll(p.vid) PATTERN Car p CONTEXT congestion", name="q"
+        )
+        plan = build_query_plan(query, "congestion")
+        assert op_types(plan) == [
+            "PatternOperator", "ContextWindowOperator", "Projection",
+        ]
+
+    def test_initiate_plan(self):
+        query = parse_query(
+            "INITIATE CONTEXT accident PATTERN Accident CONTEXT clear",
+            name="q3",
+        )
+        plan = build_query_plan(query, "clear")
+        assert op_types(plan) == [
+            "PatternOperator", "ContextWindowOperator", "ContextInitiation",
+        ]
+        assert plan.operators[-1].context_name == "accident"
+
+    def test_terminate_plan(self):
+        query = parse_query(
+            "TERMINATE CONTEXT accident PATTERN Cleared CONTEXT accident",
+            name="q",
+        )
+        plan = build_query_plan(query, "accident")
+        assert isinstance(plan.operators[-1], ContextTermination)
+
+    def test_switch_plan_has_both_operators(self):
+        """SWITCH CONTEXT c maps to CI_c plus CT_curr (Table 1)."""
+        query = parse_query(
+            "SWITCH CONTEXT clear PATTERN Stats s CONTEXT congestion",
+            name="q",
+        )
+        plan = build_query_plan(query, "congestion")
+        initiation = plan.operators[-2]
+        termination = plan.operators[-1]
+        assert isinstance(initiation, ContextInitiation)
+        assert initiation.context_name == "clear"
+        assert isinstance(termination, ContextTermination)
+        assert termination.context_name == "congestion"
+
+    def test_without_context_window(self):
+        query = parse_query(
+            "DERIVE Toll(p.vid) PATTERN Car p CONTEXT congestion", name="q"
+        )
+        plan = build_query_plan(query, "congestion", with_context_window=False)
+        assert "ContextWindowOperator" not in op_types(plan)
+
+    def test_retention_propagates(self):
+        query = parse_query("DERIVE X(a.n) PATTERN A a", name="q")
+        plan = build_query_plan(query, "c", retention=77)
+        assert plan.pattern_operators[0].retention == 77
+
+
+class TestPlansForQueries:
+    def test_one_plan_per_query_context_pair(self):
+        query = parse_query(
+            "DERIVE X(a.n) PATTERN A a CONTEXT c1, c2", name="q"
+        )
+        plans = build_plans_for_queries([query])
+        assert [p.context_name for p in plans] == ["c1", "c2"]
+        assert [p.name for p in plans] == ["q@c1", "q@c2"]
+
+
+class TestCombinedPlans:
+    def test_grouped_by_context(self):
+        q_congestion = parse_query(
+            "DERIVE X(a.n) PATTERN A a CONTEXT congestion", name="q1"
+        )
+        q_clear = parse_query(
+            "DERIVE Y(a.n) PATTERN A a CONTEXT clear", name="q2"
+        )
+        plans = build_plans_for_queries([q_congestion, q_clear])
+        combined = build_combined_plans(plans)
+        assert [c.context_name for c in combined] == ["congestion", "clear"]
+
+    def test_producer_before_consumer(self):
+        """Figure 6: the NewTravelingCar plan feeds the TollNotification
+        plan inside one combined plan."""
+        q2 = parse_query(
+            "DERIVE NewTravelingCar(p2.vid, p2.sec) "
+            "PATTERN SEQ(NOT PositionReport p1, PositionReport p2) "
+            "WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid "
+            "CONTEXT congestion",
+            name="q2",
+        )
+        q1 = parse_query(
+            "DERIVE Toll(p.vid, p.sec, 5) PATTERN NewTravelingCar p "
+            "CONTEXT congestion",
+            name="q1",
+        )
+        plans = build_plans_for_queries([q1, q2])
+        [combined] = build_combined_plans(plans)
+        assert [p.name for p in combined.plans] == [
+            "q2@congestion", "q1@congestion",
+        ]

@@ -1,0 +1,138 @@
+"""Tests for the classic context-oblivious rewrites (Section 5.2)."""
+
+from repro.algebra.expressions import attr
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.pattern import EventMatch, PatternOperator
+from repro.algebra.plan import QueryPlan
+from repro.algebra.relational_ops import Filter, Projection
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.types import EventType
+from repro.optimizer.rules import (
+    apply_classic_rewrites,
+    merge_adjacent_filters,
+    projection_preserves,
+    swap_filter_below_projection,
+)
+
+A = EventType.define("A", n="int", m="int")
+OUT = EventType.define("Out", n="int", m="int")
+
+
+def ctx():
+    return ExecutionContext(windows=ContextWindowStore([], "d"), now=0)
+
+
+def events(n):
+    return [Event(A, 1, {"n": i, "m": i * 2}) for i in range(n)]
+
+
+class TestFilterMerge:
+    def test_adjacent_filters_merge(self):
+        plan = QueryPlan(
+            [
+                PatternOperator(EventMatch("A", "a")),
+                Filter(attr("n", "a").gt(1)),
+                Filter(attr("n", "a").lt(8)),
+            ]
+        )
+        merged = merge_adjacent_filters(plan)
+        filters = [op for op in merged.operators if isinstance(op, Filter)]
+        assert len(filters) == 1
+
+    def test_merged_filter_equivalent(self):
+        operators = [
+            PatternOperator(EventMatch("A", "a")),
+            Filter(attr("n", "a").gt(1)),
+            Filter(attr("n", "a").lt(8)),
+        ]
+        plan = QueryPlan(list(operators))
+        merged = merge_adjacent_filters(QueryPlan(list(operators)))
+        batch = events(10)
+        out_a = plan.clone().execute(batch, ctx())
+        out_b = merged.clone().execute(batch, ctx())
+        assert [e.payload for e in out_a] == [e.payload for e in out_b]
+
+    def test_non_adjacent_filters_untouched(self):
+        plan = QueryPlan(
+            [
+                Filter(attr("n").gt(1)),
+                Projection(OUT, [("n", attr("n"))]),
+                Filter(attr("n").lt(8)),
+            ]
+        )
+        assert merge_adjacent_filters(plan) is plan
+
+    def test_triple_merge(self):
+        plan = QueryPlan(
+            [
+                Filter(attr("n").gt(1)),
+                Filter(attr("n").lt(8)),
+                Filter(attr("n").ne(5)),
+            ]
+        )
+        merged = merge_adjacent_filters(plan)
+        assert len(merged.operators) == 1
+
+
+class TestProjectionFilterSwap:
+    def identity_projection(self):
+        return Projection(OUT, [("n", attr("n")), ("m", attr("m"))])
+
+    def test_preserves_check(self):
+        projection = self.identity_projection()
+        reads_n = Filter(attr("n").gt(1))
+        reads_other = Filter(attr("zz").gt(1))
+        assert projection_preserves(projection, reads_n)
+        assert not projection_preserves(projection, reads_other)
+
+    def test_swap_happens_when_safe(self):
+        plan = QueryPlan(
+            [self.identity_projection(), Filter(attr("n").gt(1))]
+        )
+        swapped = swap_filter_below_projection(plan)
+        assert isinstance(swapped.operators[0], Filter)
+        assert isinstance(swapped.operators[1], Projection)
+
+    def test_no_swap_when_projection_drops_attribute(self):
+        plan = QueryPlan(
+            [
+                Projection(OUT, [("n", attr("n"))]),  # drops m
+                Filter(attr("m").gt(1)),
+            ]
+        )
+        assert swap_filter_below_projection(plan) is plan
+
+    def test_no_swap_for_computed_projection(self):
+        plan = QueryPlan(
+            [
+                Projection(OUT, [("n", attr("m") * 2)]),  # renames/computes
+                Filter(attr("n").gt(1)),
+            ]
+        )
+        assert swap_filter_below_projection(plan) is plan
+
+    def test_swap_preserves_semantics(self):
+        operators = [self.identity_projection(), Filter(attr("n").gt(3))]
+        plan = QueryPlan(list(operators))
+        swapped = swap_filter_below_projection(QueryPlan(list(operators)))
+        batch = events(8)
+        out_a = plan.execute(batch, ctx())
+        out_b = swapped.execute(batch, ctx())
+        assert sorted(e["n"] for e in out_a) == sorted(e["n"] for e in out_b)
+
+
+class TestFixpoint:
+    def test_rewrites_compose(self):
+        plan = QueryPlan(
+            [
+                Projection(OUT, [("n", attr("n")), ("m", attr("m"))]),
+                Filter(attr("n").gt(1)),
+                Filter(attr("n").lt(9)),
+            ]
+        )
+        rewritten = apply_classic_rewrites(plan)
+        # both filters slid below the projection and merged into one
+        assert isinstance(rewritten.operators[0], Filter)
+        assert isinstance(rewritten.operators[1], Projection)
+        assert len(rewritten.operators) == 2

@@ -1,0 +1,96 @@
+"""Property tests: the classic rewrites never change plan output."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import attr
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.pattern import EventMatch, PatternOperator
+from repro.algebra.plan import QueryPlan
+from repro.algebra.relational_ops import Filter, Projection
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.types import EventType
+from repro.optimizer.rules import apply_classic_rewrites
+
+A = EventType.define("A", n="int", m="int")
+OUT = EventType.define("Out", n="int", m="int")
+
+
+def ctx():
+    return ExecutionContext(windows=ContextWindowStore([], "d"), now=0)
+
+
+@st.composite
+def random_plan_operators(draw):
+    """A pipeline of a pattern followed by filters/identity projections."""
+    operators = [PatternOperator(EventMatch("A", ""))]
+    stage_count = draw(st.integers(min_value=1, max_value=5))
+    for _ in range(stage_count):
+        if draw(st.booleans()):
+            attribute = draw(st.sampled_from(["n", "m"]))
+            op = draw(st.sampled_from([">", "<", ">=", "<=", "!="]))
+            value = draw(st.integers(min_value=0, max_value=30))
+            from repro.algebra.expressions import BinaryOp
+
+            operators.append(
+                Filter(BinaryOp(op, attr(attribute), _const(value)))
+            )
+        else:
+            operators.append(
+                Projection(OUT, [("n", attr("n")), ("m", attr("m"))])
+            )
+    return operators
+
+
+def _const(value):
+    from repro.algebra.expressions import Constant
+
+    return Constant(value)
+
+
+events_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=40),
+    ),
+    max_size=25,
+).map(
+    lambda rows: [
+        Event(A, t, {"n": n, "m": m})
+        for t, n, m in sorted(rows, key=lambda r: r[0])
+    ]
+)
+
+
+class TestRewriteEquivalence:
+    @given(random_plan_operators(), events_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_rewritten_plan_equivalent(self, operators, events):
+        original = QueryPlan(list(operators), name="orig")
+        rewritten = apply_classic_rewrites(
+            QueryPlan([_clone(op) for op in operators], name="rewritten")
+        )
+        out_original = original.execute(list(events), ctx())
+        out_rewritten = rewritten.execute(list(events), ctx())
+        key = lambda out: sorted(
+            (e.type_name, e.timestamp, str(sorted(e.payload.items())))
+            for e in out
+        )
+        assert key(out_original) == key(out_rewritten)
+
+    @given(random_plan_operators())
+    @settings(max_examples=100, deadline=None)
+    def test_rewrite_is_idempotent(self, operators):
+        once = apply_classic_rewrites(QueryPlan(list(operators)))
+        twice = apply_classic_rewrites(once)
+        assert [op.name for op in twice.operators] == [
+            op.name for op in once.operators
+        ]
+
+
+def _clone(operator):
+    from repro.algebra.plan import clone_operator
+
+    return clone_operator(operator)

@@ -1,0 +1,140 @@
+"""Tests for plan search: exhaustive vs greedy vs context-aware (Fig 11a)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.optimizer.search import (
+    LogicalOperator,
+    context_aware_search,
+    exhaustive_search,
+    greedy_search,
+    make_search_space,
+)
+
+
+def order_cost(operators, order, input_rate=1.0):
+    by_index = {op.index: op for op in operators}
+    rate, total = input_rate, 0.0
+    for index in order:
+        op = by_index[index]
+        total += rate * op.unit_cost
+        rate *= op.selectivity
+    return total
+
+
+def brute_force_best(operators):
+    """Reference optimum by checking every valid permutation."""
+    best = None
+    for perm in itertools.permutations(op.index for op in operators):
+        placed = set()
+        valid = True
+        for index in perm:
+            op = next(o for o in operators if o.index == index)
+            if not op.prerequisites <= placed:
+                valid = False
+                break
+            placed.add(index)
+        if not valid:
+            continue
+        cost = order_cost(operators, perm)
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+class TestSearchSpace:
+    def test_generation(self):
+        ops = make_search_space(10, num_groups=2)
+        assert len(ops) == 10
+        assert sum(1 for op in ops if op.kind == "pattern") == 2
+        groups = {op.group for op in ops}
+        assert groups == {"g0", "g1"}
+
+    def test_deterministic(self):
+        a = make_search_space(8, seed=3)
+        b = make_search_space(8, seed=3)
+        assert a == b
+
+    def test_too_few_operators_rejected(self):
+        with pytest.raises(OptimizerError, match="at least one"):
+            make_search_space(2, num_groups=3)
+
+
+class TestExhaustiveSearch:
+    def test_finds_true_optimum(self):
+        ops = make_search_space(7, seed=5)
+        result = exhaustive_search(ops)
+        assert result.cost == pytest.approx(brute_force_best(ops))
+
+    def test_respects_prerequisites(self):
+        ops = make_search_space(6, seed=1)
+        result = exhaustive_search(ops)
+        placed = set()
+        by_index = {op.index: op for op in ops}
+        for index in result.order:
+            assert by_index[index].prerequisites <= placed
+            placed.add(index)
+
+    def test_order_is_a_permutation(self):
+        ops = make_search_space(8, seed=2)
+        result = exhaustive_search(ops)
+        assert sorted(result.order) == [op.index for op in ops]
+
+    def test_impossible_prerequisites_rejected(self):
+        ops = [
+            LogicalOperator(0, "filter", 1.0, 0.5, frozenset({1})),
+            LogicalOperator(1, "filter", 1.0, 0.5, frozenset({0})),
+        ]
+        with pytest.raises(OptimizerError, match="no valid"):
+            exhaustive_search(ops)
+
+    def test_nodes_grow_exponentially(self):
+        small = exhaustive_search(make_search_space(8)).nodes_explored
+        large = exhaustive_search(make_search_space(14)).nodes_explored
+        # 2^n scaling: 6 more operators means ≥ 2^5 more nodes
+        assert large > small * 32
+
+
+class TestGreedySearch:
+    def test_valid_order(self):
+        ops = make_search_space(12, seed=4)
+        result = greedy_search(ops)
+        assert sorted(result.order) == [op.index for op in ops]
+
+    def test_cost_close_to_optimal_on_small_inputs(self):
+        ops = make_search_space(7, seed=9)
+        optimal = exhaustive_search(ops).cost
+        greedy = greedy_search(ops).cost
+        assert greedy >= optimal  # greedy can never beat the optimum
+        assert greedy <= optimal * 2.0  # and is reasonable on this family
+
+    def test_quadratic_node_count(self):
+        result = greedy_search(make_search_space(20))
+        assert result.nodes_explored <= 20 * 20
+
+
+class TestContextAwareSearch:
+    def test_explores_far_fewer_nodes(self):
+        """The Figure 11(a) effect: grouping collapses the search space."""
+        ops = make_search_space(16, num_groups=4)
+        exhaustive = exhaustive_search(ops)
+        context_aware = context_aware_search(ops)
+        assert context_aware.nodes_explored < exhaustive.nodes_explored / 10
+
+    def test_exact_within_groups_still_cheap(self):
+        ops = make_search_space(16, num_groups=4)
+        result = context_aware_search(ops, within_group="exhaustive")
+        # four independent 4-operator groups: 4 * (2^4 * 4) upper bound
+        assert result.nodes_explored <= 4 * (2 ** 4) * 4
+
+    def test_single_group_greedy_equals_plain_greedy(self):
+        ops = make_search_space(10, num_groups=1)
+        assert context_aware_search(ops).cost == pytest.approx(
+            greedy_search(ops).cost
+        )
+
+    def test_strategy_label(self):
+        ops = make_search_space(6, num_groups=2)
+        assert context_aware_search(ops).strategy == "context-aware/greedy"

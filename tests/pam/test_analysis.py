@@ -1,0 +1,99 @@
+"""Tests for the PAM analysis helpers."""
+
+import pytest
+
+from repro.pam.analysis import intensity_minutes, summarize_subjects
+from repro.pam.generator import PamConfig, generate_pam_stream
+from repro.pam.queries import build_pam_model, subject_partitioner
+from repro.runtime.engine import CaesarEngine
+
+
+@pytest.fixture(scope="module")
+def run():
+    config = PamConfig(num_subjects=3, duration_minutes=12, seed=5)
+    stream = generate_pam_stream(config)
+    engine = CaesarEngine(
+        build_pam_model(), partition_by=subject_partitioner, retention=60
+    )
+    report = engine.run(stream)
+    return config, stream, report
+
+
+class TestSubjectSummaries:
+    def test_one_summary_per_subject(self, run):
+        _, _, report = run
+        summaries = summarize_subjects(report)
+        assert set(summaries) == {1, 2, 3}
+
+    def test_context_seconds_cover_the_run(self, run):
+        config, _, report = run
+        summaries = summarize_subjects(report, horizon=config.duration_seconds)
+        for summary in summaries.values():
+            total = sum(summary.seconds_by_context.values())
+            # windows partition the run per subject (within the last report)
+            assert total >= config.duration_seconds - config.report_interval
+
+    def test_outputs_attributed_by_subject(self, run):
+        _, _, report = run
+        summaries = summarize_subjects(report)
+        attributed = sum(
+            count
+            for summary in summaries.values()
+            for count in summary.outputs_by_type.values()
+        )
+        assert attributed == len(report.outputs)
+
+    def test_active_fraction_bounds(self, run):
+        _, _, report = run
+        for summary in summarize_subjects(report).values():
+            assert 0.0 <= summary.active_fraction() <= 1.0
+
+    def test_dominant_context(self, run):
+        _, _, report = run
+        for summary in summarize_subjects(report).values():
+            assert summary.dominant_context in ("rest", "moderate", "vigorous")
+
+    def test_transition_count(self, run):
+        _, _, report = run
+        summaries = summarize_subjects(report)
+        for subject, summary in summaries.items():
+            windows = report.windows_by_partition[subject]
+            assert summary.transitions == max(0, len(windows) - 1)
+
+
+class TestIntensityMinutes:
+    def test_buckets_cover_all_reports(self, run):
+        config, stream, _ = run
+        buckets = intensity_minutes(stream)
+        counted = sum(sum(bands.values()) for bands in buckets.values())
+        assert counted == len(stream)
+
+    def test_band_assignment(self, run):
+        _, stream, _ = run
+        buckets = intensity_minutes(stream, rest_max_hr=1000)
+        # with an absurd rest threshold everything is rest
+        assert all(
+            bands["moderate"] == 0 and bands["vigorous"] == 0
+            for bands in buckets.values()
+        )
+
+    def test_contexts_track_the_ground_truth(self, run):
+        """Whenever a subject sustains a vigorous heart rate, that
+        subject's derived vigorous context covers the moment."""
+        config, stream, report = run
+        checked = 0
+        for event in stream:
+            if event["heart_rate"] < 140:  # clearly vigorous, with margin
+                continue
+            subject = event["subject"]
+            t = event.timestamp
+            windows = report.windows_by_partition[subject]
+            covered = any(
+                w.context_name == "vigorous"
+                and w.start <= t
+                and (w.end is None or t <= w.end)
+                for w in windows
+            )
+            assert covered, f"subject {subject} at t={t} not in vigorous"
+            checked += 1
+        assert checked > 0, "seeded run produced no vigorous readings"

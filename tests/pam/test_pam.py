@@ -1,0 +1,113 @@
+"""Tests for the synthetic PAM substrate and its CAESAR model."""
+
+import pytest
+
+from repro.pam.generator import PamConfig, generate_pam_stream
+from repro.pam.queries import (
+    MODERATE,
+    REST,
+    VIGOROUS,
+    build_pam_model,
+    replicate_pam_workload,
+    subject_partitioner,
+)
+from repro.pam.schema import ACTIVITIES
+from repro.runtime.engine import CaesarEngine
+from repro.runtime.baseline import ContextIndependentEngine
+
+
+class TestGenerator:
+    def test_stream_shape(self):
+        config = PamConfig(num_subjects=3, duration_minutes=5, seed=1)
+        stream = generate_pam_stream(config)
+        assert len(stream) == 3 * (5 * 60 // config.report_interval)
+        times = [e.timestamp for e in stream]
+        assert times == sorted(times)
+
+    def test_all_subjects_report(self):
+        stream = generate_pam_stream(PamConfig(num_subjects=4, seed=2))
+        subjects = {e["subject"] for e in stream}
+        assert subjects == {1, 2, 3, 4}
+
+    def test_deterministic(self):
+        a = generate_pam_stream(PamConfig(seed=7))
+        b = generate_pam_stream(PamConfig(seed=7))
+        assert [e.payload for e in a] == [e.payload for e in b]
+
+    def test_heart_rate_in_plausible_band(self):
+        stream = generate_pam_stream(PamConfig(duration_minutes=10, seed=3))
+        rates = [e["heart_rate"] for e in stream]
+        assert all(40 < r < 220 for r in rates)
+
+    def test_activity_statistics_table(self):
+        for name, (hr, hand, chest, ankle) in ACTIVITIES.items():
+            assert 50 <= hr <= 180, name
+            assert hand >= 9 and chest >= 9 and ankle >= 9
+
+
+class TestModel:
+    def test_contexts(self):
+        model = build_pam_model()
+        assert set(model.context_names) == {REST, MODERATE, VIGOROUS}
+        model.validate()
+
+    def test_replication(self):
+        model = replicate_pam_workload(build_pam_model(), 3)
+        replicated = [q for q in model.queries() if "#" in q.name]
+        assert replicated  # suspendable queries got copies
+        assert all(
+            set(q.contexts) & {MODERATE, VIGOROUS} for q in replicated
+        )
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        config = PamConfig(num_subjects=3, duration_minutes=12, seed=5)
+        model = build_pam_model()
+        caesar = CaesarEngine(
+            model, partition_by=subject_partitioner, retention=60
+        )
+        baseline = ContextIndependentEngine(
+            model, partition_by=subject_partitioner, retention=60
+        )
+        return (
+            caesar.run(generate_pam_stream(config)),
+            baseline.run(generate_pam_stream(config)),
+        )
+
+    def test_intensity_contexts_derived(self, reports):
+        ca_report, _ = reports
+        all_names = {
+            w.context_name
+            for windows in ca_report.windows_by_partition.values()
+            for w in windows
+        }
+        assert MODERATE in all_names or VIGOROUS in all_names
+
+    def test_summaries_only_while_active(self, reports):
+        ca_report, _ = reports
+        summaries = [
+            e for e in ca_report.outputs if e.type_name == "IntensitySummary"
+        ]
+        assert summaries
+        for summary in summaries:
+            windows = ca_report.windows_by_partition[summary["subject"]]
+            active = [
+                w for w in windows
+                if w.context_name in (MODERATE, VIGOROUS)
+                and w.holds_at(summary.timestamp)
+            ]
+            assert active, f"summary at {summary.timestamp} outside context"
+
+    def test_outputs_equal_to_baseline(self, reports):
+        ca_report, ci_report = reports
+        key = lambda report: sorted(
+            (e.type_name, e.timestamp, str(sorted(e.payload.items())))
+            for e in report.outputs
+        )
+        assert key(ca_report) == key(ci_report)
+
+    def test_caesar_spends_less(self, reports):
+        ca_report, ci_report = reports
+        assert ca_report.cost_units < ci_report.cost_units

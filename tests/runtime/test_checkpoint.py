@@ -1,0 +1,170 @@
+"""Tests for engine checkpoint/restore."""
+
+import pytest
+
+from repro.core.model import CaesarModel
+from repro.errors import RuntimeEngineError
+from repro.events.event import Event
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.linearroad.stats import segment_stats_aggregator
+from repro.runtime.checkpoint import capture_checkpoint, restore_checkpoint
+from repro.runtime.engine import CaesarEngine
+from repro.runtime.session import EngineSession
+
+READING = EventType.define("Reading", value="int", sec="int", zone="int")
+
+
+def build_model():
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN Reading r WHERE r.value > 100 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN Reading r WHERE r.value <= 100 "
+        "CONTEXT alert", name="down"))
+    # a stateful query: pairs of equal readings within the alert window
+    model.add_query(parse_query(
+        "DERIVE Pair(a.sec, b.sec) PATTERN SEQ(Reading a, Reading b) "
+        "WHERE a.value = b.value CONTEXT alert", name="pairs"))
+    model.add_query(parse_query(
+        "DERIVE Alarm(r.value) PATTERN Reading r CONTEXT alert",
+        name="alarm"))
+    return model
+
+
+def reading(t, value, zone=0):
+    return Event(READING, t, {"value": value, "sec": t, "zone": zone})
+
+
+VALUES = [50, 150, 170, 150, 90, 120, 120, 30]
+
+
+def outputs_key(events):
+    return sorted(
+        (e.type_name, e.start_time, e.timestamp,
+         str(sorted(e.payload.items())))
+        for e in events
+    )
+
+
+class TestCheckpointRoundTrip:
+    def test_resume_equals_uninterrupted_run(self):
+        events = [reading(t * 10, v) for t, v in enumerate(VALUES)]
+        split = 4  # mid-alert, with a live partial match
+
+        # uninterrupted reference
+        reference = EngineSession(CaesarEngine(build_model()))
+        reference_outputs = reference.feed(events)
+
+        # interrupted run: process the prefix, checkpoint, restore into a
+        # brand-new engine, process the suffix
+        first = EngineSession(CaesarEngine(build_model()))
+        prefix_outputs = first.feed(events[:split])
+        checkpoint = capture_checkpoint(first.engine)
+
+        resumed_engine = CaesarEngine(build_model())
+        restore_checkpoint(resumed_engine, checkpoint)
+        second = EngineSession(resumed_engine)
+        suffix_outputs = second.feed(events[split:])
+
+        assert outputs_key(prefix_outputs + suffix_outputs) == outputs_key(
+            reference_outputs
+        )
+
+    def test_checkpoint_is_replayable(self):
+        """Restoring the same checkpoint twice yields identical behavior."""
+        events = [reading(t * 10, v) for t, v in enumerate(VALUES)]
+        split = 3
+        base = EngineSession(CaesarEngine(build_model()))
+        base.feed(events[:split])
+        checkpoint = capture_checkpoint(base.engine)
+
+        results = []
+        for _ in range(2):
+            engine = CaesarEngine(build_model())
+            restore_checkpoint(engine, checkpoint)
+            session = EngineSession(engine)
+            results.append(outputs_key(session.feed(events[split:])))
+        assert results[0] == results[1]
+
+    def test_context_windows_survive(self):
+        events = [reading(t * 10, v) for t, v in enumerate(VALUES[:3])]
+        session = EngineSession(CaesarEngine(build_model()))
+        session.feed(events)
+        checkpoint = capture_checkpoint(session.engine)
+        engine = CaesarEngine(build_model())
+        restore_checkpoint(engine, checkpoint)
+        store = engine.partition_store(None)
+        assert store.active_contexts() == ("alert",)
+        assert store.open_window("alert").start == 10
+
+    def test_partitioned_checkpoint(self):
+        events = []
+        for t, v in enumerate(VALUES[:4]):
+            events.append(reading(t * 10, v, zone=1))
+            events.append(reading(t * 10, 10, zone=2))
+        first = EngineSession(
+            CaesarEngine(build_model(), partition_by=lambda e: e["zone"])
+        )
+        first.feed(events)
+        checkpoint = capture_checkpoint(first.engine)
+        engine = CaesarEngine(build_model(), partition_by=lambda e: e["zone"])
+        restore_checkpoint(engine, checkpoint)
+        assert engine.partition_store(1).active_contexts() == ("alert",)
+        assert engine.partition_store(2).active_contexts() == ("normal",)
+
+    def test_preprocessor_state_round_trips(self):
+        from repro.linearroad.queries import (
+            build_traffic_model,
+            segment_partitioner,
+        )
+        from repro.linearroad.schema import POSITION_REPORT
+
+        engine = CaesarEngine(
+            build_traffic_model(),
+            preprocessors=(segment_stats_aggregator(),),
+            partition_by=segment_partitioner,
+        )
+        session = EngineSession(engine)
+        session.feed([
+            Event(POSITION_REPORT, 0, {
+                "vid": 1, "sec": 0, "speed": 30, "xway": 0,
+                "lane": "middle", "dir": 0, "seg": 0, "pos": 100,
+            })
+        ])
+        checkpoint = capture_checkpoint(engine)
+        engine2 = CaesarEngine(
+            build_traffic_model(),
+            preprocessors=(segment_stats_aggregator(),),
+            partition_by=segment_partitioner,
+        )
+        restore_checkpoint(engine2, checkpoint)
+        aggregate = engine2._partition((0, 0, 0)).preprocessors[0]
+        assert aggregate.state_size() == 1
+
+
+class TestCheckpointValidation:
+    def test_version_checked(self):
+        engine = CaesarEngine(build_model())
+        with pytest.raises(RuntimeEngineError, match="version"):
+            restore_checkpoint(engine, {"version": 99})
+
+    def test_context_set_checked(self):
+        engine = CaesarEngine(build_model())
+        checkpoint = capture_checkpoint(engine)
+        other = CaesarModel(default_context="normal")
+        other.add_context("different")
+        with pytest.raises(RuntimeEngineError, match="different contexts"):
+            restore_checkpoint(CaesarEngine(other), checkpoint)
+
+    def test_default_context_checked(self):
+        engine = CaesarEngine(build_model())
+        checkpoint = capture_checkpoint(engine)
+        other = CaesarModel(default_context="idle")
+        other.add_context("alert")
+        other.add_context("normal")
+        checkpoint["contexts"] = tuple(other.context_names)
+        with pytest.raises(RuntimeEngineError, match="default context"):
+            restore_checkpoint(CaesarEngine(other), checkpoint)

@@ -1,0 +1,66 @@
+"""Tests for the per-context cost breakdown (suspension observability)."""
+
+import pytest
+
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime.baseline import ContextIndependentEngine
+from repro.runtime.engine import CaesarEngine
+
+READING = EventType.define("Reading", value="int", sec="int")
+
+
+def build_model():
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_context("never")  # declared but never activated
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN Reading r WHERE r.value > 100 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN Reading r WHERE r.value <= 100 "
+        "CONTEXT alert", name="down"))
+    model.add_query(parse_query(
+        "DERIVE Alarm(r.value) PATTERN Reading r CONTEXT alert",
+        name="alarm"))
+    model.add_query(parse_query(
+        "DERIVE Ghost(r.value) PATTERN Reading r CONTEXT never",
+        name="ghost"))
+    return model
+
+
+def stream():
+    values = [50, 150, 90, 130, 40]
+    return EventStream(
+        Event(READING, t * 10, {"value": v, "sec": t * 10})
+        for t, v in enumerate(values)
+    )
+
+
+class TestCostByContext:
+    def test_suspended_context_spends_nothing(self):
+        report = CaesarEngine(build_model()).run(stream())
+        assert report.cost_by_context["never"] == 0.0
+        assert report.cost_by_context["alert"] > 0.0
+        assert report.cost_by_context["normal"] > 0.0
+
+    def test_breakdown_sums_to_total(self):
+        report = CaesarEngine(build_model()).run(stream())
+        assert sum(report.cost_by_context.values()) == pytest.approx(
+            report.cost_units
+        )
+
+    def test_baseline_pays_for_the_dead_context(self):
+        """The CI engine busy-waits even the never-activated workload."""
+        report = ContextIndependentEngine(build_model()).run(stream())
+        assert report.cost_by_context["never"] > 0.0
+
+    def test_breakdown_exported(self):
+        from repro.runtime.reporting import report_to_dict
+
+        report = CaesarEngine(build_model()).run(stream())
+        exported = report_to_dict(report)
+        assert exported["cost_by_context"]["never"] == 0.0

@@ -1,0 +1,181 @@
+"""Tests for the CAESAR engine (Section 6)."""
+
+import pytest
+
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime.engine import CaesarEngine, ScheduledWorkloadEngine
+from repro.core.windows import WindowSpec
+from repro.optimizer.sharing import build_shared_workload
+
+READING = EventType.define("Reading", value="int", sec="int", zone="int")
+
+
+def alert_model():
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(
+        parse_query(
+            "INITIATE CONTEXT alert PATTERN Reading r WHERE r.value > 100 "
+            "CONTEXT normal",
+            name="raise_alert",
+        )
+    )
+    model.add_query(
+        parse_query(
+            "TERMINATE CONTEXT alert PATTERN Reading r WHERE r.value <= 100 "
+            "CONTEXT alert",
+            name="clear_alert",
+        )
+    )
+    model.add_query(
+        parse_query(
+            "DERIVE Alarm(r.value, r.sec) PATTERN Reading r CONTEXT alert",
+            name="alarm",
+        )
+    )
+    return model
+
+
+def reading(t, value, zone=0):
+    return Event(READING, t, {"value": value, "sec": t, "zone": zone})
+
+
+def ramp_stream(zone=0):
+    values = [50, 80, 120, 150, 90, 60, 130, 40]
+    return EventStream(reading(i * 10, v, zone) for i, v in enumerate(values))
+
+
+class TestContextDerivation:
+    def test_windows_follow_the_data(self):
+        engine = CaesarEngine(alert_model())
+        report = engine.run(ramp_stream())
+        windows = report.windows_by_partition[None]
+        spans = [(w.context_name, w.start, w.end) for w in windows]
+        assert ("alert", 20, 40) in spans
+        assert ("alert", 60, 70) in spans
+
+    def test_alarms_only_during_alert(self):
+        engine = CaesarEngine(alert_model())
+        report = engine.run(ramp_stream())
+        alarm_values = sorted(e["value"] for e in report.outputs)
+        assert alarm_values == [120, 130, 150]
+
+    def test_derivation_precedes_processing_same_timestamp(self):
+        """The batch that raises a context is processed within it."""
+        engine = CaesarEngine(alert_model())
+        report = engine.run(EventStream([reading(0, 500)]))
+        assert len(report.outputs) == 1
+
+    def test_termination_batch_not_processed_in_old_context(self):
+        engine = CaesarEngine(alert_model())
+        report = engine.run(
+            EventStream([reading(0, 500), reading(10, 50)])
+        )
+        # the t=10 reading terminates the alert; no alarm derived for it
+        assert [e["value"] for e in report.outputs] == [500]
+
+
+class TestSuspension:
+    def test_suspended_plans_do_no_work(self):
+        engine = CaesarEngine(alert_model())
+        report = engine.run(
+            EventStream([reading(t, 10) for t in range(0, 100, 10)])
+        )
+        assert report.outputs == []
+        assert report.suppressed_batches > 0
+
+    def test_report_summary_fields(self):
+        engine = CaesarEngine(alert_model(), seconds_per_cost_unit=1e-3)
+        report = engine.run(ramp_stream())
+        assert report.events_processed == 8
+        assert report.batches == 8
+        assert report.cost_units > 0
+        assert report.max_latency >= report.mean_latency >= 0
+        assert "events=8" in report.summary()
+        assert report.throughput > 0
+
+
+class TestPartitioning:
+    def test_partitions_have_independent_contexts(self):
+        engine = CaesarEngine(
+            alert_model(), partition_by=lambda e: e["zone"]
+        )
+        events = sorted(
+            [reading(0, 500, zone=1), reading(0, 50, zone=2),
+             reading(10, 500, zone=1), reading(10, 50, zone=2)],
+            key=lambda e: e.timestamp,
+        )
+        report = engine.run(EventStream(events))
+        # only zone 1 ever entered the alert context
+        assert all(e["value"] == 500 for e in report.outputs)
+        assert len(report.outputs) == 2
+        zone1_windows = report.windows_by_partition[1]
+        zone2_windows = report.windows_by_partition[2]
+        assert any(w.context_name == "alert" for w in zone1_windows)
+        assert all(w.context_name == "normal" for w in zone2_windows)
+
+
+class TestLatencyModes:
+    def test_cost_based_latency_is_deterministic(self):
+        reports = []
+        for _ in range(2):
+            engine = CaesarEngine(alert_model(), seconds_per_cost_unit=1e-3)
+            reports.append(engine.run(ramp_stream()))
+        assert reports[0].max_latency == reports[1].max_latency
+        assert reports[0].cost_units == reports[1].cost_units
+
+    def test_wall_clock_mode(self):
+        engine = CaesarEngine(alert_model())
+        report = engine.run(ramp_stream())
+        assert report.max_latency >= 0
+
+
+class TestScheduledWorkloadEngine:
+    def make_workload(self):
+        query = parse_query(
+            "DERIVE Alarm(r.value) PATTERN Reading r WHERE r.value > 0",
+            name="q",
+        )
+        specs = [WindowSpec("w", start=20, end=50, queries=(query,))]
+        return build_shared_workload(specs)
+
+    def test_units_active_only_inside_intervals(self):
+        engine = ScheduledWorkloadEngine(self.make_workload())
+        stream = EventStream(reading(t, t + 1) for t in range(0, 80, 10))
+        report = engine.run(stream)
+        derived_times = sorted(e.timestamp for e in report.outputs)
+        assert derived_times == [20, 30, 40]
+
+    def test_context_independent_mode_processes_everything(self):
+        engine = ScheduledWorkloadEngine(
+            self.make_workload(), context_aware=False
+        )
+        stream = EventStream(reading(t, t + 1) for t in range(0, 80, 10))
+        report = engine.run(stream)
+        assert len(report.outputs) == 8
+
+    def test_state_reset_on_deactivation(self):
+        query = parse_query(
+            "DERIVE Pair(a.value, b.value) "
+            "PATTERN SEQ(Reading a, Reading b) WHERE a.value = b.value",
+            name="pairs",
+        )
+        specs = [
+            WindowSpec("w1", start=0, end=15, queries=(query,)),
+            WindowSpec("w2", start=30, end=60, queries=(query,)),
+        ]
+        engine = ScheduledWorkloadEngine(build_shared_workload(specs))
+        # a=7 at t=10 (window 1); b=7 at t=40 (window 2) — the partial
+        # match from window 1 must NOT pair with window 2's event
+        stream = EventStream([reading(10, 7), reading(40, 7), reading(50, 7)])
+        report = engine.run(stream)
+        pairs = [
+            (e.start_time, e.timestamp)
+            for e in report.outputs
+            if e.type_name == "Pair"
+        ]
+        assert pairs == [(40, 50)]

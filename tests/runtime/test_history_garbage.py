@@ -1,0 +1,118 @@
+"""Tests for the context history store and the garbage collector."""
+
+import pytest
+
+from repro.algebra.expressions import attr
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.pattern import EventMatch, PatternOperator, Sequence
+from repro.algebra.plan import CombinedQueryPlan, QueryPlan
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.types import EventType
+from repro.runtime.garbage import GarbageCollector
+from repro.runtime.history import ContextHistory
+
+A = EventType.define("A", n="int")
+B = EventType.define("B", n="int")
+
+
+def ctx():
+    return ExecutionContext(windows=ContextWindowStore([], "d"), now=0)
+
+
+def seq_plan():
+    return QueryPlan(
+        [PatternOperator(Sequence((EventMatch("A", "a"), EventMatch("B", "b"))))],
+        name="seq",
+    )
+
+
+def ev(event_type, t):
+    return Event(event_type, t, {"n": 0})
+
+
+class TestContextHistory:
+    def test_termination_discards_partial_matches(self):
+        history = ContextHistory()
+        plan = seq_plan()
+        plan.execute([ev(A, 1)], ctx())
+        assert plan.state_size() == 1
+        history.on_context_terminated(plan)
+        assert plan.state_size() == 0
+        assert history.discards == 1
+
+    def test_preserve_and_restore_across_boundary(self):
+        """Partial matches survive a grouped-window boundary (Section 6.2)."""
+        history = ContextHistory()
+        plan = seq_plan()
+        plan.execute([ev(A, 1)], ctx())
+        history.preserve("w1", plan)
+        plan.reset_state()
+        assert history.restore("w1", plan) is True
+        out = plan.execute([ev(B, 2)], ctx())
+        assert len(out) == 1  # the partial match completed after restore
+
+    def test_restore_unknown_key(self):
+        history = ContextHistory()
+        assert history.restore("nope", seq_plan()) is False
+
+    def test_restore_consumes_snapshot(self):
+        history = ContextHistory()
+        plan = seq_plan()
+        plan.execute([ev(A, 1)], ctx())
+        history.preserve("w", plan)
+        assert history.restore("w", plan)
+        assert not history.restore("w", plan)
+
+    def test_drop_expires_preserved_state(self):
+        history = ContextHistory()
+        plan = seq_plan()
+        plan.execute([ev(A, 1)], ctx())
+        history.preserve("w", plan)
+        history.drop("w")
+        assert history.held_keys == ()
+        assert history.discards == 1
+
+
+class TestGarbageCollector:
+    def make_combined(self):
+        plan = seq_plan()
+        return plan, CombinedQueryPlan([plan], name="c")
+
+    def test_collects_expired_state(self):
+        plan, combined = self.make_combined()
+        gc = GarbageCollector([combined], retention=10, interval=1)
+        plan.execute([ev(A, 0)], ctx())
+        freed = gc.collect(now=100)
+        assert freed == 1
+        assert plan.state_size() == 0
+
+    def test_keeps_fresh_state(self):
+        plan, combined = self.make_combined()
+        gc = GarbageCollector([combined], retention=100, interval=1)
+        plan.execute([ev(A, 0)], ctx())
+        assert gc.collect(now=50) == 0
+        assert plan.state_size() == 1
+
+    def test_maybe_collect_respects_interval(self):
+        plan, combined = self.make_combined()
+        gc = GarbageCollector([combined], retention=10, interval=60)
+        plan.execute([ev(A, 0)], ctx())
+        gc.collect(now=0)
+        assert gc.maybe_collect(now=30) == 0  # too soon
+        assert gc.runs == 1
+        gc.maybe_collect(now=100)
+        assert gc.runs == 2
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError, match="positive"):
+            GarbageCollector([], interval=0)
+
+    def test_collected_counter_accumulates(self):
+        plan, combined = self.make_combined()
+        gc = GarbageCollector([combined], retention=1, interval=1)
+        plan.execute([ev(A, 0)], ctx())
+        gc.collect(now=100)
+        plan.execute([ev(A, 101)], ctx())
+        gc.collect(now=200)
+        assert gc.collected == 2

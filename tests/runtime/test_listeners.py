@@ -1,0 +1,99 @@
+"""Tests for context transition listeners."""
+
+import pytest
+
+from repro.core.model import CaesarModel
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime.engine import CaesarEngine
+
+READING = EventType.define("Reading", value="int", sec="int", zone="int")
+
+
+class TestStoreListeners:
+    def make_store(self):
+        store = ContextWindowStore(["alert"], "normal")
+        log = []
+        store.add_listener(
+            lambda kind, window: log.append((kind, window.context_name))
+        )
+        return store, log
+
+    def test_initiation_and_termination_fire(self):
+        store, log = self.make_store()
+        store.initiate("alert", 5)
+        store.terminate("alert", 9)
+        assert log == [
+            ("initiated", "alert"),
+            ("terminated", "normal"),  # default evicted
+            ("terminated", "alert"),
+            ("initiated", "normal"),  # default restored
+        ]
+
+    def test_noops_do_not_fire(self):
+        store, log = self.make_store()
+        store.initiate("alert", 5)
+        log.clear()
+        store.initiate("alert", 6)  # idempotent: no transition
+        store.terminate("alert", 7)  # fires termination + default restore
+        store.terminate("alert", 8)  # already closed: no transition
+        assert log == [
+            ("terminated", "alert"),
+            ("initiated", "normal"),
+        ]
+
+    def test_remove_listener(self):
+        store, log = self.make_store()
+        listener = store._listeners[0]
+        store.remove_listener(listener)
+        store.initiate("alert", 5)
+        assert log == []
+
+
+class TestEngineCallback:
+    def build_model(self):
+        model = CaesarModel(default_context="normal")
+        model.add_context("alert")
+        model.add_query(parse_query(
+            "INITIATE CONTEXT alert PATTERN Reading r WHERE r.value > 100 "
+            "CONTEXT normal", name="up"))
+        model.add_query(parse_query(
+            "TERMINATE CONTEXT alert PATTERN Reading r WHERE r.value <= 100 "
+            "CONTEXT alert", name="down"))
+        return model
+
+    def test_callback_receives_partition_and_window(self):
+        transitions = []
+        engine = CaesarEngine(
+            self.build_model(),
+            partition_by=lambda e: e["zone"],
+            on_context_transition=lambda key, kind, window: transitions.append(
+                (key, kind, window.context_name, window.start)
+            ),
+        )
+        events = sorted(
+            [
+                Event(READING, 0, {"value": 50, "sec": 0, "zone": 1}),
+                Event(READING, 10, {"value": 150, "sec": 10, "zone": 1}),
+                Event(READING, 20, {"value": 50, "sec": 20, "zone": 1}),
+            ],
+            key=lambda e: e.timestamp,
+        )
+        engine.run(EventStream(events))
+        alert_transitions = [
+            t for t in transitions if t[2] == "alert"
+        ]
+        assert alert_transitions == [
+            (1, "initiated", "alert", 10),
+            (1, "terminated", "alert", 10),
+        ]
+
+    def test_no_callback_by_default(self):
+        engine = CaesarEngine(self.build_model())
+        report = engine.run(
+            EventStream([Event(READING, 0, {"value": 500, "sec": 0, "zone": 0})])
+        )
+        assert report.events_processed == 1

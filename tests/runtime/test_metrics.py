@@ -1,0 +1,77 @@
+"""Tests for the latency model and win-ratio metrics (Section 7.1)."""
+
+import pytest
+
+from repro.runtime.metrics import LatencyTracker, ThroughputSample, win_ratio
+
+
+class TestLatencyTracker:
+    def test_idle_server_latency_is_service_time(self):
+        tracker = LatencyTracker()
+        assert tracker.record(arrival=10.0, service=0.5) == pytest.approx(0.5)
+
+    def test_queueing_accumulates(self):
+        """Back-to-back batches faster than the server can drain them."""
+        tracker = LatencyTracker()
+        tracker.record(arrival=0.0, service=2.0)  # finishes at 2
+        latency = tracker.record(arrival=1.0, service=2.0)  # starts at 2
+        assert latency == pytest.approx(3.0)
+
+    def test_queue_drains_during_gaps(self):
+        tracker = LatencyTracker()
+        tracker.record(arrival=0.0, service=2.0)
+        # long gap: the server is idle again
+        latency = tracker.record(arrival=100.0, service=1.0)
+        assert latency == pytest.approx(1.0)
+
+    def test_max_and_mean(self):
+        tracker = LatencyTracker()
+        tracker.record(0.0, 1.0)
+        tracker.record(10.0, 3.0)
+        assert tracker.max_latency == pytest.approx(3.0)
+        assert tracker.mean_latency == pytest.approx(2.0)
+        assert tracker.batches == 2
+
+    def test_saturation_grows_latency_linearly(self):
+        """Arrival every 1s, service 2s: latency climbs without bound."""
+        tracker = LatencyTracker()
+        latencies = [
+            tracker.record(arrival=float(t), service=2.0) for t in range(10)
+        ]
+        diffs = [b - a for a, b in zip(latencies, latencies[1:])]
+        assert all(d == pytest.approx(1.0) for d in diffs)
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LatencyTracker().record(0.0, -1.0)
+
+    def test_reset(self):
+        tracker = LatencyTracker()
+        tracker.record(0.0, 5.0)
+        tracker.reset()
+        assert tracker.max_latency == 0.0
+        assert tracker.batches == 0
+        assert tracker.record(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_total_service(self):
+        tracker = LatencyTracker()
+        tracker.record(0.0, 1.5)
+        tracker.record(5.0, 2.5)
+        assert tracker.total_service == pytest.approx(4.0)
+
+
+class TestWinRatio:
+    def test_basic(self):
+        assert win_ratio(8.0, 1.0) == pytest.approx(8.0)
+
+    def test_zero_caesar_latency(self):
+        assert win_ratio(5.0, 0.0) == float("inf")
+        assert win_ratio(0.0, 0.0) == 1.0
+
+
+class TestThroughput:
+    def test_events_per_second(self):
+        assert ThroughputSample(1000, 2.0).events_per_second == 500.0
+
+    def test_zero_seconds(self):
+        assert ThroughputSample(10, 0.0).events_per_second == float("inf")

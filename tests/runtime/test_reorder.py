@@ -1,0 +1,142 @@
+"""Tests for the bounded reorder buffer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StreamOrderError
+from repro.events.event import Event
+from repro.events.types import EventType
+from repro.runtime.reorder import ReorderBuffer
+
+TICK = EventType.define("Tick", n="int")
+
+
+def tick(t, n=0):
+    return Event(TICK, t, {"n": n})
+
+
+class TestBasics:
+    def test_in_order_passthrough(self):
+        buffer = ReorderBuffer(max_delay=10)
+        released = list(buffer.feed([tick(0), tick(20), tick(40)]))
+        released.extend(buffer.flush())
+        assert [e.timestamp for e in released] == [0, 20, 40]
+
+    def test_reorders_within_bound(self):
+        buffer = ReorderBuffer(max_delay=10)
+        released = list(buffer.feed([tick(10), tick(5), tick(30)]))
+        released.extend(buffer.flush())
+        assert [e.timestamp for e in released] == [5, 10, 30]
+        assert buffer.reordered_events == 1
+
+    def test_watermark_gating(self):
+        buffer = ReorderBuffer(max_delay=10)
+        assert buffer.push(tick(10)) == []  # watermark at 0: nothing safe
+        released = buffer.push(tick(25))  # watermark 15 releases t=10
+        assert [e.timestamp for e in released] == [10]
+
+    def test_late_event_dropped_and_counted(self):
+        buffer = ReorderBuffer(max_delay=5)
+        # watermark reaches 95: t=0 and t=50 are released
+        list(buffer.feed([tick(0), tick(50), tick(100)]))
+        assert buffer.push(tick(3)) == []  # older than last release (50)
+        assert buffer.late_events == 1
+
+    def test_late_event_raises_when_configured(self):
+        buffer = ReorderBuffer(max_delay=5, on_late="raise")
+        list(buffer.feed([tick(0), tick(50), tick(100)]))
+        with pytest.raises(StreamOrderError, match="reorder bound"):
+            buffer.push(tick(3))
+
+    def test_flush_releases_everything(self):
+        buffer = ReorderBuffer(max_delay=1000)
+        list(buffer.feed([tick(5), tick(3), tick(9)]))
+        assert [e.timestamp for e in buffer.flush()] == [3, 5, 9]
+        assert buffer.pending == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ReorderBuffer(max_delay=-1)
+        with pytest.raises(ValueError, match="on_late"):
+            ReorderBuffer(max_delay=1, on_late="explode")
+
+    def test_sort_stream(self):
+        buffer = ReorderBuffer(max_delay=100)
+        stream = buffer.sort_stream([tick(9), tick(2), tick(5)])
+        assert [e.timestamp for e in stream] == [2, 5, 9]
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=200), max_size=50),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=100)
+    def test_output_is_always_sorted(self, times, max_delay):
+        buffer = ReorderBuffer(max_delay=max_delay)
+        released = list(buffer.feed(tick(t) for t in times))
+        released.extend(buffer.flush())
+        stamps = [e.timestamp for e in released]
+        assert stamps == sorted(stamps)
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=50))
+    @settings(max_examples=100)
+    def test_nothing_lost_with_sufficient_delay(self, times):
+        """A delay covering the worst jitter loses no event."""
+        buffer = ReorderBuffer(max_delay=200)
+        released = list(buffer.feed(tick(t) for t in times))
+        released.extend(buffer.flush())
+        assert len(released) == len(times)
+        assert buffer.late_events == 0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=200), max_size=50),
+        st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=100)
+    def test_released_plus_late_equals_input(self, times, max_delay):
+        buffer = ReorderBuffer(max_delay=max_delay)
+        released = list(buffer.feed(tick(t) for t in times))
+        released.extend(buffer.flush())
+        assert len(released) + buffer.late_events == len(times)
+
+
+class TestEngineIntegration:
+    def test_jittered_feed_runs_through_engine(self):
+        """A shuffled feed, reordered, produces the same outputs as the
+        pristine stream."""
+        from repro.core.model import CaesarModel
+        from repro.language import parse_query
+        from repro.events.stream import EventStream
+        from repro.runtime.engine import CaesarEngine
+
+        reading = EventType.define("Reading", value="int", sec="int")
+        model = CaesarModel(default_context="normal")
+        model.add_context("alert")
+        model.add_query(parse_query(
+            "INITIATE CONTEXT alert PATTERN Reading r WHERE r.value > 10 "
+            "CONTEXT normal", name="up"))
+        model.add_query(parse_query(
+            "TERMINATE CONTEXT alert PATTERN Reading r WHERE r.value <= 10 "
+            "CONTEXT alert", name="down"))
+        model.add_query(parse_query(
+            "DERIVE Alarm(r.sec) PATTERN Reading r CONTEXT alert",
+            name="alarm"))
+
+        values = [(t * 10, (t * 7) % 20) for t in range(30)]
+        pristine = [
+            Event(reading, t, {"value": v, "sec": t}) for t, v in values
+        ]
+        jittered = list(pristine)
+        random.Random(3).shuffle(jittered)
+
+        ordered = ReorderBuffer(max_delay=10_000).sort_stream(jittered)
+        report_reordered = CaesarEngine(model).run(ordered)
+        report_pristine = CaesarEngine(model).run(EventStream(pristine))
+        key = lambda r: sorted(
+            (e.type_name, e.timestamp) for e in r.outputs
+        )
+        assert key(report_reordered) == key(report_pristine)

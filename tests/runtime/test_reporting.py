@@ -1,0 +1,92 @@
+"""Tests for report export and timeline rendering."""
+
+import json
+
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime.engine import CaesarEngine
+from repro.runtime.reporting import (
+    outputs_to_rows,
+    render_timeline,
+    report_to_dict,
+)
+
+READING = EventType.define("Reading", value="int", sec="int")
+
+
+def run_engine():
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN Reading r WHERE r.value > 100 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN Reading r WHERE r.value <= 100 "
+        "CONTEXT alert", name="down"))
+    model.add_query(parse_query(
+        "DERIVE Alarm(r.value, r.sec) PATTERN Reading r CONTEXT alert",
+        name="alarm"))
+    values = [50, 150, 90, 130, 40]
+    stream = EventStream(
+        Event(READING, t * 10, {"value": v, "sec": t * 10})
+        for t, v in enumerate(values)
+    )
+    return CaesarEngine(model).run(stream)
+
+
+class TestReportToDict:
+    def test_summary_fields(self):
+        result = report_to_dict(run_engine())
+        assert result["events_processed"] == 5
+        assert result["outputs_by_type"] == {"Alarm": 2}
+        assert result["batches"] == 5
+        assert "<default>" in result["windows"]
+
+    def test_json_serializable(self):
+        text = json.dumps(report_to_dict(run_engine(), include_outputs=True))
+        decoded = json.loads(text)
+        assert decoded["outputs_by_type"]["Alarm"] == 2
+        assert len(decoded["outputs"]) == 2
+        assert decoded["outputs"][0]["type"] == "Alarm"
+
+    def test_window_entries(self):
+        result = report_to_dict(run_engine())
+        windows = result["windows"]["<default>"]
+        alert = [w for w in windows if w["context"] == "alert"]
+        assert {"start": 10, "end": 20} .items() <= alert[0].items()
+        open_windows = [w for w in windows if w["open"]]
+        assert len(open_windows) == 1
+
+    def test_outputs_excluded_by_default(self):
+        assert "outputs" not in report_to_dict(run_engine())
+
+
+class TestTimeline:
+    def test_lanes_per_context(self):
+        text = render_timeline(run_engine())
+        assert "partition <default>" in text
+        assert "alert" in text
+        assert "normal" in text
+        assert "#" in text
+
+    def test_width_respected(self):
+        text = render_timeline(run_engine(), width=30)
+        lanes = [l for l in text.splitlines() if "#" in l or "-" in l]
+        assert all(len(lane.split()[-1]) <= 30 for lane in lanes)
+
+    def test_specific_partition(self):
+        report = run_engine()
+        text = render_timeline(report, partition=None)
+        assert text.count("partition") == 1
+
+
+class TestOutputRows:
+    def test_rows_flatten_payloads(self):
+        rows = outputs_to_rows(run_engine())
+        assert len(rows) == 2
+        assert rows[0]["type"] == "Alarm"
+        assert rows[0]["value"] == 150
+        assert rows[0]["time"] == 10

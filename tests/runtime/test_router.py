@@ -1,0 +1,98 @@
+"""Tests for the context-aware stream router (Section 6.2)."""
+
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.plan import CombinedQueryPlan, QueryPlan
+from repro.algebra.pattern import EventMatch, PatternOperator
+from repro.algebra.relational_ops import Projection
+from repro.algebra.expressions import attr
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.types import EventType
+from repro.runtime.router import ContextAwareStreamRouter
+
+A = EventType.define("A", n="int")
+OUT = EventType.define("Out", n="int")
+
+
+def make_plan(name):
+    return CombinedQueryPlan(
+        [
+            QueryPlan(
+                [
+                    PatternOperator(EventMatch("A", "a")),
+                    Projection(OUT, [("n", attr("n", "a"))]),
+                ],
+                name=name,
+                context_name=name,
+            )
+        ],
+        name=f"combined-{name}",
+        context_name=name,
+    )
+
+
+def setup_router(context_aware=True):
+    store = ContextWindowStore(["c1", "c2"], "default")
+    router = ContextAwareStreamRouter(
+        {"c1": make_plan("c1"), "c2": make_plan("c2")},
+        context_aware=context_aware,
+    )
+    return store, router
+
+
+def batch(n=3):
+    return [Event(A, 1, {"n": i}) for i in range(n)]
+
+
+class TestContextAwareRouting:
+    def test_only_active_context_plans_receive_events(self):
+        store, router = setup_router()
+        store.initiate("c1", 0)
+        ctx = ExecutionContext(windows=store, now=1)
+        outputs = router.route(batch(), store, ctx)
+        assert len(outputs) == 3  # only c1's plan produced
+        assert router.batches_routed == 1
+        assert router.batches_suppressed == 1
+
+    def test_nothing_routed_when_no_user_context_active(self):
+        store, router = setup_router()
+        ctx = ExecutionContext(windows=store, now=1)
+        assert router.route(batch(), store, ctx) == []
+        assert router.batches_suppressed == 2
+
+    def test_multiple_active_contexts(self):
+        store, router = setup_router()
+        store.initiate("c1", 0)
+        store.initiate("c2", 0)
+        ctx = ExecutionContext(windows=store, now=1)
+        outputs = router.route(batch(2), store, ctx)
+        assert len(outputs) == 4  # both plans produced
+
+    def test_cost_attribution(self):
+        store, router = setup_router()
+        store.initiate("c1", 0)
+        ctx = ExecutionContext(windows=store, now=1)
+        router.route(batch(), store, ctx)
+        assert router.cost_units > 0
+        # suppressed plan spent nothing
+        assert router.plan_for("c2").total_cost_units() == 0
+
+
+class TestContextIndependentRouting:
+    def test_everything_routed(self):
+        store, router = setup_router(context_aware=False)
+        ctx = ExecutionContext(windows=store, now=1)
+        outputs = router.route(batch(2), store, ctx)
+        # both plans ran even though neither context is active
+        assert len(outputs) == 4
+        assert router.batches_suppressed == 0
+        assert router.batches_routed == 2
+
+
+class TestIntrospection:
+    def test_contexts_and_lookup(self):
+        _, router = setup_router()
+        assert set(router.contexts) == {"c1", "c2"}
+        assert router.plan_for("c1") is not None
+        assert router.plan_for("missing") is None
+        assert len(router.all_plans()) == 2

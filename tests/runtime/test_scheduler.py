@@ -1,0 +1,72 @@
+"""Tests for the time-driven stream-transaction scheduler (Section 6.2)."""
+
+import pytest
+
+from repro.errors import RuntimeEngineError
+from repro.events.event import Event
+from repro.events.types import EventType
+from repro.runtime.queues import EventDistributor
+from repro.runtime.scheduler import TimeDrivenScheduler
+
+TICK = EventType.define("Tick", seg="int")
+
+
+def tick(t, seg=0):
+    return Event(TICK, t, {"seg": seg})
+
+
+class TestScheduling:
+    def test_one_transaction_per_partition_per_time(self):
+        distributor = EventDistributor(lambda e: e["seg"])
+        distributor.distribute([tick(1, seg=0), tick(1, seg=1), tick(1, seg=1)])
+        scheduler = TimeDrivenScheduler(distributor)
+        executed = []
+        transactions = scheduler.run_time(1, executed.append)
+        assert len(transactions) == 2
+        assert {t.partition for t in transactions} == {0, 1}
+        by_partition = {t.partition: len(t.events) for t in transactions}
+        assert by_partition == {0: 1, 1: 2}
+        assert all(t.committed for t in transactions)
+        assert executed == transactions
+
+    def test_times_must_increase(self):
+        distributor = EventDistributor()
+        distributor.distribute([tick(1), tick(2)])
+        scheduler = TimeDrivenScheduler(distributor)
+        scheduler.run_time(2, lambda t: None)
+        with pytest.raises(RuntimeEngineError, match="after"):
+            scheduler.run_time(1, lambda t: None)
+
+    def test_waits_for_distributor_progress(self):
+        """The scheduler refuses to run ahead of the distributor
+        (Section 6.2: wait until the distributor progress passes t)."""
+        distributor = EventDistributor()
+        distributor.distribute([tick(1)])
+        scheduler = TimeDrivenScheduler(distributor)
+        with pytest.raises(RuntimeEngineError, match="progress"):
+            scheduler.run_time(5, lambda t: None)
+
+    def test_empty_partitions_skipped(self):
+        distributor = EventDistributor(lambda e: e["seg"])
+        distributor.distribute([tick(1, seg=0)])
+        scheduler = TimeDrivenScheduler(distributor)
+        scheduler.run_time(1, lambda t: None)
+        distributor.distribute([tick(2, seg=1)])
+        transactions = scheduler.run_time(2, lambda t: None)
+        # partition 0 has no events at t=2, so only one transaction forms
+        assert [t.partition for t in transactions] == [1]
+
+    def test_straggler_events_swept_into_next_transaction(self):
+        distributor = EventDistributor()
+        distributor.distribute([tick(1), tick(2)])
+        scheduler = TimeDrivenScheduler(distributor)
+        [transaction] = scheduler.run_time(2, lambda t: None)
+        # both events (t<=2) are taken, never stranded
+        assert [e.timestamp for e in transaction.events] == [1, 2]
+
+    def test_execution_count(self):
+        distributor = EventDistributor()
+        distributor.distribute([tick(1)])
+        scheduler = TimeDrivenScheduler(distributor)
+        scheduler.run_time(1, lambda t: None)
+        assert scheduler.transactions_executed == 1

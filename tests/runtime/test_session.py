@@ -1,0 +1,107 @@
+"""Tests for the incremental engine session."""
+
+import pytest
+
+from repro.core.model import CaesarModel
+from repro.errors import RuntimeEngineError, StreamOrderError
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime.engine import CaesarEngine
+from repro.runtime.session import EngineSession
+
+READING = EventType.define("Reading", value="int", sec="int")
+
+
+def build_model():
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN Reading r WHERE r.value > 100 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN Reading r WHERE r.value <= 100 "
+        "CONTEXT alert", name="down"))
+    model.add_query(parse_query(
+        "DERIVE Alarm(r.value, r.sec) PATTERN Reading r CONTEXT alert",
+        name="alarm"))
+    return model
+
+
+def reading(t, value):
+    return Event(READING, t, {"value": value, "sec": t})
+
+
+VALUES = [50, 150, 170, 90, 120, 30]
+
+
+class TestIncrementalFeeding:
+    def test_outputs_arrive_as_fed(self):
+        session = EngineSession(CaesarEngine(build_model()))
+        assert session.feed([reading(0, 50)]) == []
+        alarms = session.feed([reading(10, 150)])
+        assert [e["value"] for e in alarms] == [150]
+        assert session.feed([reading(20, 90)]) == []
+
+    def test_matches_batch_run(self):
+        events = [reading(t * 10, v) for t, v in enumerate(VALUES)]
+        batch_report = CaesarEngine(build_model()).run(EventStream(events))
+
+        session = EngineSession(CaesarEngine(build_model()))
+        incremental_outputs = []
+        for event in events:
+            incremental_outputs.extend(session.feed([event]))
+        report = session.close()
+
+        assert sorted(
+            (e.type_name, e.timestamp) for e in incremental_outputs
+        ) == sorted((e.type_name, e.timestamp) for e in batch_report.outputs)
+        assert report.events_processed == batch_report.events_processed
+        assert report.batches == batch_report.batches
+        assert report.outputs_by_type == batch_report.outputs_by_type
+
+    def test_multi_timestamp_feed(self):
+        session = EngineSession(CaesarEngine(build_model()))
+        events = [reading(t * 10, v) for t, v in enumerate(VALUES)]
+        outputs = session.feed(events)
+        assert [e["value"] for e in outputs] == [150, 170, 120]
+
+    def test_out_of_order_rejected(self):
+        session = EngineSession(CaesarEngine(build_model()))
+        session.feed([reading(10, 50)])
+        with pytest.raises(StreamOrderError):
+            session.feed([reading(5, 50)])
+
+    def test_equal_timestamps_across_calls(self):
+        session = EngineSession(CaesarEngine(build_model()))
+        session.feed([reading(10, 150)])
+        with pytest.raises(RuntimeEngineError):
+            # the scheduler already closed t=10
+            session.feed([reading(10, 150)])
+
+
+class TestSessionIntrospection:
+    def test_now_and_active_contexts(self):
+        session = EngineSession(CaesarEngine(build_model()))
+        assert session.now is None
+        session.feed([reading(0, 50)])
+        assert session.now == 0
+        assert session.active_contexts() == ("normal",)
+        session.feed([reading(10, 500)])
+        assert session.active_contexts() == ("alert",)
+
+    def test_close_finalizes(self):
+        session = EngineSession(CaesarEngine(build_model()))
+        session.feed([reading(0, 150)])
+        report = session.close()
+        assert report.outputs_by_type == {"Alarm": 1}
+        with pytest.raises(RuntimeEngineError, match="closed"):
+            session.feed([reading(10, 50)])
+
+    def test_report_windows(self):
+        session = EngineSession(CaesarEngine(build_model()))
+        session.feed([reading(t * 10, v) for t, v in enumerate(VALUES)])
+        report = session.close()
+        names = [w.context_name for w in report.windows_by_partition[None]]
+        assert "alert" in names

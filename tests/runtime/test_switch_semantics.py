@@ -1,0 +1,100 @@
+"""Engine-level tests of SWITCH CONTEXT semantics (Section 3.4).
+
+A context switch is the termination of the previous window plus the
+initiation of the new one — two consecutive, non-overlapping windows with
+no default-context flicker in between.
+"""
+
+import pytest
+
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime.engine import CaesarEngine
+
+READING = EventType.define("Reading", value="int", sec="int")
+
+
+def build_model():
+    """rest → low → high with SWITCH transitions between low and high."""
+    model = CaesarModel(default_context="rest")
+    model.add_context("low")
+    model.add_context("high")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT low PATTERN Reading r "
+        "WHERE r.value >= 10 AND r.value < 100 CONTEXT rest", name="to_low"))
+    model.add_query(parse_query(
+        "SWITCH CONTEXT high PATTERN Reading r WHERE r.value >= 100 "
+        "CONTEXT low", name="low_to_high"))
+    model.add_query(parse_query(
+        "SWITCH CONTEXT low PATTERN Reading r "
+        "WHERE r.value >= 10 AND r.value < 100 CONTEXT high",
+        name="high_to_low"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT low PATTERN Reading r WHERE r.value < 10 "
+        "CONTEXT low", name="low_to_rest"))
+    model.add_query(parse_query(
+        "DERIVE LowEvent(r.sec) PATTERN Reading r CONTEXT low",
+        name="low_q"))
+    model.add_query(parse_query(
+        "DERIVE HighEvent(r.sec) PATTERN Reading r CONTEXT high",
+        name="high_q"))
+    return model
+
+
+def run(values):
+    events = [
+        Event(READING, t * 10, {"value": v, "sec": t * 10})
+        for t, v in enumerate(values)
+    ]
+    return CaesarEngine(build_model()).run(EventStream(events))
+
+
+class TestSwitch:
+    def test_switch_produces_consecutive_windows(self):
+        report = run([5, 50, 150, 50, 5])
+        windows = report.windows_by_partition[None]
+        spans = [(w.context_name, w.start, w.end) for w in windows]
+        assert ("low", 10, 20) in spans
+        assert ("high", 20, 30) in spans
+        assert ("low", 30, 40) in spans
+
+    def test_no_default_flicker_during_switch(self):
+        report = run([5, 50, 150, 50, 5])
+        windows = report.windows_by_partition[None]
+        rest_windows = [w for w in windows if w.context_name == "rest"]
+        # rest held only at the run's start and after the final terminate —
+        # never between the switches at t=20 and t=30
+        assert [w.start for w in rest_windows] == [0, 40]
+        assert rest_windows[0].end == 10
+        assert rest_windows[1].is_open
+
+    def test_workloads_follow_the_switch(self):
+        report = run([5, 50, 150, 50, 5])
+        low_times = sorted(
+            e.timestamp for e in report.outputs if e.type_name == "LowEvent"
+        )
+        high_times = sorted(
+            e.timestamp for e in report.outputs if e.type_name == "HighEvent"
+        )
+        assert low_times == [10, 30]
+        assert high_times == [20]
+
+    def test_switch_chain(self):
+        """Repeated oscillation keeps exactly one user window at a time."""
+        report = run([50, 150, 50, 150, 50, 150])
+        windows = report.windows_by_partition[None]
+        for t in (0, 10, 20, 30, 40, 50):
+            active = [
+                w.context_name for w in windows
+                if w.start <= t and (w.end is None or t < w.end)
+            ]
+            assert len(active) == 1, f"at t={t}: {active}"
+
+    def test_switch_from_inactive_context_is_noop(self):
+        """The high→low switch query never fires while high is inactive."""
+        report = run([5, 5, 5])
+        windows = report.windows_by_partition[None]
+        assert all(w.context_name == "rest" for w in windows)

@@ -1,0 +1,95 @@
+"""Engine-level trailing negation: WITHIN deadlines fire through the full
+routing/scheduling stack (the PAM fall-detection shape)."""
+
+import pytest
+
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime.engine import CaesarEngine
+
+REPORT = EventType.define(
+    "Report", subject="int", spike="int", move="int", sec="int"
+)
+
+
+def build_model():
+    """FallWarning: a spike with no movement within 15 s — only while the
+    subject is in the rest context."""
+    model = CaesarModel(default_context="rest")
+    model.add_context("active")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT active PATTERN Report r WHERE r.move > 5 "
+        "CONTEXT rest", name="activate"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT active PATTERN Report r WHERE r.move = 0 "
+        "CONTEXT active", name="deactivate"))
+    model.add_query(parse_query(
+        "DERIVE FallWarning(s.subject, s.sec) "
+        "PATTERN SEQ(Report s, NOT Report m) "
+        "WHERE s.spike > 20 AND m.subject = s.subject AND m.move > 2 "
+        "WITHIN 15 CONTEXT rest",
+        name="fall"))
+    return model
+
+
+def report(t, spike=0, move=0, subject=1):
+    return Event(
+        REPORT, t, {"subject": subject, "spike": spike, "move": move, "sec": t}
+    )
+
+
+class TestTrailingNegationThroughEngine:
+    def test_warning_after_quiet_deadline(self):
+        events = [
+            report(0, spike=30),  # the fall candidate
+            report(5, move=1),  # too little movement: does not cancel
+            report(20, move=0),  # time passes the 15 s deadline
+        ]
+        result = CaesarEngine(build_model()).run(EventStream(events))
+        warnings = [
+            e for e in result.outputs if e.type_name == "FallWarning"
+        ]
+        assert [w["sec"] for w in warnings] == [0]
+
+    def test_movement_cancels_warning(self):
+        events = [
+            report(0, spike=30),
+            report(5, move=4),  # qualifying movement within the window
+            report(20, move=0),
+        ]
+        result = CaesarEngine(build_model()).run(EventStream(events))
+        assert all(e.type_name != "FallWarning" for e in result.outputs)
+
+    def test_other_subject_movement_does_not_cancel(self):
+        events = [
+            report(0, spike=30, subject=1),
+            report(5, move=4, subject=2),  # guard: different subject
+            report(20, move=0, subject=1),
+        ]
+        result = CaesarEngine(build_model()).run(EventStream(events))
+        warnings = [
+            e for e in result.outputs if e.type_name == "FallWarning"
+        ]
+        assert [w["subject"] for w in warnings] == [1]
+
+    def test_pending_match_discarded_when_context_ends(self):
+        """The fall query belongs to rest: if the subject becomes active
+        before the deadline, the pending match dies with the window."""
+        events = [
+            report(0, spike=30),
+            report(5, move=10),  # activates the active context
+            report(30, move=0),  # deactivates; deadline long past
+            report(40, move=0),
+        ]
+        result = CaesarEngine(build_model()).run(EventStream(events))
+        assert all(e.type_name != "FallWarning" for e in result.outputs)
+
+    def test_deadline_needs_a_later_batch_to_fire(self):
+        """With no event after the deadline, the pending match stays
+        pending — time only advances with the stream."""
+        events = [report(0, spike=30), report(10, move=0)]
+        result = CaesarEngine(build_model()).run(EventStream(events))
+        assert all(e.type_name != "FallWarning" for e in result.outputs)

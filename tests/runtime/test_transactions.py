@@ -1,0 +1,80 @@
+"""Tests for stream transactions and conflict ordering (Section 6.2)."""
+
+import pytest
+
+from repro.errors import TransactionOrderError
+from repro.runtime.transactions import (
+    ContextOperation,
+    OperationKind,
+    StreamTransaction,
+    TransactionLog,
+)
+
+
+def txn(partition, t, reads=(), writes=()):
+    transaction = StreamTransaction(partition=partition, timestamp=t)
+    for name in reads:
+        transaction.record_read(name)
+    for name in writes:
+        transaction.record_write(name)
+    return transaction
+
+
+class TestStreamTransaction:
+    def test_records_operations(self):
+        transaction = txn("p", 5, reads=["a"], writes=["b"])
+        kinds = [(op.kind, op.context_name) for op in transaction.operations]
+        assert kinds == [
+            (OperationKind.READ, "a"),
+            (OperationKind.WRITE, "b"),
+        ]
+        assert all(op.timestamp == 5 for op in transaction.operations)
+
+    def test_commit(self):
+        transaction = txn("p", 1)
+        assert not transaction.committed
+        transaction.commit()
+        assert transaction.committed
+
+
+class TestTransactionLog:
+    def test_in_order_schedule_accepted(self):
+        log = TransactionLog()
+        log.register(txn("p", 1, writes=["c"]))
+        log.register(txn("p", 2, reads=["c"]))
+        log.register(txn("p", 2, writes=["c"]))
+        log.register(txn("p", 3, reads=["c"]))
+        assert log.transactions == 4
+
+    def test_equal_timestamps_allowed(self):
+        log = TransactionLog()
+        log.register(txn("p", 5, writes=["c"]))
+        log.register(txn("p", 5, reads=["c"]))
+
+    def test_write_after_later_operation_rejected(self):
+        log = TransactionLog()
+        log.register(txn("p", 5, writes=["c"]))
+        with pytest.raises(TransactionOrderError, match="write of context"):
+            log.register(txn("p", 3, writes=["c"]))
+
+    def test_read_before_earlier_write_rejected(self):
+        log = TransactionLog()
+        log.register(txn("p", 5, writes=["c"]))
+        with pytest.raises(TransactionOrderError, match="read of context"):
+            log.register(txn("p", 4, reads=["c"]))
+
+    def test_conflicts_scoped_per_partition(self):
+        """Operations on different partitions never conflict."""
+        log = TransactionLog()
+        log.register(txn("p1", 5, writes=["c"]))
+        log.register(txn("p2", 3, writes=["c"]))  # different partition: fine
+
+    def test_conflicts_scoped_per_context(self):
+        log = TransactionLog()
+        log.register(txn("p", 5, writes=["c1"]))
+        log.register(txn("p", 3, writes=["c2"]))  # different value: fine
+
+    def test_reads_do_not_conflict_with_reads(self):
+        log = TransactionLog()
+        log.register(txn("p", 5, reads=["c"]))
+        log.register(txn("p", 3, reads=["c"]))  # read-read is not a conflict

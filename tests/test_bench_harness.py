@@ -1,0 +1,84 @@
+"""Tests for the benchmark harness utilities (benchmarks/common.py).
+
+The figure assertions stand on this harness, so its own behaviour is
+tested: table rendering, series extraction, the calibration rule and the
+monotonicity helper.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    FigureTable,
+    calibrate_seconds_per_cost_unit,
+    monotonically_nondecreasing,
+)
+
+
+class TestFigureTable:
+    def make_table(self):
+        table = FigureTable("Figure X", "a test figure", "x")
+        table.add(1, a=1.0, b=10.0)
+        table.add(2, a=2.0, b=20.0)
+        table.add(3, a=3.0)
+        return table
+
+    def test_series_extraction(self):
+        table = self.make_table()
+        assert table.series("a") == [1.0, 2.0, 3.0]
+        assert table.series("b") == [10.0, 20.0]
+        assert table.xs() == [1, 2, 3]
+
+    def test_render_contains_everything(self):
+        text = self.make_table().render()
+        assert "Figure X" in text
+        assert "a test figure" in text
+        for cell in ("1.0000", "20.0000", "3.0000"):
+            assert cell in text
+
+    def test_render_handles_missing_cells(self):
+        lines = self.make_table().render().splitlines()
+        # the x=3 row has no `b` value; the row still renders
+        assert any(line.startswith("3") for line in lines)
+
+    def test_empty_table(self):
+        table = FigureTable("Figure Y", "empty", "x")
+        assert "(no data)" in table.render()
+
+    def test_column_order_preserved(self):
+        table = FigureTable("F", "t", "x")
+        table.add(1, zulu=1.0, alpha=2.0)
+        header = table.render().splitlines()[1]
+        assert header.index("zulu") < header.index("alpha")
+
+
+class TestCalibration:
+    def test_basic_rule(self):
+        # 1000 cost units over a 100 s stream at 1.2x capacity:
+        # total service must be 120 s → 0.12 s per unit
+        assert calibrate_seconds_per_cost_unit(
+            1000, stream_seconds=100, utilization=1.2
+        ) == pytest.approx(0.12)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError, match="no cost units"):
+            calibrate_seconds_per_cost_unit(0, stream_seconds=100)
+
+    def test_utilization_scales_linearly(self):
+        low = calibrate_seconds_per_cost_unit(
+            500, stream_seconds=60, utilization=0.5
+        )
+        high = calibrate_seconds_per_cost_unit(
+            500, stream_seconds=60, utilization=1.5
+        )
+        assert high == pytest.approx(3 * low)
+
+
+class TestMonotonicity:
+    def test_increasing(self):
+        assert monotonically_nondecreasing([1, 2, 3])
+
+    def test_small_dips_within_slack(self):
+        assert monotonically_nondecreasing([1.0, 0.99, 1.5], slack=1.05)
+
+    def test_large_dip_fails(self):
+        assert not monotonically_nondecreasing([2.0, 1.0])

@@ -1,0 +1,137 @@
+"""Miscellaneous coverage: error hierarchy, public exports, small helpers."""
+
+import pytest
+
+import repro
+from repro import errors
+from repro.algebra.operators import ExecutionContext, Operator, OperatorStats
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.types import EventType
+from repro.runtime.metrics import SegmentStats
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_caesar_error(self):
+        error_classes = [
+            value
+            for value in vars(errors).values()
+            if isinstance(value, type) and issubclass(value, Exception)
+        ]
+        for error_class in error_classes:
+            assert issubclass(error_class, errors.CaesarError) or (
+                error_class is errors.CaesarError
+            )
+
+    def test_lexer_error_carries_position(self):
+        error = errors.LexerError("bad", position=5, line=2, column=3)
+        assert error.position == 5
+        assert error.line == 2
+        assert error.column == 3
+        assert "line 2" in str(error)
+
+    def test_unknown_context_error(self):
+        error = errors.UnknownContextError("ghost")
+        assert error.context_name == "ghost"
+        assert "ghost" in str(error)
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackage_exports_resolve(self):
+        import repro.algebra
+        import repro.core
+        import repro.events
+        import repro.language
+        import repro.optimizer
+        import repro.runtime
+
+        for module in (
+            repro.algebra, repro.core, repro.events,
+            repro.language, repro.optimizer, repro.runtime,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_every_module_imports(self):
+        """Every module in the package imports cleanly."""
+        import importlib
+        import pathlib
+
+        package_root = pathlib.Path(repro.__file__).parent
+        for path in sorted(package_root.rglob("*.py")):
+            relative = path.relative_to(package_root)
+            parts = ("repro",) + relative.with_suffix("").parts
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            if parts[-1] == "__main__":
+                continue  # executing it would run the CLI
+            importlib.import_module(".".join(parts))
+
+
+class TestOperatorBase:
+    def test_default_hooks(self):
+        op = Operator("noop")
+        ctx = ExecutionContext(windows=ContextWindowStore([], "d"))
+        assert op.suspends_pipeline(ctx) is False
+        assert op.on_time_advance(5, ctx) == []
+        assert op.expire_state_before(5) == 0
+        op.reset_state()  # no-op, must not raise
+        with pytest.raises(NotImplementedError):
+            op.process([], ctx)
+        assert "noop" in repr(op)
+
+    def test_stats_merge_and_reset(self):
+        a = OperatorStats(invocations=1, events_in=2, events_out=1,
+                          cost_units=3.0, suspensions=1)
+        b = OperatorStats(invocations=2, events_in=5, events_out=4,
+                          cost_units=1.5)
+        a.merge(b)
+        assert a.invocations == 3
+        assert a.events_in == 7
+        assert a.cost_units == 4.5
+        a.reset()
+        assert a.invocations == 0
+        assert a.cost_units == 0.0
+
+
+class TestSegmentStatsHelper:
+    def test_record_output(self):
+        stats = SegmentStats(key=(0, 0, 1))
+        stats.record_output("Toll")
+        stats.record_output("Toll", 2)
+        assert stats.outputs_by_type == {"Toll": 3}
+
+
+class TestEngineIntrospection:
+    def test_describe_plans(self):
+        from repro.core.model import CaesarModel
+        from repro.language import parse_query
+        from repro.runtime.engine import CaesarEngine
+
+        model = CaesarModel(default_context="normal")
+        model.add_context("alert")
+        model.add_query(parse_query(
+            "INITIATE CONTEXT alert PATTERN A a CONTEXT normal", name="up"))
+        model.add_query(parse_query(
+            "DERIVE Out(a.n) PATTERN A a CONTEXT alert", name="q"))
+        text = CaesarEngine(model).describe_plans()
+        assert "Deriving plans:" in text
+        assert "Processing plans:" in text
+        assert "up@normal" in text
+        assert "q@alert" in text
+
+    def test_partition_store_access(self):
+        from repro.core.model import CaesarModel
+        from repro.runtime.engine import CaesarEngine
+
+        engine = CaesarEngine(CaesarModel(default_context="d"))
+        store = engine.partition_store(None)
+        assert store.active_contexts() == ("d",)
+        assert engine.partition_keys == (None,)
