@@ -2,16 +2,20 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables examples validate lint-smoke all
+.PHONY: install test bench bench-hotpath bench-tables examples validate lint-smoke all
 
 install:
-	$(PYTHON) setup.py develop
+	$(PYTHON) -m pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# hot-path micro-benchmarks only (predicate eval, partial advance, routing)
+bench-hotpath:
+	$(PYTHON) -m pytest benchmarks/bench_hotpath.py --benchmark-only
 
 # benchmarks with the per-figure tables printed inline
 bench-tables:

@@ -1,0 +1,148 @@
+"""Micro-benchmarks for the per-event hot path.
+
+Not a paper figure: these isolate the three constant-factor levers of the
+hot-path overhaul so regressions (or wins) are measurable in isolation:
+
+* **predicate evaluation** — a `Filter` driving a moderately deep WHERE
+  predicate over a batch of plain events (compiled closures vs. the
+  interpreted tree-walk);
+* **partial-match advance** — a 4-step SEQ pattern holding 10/100/1000 live
+  partial matches while consuming events that cannot extend any of them
+  (type-indexed partial state vs. a linear scan);
+* **router dispatch** — a context-aware router whose plans consume disjoint
+  event types, fed batches that interest only one plan (interest-set
+  suppression vs. executing every plan on every batch).
+
+Before/after numbers for the overhaul PR are recorded in
+``docs/benchmarks.md`` ("Hot-path micro-benchmarks").
+"""
+
+import pytest
+
+from repro.algebra.expressions import attr, const
+from repro.algebra.operators import ExecutionContext
+from repro.algebra.pattern import EventMatch, PatternOperator, Sequence
+from repro.algebra.plan import CombinedQueryPlan, QueryPlan
+from repro.algebra.relational_ops import Filter, Projection
+from repro.core.windows import ContextWindowStore
+from repro.events.event import Event
+from repro.events.types import EventType
+from repro.runtime.router import ContextAwareStreamRouter
+
+READING = EventType.define("HPReading", value="int", sec="int", zone="int")
+A = EventType.define("HPA", n="int")
+B = EventType.define("HPB", n="int")
+C = EventType.define("HPC", n="int")
+D = EventType.define("HPD", n="int")
+
+
+def _store(contexts):
+    store = ContextWindowStore(list(contexts), "default")
+    for name in contexts:
+        store.initiate(name, 0)
+    return store
+
+
+# --------------------------------------------------------------------------
+# 1. predicate evaluation
+# --------------------------------------------------------------------------
+
+
+class TestPredicateEval:
+    def test_predicate_eval(self, benchmark):
+        """FL_θ over 1000 events with a 6-node comparison/arithmetic tree."""
+        predicate = (
+            attr("value").gt(const(100))
+            & attr("value").lt(const(900))
+            & (attr("sec") + const(1)).ge(attr("zone"))
+        )
+        filter_op = Filter(predicate)
+        events = [
+            Event(READING, t, {"value": (t * 37) % 1000, "sec": t, "zone": 0})
+            for t in range(1000)
+        ]
+        ctx = ExecutionContext(windows=_store([]), now=0)
+
+        out = benchmark(filter_op.process, events, ctx)
+        assert 0 < len(out) < len(events)
+
+
+# --------------------------------------------------------------------------
+# 2. partial-match advance
+# --------------------------------------------------------------------------
+
+
+def _loaded_pattern(partials):
+    """A SEQ(A, B, C) pattern holding ``partials`` live partial matches.
+
+    All partials wait for a ``HPB`` event, so a ``HPD``-typed probe batch
+    (a type the pattern's enclosing plan consumes via negation-free
+    routing) extends nothing — the cost is pure partial-state bookkeeping.
+    """
+    spec = Sequence(
+        (EventMatch("HPA", "a"), EventMatch("HPB", "b"), EventMatch("HPC", "c"))
+    )
+    operator = PatternOperator(spec, retention=10_000_000)
+    ctx = ExecutionContext(windows=_store([]), now=0)
+    seed = [Event(A, t + 1, {"n": t}) for t in range(partials)]
+    operator.process(seed, ctx)
+    assert operator.state_size() == partials
+    return operator, ctx
+
+
+@pytest.mark.parametrize("partials", [10, 100, 1000])
+class TestPartialAdvance:
+    def test_partial_advance(self, benchmark, partials):
+        operator, ctx = _loaded_pattern(partials)
+        probe = [Event(D, partials + 1 + i, {"n": i}) for i in range(100)]
+
+        out = benchmark(operator.process, probe, ctx)
+        assert out == []
+        assert operator.state_size() == partials
+
+
+# --------------------------------------------------------------------------
+# 3. router dispatch with disjoint interest sets
+# --------------------------------------------------------------------------
+
+
+def _typed_plan(event_type, name):
+    out_type = EventType.define(f"HPOut{name}", n="int")
+    return CombinedQueryPlan(
+        [
+            QueryPlan(
+                [
+                    PatternOperator(EventMatch(event_type.name, "x")),
+                    Projection(out_type, [("n", attr("n", "x"))]),
+                ],
+                name=name,
+                context_name=name,
+            )
+        ],
+        name=f"combined-{name}",
+        context_name=name,
+    )
+
+
+class TestRouterDispatch:
+    def test_disjoint_interest_routing(self, benchmark):
+        """16 active plans, none interested in the batch's event type.
+
+        This isolates pure dispatch cost: with interest-set routing the
+        router answers 16 set-disjointness tests; without it, every plan
+        scans the whole batch only to find nothing it consumes.
+        """
+        types = [
+            EventType.define(f"HPT{i}", n="int") for i in range(16)
+        ]
+        other = EventType.define("HPElse", n="int")
+        plans = {
+            f"ctx{i}": _typed_plan(types[i], f"ctx{i}") for i in range(16)
+        }
+        store = _store(list(plans))
+        router = ContextAwareStreamRouter(plans, context_aware=True)
+        ctx = ExecutionContext(windows=store, now=1)
+        batch = [Event(other, 1, {"n": i}) for i in range(200)]
+
+        out = benchmark(router.route, batch, store, ctx)
+        assert out == []

@@ -65,7 +65,7 @@ class AggregateFunction:
 class _Accumulator:
     """Incremental state for all functions of one group in one window."""
 
-    __slots__ = ("counts", "distincts", "sums", "mins", "maxs", "events")
+    __slots__ = ("counts", "distincts", "sums", "mins", "maxs", "events", "_predicate_fns")
 
     def __init__(self, functions: tuple[AggregateFunction, ...]):
         self.counts = [0] * len(functions)
@@ -74,14 +74,21 @@ class _Accumulator:
         self.mins: list[Any] = [None] * len(functions)
         self.maxs: list[Any] = [None] * len(functions)
         self.events = 0
+        # compiled once per accumulator; Expr.compile memoizes per node, so
+        # accumulators sharing functions share the compiled closures too
+        self._predicate_fns = tuple(
+            f.predicate.compile() if f.predicate is not None else None
+            for f in functions
+        )
 
     def add(self, functions: tuple[AggregateFunction, ...], event: Event) -> None:
         self.events += 1
         binding = binding_from_event(event)
         for index, function in enumerate(functions):
-            if function.predicate is not None:
+            predicate_fn = self._predicate_fns[index]
+            if predicate_fn is not None:
                 try:
-                    if not function.predicate.evaluate(binding):
+                    if not predicate_fn(binding):
                         continue
                 except ExpressionError:
                     continue

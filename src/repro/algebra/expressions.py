@@ -9,6 +9,14 @@ Expressions are evaluated against a *binding*: a mapping from pattern
 variable names to events.  An attribute reference ``p2.vid`` looks up the
 event bound to ``p2`` and reads its ``vid`` attribute; an unqualified
 reference ``vid`` reads the attribute from the binding's sole event.
+
+Two evaluation paths exist.  :meth:`Expr.evaluate` walks the tree with
+isinstance dispatch — the readable reference implementation.
+:meth:`Expr.compile` lowers the tree once into nested Python closures, so
+the per-event cost on the hot path is plain function calls with no
+re-interpretation; operators compile their predicates at plan-build time.
+The two are equivalent, including :class:`ExpressionError` behaviour
+(``tests/algebra/test_expressions.py`` asserts the parity on random trees).
 """
 
 from __future__ import annotations
@@ -35,6 +43,21 @@ class Expr:
     """Base class of all expression nodes."""
 
     def evaluate(self, binding: Binding) -> Any:
+        raise NotImplementedError
+
+    def compile(self) -> Callable[[Binding], Any]:
+        """Lower the tree to nested closures; equivalent to :meth:`evaluate`.
+
+        The result is memoized on the node, so repeated calls (e.g. the same
+        shared predicate referenced by several operators) compile once.
+        """
+        compiled = self.__dict__.get("_compiled")
+        if compiled is None:
+            compiled = self._compile()
+            object.__setattr__(self, "_compiled", compiled)
+        return compiled
+
+    def _compile(self) -> Callable[[Binding], Any]:
         raise NotImplementedError
 
     def attributes(self) -> set[tuple[str, str]]:
@@ -102,6 +125,10 @@ class Constant(Expr):
     def evaluate(self, binding: Binding) -> Any:
         return self.value
 
+    def _compile(self) -> Callable[[Binding], Any]:
+        value = self.value
+        return lambda binding: value
+
     def attributes(self) -> set[tuple[str, str]]:
         return set()
 
@@ -132,6 +159,31 @@ class AttrRef(Expr):
                 f"has no attribute {self.attr!r}"
             )
         return event[self.attr]
+
+    def _compile(self) -> Callable[[Binding], Any]:
+        var, attr_name = self.var, self.attr
+
+        def run(binding: Binding) -> Any:
+            event = binding.get(var)
+            if event is None:
+                if var == SELF_VAR and len(binding) == 1:
+                    event = next(iter(binding.values()))
+                else:
+                    raise ExpressionError(
+                        f"no event bound to variable {var or '<self>'!r}; "
+                        f"bound: {sorted(binding)}"
+                    )
+            # Read the payload mapping directly: one dict lookup instead of
+            # a __contains__ call followed by a __getitem__ call.
+            try:
+                return event._payload[attr_name]
+            except KeyError:
+                raise ExpressionError(
+                    f"event {event.type_name!r} bound to {var or '<self>'!r} "
+                    f"has no attribute {attr_name!r}"
+                ) from None
+
+        return run
 
     def attributes(self) -> set[tuple[str, str]]:
         return {(self.var, self.attr)}
@@ -182,6 +234,66 @@ class BinaryOp(Expr):
         except ZeroDivisionError as exc:
             raise ExpressionError(f"division by zero in {self}") from exc
 
+    def _compile(self) -> Callable[[Binding], Any]:
+        op = self.op
+        func = _ARITHMETIC.get(op) or _COMPARISON[op]
+        label = str(self)
+        # Constant operands are folded into the closure — comparisons
+        # against literals (the most common predicate shape) cost one
+        # sub-expression call instead of two.
+        if isinstance(self.right, Constant):
+            left = self.left.compile()
+            b_const = self.right.value
+
+            def run(binding: Binding) -> Any:
+                a = left(binding)
+                try:
+                    return func(a, b_const)
+                except TypeError as exc:
+                    raise ExpressionError(
+                        f"cannot apply {op!r} to {a!r} and {b_const!r}"
+                    ) from exc
+                except ZeroDivisionError as exc:
+                    raise ExpressionError(
+                        f"division by zero in {label}"
+                    ) from exc
+
+            return run
+        if isinstance(self.left, Constant):
+            a_const = self.left.value
+            right = self.right.compile()
+
+            def run(binding: Binding) -> Any:
+                b = right(binding)
+                try:
+                    return func(a_const, b)
+                except TypeError as exc:
+                    raise ExpressionError(
+                        f"cannot apply {op!r} to {a_const!r} and {b!r}"
+                    ) from exc
+                except ZeroDivisionError as exc:
+                    raise ExpressionError(
+                        f"division by zero in {label}"
+                    ) from exc
+
+            return run
+        left = self.left.compile()
+        right = self.right.compile()
+
+        def run(binding: Binding) -> Any:
+            a = left(binding)
+            b = right(binding)
+            try:
+                return func(a, b)
+            except TypeError as exc:
+                raise ExpressionError(
+                    f"cannot apply {op!r} to {a!r} and {b!r}"
+                ) from exc
+            except ZeroDivisionError as exc:
+                raise ExpressionError(f"division by zero in {label}") from exc
+
+        return run
+
     def attributes(self) -> set[tuple[str, str]]:
         return self.left.attributes() | self.right.attributes()
 
@@ -205,6 +317,11 @@ class And(Expr):
             self.right.evaluate(binding)
         )
 
+    def _compile(self) -> Callable[[Binding], bool]:
+        left = self.left.compile()
+        right = self.right.compile()
+        return lambda binding: bool(left(binding)) and bool(right(binding))
+
     def attributes(self) -> set[tuple[str, str]]:
         return self.left.attributes() | self.right.attributes()
 
@@ -224,6 +341,11 @@ class Or(Expr):
             self.right.evaluate(binding)
         )
 
+    def _compile(self) -> Callable[[Binding], bool]:
+        left = self.left.compile()
+        right = self.right.compile()
+        return lambda binding: bool(left(binding)) or bool(right(binding))
+
     def attributes(self) -> set[tuple[str, str]]:
         return self.left.attributes() | self.right.attributes()
 
@@ -239,6 +361,10 @@ class Not(Expr):
 
     def evaluate(self, binding: Binding) -> bool:
         return not bool(self.operand.evaluate(binding))
+
+    def _compile(self) -> Callable[[Binding], bool]:
+        operand = self.operand.compile()
+        return lambda binding: not bool(operand(binding))
 
     def attributes(self) -> set[tuple[str, str]]:
         return self.operand.attributes()

@@ -47,24 +47,35 @@ class MatchEvent(Event):
     """A pattern match: an event carrying its variable binding.
 
     The payload flattens the binding into ``"var.attr"`` keys for debugging;
-    downstream operators evaluate expressions against :attr:`binding`.
+    downstream operators evaluate expressions against :attr:`binding`, so
+    the flat payload is computed *lazily* on first access — most matches are
+    filtered or projected away without anyone reading it.
     """
 
     __slots__ = ("binding",)
 
     def __init__(self, binding: Mapping[str, Event], time: TimeInterval):
-        payload: dict[str, Any] = {}
-        for var, event in binding.items():
-            prefix = f"{var}." if var else ""
-            for attr_name in event.attributes():
-                payload[f"{prefix}{attr_name}"] = event[attr_name]
         super().__init__(
             MATCH_EVENT_TYPE,
             time,
-            payload,
+            None,
             derived_from=tuple(binding.values()),
         )
         object.__setattr__(self, "binding", dict(binding))
+        # Unset the payload slot: the first attribute access falls through
+        # to __getattr__, which materializes the flat payload in place.
+        object.__delattr__(self, "_payload")
+
+    def __getattr__(self, name: str) -> Any:
+        if name != "_payload":
+            raise AttributeError(name)
+        payload: dict[str, Any] = {}
+        for var, event in self.binding.items():
+            prefix = f"{var}." if var else ""
+            for attr_name in event.attributes():
+                payload[f"{prefix}{attr_name}"] = event[attr_name]
+        object.__setattr__(self, "_payload", payload)
+        return payload
 
 
 def binding_of(event: Event) -> dict[str, Event]:
@@ -159,6 +170,10 @@ class Sequence(PatternSpec):
         if not any(isinstance(e, EventMatch) for e in self.elements):
             raise PlanError("SEQ requires at least one positive element")
 
+    def __str__(self) -> str:
+        inner = ", ".join(str(e) for e in self.elements)
+        return f"SEQ({inner})"
+
 
 def _has_positive(spec: PatternSpec) -> bool:
     if isinstance(spec, EventMatch):
@@ -167,10 +182,6 @@ def _has_positive(spec: PatternSpec) -> bool:
         return False
     assert isinstance(spec, Sequence)
     return any(_has_positive(element) for element in spec.elements)
-
-    def __str__(self) -> str:
-        inner = ", ".join(str(e) for e in self.elements)
-        return f"SEQ({inner})"
 
 
 def flatten_sequence(spec: PatternSpec) -> PatternSpec:
@@ -282,34 +293,68 @@ class PatternOperator(Operator):
             self._negated_types.update(
                 n.inner.type_name for n in self._plan.trailing
             )
+            # compile negation guards at plan-build time (memoized on the
+            # expression nodes, so shared guards compile once)
+            for gap in self._plan.gap_negations:
+                for negation in gap:
+                    if negation.guard is not None:
+                        negation.guard.compile()
+            for negation in self._plan.trailing:
+                if negation.guard is not None:
+                    negation.guard.compile()
         self._history: dict[str, deque[Event]] = {
             t: deque() for t in self._negated_types
         }
-        self._partials: list[_Partial] = []
+        #: partial matches indexed by the *next positive type* they wait
+        #: for — an incoming event only touches the partials it can extend
+        self._partials_by_next: dict[str, list[_Partial]] = {}
+        if self._plan is not None:
+            for positive in self._plan.positives:
+                self._partials_by_next.setdefault(positive.type_name, [])
         self._pending: list[_PendingMatch] = []
         self._now: TimePoint = 0
+        #: the value of ``_now`` the last horizon expiry ran at; expiry is
+        #: amortized to time advances instead of running per event
+        self._expired_at: TimePoint = float("-inf")
 
     # ------------------------------------------------------------------
     # state management (context history / garbage collection hooks)
     # ------------------------------------------------------------------
 
+    def _partial_count(self) -> int:
+        return sum(len(bucket) for bucket in self._partials_by_next.values())
+
+    def _iter_partials(self) -> Iterable[_Partial]:
+        for bucket in self._partials_by_next.values():
+            yield from bucket
+
+    def _add_partial(self, partial: _Partial) -> None:
+        assert self._plan is not None
+        next_type = self._plan.positives[partial.next_index].type_name
+        self._partials_by_next[next_type].append(partial)
+
     def state_size(self) -> int:
         """Number of partial matches, pending matches and history events."""
         history = sum(len(d) for d in self._history.values())
-        return len(self._partials) + len(self._pending) + history
+        return self._partial_count() + len(self._pending) + history
 
     def reset_state(self) -> None:
-        self._partials.clear()
+        for bucket in self._partials_by_next.values():
+            bucket.clear()
         self._pending.clear()
         for history in self._history.values():
             history.clear()
 
     def snapshot_state(self) -> dict[str, Any]:
-        """Copy the mutable state (used by the context history store)."""
+        """Copy the mutable state (used by the context history store).
+
+        Partials are stored as one flat list (the pre-index snapshot
+        format); :meth:`restore_state` re-buckets them by next type.
+        """
         return {
             "partials": [
                 _Partial(dict(p.binding), p.next_index, p.last_time)
-                for p in self._partials
+                for p in self._iter_partials()
             ],
             "pending": [
                 _PendingMatch(dict(p.binding), p.deadline, p.blocked)
@@ -325,22 +370,24 @@ class PatternOperator(Operator):
         The snapshot is copied, so it can be restored any number of times
         (e.g. replaying from one checkpoint repeatedly).
         """
-        self._partials = [
-            _Partial(dict(p.binding), p.next_index, p.last_time)
-            for p in snapshot["partials"]
-        ]
+        for bucket in self._partials_by_next.values():
+            bucket.clear()
+        for p in snapshot["partials"]:
+            self._add_partial(_Partial(dict(p.binding), p.next_index, p.last_time))
         self._pending = [
             _PendingMatch(dict(p.binding), p.deadline, p.blocked)
             for p in snapshot["pending"]
         ]
         self._history = {t: deque(d) for t, d in snapshot["history"].items()}
         self._now = snapshot["now"]
+        self._expired_at = float("-inf")
 
     def expire_state_before(self, t: TimePoint) -> int:
         dropped = 0
-        kept = [p for p in self._partials if p.last_time >= t]
-        dropped += len(self._partials) - len(kept)
-        self._partials = kept
+        for bucket in self._partials_by_next.values():
+            kept = [p for p in bucket if p.last_time >= t]
+            dropped += len(bucket) - len(kept)
+            bucket[:] = kept
         for history in self._history.values():
             while history and history[0].timestamp < t:
                 history.popleft()
@@ -355,7 +402,7 @@ class PatternOperator(Operator):
         out: list[Event] = []
         for event in events:
             out.extend(self._consume(event))
-        cost = self.unit_cost * len(events) + 0.1 * len(self._partials)
+        cost = self.unit_cost * len(events) + 0.1 * self._partial_count()
         self._account(len(events), len(out), cost)
         return out
 
@@ -365,7 +412,9 @@ class PatternOperator(Operator):
         return self._flush_pending(now)
 
     def _consume(self, event: Event) -> list[Event]:
-        self._now = max(self._now, event.timestamp)
+        timestamp = event.timestamp
+        if timestamp > self._now:
+            self._now = timestamp
         if self._plan is None:
             return self._match_single(event)
         emitted: list[Event] = []
@@ -373,7 +422,11 @@ class PatternOperator(Operator):
         if event.type_name in self._negated_types:
             self._block_pending(event)
             self._history[event.type_name].append(event)
-        self._expire_horizon()
+        # Horizon expiry is idempotent at a fixed ``_now``, so it only needs
+        # to run when time advanced — or when a late event arrives, which
+        # the per-event expiry used to drop from history immediately.
+        if self._now > self._expired_at or timestamp < self._now:
+            self._expire_horizon()
         emitted.extend(self._advance_partials(event))
         emitted.extend(self._flush_pending(self._now))
         return emitted
@@ -387,30 +440,32 @@ class PatternOperator(Operator):
     def _advance_partials(self, event: Event) -> list[Event]:
         assert self._plan is not None
         plan = self._plan
-        emitted: list[Event] = []
-        candidates: list[_Partial] = []
-        # Extend existing partials whose next positive element matches.
-        for partial in self._partials:
-            positive = plan.positives[partial.next_index]
-            if (
-                positive.type_name == event.type_name
-                and event.timestamp > partial.last_time
-            ):
-                candidates.append(partial)
+        timestamp = event.timestamp
+        # Only the partials waiting for this event's type can extend; the
+        # type index makes this O(matching) instead of O(all partials).
+        bucket = self._partials_by_next.get(event.type_name)
+        if bucket:
+            candidates = [p for p in bucket if timestamp > p.last_time]
+        else:
+            candidates = []
         # A fresh partial if the event matches the first positive element.
+        # ``-inf`` means "no previous event": any timestamp (including
+        # negative ones) may start a sequence.
         if plan.positives[0].type_name == event.type_name:
-            candidates.append(_Partial({}, 0, -1.0))
+            candidates.append(_Partial({}, 0, float("-inf")))
+        emitted: list[Event] = []
+        last_index = len(plan.positives) - 1
         for partial in candidates:
             index = partial.next_index
             binding = dict(partial.binding)
             binding[plan.positives[index].var] = event
             if not self._gap_clear(plan, index, binding, partial.last_time, event):
                 continue
-            extended = _Partial(binding, index + 1, event.timestamp)
-            if extended.next_index == len(plan.positives):
+            extended = _Partial(binding, index + 1, timestamp)
+            if index == last_index:
                 emitted.extend(self._complete(plan, extended))
             else:
-                self._partials.append(extended)
+                self._add_partial(extended)
         return emitted
 
     def _gap_clear(
@@ -449,7 +504,8 @@ class PatternOperator(Operator):
         guard_binding = dict(binding)
         guard_binding[negation.inner.var] = blocked
         try:
-            return bool(negation.guard.evaluate(guard_binding))
+            # compiled (and memoized) at plan-build time in __init__
+            return bool(negation.guard.compile()(guard_binding))
         except ExpressionError:
             return False
 
@@ -503,10 +559,12 @@ class PatternOperator(Operator):
         self._now = max(self._now, now)
 
     def _expire_horizon(self) -> None:
+        self._expired_at = self._now
         horizon = self._now - self.retention
         if horizon <= 0:
             return
-        self._partials = [p for p in self._partials if p.last_time >= horizon]
+        for bucket in self._partials_by_next.values():
+            bucket[:] = [p for p in bucket if p.last_time >= horizon]
         for history in self._history.values():
             while history and history[0].timestamp < horizon:
                 history.popleft()

@@ -73,6 +73,7 @@ class QueryPlan:
         self.operators = list(operators)
         self.name = name
         self.context_name = context_name
+        self._input_types: set[str] | None = None
 
     # ------------------------------------------------------------------
     # execution
@@ -124,11 +125,20 @@ class QueryPlan:
         ]
 
     def input_types(self) -> set[str]:
-        """Event type names the bottom-most pattern operator consumes."""
-        for operator in self.operators:
-            if isinstance(operator, PatternOperator):
-                return _spec_types(operator.spec)
-        return set()
+        """Event type names the bottom-most pattern operator consumes.
+
+        Cached after the first call — this sits on the per-batch dispatch
+        path, and plan rewrites construct new :class:`QueryPlan` objects
+        rather than mutating ``operators`` in place.
+        """
+        if self._input_types is None:
+            types: set[str] = set()
+            for operator in self.operators:
+                if isinstance(operator, PatternOperator):
+                    types = _spec_types(operator.spec)
+                    break
+            self._input_types = types
+        return self._input_types
 
     def output_type(self) -> str | None:
         """Name of the derived event type, if the plan ends in a projection."""
@@ -227,6 +237,10 @@ class CombinedQueryPlan:
         self.plans = self._topo_sort(list(plans))
         self.name = name
         self.context_name = context_name
+        #: all event types any inner plan consumes (cached: plans are fixed)
+        self._consumed_types: frozenset[str] = frozenset().union(
+            *(plan.input_types() for plan in self.plans)
+        )
 
     @staticmethod
     def _topo_sort(plans: list[QueryPlan]) -> list[QueryPlan]:
@@ -264,6 +278,13 @@ class CombinedQueryPlan:
             visit(plan)
         return ordered
 
+    def interest_set(self) -> frozenset[str]:
+        """The input-type interest set: every event type a leaf pattern of
+        an inner plan can consume.  A batch containing none of these types
+        cannot change this combined plan's state or output, so the router
+        may skip the plan entirely (interest-set suppression)."""
+        return self._consumed_types
+
     def execute(self, events: list[Event], ctx: ExecutionContext) -> list[Event]:
         """Run the batch through all plans, routing derived events inward.
 
@@ -272,9 +293,7 @@ class CombinedQueryPlan:
         """
         pool: list[Event] = list(events)
         outputs: list[Event] = []
-        consumed_types: set[str] = set()
-        for plan in self.plans:
-            consumed_types |= plan.input_types()
+        consumed_types = self._consumed_types
         for plan in self.plans:
             wanted = plan.input_types()
             batch = [e for e in pool if e.type_name in wanted]
@@ -287,9 +306,7 @@ class CombinedQueryPlan:
 
     def advance_time(self, now: TimePoint, ctx: ExecutionContext) -> list[Event]:
         outputs: list[Event] = []
-        consumed_types: set[str] = set()
-        for plan in self.plans:
-            consumed_types |= plan.input_types()
+        consumed_types = self._consumed_types
         pool: list[Event] = []
         for plan in self.plans:
             wanted = plan.input_types()

@@ -30,12 +30,16 @@ class Filter(Operator):
     def __init__(self, predicate: Expr):
         super().__init__(f"FL[{predicate}]")
         self.predicate = predicate
+        #: predicate lowered to closures once at plan-build time; the
+        #: interpreted ``predicate.evaluate`` stays as the reference path
+        self._predicate_fn = predicate.compile()
 
     def process(self, events: list[Event], ctx: ExecutionContext) -> list[Event]:
         out = []
+        predicate_fn = self._predicate_fn
         for event in events:
             try:
-                if self.predicate.evaluate(binding_of(event)):
+                if predicate_fn(binding_of(event)):
                     out.append(event)
             except ExpressionError:
                 continue
@@ -60,15 +64,15 @@ class Projection(Operator):
         super().__init__(f"PR[{event_type.name}({labels})]")
         self.event_type = event_type
         self.items = tuple(items)
+        self._item_fns = tuple((name, expr.compile()) for name, expr in self.items)
 
     def process(self, events: list[Event], ctx: ExecutionContext) -> list[Event]:
         out: list[Event] = []
+        item_fns = self._item_fns
         for event in events:
             binding = binding_of(event)
             try:
-                payload = {
-                    name: expr.evaluate(binding) for name, expr in self.items
-                }
+                payload = {name: fn(binding) for name, fn in item_fns}
             except ExpressionError:
                 continue
             if isinstance(event, MatchEvent):

@@ -59,6 +59,10 @@ class EngineReport:
     )
     suppressed_batches: int = 0
     routed_batches: int = 0
+    #: batches skipped by interest-set routing: the plan's context was
+    #: active, but the batch contained no event type the plan consumes
+    #: (orthogonal to context suspension, context-aware mode only)
+    interest_suppressed_batches: int = 0
     gc_collected: int = 0
     history_discards: int = 0
     #: cost units per context across all partitions (deriving + processing),
@@ -295,6 +299,11 @@ class CaesarEngine:
             routed_batches=sum(
                 p.deriving_router.batches_routed
                 + p.processing_router.batches_routed
+                for p in self._partitions.values()
+            ),
+            interest_suppressed_batches=sum(
+                p.deriving_router.batches_uninterested
+                + p.processing_router.batches_uninterested
                 for p in self._partitions.values()
             ),
             gc_collected=sum(p.gc.collected for p in self._partitions.values()),

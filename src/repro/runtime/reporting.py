@@ -33,6 +33,7 @@ def report_to_dict(report: EngineReport, *, include_outputs: bool = False) -> di
         "outputs_by_type": dict(report.outputs_by_type),
         "suppressed_batches": report.suppressed_batches,
         "routed_batches": report.routed_batches,
+        "interest_suppressed_batches": report.interest_suppressed_batches,
         "gc_collected": report.gc_collected,
         "history_discards": report.history_discards,
         "cost_by_context": dict(report.cost_by_context),

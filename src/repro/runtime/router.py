@@ -6,6 +6,17 @@ plans of active contexts.  Plans of inactive contexts receive *no input* —
 they are suspended rather than busy-waiting.  Routing is lightweight: one
 bit-vector scan per batch, and it operates on batches (multiple events),
 not single events.
+
+On top of context suspension the router applies a second, orthogonal
+suppression axis: **interest-set routing**.  Each combined plan exposes the
+set of event types its leaf pattern operators can consume
+(:meth:`~repro.algebra.plan.CombinedQueryPlan.interest_set`); the router
+scans the batch's type set once and skips active plans whose interest set
+does not intersect it.  Such a batch cannot change the plan's state or
+output, so skipping preserves semantics while avoiding the per-plan
+dispatch work.  The context-independent baseline (``context_aware=False``)
+performs neither suppression: every plan receives every batch and is
+charged for it, as a state-of-the-art context-independent engine would be.
 """
 
 from __future__ import annotations
@@ -31,6 +42,9 @@ class ContextAwareStreamRouter:
         self.context_aware = context_aware
         self.batches_routed = 0
         self.batches_suppressed = 0
+        #: batches skipped because the plan's interest set was disjoint from
+        #: the batch's event types (context-aware mode only)
+        self.batches_uninterested = 0
         #: cumulative cost units spent by plans this router executed
         self.cost_units = 0.0
         #: the same, broken down per context
@@ -56,14 +70,25 @@ class ContextAwareStreamRouter:
     ) -> list[Event]:
         """Dispatch one batch; returns all derived output events.
 
-        In context-aware mode only the plans of active contexts run; in the
-        context-independent mode (the baseline) every plan receives every
-        batch and relies on its embedded ``CW`` operator for semantics.
+        In context-aware mode only the plans of active contexts run, and
+        among those only the plans whose interest set intersects the batch's
+        event types; in the context-independent mode (the baseline) every
+        plan receives every batch and relies on its embedded ``CW`` operator
+        for semantics.
         """
         outputs: list[Event] = []
+        context_aware = self.context_aware
+        # One pass over the batch buckets it by type; each plan then gets a
+        # set-intersection test instead of a per-event scan.
+        batch_types = (
+            frozenset(e.type_name for e in events) if context_aware else None
+        )
         for context_name, plan in self._plans_by_context.items():
-            if self.context_aware and not store.is_active(context_name):
+            if context_aware and not store.is_active(context_name):
                 self.batches_suppressed += 1
+                continue
+            if context_aware and batch_types.isdisjoint(plan.interest_set()):
+                self.batches_uninterested += 1
                 continue
             self.batches_routed += 1
             before = plan.total_cost_units()

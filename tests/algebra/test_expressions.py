@@ -1,6 +1,8 @@
 """Tests for the WHERE-predicate expression trees."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.algebra.expressions import (
     And,
@@ -143,6 +145,97 @@ class TestConjunctHelpers:
     def test_conjoin_single(self):
         single = const(42)
         assert conjoin([single]) is single
+
+
+# Random expression trees for the compile/evaluate parity check.  "speed"
+# is never present in the generated payloads, so referencing it drives the
+# missing-attribute ExpressionError path; unbound variables come from
+# bindings that omit "p" or "q".
+_PARITY_VARS = ("p", "q")
+_PARITY_ATTRS = ("vid", "sec", "lane", "speed")
+
+_parity_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.sampled_from(["exit", "middle", ""]),
+)
+
+_parity_leaves = st.one_of(
+    st.builds(Constant, _parity_values),
+    st.builds(
+        AttrRef, st.sampled_from(_PARITY_VARS + ("",)), st.sampled_from(_PARITY_ATTRS)
+    ),
+)
+
+_parity_ops = st.sampled_from(
+    ["+", "-", "*", "/", "=", "!=", ">", ">=", "<", "<="]
+)
+
+_parity_exprs = st.recursive(
+    _parity_leaves,
+    lambda children: st.one_of(
+        st.builds(BinaryOp, _parity_ops, children, children),
+        st.builds(And, children, children),
+        st.builds(Or, children, children),
+        st.builds(Not, children),
+    ),
+    max_leaves=12,
+)
+
+_parity_bindings = st.fixed_dictionaries(
+    {},
+    optional={
+        var: st.fixed_dictionaries(
+            {"vid": st.integers(0, 50), "sec": st.integers(0, 100)},
+            optional={"lane": st.sampled_from(["exit", "middle"])},
+        )
+        for var in _PARITY_VARS
+    },
+)
+
+
+class TestCompiledParity:
+    """The compiled closures must agree with the interpreted walker.
+
+    ``Expr.compile()`` is the hot-path twin of ``Expr.evaluate()``: same
+    value on success, same ``ExpressionError`` message on failure.  We
+    check both over random expression trees, deliberately including
+    references to unbound variables and missing attributes so the error
+    paths are exercised too.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(expr=_parity_exprs, payloads=_parity_bindings)
+    def test_compile_matches_evaluate(self, expr, payloads):
+        binding = {
+            var: Event(REPORT, 0, payload) for var, payload in payloads.items()
+        }
+        compiled = expr.compile()
+        try:
+            expected = expr.evaluate(binding)
+        except ExpressionError as exc:
+            with pytest.raises(ExpressionError) as caught:
+                compiled(binding)
+            assert str(caught.value) == str(exc)
+        else:
+            got = compiled(binding)
+            assert got == expected
+            assert type(got) is type(expected)
+
+    def test_compile_is_memoized(self):
+        expr = (attr("sec", "p") + 30).eq(attr("sec", "q"))
+        assert expr.compile() is expr.compile()
+
+    def test_compiled_unqualified_self_fallback(self):
+        event = Event(REPORT, 0, {"vid": 3, "sec": 0, "lane": "x"})
+        fn = attr("vid").compile()
+        assert fn({"the_only_var": event}) == 3
+
+    def test_compiled_short_circuit(self):
+        bad = AttrRef("missing", "x")
+        assert And(const(False), bad).compile()({}) is False
+        assert Or(const(True), bad).compile()({}) is True
 
 
 class TestPaperPredicates:

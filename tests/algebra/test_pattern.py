@@ -100,6 +100,40 @@ class TestSequence:
         op.process([ev(A, 1)], ctx())
         assert op.process([ev(C, 2)], ctx()) == []
 
+    def test_sequence_starts_at_timebase_origin(self):
+        """A sequence may start at the very beginning of the timebase.
+
+        Regression test for the fresh-partial sentinel: it used to be the
+        magic number ``-1.0`` (meaning "no previous event"), which only
+        works because the paper's timebase happens to be non-negative.  It
+        is now ``float("-inf")`` so the operator itself imposes no lower
+        bound on timestamps: an event at t=0 — or at any fractional time
+        below the old sentinel's safety margin — must be able to open a
+        partial match.
+        """
+        spec = Sequence((EventMatch("A", "a"), EventMatch("B", "b")))
+        op = PatternOperator(spec)
+        assert op.process([ev(A, 0)], ctx()) == []
+        [match] = op.process([ev(B, 0.5)], ctx())
+        assert match.binding["a"].timestamp == 0
+        assert match.binding["b"].timestamp == 0.5
+        assert match.time == TimeInterval(0, 0.5)
+
+    def test_fresh_partial_sentinel_is_unbounded(self):
+        """The "no previous event" sentinel precedes every legal timestamp.
+
+        Guards against reintroducing a finite sentinel: a partial restored
+        from a snapshot keeps whatever ``last_time`` it had, and a fresh
+        partial must sort strictly before all of them.
+        """
+        spec = Sequence((EventMatch("A", "a"), EventMatch("B", "b")))
+        op = PatternOperator(spec)
+        op.process([ev(A, 0)], ctx())
+        snapshot = op.snapshot_state()
+        [partial] = snapshot["partials"]
+        assert partial.last_time == 0
+        assert float("-inf") < partial.last_time
+
 
 class TestSpecValidation:
     def test_empty_sequence_rejected(self):

@@ -4,15 +4,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.language import parse_query
+from repro.language.lexer import KEYWORDS
 
 identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
-    lambda s: s.upper()
-    not in {
-        "INITIATE", "SWITCH", "TERMINATE", "CONTEXT", "DERIVE",
-        "PATTERN", "WHERE", "SEQ", "NOT", "AND", "OR", "WITHIN",
-    }
+    lambda s: s.upper() not in KEYWORDS
 )
-type_names = st.from_regex(r"[A-Z][A-Za-z0-9]{0,8}", fullmatch=True)
+# The lexer recognizes keywords case-insensitively, so generated type names
+# must avoid them too (e.g. "SEQ" or "Not" cannot name an event type).
+type_names = st.from_regex(r"[A-Z][A-Za-z0-9]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper() not in KEYWORDS
+)
 
 
 @st.composite

@@ -11,15 +11,16 @@ from repro.events.types import EventType
 from repro.runtime.router import ContextAwareStreamRouter
 
 A = EventType.define("A", n="int")
+B = EventType.define("B", n="int")
 OUT = EventType.define("Out", n="int")
 
 
-def make_plan(name):
+def make_plan(name, input_type="A"):
     return CombinedQueryPlan(
         [
             QueryPlan(
                 [
-                    PatternOperator(EventMatch("A", "a")),
+                    PatternOperator(EventMatch(input_type, "a")),
                     Projection(OUT, [("n", attr("n", "a"))]),
                 ],
                 name=name,
@@ -87,6 +88,75 @@ class TestContextIndependentRouting:
         assert len(outputs) == 4
         assert router.batches_suppressed == 0
         assert router.batches_routed == 2
+
+
+class TestInterestSetRouting:
+    """Active plans whose interest set is disjoint from the batch are skipped."""
+
+    def setup_mixed_router(self, context_aware=True):
+        # c1 consumes A events, c2 consumes B events
+        store = ContextWindowStore(["c1", "c2"], "default")
+        router = ContextAwareStreamRouter(
+            {"c1": make_plan("c1", "A"), "c2": make_plan("c2", "B")},
+            context_aware=context_aware,
+        )
+        return store, router
+
+    def test_disjoint_plan_skipped(self):
+        store, router = self.setup_mixed_router()
+        store.initiate("c1", 0)
+        store.initiate("c2", 0)
+        ctx = ExecutionContext(windows=store, now=1)
+        outputs = router.route(batch(3), store, ctx)  # A events only
+        assert len(outputs) == 3  # c1's plan produced, c2's never ran
+        assert router.batches_routed == 1
+        assert router.batches_uninterested == 1
+        assert router.batches_suppressed == 0
+        # the skipped plan was not charged any cost units
+        assert router.plan_for("c2").total_cost_units() == 0
+
+    def test_uninterested_counter_accumulates(self):
+        store, router = self.setup_mixed_router()
+        store.initiate("c1", 0)
+        store.initiate("c2", 0)
+        ctx = ExecutionContext(windows=store, now=1)
+        for _ in range(4):
+            router.route(batch(1), store, ctx)
+        assert router.batches_uninterested == 4
+        assert router.batches_routed == 4
+
+    def test_mixed_batch_reaches_both_plans(self):
+        store, router = self.setup_mixed_router()
+        store.initiate("c1", 0)
+        store.initiate("c2", 0)
+        ctx = ExecutionContext(windows=store, now=1)
+        mixed = [Event(A, 1, {"n": 0}), Event(B, 1, {"n": 1})]
+        outputs = router.route(mixed, store, ctx)
+        assert len(outputs) == 2
+        assert router.batches_routed == 2
+        assert router.batches_uninterested == 0
+
+    def test_context_suppression_wins_over_interest(self):
+        # an inactive context counts as suppressed, not uninterested, even
+        # when the batch would also have been disjoint with its interests
+        store, router = self.setup_mixed_router()
+        store.initiate("c1", 0)
+        ctx = ExecutionContext(windows=store, now=1)
+        router.route(batch(1), store, ctx)
+        assert router.batches_suppressed == 1
+        assert router.batches_uninterested == 0
+
+    def test_baseline_delivers_every_batch_to_every_plan(self):
+        # the context-independent baseline must not benefit from interest
+        # routing: both plans run and are charged even for a disjoint batch
+        store, router = self.setup_mixed_router(context_aware=False)
+        ctx = ExecutionContext(windows=store, now=1)
+        router.route(batch(2), store, ctx)  # A events; c2 only wants B
+        assert router.batches_routed == 2
+        assert router.batches_uninterested == 0
+        # c2's plan was really invoked for the disjoint batch
+        c2_pattern = router.plan_for("c2").plans[0].operators[0]
+        assert c2_pattern.stats.invocations == 1
 
 
 class TestIntrospection:
