@@ -2,13 +2,22 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-hotpath bench-tables examples validate lint-smoke all
+.PHONY: install test test-chaos bench bench-hotpath bench-tables examples validate lint-smoke all
 
 install:
 	$(PYTHON) -m pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# deterministic chaos suite: injected faults, crash recovery, dead letters.
+# Fault schedules are fixed stream timestamps, so ordering plugins that
+# shuffle tests (pytest-randomly et al.) are disabled for reproducibility.
+test-chaos:
+	$(PYTHON) -m pytest tests/runtime/test_supervisor.py \
+		tests/runtime/test_recovery.py \
+		tests/runtime/test_deadletter.py \
+		-q -p no:randomly
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

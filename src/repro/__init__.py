@@ -52,8 +52,11 @@ from repro.optimizer.sharing import build_nonshared_workload, build_shared_workl
 from repro.runtime import (
     CaesarEngine,
     ContextIndependentEngine,
+    DeadLetterQueue,
     EngineReport,
+    RecoveryManager,
     ScheduledWorkloadEngine,
+    SupervisedEngine,
     win_ratio,
 )
 
@@ -67,7 +70,10 @@ __all__ = [
     "ContextType",
     "ContextWindow",
     "ContextWindowStore",
+    "DeadLetterQueue",
     "EngineReport",
+    "RecoveryManager",
+    "SupervisedEngine",
     "Event",
     "EventQuery",
     "EventStream",

@@ -26,9 +26,17 @@ from repro.events.timebase import TimePoint
 
 
 def clone_operator(operator: Operator) -> Operator:
-    """A fresh, stateless copy of an operator (same parameters, zero state)."""
+    """A fresh, stateless copy of an operator (same parameters, zero state).
+
+    Operators outside the core algebra (e.g. the fault-injection wrappers
+    of :mod:`repro.testing`) may provide their own ``clone()`` method,
+    which takes precedence.
+    """
     from repro.algebra.aggregate import AggregateOperator
 
+    custom_clone = getattr(operator, "clone", None)
+    if callable(custom_clone):
+        return custom_clone()
     if isinstance(operator, AggregateOperator):
         return AggregateOperator(
             operator.input_type,

@@ -13,7 +13,31 @@ class CaesarError(Exception):
 
 
 class SchemaError(CaesarError):
-    """An event does not conform to its declared event type schema."""
+    """An event does not conform to its declared event type schema.
+
+    Besides the human-readable message, schema violations raised during
+    payload validation carry structured fields so supervision layers (e.g.
+    the dead-letter queue) can account for failures without parsing text:
+    ``event_type`` (name of the violated type), ``field`` (the offending
+    attribute), ``expected`` and ``actual`` (domain/type descriptions).
+    Any of them may be ``None`` when the violation is not attributable to
+    a single attribute.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        event_type: str | None = None,
+        field: str | None = None,
+        expected: str | None = None,
+        actual: str | None = None,
+    ):
+        super().__init__(message)
+        self.event_type = event_type
+        self.field = field
+        self.expected = expected
+        self.actual = actual
 
 
 class StreamOrderError(CaesarError):
@@ -72,3 +96,21 @@ class RuntimeEngineError(CaesarError):
 
 class TransactionOrderError(RuntimeEngineError):
     """Conflicting operations were scheduled out of timestamp order."""
+
+
+class FatalEngineError(RuntimeEngineError):
+    """An unrecoverable failure that must escape fault isolation.
+
+    The supervision layer catches ordinary per-plan exceptions and
+    quarantines the failing plan; errors of this class always propagate,
+    aborting the run — the contract for simulated (and real) crashes.
+    """
+
+
+class CheckpointMismatchError(RuntimeEngineError):
+    """A checkpoint does not fit the engine it is being restored into.
+
+    Raised when the restoring engine's structure or configuration flags
+    (contexts, default context, ``context_aware``, ``optimize``) differ
+    from those recorded at capture time; the message names the mismatch.
+    """

@@ -42,7 +42,7 @@ class Event:
             time = TimeInterval.point(time)
         payload = dict(payload or {})
         if validate:
-            event_type.schema.validate(payload)
+            event_type.schema.validate(payload, type_name=event_type.name)
         object.__setattr__(self, "event_type", event_type)
         object.__setattr__(self, "time", time)
         object.__setattr__(self, "_payload", payload)
@@ -51,6 +51,24 @@ class Event:
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Event instances are immutable")
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Explicit pickle support: the immutability guard breaks the default
+        # slots protocol (whose __setstate__ uses setattr).  ``event_id`` is
+        # process-unique and deliberately not serialized.
+        return {
+            "event_type": self.event_type,
+            "time": self.time,
+            "payload": self._payload,
+            "derived_from": self.derived_from,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        object.__setattr__(self, "event_type", state["event_type"])
+        object.__setattr__(self, "time", state["time"])
+        object.__setattr__(self, "_payload", dict(state["payload"]))
+        object.__setattr__(self, "event_id", next(_EVENT_IDS))
+        object.__setattr__(self, "derived_from", tuple(state["derived_from"]))
 
     @property
     def type_name(self) -> str:

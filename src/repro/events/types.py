@@ -73,26 +73,54 @@ class EventSchema:
     def __contains__(self, name: str) -> bool:
         return any(a.name == name for a in self.attributes)
 
-    def validate(self, payload: Mapping[str, Any]) -> None:
+    def validate(
+        self, payload: Mapping[str, Any], *, type_name: str | None = None
+    ) -> None:
         """Raise :class:`SchemaError` unless ``payload`` conforms.
 
         Conformance means every schema attribute is present with a value in
         its domain; extra keys in the payload are rejected so that typos in
-        producer code surface immediately.
+        producer code surface immediately.  ``type_name`` names the event
+        type being validated in the message and in the error's structured
+        fields (``event_type``, ``field``, ``expected``, ``actual``).
         """
+        prefix = f"event type {type_name!r}: " if type_name else ""
         missing = [a.name for a in self.attributes if a.name not in payload]
         if missing:
-            raise SchemaError(f"missing attributes: {missing}")
+            raise SchemaError(
+                f"{prefix}missing attributes: {missing}",
+                event_type=type_name,
+                field=missing[0],
+                expected=self._domain_of(missing[0]),
+                actual="<absent>",
+            )
         extra = sorted(set(payload) - set(self.attribute_names))
         if extra:
-            raise SchemaError(f"unexpected attributes: {extra}")
+            raise SchemaError(
+                f"{prefix}unexpected attributes: {extra}",
+                event_type=type_name,
+                field=extra[0],
+                expected="<not in schema>",
+                actual=type(payload[extra[0]]).__name__,
+            )
         for attr in self.attributes:
             value = payload[attr.name]
             if not attr.accepts(value):
                 raise SchemaError(
-                    f"attribute {attr.name!r} expects domain {attr.domain!r}, "
-                    f"got {value!r} of type {type(value).__name__}"
+                    f"{prefix}attribute {attr.name!r} expects domain "
+                    f"{attr.domain!r}, got {value!r} of type "
+                    f"{type(value).__name__}",
+                    event_type=type_name,
+                    field=attr.name,
+                    expected=attr.domain,
+                    actual=type(value).__name__,
                 )
+
+    def _domain_of(self, attribute_name: str) -> str | None:
+        for attr in self.attributes:
+            if attr.name == attribute_name:
+                return attr.domain
+        return None
 
 
 @dataclass(frozen=True)

@@ -9,8 +9,14 @@ state-of-the-art comparator).
 
 Extensions: :class:`~repro.runtime.session.EngineSession` (incremental
 feeding), :class:`~repro.runtime.reorder.ReorderBuffer` (bounded
-out-of-order handling) and :mod:`~repro.runtime.reporting` (JSON export,
-ASCII context timelines).
+out-of-order handling), :mod:`~repro.runtime.reporting` (JSON export,
+ASCII context timelines) — and the supervision layer:
+:class:`~repro.runtime.supervisor.SupervisedEngine` (per-plan fault
+isolation behind circuit breakers),
+:class:`~repro.runtime.deadletter.DeadLetterQueue` (bounded capture of
+schema-violating / late / quarantined events) and
+:class:`~repro.runtime.recovery.RecoveryManager` (checkpoint autosave +
+crash recovery by suffix replay).
 """
 
 from repro.runtime.engine import CaesarEngine, EngineReport, ScheduledWorkloadEngine
@@ -24,6 +30,20 @@ from repro.runtime.garbage import GarbageCollector
 from repro.runtime.reorder import ReorderBuffer
 from repro.runtime.session import EngineSession
 from repro.runtime.checkpoint import capture_checkpoint, restore_checkpoint
+from repro.runtime.deadletter import (
+    DeadLetterEntry,
+    DeadLetterQueue,
+    REASON_LATE,
+    REASON_PLAN_FAULT,
+    REASON_QUARANTINED,
+    REASON_SCHEMA,
+)
+from repro.runtime.recovery import RecoveryManager
+from repro.runtime.supervisor import (
+    BreakerState,
+    CircuitBreaker,
+    SupervisedEngine,
+)
 from repro.runtime.reporting import (
     outputs_to_rows,
     render_timeline,
@@ -31,17 +51,27 @@ from repro.runtime.reporting import (
 )
 
 __all__ = [
+    "BreakerState",
     "CaesarEngine",
+    "CircuitBreaker",
     "ContextAwareStreamRouter",
     "ContextHistory",
     "ContextIndependentEngine",
+    "DeadLetterEntry",
+    "DeadLetterQueue",
     "EngineReport",
     "EngineSession",
     "EventDistributor",
     "GarbageCollector",
     "LatencyTracker",
+    "REASON_LATE",
+    "REASON_PLAN_FAULT",
+    "REASON_QUARANTINED",
+    "REASON_SCHEMA",
+    "RecoveryManager",
     "ReorderBuffer",
     "ScheduledWorkloadEngine",
+    "SupervisedEngine",
     "TimeDrivenScheduler",
     "capture_checkpoint",
     "outputs_to_rows",

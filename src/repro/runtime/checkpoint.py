@@ -22,13 +22,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import RuntimeEngineError
+from repro.errors import CheckpointMismatchError, RuntimeEngineError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.engine import CaesarEngine
 
 #: Format marker so stored checkpoints fail loudly across versions.
-CHECKPOINT_VERSION = 1
+#: Version 2 added the engine configuration flags (``context_aware``,
+#: ``optimize``), which the restore verifies structurally.
+CHECKPOINT_VERSION = 2
 
 
 def capture_checkpoint(engine: "CaesarEngine") -> dict:
@@ -54,23 +56,41 @@ def capture_checkpoint(engine: "CaesarEngine") -> dict:
         "version": CHECKPOINT_VERSION,
         "contexts": tuple(engine.model.context_names),
         "default_context": engine.model.default_context,
+        "context_aware": engine.context_aware,
+        "optimize": engine.optimize,
         "partitions": partitions,
     }
 
 
 def restore_checkpoint(engine: "CaesarEngine", checkpoint: dict) -> None:
-    """Load a checkpoint into a structurally identical engine."""
+    """Load a checkpoint into a structurally identical engine.
+
+    Structural verification covers the model shape (context set, default
+    context) *and* the engine configuration flags: a checkpoint taken from
+    a ``context_aware=True`` engine holds suspended-plan state that a
+    context-independent engine would immediately diverge on (and vice
+    versa), and ``optimize`` changes the operator pipelines the snapshots
+    map onto.  Mismatches raise :class:`~repro.errors.CheckpointMismatchError`
+    naming the differing flag.
+    """
     if checkpoint.get("version") != CHECKPOINT_VERSION:
         raise RuntimeEngineError(
             f"unsupported checkpoint version: {checkpoint.get('version')!r}"
         )
     if tuple(engine.model.context_names) != checkpoint["contexts"]:
-        raise RuntimeEngineError(
+        raise CheckpointMismatchError(
             "checkpoint was taken from a model with different contexts: "
             f"{checkpoint['contexts']} vs {tuple(engine.model.context_names)}"
         )
     if engine.model.default_context != checkpoint["default_context"]:
-        raise RuntimeEngineError("checkpoint default context differs")
+        raise CheckpointMismatchError("checkpoint default context differs")
+    for flag in ("context_aware", "optimize"):
+        if checkpoint[flag] != getattr(engine, flag):
+            raise CheckpointMismatchError(
+                f"checkpoint flag {flag!r} differs: checkpoint was taken "
+                f"with {flag}={checkpoint[flag]}, restoring engine has "
+                f"{flag}={getattr(engine, flag)}"
+            )
     for key, state in checkpoint["partitions"].items():
         runtime = engine._partition(key)  # creates the partition lazily
         runtime.store.restore(state["store"])

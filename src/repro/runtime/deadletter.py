@@ -1,0 +1,136 @@
+"""Dead-letter queue for events the engine cannot (or must not) process.
+
+Production CEP deployments never let a malformed event abort the stream:
+events that fail schema validation, arrive later than the reorder bound, or
+belong to a quarantined plan are diverted to a *dead-letter queue* — a
+bounded buffer carrying, for each entry, the event itself, the reason it was
+diverted, the error that caused it (if any) and the stream timestamp at
+which it happened.  Operators drain the queue offline to diagnose producers
+or replay repaired events.
+
+The queue is bounded: beyond ``capacity`` the *oldest* entries are evicted
+(the newest failures are the ones an operator investigates first) and every
+eviction is counted in :attr:`DeadLetterQueue.dropped`, so accounting never
+lies about loss.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.events.event import Event
+from repro.events.timebase import TimePoint
+
+#: An event violated its declared schema.
+REASON_SCHEMA = "schema"
+#: An event arrived later than the reorder buffer's bound.
+REASON_LATE = "late"
+#: An event was withheld from a plan quarantined by its circuit breaker.
+REASON_QUARANTINED = "quarantined"
+#: An event batch triggered a plan exception (the fault itself).
+REASON_PLAN_FAULT = "plan_fault"
+
+
+@dataclass(frozen=True)
+class DeadLetterEntry:
+    """One diverted event: what, why, and when (in stream time)."""
+
+    event: Event
+    reason: str
+    error: str | None
+    timestamp: TimePoint
+
+
+class DeadLetterQueue:
+    """A bounded queue of diverted events with per-reason accounting.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained entries; older entries are evicted (and
+        counted in :attr:`dropped`) once it is exceeded.  ``capacity`` only
+        bounds retention — the per-reason counters keep counting.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: deque[DeadLetterEntry] = deque()
+        #: total entries ever enqueued, by reason (evictions do not subtract)
+        self.counts_by_reason: dict[str, int] = {}
+        #: entries evicted because the queue was full
+        self.dropped = 0
+
+    def put(
+        self,
+        event: Event,
+        *,
+        reason: str,
+        error: Exception | str | None = None,
+        timestamp: TimePoint | None = None,
+    ) -> DeadLetterEntry:
+        """Divert one event; returns the recorded entry."""
+        entry = DeadLetterEntry(
+            event=event,
+            reason=reason,
+            error=None if error is None else str(error),
+            timestamp=event.timestamp if timestamp is None else timestamp,
+        )
+        self._entries.append(entry)
+        self.counts_by_reason[reason] = self.counts_by_reason.get(reason, 0) + 1
+        if len(self._entries) > self.capacity:
+            self._entries.popleft()
+            self.dropped += 1
+        return entry
+
+    def record_late(self, event: Event) -> DeadLetterEntry:
+        """Divert a too-late event (:data:`REASON_LATE`).
+
+        Signature-compatible with :class:`~repro.runtime.reorder.ReorderBuffer`'s
+        ``on_late`` callback, so a buffer can feed the queue directly::
+
+            buffer = ReorderBuffer(max_delay=60, on_late=dlq.record_late)
+        """
+        return self.put(
+            event,
+            reason=REASON_LATE,
+            error=f"event at t={event.timestamp} arrived after the reorder bound",
+        )
+
+    # ------------------------------------------------------------------
+    # inspection / draining
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DeadLetterEntry]:
+        return iter(self._entries)
+
+    @property
+    def total(self) -> int:
+        """Total events ever dead-lettered (including later-evicted ones)."""
+        return sum(self.counts_by_reason.values())
+
+    def entries(self, *, reason: str | None = None) -> list[DeadLetterEntry]:
+        """Retained entries, optionally restricted to one reason."""
+        if reason is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.reason == reason]
+
+    def drain(self) -> list[DeadLetterEntry]:
+        """Remove and return all retained entries (counters are kept)."""
+        drained = list(self._entries)
+        self._entries.clear()
+        return drained
+
+    def summary(self) -> dict:
+        """A JSON-friendly accounting snapshot."""
+        return {
+            "retained": len(self._entries),
+            "dropped": self.dropped,
+            "by_reason": dict(self.counts_by_reason),
+        }

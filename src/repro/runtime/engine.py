@@ -68,6 +68,22 @@ class EngineReport:
     #: cost units per context across all partitions (deriving + processing),
     #: the observable footprint of suspension: suspended contexts spend 0
     cost_by_context: dict[str, float] = field(default_factory=dict)
+    # -- supervision counters (populated by SupervisedEngine; zero for a
+    # -- bare engine run) ------------------------------------------------
+    #: plan exceptions caught and isolated by the supervisor
+    plan_failures: int = 0
+    #: distinct plans whose circuit breaker ever opened
+    plans_quarantined: int = 0
+    #: breaker state transitions, keyed "closed->open" etc.
+    breaker_transitions: dict[str, int] = field(default_factory=dict)
+    #: dead-lettered events by reason (schema / late / quarantined / ...)
+    dead_lettered: dict[str, int] = field(default_factory=dict)
+    #: dead-letter entries evicted because the queue was full
+    dead_letter_dropped: int = 0
+    #: checkpoints autosaved by the recovery manager
+    checkpoints_taken: int = 0
+    #: times a checkpoint was restored and the stream suffix replayed
+    recovery_replays: int = 0
 
     @property
     def throughput(self) -> float:
@@ -276,9 +292,10 @@ class CaesarEngine:
                 )
             if track_outputs:
                 outputs.extend(batch_outputs)
+            self._on_batch_end(t)
 
         wall_seconds = _time.perf_counter() - wall_started
-        return EngineReport(
+        report = EngineReport(
             outputs=outputs,
             events_processed=events_processed,
             batches=batches,
@@ -312,6 +329,16 @@ class CaesarEngine:
             ),
             cost_by_context=self._cost_by_context(),
         )
+        self._finalize_report(report)
+        return report
+
+    def _finalize_report(self, report: EngineReport) -> None:
+        """Hook to enrich a freshly built report (e.g. supervision counters).
+
+        Invoked by :meth:`run` and by
+        :meth:`~repro.runtime.session.EngineSession.close`.  The base
+        engine adds nothing.
+        """
 
     def _cost_by_context(self) -> dict[str, float]:
         totals: dict[str, float] = {}
@@ -373,6 +400,15 @@ class CaesarEngine:
 
         runtime.gc.maybe_collect(t)
         return derived
+
+    def _on_batch_end(self, t: TimePoint) -> None:
+        """Hook fired after all transactions of timestamp ``t`` committed.
+
+        The base engine does nothing; the supervision layer uses it to
+        drive checkpoint autosaving at batch (= stream-time) boundaries.
+        Both :meth:`run` and :class:`~repro.runtime.session.EngineSession`
+        invoke it.
+        """
 
     def _total_cost_units(self) -> float:
         return sum(p.cost_units() for p in self._partitions.values())

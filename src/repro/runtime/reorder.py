@@ -16,7 +16,7 @@ Place it in front of the engine::
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.errors import StreamOrderError
 from repro.events.event import Event
@@ -35,14 +35,23 @@ class ReorderBuffer:
     on_late:
         ``"drop"`` silently discards events older than the watermark
         (counted in :attr:`late_events`); ``"raise"`` raises
-        :class:`~repro.errors.StreamOrderError`.
+        :class:`~repro.errors.StreamOrderError`; a callable receives each
+        late event (after it was counted), e.g. a dead-letter queue's
+        :meth:`~repro.runtime.deadletter.DeadLetterQueue.record_late`.
     """
 
-    def __init__(self, max_delay: TimePoint, *, on_late: str = "drop"):
+    def __init__(
+        self,
+        max_delay: TimePoint,
+        *,
+        on_late: str | Callable[[Event], object] = "drop",
+    ):
         if max_delay < 0:
             raise ValueError(f"max_delay must be non-negative, got {max_delay}")
-        if on_late not in ("drop", "raise"):
-            raise ValueError(f"on_late must be 'drop' or 'raise', got {on_late!r}")
+        if not callable(on_late) and on_late not in ("drop", "raise"):
+            raise ValueError(
+                f"on_late must be 'drop', 'raise' or a callable, got {on_late!r}"
+            )
         self.max_delay = max_delay
         self.on_late = on_late
         self._heap: list[tuple[TimePoint, int, Event]] = []
@@ -69,6 +78,8 @@ class ReorderBuffer:
                     f"event at t={event.timestamp} arrived after the reorder "
                     f"bound (already released up to t={self._last_released})"
                 )
+            if callable(self.on_late):
+                self.on_late(event)
             return []
         if self._heap and event.timestamp < self._max_seen:
             self.reordered_events += 1

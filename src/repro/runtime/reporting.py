@@ -37,6 +37,15 @@ def report_to_dict(report: EngineReport, *, include_outputs: bool = False) -> di
         "gc_collected": report.gc_collected,
         "history_discards": report.history_discards,
         "cost_by_context": dict(report.cost_by_context),
+        "supervision": {
+            "plan_failures": report.plan_failures,
+            "plans_quarantined": report.plans_quarantined,
+            "breaker_transitions": dict(report.breaker_transitions),
+            "dead_lettered": dict(report.dead_lettered),
+            "dead_letter_dropped": report.dead_letter_dropped,
+            "checkpoints_taken": report.checkpoints_taken,
+            "recovery_replays": report.recovery_replays,
+        },
         "windows": {
             _partition_key(key): [_window_to_dict(w) for w in windows]
             for key, windows in report.windows_by_partition.items()
@@ -116,10 +125,16 @@ def render_timeline(
     return "\n".join(lines)
 
 
-def outputs_to_rows(report: EngineReport) -> list[dict]:
-    """Flatten derived events into rows (e.g. for csv.DictWriter)."""
+def outputs_to_rows(report: "EngineReport | list") -> list[dict]:
+    """Flatten derived events into rows (e.g. for csv.DictWriter).
+
+    Accepts either an :class:`EngineReport` or a plain list of events —
+    the latter is what incremental sessions and recovery replays hand
+    back, and what the determinism-of-recovery contract compares.
+    """
+    events = report if isinstance(report, list) else report.outputs
     rows = []
-    for event in report.outputs:
+    for event in events:
         row = {"type": event.type_name, "time": event.timestamp}
         row.update(event.payload)
         rows.append(row)

@@ -62,6 +62,17 @@ class ContextAwareStreamRouter:
     def all_plans(self) -> list[CombinedQueryPlan]:
         return list(self._plans_by_context.values())
 
+    def wrap_plans(self, wrap) -> None:
+        """Replace every plan with ``wrap(context_name, plan)``.
+
+        The supervision seam: a wrapper must preserve the plan interface
+        (``execute``/``advance_time``/``total_cost_units``/``interest_set``
+        plus the state-management methods) — e.g. a fault-isolation guard
+        that delegates to the original plan.
+        """
+        for name in self._plans_by_context:
+            self._plans_by_context[name] = wrap(name, self._plans_by_context[name])
+
     def route(
         self,
         events: list[Event],

@@ -98,6 +98,7 @@ class EngineSession:
             self._outputs_by_type[event.type_name] = (
                 self._outputs_by_type.get(event.type_name, 0) + 1
             )
+        engine._on_batch_end(t)
         return outputs
 
     # ------------------------------------------------------------------
@@ -116,7 +117,7 @@ class EngineSession:
         from repro.runtime.engine import EngineReport
 
         self._closed = True
-        return EngineReport(
+        report = EngineReport(
             outputs=[],
             events_processed=self._events_processed,
             batches=self._batches,
@@ -130,3 +131,5 @@ class EngineSession:
                 for key, runtime in self.engine._partitions.items()
             },
         )
+        self.engine._finalize_report(report)
+        return report

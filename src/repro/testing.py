@@ -10,15 +10,36 @@ events derived?  :func:`trace_model` runs a model over events and returns a
     trace.assert_derived("TollNotification", count=12)
     assert trace.transitions(partition=(0, 0, 3))[:2] == [
         ("clear", "congestion"), ("congestion", "clear")]
+
+Deterministic fault injection
+-----------------------------
+
+Supervision machinery (circuit breakers, dead-letter queues, crash
+recovery) must be testable without flaky randomness.  :func:`inject_plan_fault`
+wraps the operator pipelines of a chosen plan so they raise on *chosen
+stream timestamps and/or event types*::
+
+    engine = SupervisedEngine(model, failure_threshold=1, cooldown=40)
+    inject_plan_fault(engine, "alert", at_times={30, 40})   # raises at t=30, 40
+    report = engine.run(stream)                              # keeps flowing
+
+``crash=True`` raises :class:`InjectedCrashError` (a
+:class:`~repro.errors.FatalEngineError`) instead, which escapes supervision
+and aborts the run — the deterministic stand-in for a process crash in
+recovery tests.  :class:`FaultInjector` provides the same triggering for a
+single operator (e.g. an engine preprocessor).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.algebra.operators import ExecutionContext, Operator
+from repro.algebra.plan import QueryPlan, clone_operator
 from repro.core.model import CaesarModel
 from repro.core.windows import ContextWindow
+from repro.errors import CaesarError, FatalEngineError, RuntimeEngineError
 from repro.events.event import Event
 from repro.events.stream import EventStream
 from repro.events.timebase import TimePoint
@@ -136,3 +157,193 @@ def trace_model(
     )
     report = engine.run(stream)
     return ModelTrace(report=report, default_context=model.default_context)
+
+
+# --------------------------------------------------------------------------
+# Deterministic fault injection
+# --------------------------------------------------------------------------
+
+
+class InjectedFaultError(CaesarError):
+    """A deterministic, injected plan/operator failure (isolatable)."""
+
+
+class InjectedCrashError(FatalEngineError):
+    """A deterministic, injected crash: escapes supervision, aborts the run."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """When to raise: chosen stream timestamps and/or event types.
+
+    Empty ``at_times`` means "at every timestamp"; empty ``event_types``
+    means "regardless of the batch contents".  With ``event_types`` set the
+    fault only fires when a matching event is present, so pure time
+    advances never trigger it.
+    """
+
+    at_times: frozenset = field(default_factory=frozenset)
+    event_types: frozenset = field(default_factory=frozenset)
+    message: str = "injected fault"
+    crash: bool = False
+
+    def triggers(self, events: list[Event], now: TimePoint) -> bool:
+        if self.at_times and now not in self.at_times:
+            return False
+        if self.event_types:
+            return any(e.type_name in self.event_types for e in events)
+        return True
+
+    def fire(self, now: TimePoint) -> None:
+        error = InjectedCrashError if self.crash else InjectedFaultError
+        raise error(f"{self.message} (t={now})")
+
+
+class FaultInjector(Operator):
+    """Wraps a single operator; raises per the spec, else delegates.
+
+    Shares the inner operator's stats object, so cost accounting sees the
+    inner operator's numbers unchanged.  Usable anywhere an operator is —
+    notably as an engine preprocessor.
+    """
+
+    def __init__(self, inner: Operator, fault: FaultSpec):
+        super().__init__(f"FAULT[{inner.name}]")
+        self.inner = inner
+        self.fault = fault
+        self.stats = inner.stats
+
+    def process(self, events: list[Event], ctx: ExecutionContext) -> list[Event]:
+        if self.fault.triggers(events, ctx.now):
+            self.fault.fire(ctx.now)
+        return self.inner.process(events, ctx)
+
+    def on_time_advance(self, now: TimePoint, ctx: ExecutionContext) -> list[Event]:
+        if self.fault.triggers([], now):
+            self.fault.fire(now)
+        return self.inner.on_time_advance(now, ctx)
+
+    def suspends_pipeline(self, ctx: ExecutionContext) -> bool:
+        return self.inner.suspends_pipeline(ctx)
+
+    def reset_state(self) -> None:
+        self.inner.reset_state()
+
+    def expire_state_before(self, t: TimePoint) -> int:
+        return self.inner.expire_state_before(t)
+
+    def snapshot_state(self):
+        return self.inner.snapshot_state()
+
+    def restore_state(self, snapshot) -> None:
+        self.inner.restore_state(snapshot)
+
+    def state_size(self) -> int:
+        inner_size = getattr(self.inner, "state_size", None)
+        return inner_size() if callable(inner_size) else 0
+
+    def clone(self) -> "FaultInjector":
+        return FaultInjector(clone_operator(self.inner), self.fault)
+
+
+class FaultyQueryPlan(QueryPlan):
+    """A query plan whose pipeline raises per a :class:`FaultSpec`.
+
+    Clone-safe: per-partition plan instantiation preserves the fault, so
+    injection into an engine's plan *templates* reaches every partition.
+    """
+
+    def __init__(self, operators, *, name, context_name, fault: FaultSpec):
+        super().__init__(operators, name=name, context_name=context_name)
+        self.fault = fault
+
+    @classmethod
+    def wrap(cls, plan: QueryPlan, fault: FaultSpec) -> "FaultyQueryPlan":
+        return cls(
+            plan.operators,
+            name=plan.name,
+            context_name=plan.context_name,
+            fault=fault,
+        )
+
+    def execute(self, events: list[Event], ctx: ExecutionContext) -> list[Event]:
+        if self.fault.triggers(events, ctx.now):
+            self.fault.fire(ctx.now)
+        return super().execute(events, ctx)
+
+    def advance_time(self, now: TimePoint, ctx: ExecutionContext) -> list[Event]:
+        if self.fault.triggers([], now):
+            self.fault.fire(now)
+        return super().advance_time(now, ctx)
+
+    def clone(self, *, name: str | None = None) -> "FaultyQueryPlan":
+        return FaultyQueryPlan(
+            [clone_operator(op) for op in self.operators],
+            name=name or self.name,
+            context_name=self.context_name,
+            fault=self.fault,
+        )
+
+
+def inject_plan_fault(
+    engine: CaesarEngine,
+    context: str,
+    *,
+    phase: str = "processing",
+    plan_name: str | None = None,
+    at_times: Iterable[TimePoint] = (),
+    event_types: Iterable[str] = (),
+    crash: bool = False,
+    message: str = "injected fault",
+) -> FaultSpec:
+    """Make a plan of ``context`` raise deterministically.
+
+    Wraps the matching individual plan(s) inside the engine's combined-plan
+    template for ``(phase, context)``, so every partition instantiated
+    afterwards carries the fault.  Must be called before the engine
+    processes events (templates are cloned per partition lazily).
+
+    Returns the installed :class:`FaultSpec`.
+    """
+    if engine._partitions:
+        raise RuntimeEngineError(
+            "inject_plan_fault must run before the engine processes events "
+            "(per-partition plans are already instantiated)"
+        )
+    if phase not in ("deriving", "processing"):
+        raise ValueError(f"phase must be 'deriving' or 'processing', got {phase!r}")
+    templates = (
+        engine._processing_templates
+        if phase == "processing"
+        else engine._deriving_templates
+    )
+    combined = templates.get(context)
+    if combined is None:
+        raise RuntimeEngineError(
+            f"no {phase} plan for context {context!r} "
+            f"(have: {sorted(templates)})"
+        )
+    fault = FaultSpec(
+        at_times=frozenset(at_times),
+        event_types=frozenset(event_types),
+        message=message,
+        crash=crash,
+    )
+    # plan names inside a combined plan carry an "@context" suffix;
+    # accept either the decorated or the bare query name
+    matches = (
+        lambda plan: plan_name is None
+        or plan.name == plan_name
+        or plan.name == f"{plan_name}@{context}"
+    )
+    wrapped = 0
+    for index, plan in enumerate(combined.plans):
+        if matches(plan):
+            combined.plans[index] = FaultyQueryPlan.wrap(plan, fault)
+            wrapped += 1
+    if not wrapped:
+        raise RuntimeEngineError(
+            f"no plan named {plan_name!r} in the {phase} plan of "
+            f"context {context!r}"
+        )
+    return fault

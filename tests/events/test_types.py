@@ -75,6 +75,55 @@ class TestEventSchema:
             schema.validate({"vid": "three"})
 
 
+class TestSchemaErrorShape:
+    """Diagnosable violations: the message carries the event type name, the
+    offending field, and the expected vs actual value type; the same facts
+    are exposed as structured attributes."""
+
+    SCHEMA = EventSchema.from_mapping({"vid": "int", "lane": "str"})
+
+    def test_domain_violation_message_and_fields(self):
+        with pytest.raises(SchemaError) as excinfo:
+            self.SCHEMA.validate(
+                {"vid": "three", "lane": "exit"}, type_name="Report"
+            )
+        error = excinfo.value
+        message = str(error)
+        assert "'Report'" in message
+        assert "'vid'" in message
+        assert "'int'" in message  # expected domain
+        assert "str" in message  # actual value type
+        assert error.event_type == "Report"
+        assert error.field == "vid"
+        assert error.expected == "int"
+        assert error.actual == "str"
+
+    def test_missing_attribute_fields(self):
+        with pytest.raises(SchemaError) as excinfo:
+            self.SCHEMA.validate({"lane": "exit"}, type_name="Report")
+        error = excinfo.value
+        assert "'Report'" in str(error)
+        assert error.field == "vid"
+        assert error.expected == "int"
+        assert error.actual == "<absent>"
+
+    def test_extra_attribute_fields(self):
+        with pytest.raises(SchemaError) as excinfo:
+            self.SCHEMA.validate(
+                {"vid": 1, "lane": "exit", "oops": 2.5}, type_name="Report"
+            )
+        error = excinfo.value
+        assert error.field == "oops"
+        assert error.expected == "<not in schema>"
+        assert error.actual == "float"
+
+    def test_message_without_type_name_has_no_prefix(self):
+        with pytest.raises(SchemaError) as excinfo:
+            self.SCHEMA.validate({"vid": "three", "lane": "x"})
+        assert "event type" not in str(excinfo.value)
+        assert excinfo.value.event_type is None
+
+
 class TestEventType:
     def test_define_helper(self):
         et = EventType.define("Report", vid="int", lane="str")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.model import CaesarModel
-from repro.errors import RuntimeEngineError
+from repro.errors import CheckpointMismatchError, RuntimeEngineError
 from repro.events.event import Event
 from repro.events.types import EventType
 from repro.language import parse_query
@@ -168,3 +168,91 @@ class TestCheckpointValidation:
         checkpoint["contexts"] = tuple(other.context_names)
         with pytest.raises(RuntimeEngineError, match="default context"):
             restore_checkpoint(CaesarEngine(other), checkpoint)
+
+    @pytest.mark.parametrize("flag", ["context_aware", "optimize"])
+    def test_engine_flag_mismatch_names_the_flag(self, flag):
+        """A checkpoint is only valid for a structurally equivalent engine:
+        restoring into one built with different ``context_aware``/
+        ``optimize`` flags raises, and the message names the flag."""
+        engine = CaesarEngine(build_model())
+        checkpoint = capture_checkpoint(engine)
+        other = CaesarEngine(build_model(), **{flag: False})
+        with pytest.raises(CheckpointMismatchError, match=flag):
+            restore_checkpoint(other, checkpoint)
+
+    def test_mismatch_error_is_a_runtime_engine_error(self):
+        assert issubclass(CheckpointMismatchError, RuntimeEngineError)
+
+
+NEG_REPORT = EventType.define(
+    "NegReport", subject="int", spike="int", move="int", sec="int"
+)
+
+
+def build_negation_model():
+    """A model whose live state includes both partial SEQ matches and
+    pending trailing-negation deadlines."""
+    model = CaesarModel(default_context="rest")
+    model.add_context("active")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT active PATTERN NegReport r WHERE r.move > 5 "
+        "CONTEXT rest", name="activate"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT active PATTERN NegReport r WHERE r.move = 0 "
+        "CONTEXT active", name="deactivate"))
+    model.add_query(parse_query(
+        "DERIVE FallWarning(s.subject, s.sec) "
+        "PATTERN SEQ(NegReport s, NOT NegReport m) "
+        "WHERE s.spike > 20 AND m.subject = s.subject AND m.move > 2 "
+        "WITHIN 15 CONTEXT rest",
+        name="fall"))
+    model.add_query(parse_query(
+        "DERIVE Spike(a.sec, b.sec) "
+        "PATTERN SEQ(NegReport a, NegReport b) "
+        "WHERE a.spike > 20 AND b.spike > 20 CONTEXT rest",
+        name="spikes"))
+    return model
+
+
+class TestCheckpointPickling:
+    def test_pickled_checkpoint_round_trips_live_pattern_state(self):
+        """A checkpoint is picklable even when it carries partial SEQ
+        matches and pending negation deadlines, and the unpickled copy
+        restores to identical replay behavior."""
+        import pickle
+
+        def neg_report(t, spike=0, move=0):
+            return Event(
+                NEG_REPORT, t,
+                {"subject": 1, "spike": spike, "move": move, "sec": t},
+            )
+
+        events = [
+            neg_report(0, spike=30),   # fall candidate: pending deadline
+            neg_report(5, spike=25),   # partial SEQ(a, b) match + candidate
+            neg_report(20, move=0),    # past the 15s deadline: warnings fire
+            neg_report(25, spike=40),  # second element of a Spike pair
+        ]
+        split = 2  # checkpoint while deadlines and partials are live
+
+        reference = EngineSession(CaesarEngine(build_negation_model()))
+        reference_outputs = reference.feed(events)
+
+        first = EngineSession(CaesarEngine(build_negation_model()))
+        prefix_outputs = first.feed(events[:split])
+        checkpoint = pickle.loads(pickle.dumps(
+            capture_checkpoint(first.engine)
+        ))
+
+        resumed = CaesarEngine(build_negation_model())
+        restore_checkpoint(resumed, checkpoint)
+        suffix_outputs = EngineSession(resumed).feed(events[split:])
+
+        assert outputs_key(prefix_outputs + suffix_outputs) == outputs_key(
+            reference_outputs
+        )
+        # the round trip preserved what matters: the deadline actually fired
+        assert any(
+            e.type_name == "FallWarning" for e in suffix_outputs
+        )
+        assert any(e.type_name == "Spike" for e in suffix_outputs)

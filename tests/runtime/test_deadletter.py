@@ -1,0 +1,87 @@
+"""Tests for the bounded dead-letter queue."""
+
+import pytest
+
+from repro.events.event import Event
+from repro.events.types import EventType
+from repro.runtime import (
+    DeadLetterQueue,
+    REASON_LATE,
+    REASON_SCHEMA,
+    ReorderBuffer,
+)
+
+TICK = EventType.define("DlqTick", n="int")
+
+
+def tick(t, n=0):
+    return Event(TICK, t, {"n": n})
+
+
+class TestQueueBasics:
+    def test_put_records_event_reason_error_and_time(self):
+        queue = DeadLetterQueue()
+        event = tick(42)
+        entry = queue.put(event, reason=REASON_SCHEMA, error=ValueError("bad"))
+        assert entry.event is event
+        assert entry.reason == REASON_SCHEMA
+        assert entry.error == "bad"
+        assert entry.timestamp == 42  # defaults to the event's own time
+        explicit = queue.put(event, reason=REASON_SCHEMA, timestamp=99)
+        assert explicit.timestamp == 99
+
+    def test_entries_filtered_by_reason(self):
+        queue = DeadLetterQueue()
+        queue.put(tick(1), reason=REASON_SCHEMA)
+        queue.put(tick(2), reason=REASON_LATE)
+        queue.put(tick(3), reason=REASON_SCHEMA)
+        assert [e.event.timestamp for e in queue.entries(reason=REASON_SCHEMA)] \
+            == [1, 3]
+        assert len(queue.entries()) == 3
+        assert len(queue) == 3
+
+    def test_capacity_evicts_oldest_and_counts_drops(self):
+        queue = DeadLetterQueue(capacity=3)
+        for t in range(5):
+            queue.put(tick(t), reason=REASON_SCHEMA)
+        assert [e.event.timestamp for e in queue.entries()] == [2, 3, 4]
+        assert queue.dropped == 2
+        # accounting never lies about loss: counters keep the full tally
+        assert queue.counts_by_reason[REASON_SCHEMA] == 5
+        assert queue.total == 5
+
+    def test_drain_empties_but_keeps_counters(self):
+        queue = DeadLetterQueue()
+        queue.put(tick(1), reason=REASON_LATE)
+        drained = queue.drain()
+        assert len(drained) == 1
+        assert len(queue) == 0
+        assert queue.total == 1
+
+    def test_summary(self):
+        queue = DeadLetterQueue(capacity=2)
+        for t in range(3):
+            queue.put(tick(t), reason=REASON_LATE)
+        assert queue.summary() == {
+            "retained": 2,
+            "dropped": 1,
+            "by_reason": {REASON_LATE: 3},
+        }
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            DeadLetterQueue(capacity=0)
+
+
+class TestReorderIntegration:
+    def test_record_late_is_an_on_late_callback(self):
+        """A reorder buffer wired to the queue diverts too-late events."""
+        queue = DeadLetterQueue()
+        buffer = ReorderBuffer(max_delay=5, on_late=queue.record_late)
+        list(buffer.feed([tick(0), tick(50), tick(100)]))
+        buffer.push(tick(3))  # older than the last release (t=50)
+        assert buffer.late_events == 1
+        late = queue.entries(reason=REASON_LATE)
+        assert len(late) == 1
+        assert late[0].event.timestamp == 3
+        assert "reorder bound" in late[0].error

@@ -68,6 +68,30 @@ class TestBasics:
         stream = buffer.sort_stream([tick(9), tick(2), tick(5)])
         assert [e.timestamp for e in stream] == [2, 5, 9]
 
+    def test_event_exactly_at_watermark_is_not_late(self):
+        """Boundary regression: an event whose timestamp equals the
+        watermark (== the last released timestamp) is still accepted and
+        released in order, not counted late."""
+        buffer = ReorderBuffer(max_delay=10)
+        assert buffer.push(tick(10)) == []
+        released = buffer.push(tick(20))  # watermark 10: releases t=10
+        assert [e.timestamp for e in released] == [10]
+        assert buffer.watermark == 10
+        duplicate = buffer.push(tick(10, n=1))  # == watermark: on time
+        assert [e.timestamp for e in duplicate] == [10]
+        assert buffer.late_events == 0
+        # one unit older is late
+        assert buffer.push(tick(9)) == []
+        assert buffer.late_events == 1
+
+    def test_on_late_callback_invoked_after_counting(self):
+        seen = []
+        buffer = ReorderBuffer(max_delay=5, on_late=seen.append)
+        list(buffer.feed([tick(0), tick(50), tick(100)]))
+        assert buffer.push(tick(3)) == []
+        assert buffer.late_events == 1
+        assert [e.timestamp for e in seen] == [3]
+
 
 class TestProperties:
     @given(

@@ -1,0 +1,336 @@
+"""Tests for supervised execution: fault isolation behind circuit breakers.
+
+The acceptance tests of this layer are deterministic chaos tests: faults
+are injected at chosen stream timestamps via :mod:`repro.testing`, so every
+run exercises the exact same failure schedule.
+"""
+
+import pytest
+
+from repro.core.model import CaesarModel
+from repro.errors import FatalEngineError, RuntimeEngineError
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime import (
+    BreakerState,
+    CaesarEngine,
+    CircuitBreaker,
+    DeadLetterQueue,
+    EngineSession,
+    REASON_PLAN_FAULT,
+    REASON_QUARANTINED,
+    REASON_SCHEMA,
+    SupervisedEngine,
+    outputs_to_rows,
+    report_to_dict,
+)
+from repro.testing import (
+    FaultInjector,
+    FaultSpec,
+    InjectedCrashError,
+    InjectedFaultError,
+    inject_plan_fault,
+)
+
+READING = EventType.define("SupReading", value="int", sec="int")
+
+
+def build_model():
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN SupReading r WHERE r.value > 100 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN SupReading r WHERE r.value <= 100 "
+        "CONTEXT alert", name="down"))
+    model.add_query(parse_query(
+        "DERIVE Norm(r.sec) PATTERN SupReading r CONTEXT normal",
+        name="norm"))
+    model.add_query(parse_query(
+        "DERIVE Alarm(r.value) PATTERN SupReading r CONTEXT alert",
+        name="alarm"))
+    return model
+
+
+def reading(t, value):
+    return Event(READING, t, {"value": value, "sec": t})
+
+
+VALUES = [50, 150, 170, 150, 90, 120, 120, 30, 140, 150, 20, 130]
+
+
+def stream():
+    return EventStream([reading(t * 10, v) for t, v in enumerate(VALUES)])
+
+
+def events():
+    return [reading(t * 10, v) for t, v in enumerate(VALUES)]
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=60)
+        breaker.record_failure(0)
+        breaker.record_failure(10)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(20)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.ever_opened
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=60)
+        breaker.record_failure(0)
+        breaker.record_success(10)
+        breaker.record_failure(20)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.failures == 2
+
+    def test_open_blocks_until_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=50)
+        breaker.record_failure(100)
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(120)
+        assert not breaker.allow(149)
+        # cooldown elapsed: half-open, one probe admitted
+        assert breaker.allow(150)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=50)
+        breaker.record_failure(0)
+        assert breaker.allow(50)
+        breaker.record_success(50)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=50)
+        breaker.record_failure(0)
+        assert breaker.allow(50)
+        breaker.record_failure(50)
+        assert breaker.state is BreakerState.OPEN
+        # cooldown restarts from the reopening
+        assert not breaker.allow(60)
+        assert breaker.allow(100)
+
+    def test_transitions_recorded_with_stream_time(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10)
+        breaker.record_failure(5)
+        breaker.allow(15)
+        breaker.record_success(15)
+        assert breaker.transitions == [
+            (5, BreakerState.CLOSED, BreakerState.OPEN),
+            (15, BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (15, BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        ]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown=-1)
+
+
+class TestFaultIsolation:
+    def test_faulty_plan_quarantined_others_unaffected(self):
+        """Acceptance: one always-raising plan; the engine completes the
+        stream, quarantines exactly that plan, and every other plan's
+        outputs match the no-fault run."""
+        baseline = CaesarEngine(build_model()).run(stream())
+        baseline_norms = [
+            e for e in baseline.outputs if e.type_name == "Norm"
+        ]
+
+        engine = SupervisedEngine(
+            build_model(), failure_threshold=1, cooldown=1_000_000
+        )
+        inject_plan_fault(engine, "alert", plan_name="alarm")
+        report = engine.run(stream())
+
+        # the run completed and the healthy plan's outputs are intact
+        assert outputs_to_rows(
+            [e for e in report.outputs if e.type_name == "Norm"]
+        ) == outputs_to_rows(baseline_norms)
+        # nothing from the faulty plan
+        assert not [e for e in report.outputs if e.type_name == "Alarm"]
+        # exactly the faulty plan is quarantined
+        assert engine.quarantined_plans() == ((None, "processing", "alert"),)
+        assert report.plans_quarantined == 1
+        assert report.plan_failures >= 1
+
+    def test_no_faults_means_no_supervision_noise(self):
+        engine = SupervisedEngine(build_model())
+        report = engine.run(stream())
+        baseline = CaesarEngine(build_model()).run(stream())
+        assert outputs_to_rows(report.outputs) == outputs_to_rows(
+            baseline.outputs
+        )
+        assert report.plan_failures == 0
+        assert report.plans_quarantined == 0
+        assert engine.dead_letters.total == 0
+
+    def test_failure_events_dead_lettered(self):
+        engine = SupervisedEngine(build_model(), failure_threshold=3)
+        inject_plan_fault(engine, "alert", plan_name="alarm", at_times={10})
+        engine.run(stream())
+        faulted = engine.dead_letters.entries(reason=REASON_PLAN_FAULT)
+        assert [entry.timestamp for entry in faulted] == [10]
+        assert "injected fault" in faulted[0].error
+
+    def test_quarantined_events_dead_lettered(self):
+        engine = SupervisedEngine(
+            build_model(), failure_threshold=1, cooldown=1_000_000
+        )
+        inject_plan_fault(engine, "alert", plan_name="alarm")
+        engine.run(stream())
+        quarantined = engine.dead_letters.entries(reason=REASON_QUARANTINED)
+        assert quarantined, "events of the quarantined plan are diverted"
+        for entry in quarantined:
+            assert entry.event.type_name == "SupReading"
+            assert "quarantined" in entry.error
+
+    def test_breaker_recloses_after_cooldown_when_fault_clears(self):
+        """A transient fault: breaker opens, cools down, probes, recloses
+        — and the plan produces output again."""
+        engine = SupervisedEngine(
+            build_model(), failure_threshold=1, cooldown=20
+        )
+        inject_plan_fault(engine, "alert", plan_name="alarm", at_times={10})
+        report = engine.run(stream())
+        breaker = engine.breaker_for((None, "processing", "alert"))
+        assert breaker.state is BreakerState.CLOSED
+        assert engine.breaker_transition_counts() == {
+            "closed->open": 1,
+            "open->half_open": 1,
+            "half_open->closed": 1,
+        }
+        # alarms resume after the probe succeeds
+        assert [e for e in report.outputs if e.type_name == "Alarm"]
+
+    def test_fatal_errors_escape_supervision(self):
+        engine = SupervisedEngine(build_model())
+        inject_plan_fault(
+            engine, "alert", plan_name="alarm", at_times={30}, crash=True
+        )
+        with pytest.raises(FatalEngineError):
+            engine.run(stream())
+
+    def test_counters_flow_into_report_dict(self):
+        engine = SupervisedEngine(
+            build_model(), failure_threshold=1, cooldown=1_000_000
+        )
+        inject_plan_fault(engine, "alert", plan_name="alarm")
+        report = engine.run(stream())
+        supervision = report_to_dict(report)["supervision"]
+        assert supervision["plan_failures"] == report.plan_failures > 0
+        assert supervision["plans_quarantined"] == 1
+        assert supervision["breaker_transitions"]["closed->open"] == 1
+        assert supervision["dead_lettered"][REASON_QUARANTINED] > 0
+        assert supervision["dead_letter_dropped"] == 0
+
+    def test_session_close_carries_supervision_counters(self):
+        engine = SupervisedEngine(
+            build_model(), failure_threshold=1, cooldown=1_000_000
+        )
+        inject_plan_fault(engine, "alert", plan_name="alarm")
+        session = EngineSession(engine)
+        for event in events():
+            session.feed([event])
+        report = session.close()
+        assert report.plans_quarantined == 1
+        assert report.plan_failures > 0
+
+
+class TestSchemaSupervision:
+    def test_schema_violations_dead_lettered_not_fatal(self):
+        # Event construction does not validate by default — exactly the
+        # malformed-producer scenario the supervisor defends against.
+        engine = SupervisedEngine(build_model())
+        bad = Event(READING, 35, {"value": "not-an-int", "sec": 35})
+        feed = events()
+        feed.insert(4, bad)
+        report = engine.run(EventStream(feed))
+
+        violations = engine.dead_letters.entries(reason=REASON_SCHEMA)
+        assert len(violations) == 1
+        assert violations[0].event is bad
+        assert "SupReading" in violations[0].error
+        # the rest of the stream processed normally
+        baseline = CaesarEngine(build_model()).run(stream())
+        assert outputs_to_rows(report.outputs) == outputs_to_rows(
+            baseline.outputs
+        )
+
+    def test_validation_can_be_disabled(self):
+        engine = SupervisedEngine(build_model(), validate_schemas=False)
+        bad = Event(READING, 35, {"value": "oops", "sec": 35})
+        feed = events()
+        feed.insert(4, bad)
+        engine.run(EventStream(feed))
+        assert engine.dead_letters.entries(reason=REASON_SCHEMA) == []
+
+
+class TestFaultInjection:
+    def test_fault_spec_triggering(self):
+        spec = FaultSpec(at_times=frozenset({10}))
+        assert spec.triggers([], 10)
+        assert not spec.triggers([], 20)
+        typed = FaultSpec(event_types=frozenset({"SupReading"}))
+        assert typed.triggers([reading(0, 1)], 0)
+        assert not typed.triggers([], 0)  # pure time advance: no trigger
+
+    def test_injector_wraps_an_operator(self):
+        from repro.algebra.operators import ExecutionContext, Operator
+
+        class Passthrough(Operator):
+            def process(self, batch, ctx):
+                return batch
+
+        inner = Passthrough("pass")
+        injector = FaultInjector(inner, FaultSpec(at_times=frozenset({5})))
+        ctx = ExecutionContext(windows=None, now=5)
+        with pytest.raises(InjectedFaultError, match=r"t=5"):
+            injector.process([reading(5, 1)], ctx)
+        ctx_ok = ExecutionContext(windows=None, now=6)
+        batch = [reading(6, 1)]
+        assert injector.process(batch, ctx_ok) == batch
+        assert injector.stats is inner.stats
+
+    def test_crash_spec_raises_fatal(self):
+        spec = FaultSpec(crash=True)
+        with pytest.raises(InjectedCrashError):
+            spec.fire(0)
+        assert issubclass(InjectedCrashError, FatalEngineError)
+
+    def test_injection_requires_fresh_engine(self):
+        engine = SupervisedEngine(build_model())
+        engine.run(stream())
+        with pytest.raises(RuntimeEngineError, match="before the engine"):
+            inject_plan_fault(engine, "alert")
+
+    def test_injection_rejects_unknown_plan(self):
+        engine = SupervisedEngine(build_model())
+        with pytest.raises(RuntimeEngineError, match="no plan named"):
+            inject_plan_fault(engine, "alert", plan_name="nonexistent")
+
+    def test_injection_rejects_unknown_context(self):
+        engine = SupervisedEngine(build_model())
+        with pytest.raises(RuntimeEngineError, match="no processing plan"):
+            inject_plan_fault(engine, "bogus")
+
+
+class TestDeadLetterSharing:
+    def test_external_queue_is_used(self):
+        queue = DeadLetterQueue(capacity=8)
+        engine = SupervisedEngine(
+            build_model(),
+            failure_threshold=1,
+            cooldown=1_000_000,
+            dead_letters=queue,
+        )
+        inject_plan_fault(engine, "alert", plan_name="alarm")
+        engine.run(stream())
+        assert queue.total > 0
+        assert engine.dead_letters is queue

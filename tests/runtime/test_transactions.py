@@ -78,3 +78,25 @@ class TestTransactionLog:
         log = TransactionLog()
         log.register(txn("p", 5, reads=["c"]))
         log.register(txn("p", 3, reads=["c"]))  # read-read is not a conflict
+
+    def test_equal_timestamp_writes_across_partitions_allowed(self):
+        """Two partitions writing the same context at the same timestamp is
+        not a conflict: transactions are one-per-partition-per-timestamp
+        and conflict ordering is scoped within a partition."""
+        log = TransactionLog()
+        log.register(txn("p1", 5, writes=["c"]))
+        log.register(txn("p2", 5, writes=["c"]))
+        assert log.transactions == 2
+
+    def test_read_after_write_in_same_transaction_not_flagged(self):
+        """A single transaction may write a context and then read it back
+        (e.g. a TERMINATE followed by processing in the new context) —
+        intra-transaction read-after-write is legal."""
+        log = TransactionLog()
+        transaction = StreamTransaction(partition="p", timestamp=5)
+        transaction.record_write("c")
+        transaction.record_read("c")
+        log.register(transaction)
+        assert log.transactions == 1
+        # and a later transaction on the same context remains legal
+        log.register(txn("p", 6, reads=["c"]))
