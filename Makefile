@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos bench bench-hotpath bench-tables examples validate lint-smoke all
+.PHONY: install test test-chaos bench bench-hotpath bench-parallel bench-tables examples validate lint-smoke all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -25,6 +25,11 @@ bench:
 # hot-path micro-benchmarks only (predicate eval, partial advance, routing)
 bench-hotpath:
 	$(PYTHON) -m pytest benchmarks/bench_hotpath.py --benchmark-only
+
+# serial vs thread vs process execution backend throughput (asserts the
+# backends produce identical outputs before printing any number)
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel.py
 
 # benchmarks with the per-figure tables printed inline
 bench-tables:

@@ -1,0 +1,174 @@
+"""Sharded parallel execution backends: serial vs. thread vs. process.
+
+Not a paper figure: CAESAR's per-partition state (context bit vector, plan
+instances) makes partitions semantically independent, and the execution
+backends exploit that by pinning each partition to one shard worker.  This
+benchmark measures wall-clock throughput of the same multi-partition
+workload under each backend, plus the determinism guarantee (identical
+outputs) that makes the comparison honest.
+
+Speedup expectations are hardware-dependent: CPython threads only overlap
+the interpreter during the (rare) C-level waits, so the thread backend is
+bounded by the GIL; the process backend forks true parallel workers but
+pays event pickling per dispatch.  On a single-core runner both parallel
+backends are expected to *lose* to serial — the numbers recorded in
+``docs/benchmarks.md`` state the core count they were measured on.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.common import FigureTable
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.core.model import CaesarModel
+from repro.language import parse_query
+from repro.runtime import (
+    CaesarEngine,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    outputs_to_rows,
+)
+
+READING = EventType.define("ParReading", value="int", sec="int", zone="int")
+
+
+def build_model(queries=4):
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN ParReading r WHERE r.value > 800 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN ParReading r WHERE r.value < 100 "
+        "CONTEXT alert", name="down"))
+    for index in range(queries):
+        model.add_query(parse_query(
+            f"DERIVE Out{index}(r.value) PATTERN ParReading r "
+            f"WHERE r.value > {index * 100} CONTEXT alert",
+            name=f"q{index}"))
+    return model
+
+
+def build_stream(events=4000, partitions=8):
+    return EventStream(
+        Event(
+            READING,
+            index // partitions,
+            {
+                "value": (index * 37) % 1000,
+                "sec": index // partitions,
+                "zone": index % partitions,
+            },
+        )
+        for index in range(events)
+    )
+
+
+def run_backend(backend, stream):
+    engine = CaesarEngine(
+        build_model(), partition_by=lambda e: e["zone"], backend=backend
+    )
+    return engine.run(stream, track_outputs=False)
+
+
+class TestParallelBackends:
+    def test_serial_baseline(self, benchmark):
+        stream = build_stream()
+        report = benchmark(lambda: run_backend(SerialBackend(), stream))
+        assert len(report.windows_by_partition) == 8
+        table = FigureTable(
+            "Parallel", "execution backend throughput", "backend"
+        )
+        table.add("serial", events_per_sec=report.throughput)
+        table.show()
+
+    def test_thread_backend(self, benchmark):
+        stream = build_stream()
+        report = benchmark(
+            lambda: run_backend(ThreadPoolBackend(max_workers=4), stream)
+        )
+        assert len(report.windows_by_partition) == 8
+        table = FigureTable(
+            "Parallel", "execution backend throughput", "backend"
+        )
+        table.add("thread[4]", events_per_sec=report.throughput)
+        table.show()
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="process backend requires fork",
+    )
+    def test_process_backend(self, benchmark):
+        stream = build_stream()
+        report = benchmark(
+            lambda: run_backend(ProcessPoolBackend(max_workers=4), stream)
+        )
+        assert len(report.windows_by_partition) == 8
+        table = FigureTable(
+            "Parallel", "execution backend throughput", "backend"
+        )
+        table.add("process[4]", events_per_sec=report.throughput)
+        table.show()
+
+    def test_backends_agree_on_outputs(self, benchmark):
+        """The determinism contract, asserted where the numbers are made."""
+        stream = build_stream(events=1000)
+        serial = run_backend(SerialBackend(), stream)
+
+        def check():
+            threaded = run_backend(ThreadPoolBackend(max_workers=4), stream)
+            assert threaded.cost_units == serial.cost_units
+            return threaded
+
+        threaded = benchmark(check)
+        assert (
+            threaded.outputs_by_type == serial.outputs_by_type
+        ), "parallel outputs diverged from serial"
+
+
+def main():
+    """Standalone entry point: ``make bench-parallel``."""
+    import time
+
+    cores = os.cpu_count() or 1
+    stream = build_stream(events=8000, partitions=8)
+    table = FigureTable(
+        "Parallel",
+        f"execution backend throughput ({cores} cores, 8 partitions)",
+        "backend",
+    )
+    serial_report = None
+    backends = [("serial", SerialBackend)]
+    backends.append(("thread[4]", lambda: ThreadPoolBackend(max_workers=4)))
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        backends.append(
+            ("process[4]", lambda: ProcessPoolBackend(max_workers=4))
+        )
+    for name, factory in backends:
+        started = time.perf_counter()
+        report = run_backend(factory(), stream)
+        elapsed = time.perf_counter() - started
+        if serial_report is None:
+            serial_report = report
+            speedup = 1.0
+            serial_elapsed = elapsed
+        else:
+            assert report.cost_units == serial_report.cost_units
+            assert report.outputs_by_type == serial_report.outputs_by_type
+            speedup = serial_elapsed / elapsed
+        table.add(
+            name,
+            events_per_sec=report.events_processed / elapsed,
+            speedup_vs_serial=speedup,
+        )
+    table.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,14 @@ crash recovery by suffix replay).
 """
 
 from repro.runtime.engine import CaesarEngine, EngineReport, ScheduledWorkloadEngine
+from repro.runtime.backend import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    resolve_backend,
+)
 from repro.runtime.baseline import ContextIndependentEngine
 from repro.runtime.metrics import LatencyTracker, win_ratio
 from repro.runtime.router import ContextAwareStreamRouter
@@ -51,9 +59,14 @@ from repro.runtime.reporting import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BreakerState",
     "CaesarEngine",
     "CircuitBreaker",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
     "ContextAwareStreamRouter",
     "ContextHistory",
     "ContextIndependentEngine",
@@ -77,6 +90,7 @@ __all__ = [
     "outputs_to_rows",
     "render_timeline",
     "report_to_dict",
+    "resolve_backend",
     "restore_checkpoint",
     "win_ratio",
 ]

@@ -1,0 +1,488 @@
+"""Sharded parallel execution backends (Section 6 scaled out).
+
+CAESAR keeps a context bit vector and plan instances *per stream partition*
+and partitions are semantically independent — the sharding lever the paper's
+runtime never pulls.  An :class:`ExecutionBackend` decides how the stream
+transactions of one timestamp are executed:
+
+:class:`SerialBackend`
+    One after the other on the calling thread — the reference semantics.
+
+:class:`ThreadPoolBackend`
+    All partitions' transactions for a timestamp run concurrently on a pool
+    of shard worker threads with **shard affinity**: a partition is pinned
+    to one worker for the whole run, so its window store, routers, garbage
+    collector and context history stay worker-local and lock-free.
+
+:class:`ProcessPoolBackend`
+    The same sharding across forked worker processes (one engine state copy
+    per worker, copy-on-write).  Events cross the process boundary by
+    pickling; per-partition counters, windows and supervision state are
+    merged back into the parent engine at the end of the run.
+
+All backends merge each timestamp's outputs **deterministically** in the
+scheduler's transaction order — the distributor's partition order, itself
+fixed by the stream — and per-partition derivations keep their generation
+order, so serial and parallel runs produce identical
+:class:`~repro.runtime.engine.EngineReport` outputs and counters.
+
+The backend for an engine is chosen with the ``backend=`` constructor
+argument or the ``CAESAR_BACKEND`` environment variable (``serial`` |
+``thread`` | ``process``).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import RuntimeEngineError
+from repro.events.event import Event
+from repro.events.timebase import TimePoint
+from repro.runtime.transactions import StreamTransaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.engine import CaesarEngine
+
+#: Environment variable consulted when an engine is built without an
+#: explicit backend.
+BACKEND_ENV_VAR = "CAESAR_BACKEND"
+
+
+@dataclass
+class RunTotals:
+    """Aggregated per-partition state of one finished run.
+
+    For backends whose partition runtimes live in the engine process this is
+    read straight off the engine; the process backend assembles it from the
+    summaries its shard workers send back.
+    """
+
+    cost_units: float = 0.0
+    windows_by_partition: dict = field(default_factory=dict)
+    suppressed_batches: int = 0
+    routed_batches: int = 0
+    interest_suppressed_batches: int = 0
+    gc_collected: int = 0
+    history_discards: int = 0
+    cost_by_context: dict[str, float] = field(default_factory=dict)
+
+
+class ExecutionBackend:
+    """How the stream transactions of one timestamp get executed.
+
+    The engine drives the lifecycle: ``begin_run`` → (``execute`` per
+    timestamp) → ``collect_totals`` → ``end_run`` (always, also on error).
+    ``local_state`` tells the engine whether partition runtimes (and thus
+    cost accounting and checkpointable state) live in the engine's own
+    process.
+    """
+
+    name = "abstract"
+    #: True when partition runtimes are shared with the engine process.
+    local_state = True
+
+    def begin_run(self, engine: "CaesarEngine") -> None:
+        """Prepare for a run (spawn workers, reset shard maps)."""
+
+    def execute(
+        self,
+        t: TimePoint,
+        transactions: list[StreamTransaction],
+        engine: "CaesarEngine",
+    ) -> list[list[Event]]:
+        """Execute one timestamp's transactions; outputs aligned with input."""
+        raise NotImplementedError
+
+    @property
+    def last_cost_delta(self) -> float:
+        """Cost units spent by the last :meth:`execute` (non-local backends)."""
+        return 0.0
+
+    def collect_totals(self, engine: "CaesarEngine") -> RunTotals | None:
+        """Merged run totals, or None when the engine can read its own."""
+        return None
+
+    def end_run(self, engine: "CaesarEngine") -> None:
+        """Tear down after a run (join workers).  Must be idempotent."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Today's behaviour: partitions execute one after the other."""
+
+    name = "serial"
+
+    def execute(self, t, transactions, engine):
+        return [
+            engine._execute_transaction(transaction)
+            for transaction in transactions
+        ]
+
+
+class _ShardMap:
+    """Stable partition→shard assignment (round-robin on first sight)."""
+
+    def __init__(self, shards: int):
+        self.shards = shards
+        self._assignment: dict = {}
+
+    def shard_of(self, key) -> int:
+        shard = self._assignment.get(key)
+        if shard is None:
+            shard = len(self._assignment) % self.shards
+            self._assignment[key] = shard
+        return shard
+
+    def group(
+        self, transactions: list[StreamTransaction]
+    ) -> dict[int, list[tuple[int, StreamTransaction]]]:
+        """Transactions grouped by shard, tagged with their merge index."""
+        groups: dict[int, list[tuple[int, StreamTransaction]]] = {}
+        for index, transaction in enumerate(transactions):
+            shard = self.shard_of(transaction.partition)
+            groups.setdefault(shard, []).append((index, transaction))
+        return groups
+
+
+def default_worker_count() -> int:
+    """Worker default: the machine's cores, at least 2, at most 8."""
+    return max(2, min(8, os.cpu_count() or 1))
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Shard-affine worker threads sharing the engine's address space.
+
+    A partition's runtime is only ever touched by its pinned worker, so no
+    per-partition locking is needed; the engine-level structures workers do
+    share (the dead-letter queue, supervision counters) are individually
+    thread-safe.  The fan-in barrier at the end of each timestamp preserves
+    the paper's correctness condition: all transactions of time ``t`` commit
+    before any transaction of time ``t+1`` starts.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or default_worker_count()
+        self._queues: list[queue.Queue] = []
+        self._threads: list[threading.Thread] = []
+        self._shard_map: _ShardMap | None = None
+
+    def begin_run(self, engine):
+        self._shard_map = _ShardMap(self.max_workers)
+        self._queues = [queue.Queue() for _ in range(self.max_workers)]
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(shard_queue,),
+                name=f"caesar-shard-{index}",
+                daemon=True,
+            )
+            for index, shard_queue in enumerate(self._queues)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @staticmethod
+    def _worker_loop(shard_queue: queue.Queue) -> None:
+        while True:
+            job = shard_queue.get()
+            if job is None:
+                return
+            execute, items, results, errors, done = job
+            try:
+                for index, transaction in items:
+                    try:
+                        results[index] = execute(transaction)
+                    except BaseException as exc:  # noqa: BLE001 - forwarded
+                        errors[index] = exc
+                        break  # a failing partition aborts its shard's lane
+            finally:
+                done.set()
+
+    def execute(self, t, transactions, engine):
+        if not transactions:
+            return []
+        # Partition runtimes are created on the scheduler thread, in
+        # transaction order, before any worker touches them: creation stays
+        # deterministic and the per-partition state needs no lock.
+        for transaction in transactions:
+            engine._partition(transaction.partition)
+        if len(transactions) == 1:
+            return [engine._execute_transaction(transactions[0])]
+        results: list = [None] * len(transactions)
+        errors: dict[int, BaseException] = {}
+        barriers: list[threading.Event] = []
+        for shard, items in self._shard_map.group(transactions).items():
+            done = threading.Event()
+            barriers.append(done)
+            self._queues[shard].put(
+                (engine._execute_transaction, items, results, errors, done)
+            )
+        for done in barriers:
+            done.wait()
+        if errors:
+            # Deterministic error propagation: surface the failure of the
+            # earliest transaction in merge order, as a serial run would.
+            raise errors[min(errors)]
+        return results
+
+    def end_run(self, engine):
+        for shard_queue in self._queues:
+            shard_queue.put(None)
+        for thread in self._threads:
+            thread.join()
+        self._queues = []
+        self._threads = []
+
+
+# ---------------------------------------------------------------------------
+# process backend
+# ---------------------------------------------------------------------------
+
+
+def _partition_summaries(engine: "CaesarEngine") -> dict:
+    """Picklable per-partition state for the fan-in merge (worker side)."""
+    summaries = {}
+    for key, runtime in engine._partitions.items():
+        cost_by_context: dict[str, float] = {}
+        for router in (runtime.deriving_router, runtime.processing_router):
+            for name, cost in router.cost_by_context.items():
+                cost_by_context[name] = cost_by_context.get(name, 0.0) + cost
+        summaries[key] = {
+            "windows": runtime.store.all_windows(),
+            "cost_units": runtime.cost_units(),
+            "suppressed": (
+                runtime.deriving_router.batches_suppressed
+                + runtime.processing_router.batches_suppressed
+            ),
+            "routed": (
+                runtime.deriving_router.batches_routed
+                + runtime.processing_router.batches_routed
+            ),
+            "uninterested": (
+                runtime.deriving_router.batches_uninterested
+                + runtime.processing_router.batches_uninterested
+            ),
+            "gc_collected": runtime.gc.collected,
+            "history_discards": runtime.history.discards,
+            "cost_by_context": cost_by_context,
+        }
+    return summaries
+
+
+def _process_worker_main(conn, engine: "CaesarEngine") -> None:
+    """Request loop of one forked shard worker."""
+    baseline = engine._worker_state_baseline()
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        if kind == "exec":
+            _, t, parts = message
+            replies = []
+            cost_before = engine._total_cost_units()
+            try:
+                for index, key, events in parts:
+                    transaction = StreamTransaction(
+                        partition=key, timestamp=t, events=events
+                    )
+                    outputs = engine._execute_transaction(transaction)
+                    replies.append((index, outputs, transaction.operations))
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                try:
+                    conn.send(("error", exc))
+                except Exception:
+                    conn.send(("error", RuntimeEngineError(repr(exc))))
+                continue
+            cost_delta = engine._total_cost_units() - cost_before
+            conn.send(("ok", replies, cost_delta))
+        elif kind == "finish":
+            conn.send(
+                (
+                    "summary",
+                    _partition_summaries(engine),
+                    engine._worker_state_summary(baseline),
+                )
+            )
+        else:  # "stop"
+            conn.close()
+            return
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Shard-affine forked worker processes (POSIX only).
+
+    Workers are forked at the start of each run, inheriting the engine's
+    (fresh or restored) state copy-on-write; from then on each worker owns
+    its shard's partitions exclusively.  Events are pickled across the
+    boundary both ways.  At the end of the run every worker reports its
+    partitions' windows and counters plus its supervision state
+    (dead-letter entries, breakers, failure counts), which the parent
+    engine absorbs so reports and ``engine.dead_letters`` look exactly as
+    they would after a serial run.
+
+    Checkpoint autosave (``recovery=``) and ``on_context_transition``
+    callbacks need the partition state in the engine process and are
+    rejected up front.
+    """
+
+    name = "process"
+    local_state = False
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or default_worker_count()
+        self._workers: list = []  # (connection, process) pairs
+        self._shard_map: _ShardMap | None = None
+        self._partition_order: list = []
+        self._cost_delta = 0.0
+
+    def begin_run(self, engine):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeEngineError(
+                "ProcessPoolBackend requires the fork start method "
+                "(POSIX); use ThreadPoolBackend on this platform"
+            )
+        if getattr(engine, "recovery", None) is not None:
+            raise RuntimeEngineError(
+                "checkpoint autosave needs partition state in the engine "
+                "process; use SerialBackend or ThreadPoolBackend with a "
+                "RecoveryManager"
+            )
+        if engine.on_context_transition is not None:
+            raise RuntimeEngineError(
+                "on_context_transition callbacks fire inside worker "
+                "processes and would be lost; use SerialBackend or "
+                "ThreadPoolBackend"
+            )
+        context = multiprocessing.get_context("fork")
+        self._shard_map = _ShardMap(self.max_workers)
+        self._partition_order = []
+        self._workers = []
+        for _ in range(self.max_workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_process_worker_main,
+                args=(child_conn, engine),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((parent_conn, process))
+
+    def execute(self, t, transactions, engine):
+        self._cost_delta = 0.0
+        if not transactions:
+            return []
+        for transaction in transactions:
+            if transaction.partition not in self._shard_map._assignment:
+                self._partition_order.append(transaction.partition)
+        groups = self._shard_map.group(transactions)
+        for shard, items in groups.items():
+            conn = self._workers[shard][0]
+            conn.send(
+                ("exec", t, [(i, tx.partition, tx.events) for i, tx in items])
+            )
+        results: list = [None] * len(transactions)
+        errors: dict[int, BaseException] = {}
+        self._cost_delta = 0.0
+        for shard, items in groups.items():
+            conn = self._workers[shard][0]
+            reply = conn.recv()
+            if reply[0] == "error":
+                errors[items[0][0]] = reply[1]
+                continue
+            _, replies, cost_delta = reply
+            self._cost_delta += cost_delta
+            for index, outputs, operations in replies:
+                results[index] = outputs
+                # The worker recorded the context reads/writes; adopt them so
+                # the parent's transaction log verifies the schedule.
+                transactions[index].operations = operations
+        if errors:
+            raise errors[min(errors)]
+        return results
+
+    @property
+    def last_cost_delta(self) -> float:
+        return self._cost_delta
+
+    def collect_totals(self, engine):
+        summaries: dict = {}
+        for conn, _process in self._workers:
+            conn.send(("finish",))
+            _tag, partition_summaries, worker_state = conn.recv()
+            summaries.update(partition_summaries)
+            engine._absorb_worker_state(worker_state)
+        totals = RunTotals()
+        for key in self._partition_order:
+            summary = summaries.get(key)
+            if summary is None:  # pragma: no cover - defensive
+                continue
+            totals.cost_units += summary["cost_units"]
+            totals.windows_by_partition[key] = summary["windows"]
+            totals.suppressed_batches += summary["suppressed"]
+            totals.routed_batches += summary["routed"]
+            totals.interest_suppressed_batches += summary["uninterested"]
+            totals.gc_collected += summary["gc_collected"]
+            totals.history_discards += summary["history_discards"]
+            for name, cost in summary["cost_by_context"].items():
+                totals.cost_by_context[name] = (
+                    totals.cost_by_context.get(name, 0.0) + cost
+                )
+        return totals
+
+    def end_run(self, engine):
+        for conn, process in self._workers:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=10)
+        self._workers = []
+
+
+#: Registry used by :func:`resolve_backend` (and the ``CAESAR_BACKEND``
+#: environment variable).
+BACKENDS: dict[str, Callable[[], ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadPoolBackend,
+    "threads": ThreadPoolBackend,
+    "process": ProcessPoolBackend,
+    "processes": ProcessPoolBackend,
+}
+
+
+def resolve_backend(
+    spec: "ExecutionBackend | str | None",
+) -> ExecutionBackend:
+    """Turn a backend spec into an instance.
+
+    ``None`` consults the ``CAESAR_BACKEND`` environment variable and falls
+    back to the serial backend; strings are looked up in :data:`BACKENDS`;
+    instances pass through (each engine should get its own instance — a
+    backend holds per-run worker state).
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR, "") or "serial"
+    factory = BACKENDS.get(str(spec).lower())
+    if factory is None:
+        raise RuntimeEngineError(
+            f"unknown execution backend {spec!r}; "
+            f"choose one of {sorted(set(BACKENDS))}"
+        )
+    return factory()

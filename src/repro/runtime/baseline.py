@@ -34,6 +34,7 @@ class ContextIndependentEngine(CaesarEngine):
         partition_by: Partitioner = single_partition,
         seconds_per_cost_unit: float | None = None,
         gc_interval: TimePoint = 60,
+        backend=None,
     ):
         super().__init__(
             model,
@@ -43,4 +44,5 @@ class ContextIndependentEngine(CaesarEngine):
             partition_by=partition_by,
             seconds_per_cost_unit=seconds_per_cost_unit,
             gc_interval=gc_interval,
+            backend=backend,
         )

@@ -119,3 +119,6 @@ def restore_checkpoint(engine: "CaesarEngine", checkpoint: dict) -> None:
             if snapshot is not None:
                 operator.restore_state(snapshot)
         runtime.closed_seen = state["closed_seen"]
+    # The next run() must resume from the restored state instead of
+    # resetting to a clean slate (the re-entrancy default).
+    engine._preserve_state_once = True

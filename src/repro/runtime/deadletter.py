@@ -16,9 +16,10 @@ lies about loss.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.events.event import Event
 from repro.events.timebase import TimePoint
@@ -59,6 +60,9 @@ class DeadLetterQueue:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._entries: deque[DeadLetterEntry] = deque()
+        #: guards the entry deque and counters: shard workers of the thread
+        #: execution backend dead-letter concurrently into one queue
+        self._lock = threading.Lock()
         #: total entries ever enqueued, by reason (evictions do not subtract)
         self.counts_by_reason: dict[str, int] = {}
         #: entries evicted because the queue was full
@@ -79,12 +83,39 @@ class DeadLetterQueue:
             error=None if error is None else str(error),
             timestamp=event.timestamp if timestamp is None else timestamp,
         )
-        self._entries.append(entry)
-        self.counts_by_reason[reason] = self.counts_by_reason.get(reason, 0) + 1
-        if len(self._entries) > self.capacity:
-            self._entries.popleft()
-            self.dropped += 1
+        with self._lock:
+            self._entries.append(entry)
+            self.counts_by_reason[reason] = (
+                self.counts_by_reason.get(reason, 0) + 1
+            )
+            if len(self._entries) > self.capacity:
+                self._entries.popleft()
+                self.dropped += 1
         return entry
+
+    def absorb(
+        self,
+        entries: Iterable[DeadLetterEntry],
+        *,
+        dropped: int = 0,
+    ) -> None:
+        """Merge entries recorded by a shard worker in another process.
+
+        Unlike :meth:`put` the entries already carry their reason/error, so
+        they are appended verbatim (still honouring the capacity bound) and
+        the per-reason counters are bumped to match.  ``dropped`` adds
+        evictions the worker's own bounded queue already performed.
+        """
+        with self._lock:
+            for entry in entries:
+                self._entries.append(entry)
+                self.counts_by_reason[entry.reason] = (
+                    self.counts_by_reason.get(entry.reason, 0) + 1
+                )
+                if len(self._entries) > self.capacity:
+                    self._entries.popleft()
+                    self.dropped += 1
+            self.dropped += dropped
 
     def record_late(self, event: Event) -> DeadLetterEntry:
         """Divert a too-late event (:data:`REASON_LATE`).

@@ -33,6 +33,7 @@ from repro.events.timebase import TimePoint
 from repro.optimizer.planner import build_plans_for_queries, build_combined_plans
 from repro.optimizer.pushdown import push_down_combined
 from repro.optimizer.sharing import ExecutionUnit, SharedWorkload
+from repro.runtime.backend import ExecutionBackend, RunTotals, resolve_backend
 from repro.runtime.garbage import GarbageCollector
 from repro.runtime.history import ContextHistory
 from repro.runtime.metrics import LatencyTracker
@@ -84,6 +85,8 @@ class EngineReport:
     checkpoints_taken: int = 0
     #: times a checkpoint was restored and the stream suffix replayed
     recovery_replays: int = 0
+    #: name of the execution backend that produced this report
+    backend: str = "serial"
 
     @property
     def throughput(self) -> float:
@@ -123,6 +126,50 @@ class _PartitionRuntime:
         )
 
 
+class RunState:
+    """All state scoped to *one* :meth:`CaesarEngine.run`.
+
+    The distributor, scheduler, latency tracker and output accumulators
+    used to live as locals threaded through the run loop; bundling them
+    makes the per-run vs. per-engine state split explicit — everything in
+    here is born and dies with a single run, everything on the engine
+    (partition runtimes, templates, supervision state) survives across
+    timestamps and is reset by :meth:`CaesarEngine.reset_run_state`.
+    """
+
+    def __init__(self, partition_by: Partitioner):
+        self.distributor = EventDistributor(partition_by)
+        self.scheduler = TimeDrivenScheduler(self.distributor)
+        self.latency = LatencyTracker()
+        self.outputs: list[Event] = []
+        self.outputs_by_type: dict[str, int] = {}
+        self.events_processed = 0
+        self.batches = 0
+        self.wall_started = _time.perf_counter()
+
+    def record_batch(
+        self,
+        t: TimePoint,
+        incoming: int,
+        batch_outputs: list[Event],
+        service: float,
+        track_outputs: bool,
+    ) -> None:
+        self.latency.record(float(t), service)
+        self.events_processed += incoming
+        self.batches += 1
+        for event in batch_outputs:
+            self.outputs_by_type[event.type_name] = (
+                self.outputs_by_type.get(event.type_name, 0) + 1
+            )
+        if track_outputs:
+            self.outputs.extend(batch_outputs)
+
+    @property
+    def wall_seconds(self) -> float:
+        return _time.perf_counter() - self.wall_started
+
+
 class CaesarEngine:
     """Context-aware execution of a CAESAR model.
 
@@ -144,6 +191,13 @@ class CaesarEngine:
         If set, batch service times for the latency model are computed as
         ``cost_units × seconds_per_cost_unit`` (deterministic); otherwise
         measured wall-clock time is used.
+    backend:
+        How each timestamp's stream transactions execute: an
+        :class:`~repro.runtime.backend.ExecutionBackend` instance, a name
+        (``"serial"`` | ``"thread"`` | ``"process"``), or ``None`` to
+        consult the ``CAESAR_BACKEND`` environment variable (default:
+        serial).  Parallel backends shard by partition and merge outputs
+        deterministically, so reports are identical across backends.
     """
 
     def __init__(
@@ -158,6 +212,7 @@ class CaesarEngine:
         gc_interval: TimePoint = 60,
         preprocessors: tuple[Operator, ...] = (),
         on_context_transition=None,
+        backend: ExecutionBackend | str | None = None,
     ):
         self.model = model
         self.optimize = optimize
@@ -175,12 +230,18 @@ class CaesarEngine:
         #: synchronously on every context initiation/termination
         self.on_context_transition = on_context_transition
 
+        self.backend = resolve_backend(backend)
+
         queries = model.to_query_set()
         deriving = [q for q in queries if q.is_deriving]
         processing = [q for q in queries if q.is_processing]
         self._deriving_templates = self._templates(deriving)
         self._processing_templates = self._templates(processing)
         self._partitions: dict[object, _PartitionRuntime] = {}
+        self._runs_started = 0
+        #: set by ``restore_checkpoint`` so the next run resumes from the
+        #: restored state instead of resetting it
+        self._preserve_state_once = False
 
     # ------------------------------------------------------------------
     # plan construction
@@ -254,83 +315,145 @@ class CaesarEngine:
 
         The time-driven scheduler guarantees that for each timestamp the
         context derivation phase completes before context processing starts
-        (Section 6.2), per partition.
+        (Section 6.2), per partition; the execution backend decides whether
+        the partitions' transactions run serially or sharded across
+        workers, with outputs merged back in deterministic partition order.
+
+        ``run`` is re-entrant: a second call on the same engine starts from
+        a clean slate (fresh partition runtimes, zeroed cost and latency
+        accounting), so back-to-back runs of the same stream yield
+        identical reports.  The one exception is a run immediately after
+        :func:`~repro.runtime.checkpoint.restore_checkpoint`, which resumes
+        from the restored state.
         """
-        distributor = EventDistributor(self.partition_by)
-        scheduler = TimeDrivenScheduler(distributor)
-        latency = LatencyTracker()
-        outputs: list[Event] = []
-        outputs_by_type: dict[str, int] = {}
-        events_processed = 0
-        batches = 0
-        wall_started = _time.perf_counter()
+        if self._runs_started > 0 and not self._preserve_state_once:
+            self.reset_run_state()
+        self._preserve_state_once = False
+        self._runs_started += 1
 
-        for batch in stream.batches():
-            distributor.distribute(batch)
-            t = batch.timestamp
-            cost_before = self._total_cost_units()
-            wall_before = _time.perf_counter()
-            batch_outputs: list[Event] = []
-
-            def execute(transaction: StreamTransaction) -> None:
-                derived = self._execute_transaction(transaction)
-                batch_outputs.extend(derived)
-
-            scheduler.run_time(t, execute)
-            if self.seconds_per_cost_unit is not None:
-                service = (
-                    self._total_cost_units() - cost_before
-                ) * self.seconds_per_cost_unit
-            else:
-                service = _time.perf_counter() - wall_before
-            latency.record(float(t), service)
-            events_processed += len(batch)
-            batches += 1
-            for event in batch_outputs:
-                outputs_by_type[event.type_name] = (
-                    outputs_by_type.get(event.type_name, 0) + 1
+        state = RunState(self.partition_by)
+        backend = self.backend
+        local_state = backend.local_state
+        totals: RunTotals | None = None
+        backend.begin_run(self)
+        try:
+            for batch in stream.batches():
+                t = batch.timestamp
+                events = self._prepare_batch(list(batch), t)
+                if events:
+                    state.distributor.distribute(events)
+                cost_before = self._total_cost_units() if local_state else 0.0
+                wall_before = _time.perf_counter()
+                transactions = state.scheduler.collect(t)
+                results = backend.execute(t, transactions, self)
+                state.scheduler.commit(transactions)
+                batch_outputs = [
+                    event for outputs in results for event in outputs
+                ]
+                if self.seconds_per_cost_unit is not None:
+                    if local_state:
+                        cost_delta = self._total_cost_units() - cost_before
+                    else:
+                        cost_delta = backend.last_cost_delta
+                    service = cost_delta * self.seconds_per_cost_unit
+                else:
+                    service = _time.perf_counter() - wall_before
+                state.record_batch(
+                    t, len(batch), batch_outputs, service, track_outputs
                 )
-            if track_outputs:
-                outputs.extend(batch_outputs)
-            self._on_batch_end(t)
+                self._on_batch_end(t)
+            totals = backend.collect_totals(self)
+        finally:
+            backend.end_run(self)
 
-        wall_seconds = _time.perf_counter() - wall_started
+        if totals is None:
+            totals = self._local_totals()
         report = EngineReport(
-            outputs=outputs,
-            events_processed=events_processed,
-            batches=batches,
+            outputs=state.outputs,
+            events_processed=state.events_processed,
+            batches=state.batches,
+            cost_units=totals.cost_units,
+            wall_seconds=state.wall_seconds,
+            max_latency=state.latency.max_latency,
+            mean_latency=state.latency.mean_latency,
+            outputs_by_type=state.outputs_by_type,
+            windows_by_partition=totals.windows_by_partition,
+            suppressed_batches=totals.suppressed_batches,
+            routed_batches=totals.routed_batches,
+            interest_suppressed_batches=totals.interest_suppressed_batches,
+            gc_collected=totals.gc_collected,
+            history_discards=totals.history_discards,
+            cost_by_context=totals.cost_by_context,
+            backend=backend.name,
+        )
+        self._finalize_report(report)
+        return report
+
+    def reset_run_state(self) -> None:
+        """Discard all state accumulated by previous runs.
+
+        Partition runtimes — window stores, plan instances with their
+        partial matches, routers with their cost counters, garbage
+        collectors, context histories — are dropped and will be rebuilt
+        lazily from the immutable templates, exactly as on a fresh engine.
+        """
+        self._partitions = {}
+
+    def _prepare_batch(self, events: list[Event], t: TimePoint) -> list[Event]:
+        """Hook: filter/augment a raw batch before it is distributed.
+
+        The supervision layer overrides this to validate schemas and divert
+        violators to the dead-letter queue *before* distribution — which is
+        why a timestamp may legitimately reach the scheduler with no events
+        at all.  The base engine passes the batch through unchanged.
+        """
+        return events
+
+    def _local_totals(self) -> RunTotals:
+        """Run totals read from this process's partition runtimes."""
+        partitions = self._partitions
+        return RunTotals(
             cost_units=self._total_cost_units(),
-            wall_seconds=wall_seconds,
-            max_latency=latency.max_latency,
-            mean_latency=latency.mean_latency,
-            outputs_by_type=outputs_by_type,
             windows_by_partition={
                 key: runtime.store.all_windows()
-                for key, runtime in self._partitions.items()
+                for key, runtime in partitions.items()
             },
             suppressed_batches=sum(
                 p.deriving_router.batches_suppressed
                 + p.processing_router.batches_suppressed
-                for p in self._partitions.values()
+                for p in partitions.values()
             ),
             routed_batches=sum(
                 p.deriving_router.batches_routed
                 + p.processing_router.batches_routed
-                for p in self._partitions.values()
+                for p in partitions.values()
             ),
             interest_suppressed_batches=sum(
                 p.deriving_router.batches_uninterested
                 + p.processing_router.batches_uninterested
-                for p in self._partitions.values()
+                for p in partitions.values()
             ),
-            gc_collected=sum(p.gc.collected for p in self._partitions.values()),
+            gc_collected=sum(p.gc.collected for p in partitions.values()),
             history_discards=sum(
-                p.history.discards for p in self._partitions.values()
+                p.history.discards for p in partitions.values()
             ),
             cost_by_context=self._cost_by_context(),
         )
-        self._finalize_report(report)
-        return report
+
+    def _worker_state_baseline(self):
+        """Hook: snapshot taken by a forked shard worker at startup.
+
+        Paired with :meth:`_worker_state_summary`; the base engine has no
+        cross-partition mutable state to report back.
+        """
+        return None
+
+    def _worker_state_summary(self, baseline):
+        """Hook: picklable state a shard worker sends home at end of run."""
+        return None
+
+    def _absorb_worker_state(self, summary) -> None:
+        """Hook: merge a shard worker's end-of-run summary (parent side)."""
 
     def _finalize_report(self, report: EngineReport) -> None:
         """Hook to enrich a freshly built report (e.g. supervision counters).
@@ -341,11 +464,17 @@ class CaesarEngine:
         """
 
     def _cost_by_context(self) -> dict[str, float]:
+        # Per-partition subtotals first, then one addition into the global
+        # accumulator: the exact association the process backend's worker
+        # summaries use, so costs stay bit-identical across backends.
         totals: dict[str, float] = {}
         for runtime in self._partitions.values():
+            local: dict[str, float] = {}
             for router in (runtime.deriving_router, runtime.processing_router):
                 for name, cost in router.cost_by_context.items():
-                    totals[name] = totals.get(name, 0.0) + cost
+                    local[name] = local.get(name, 0.0) + cost
+            for name, cost in local.items():
+                totals[name] = totals.get(name, 0.0) + cost
         return totals
 
     def _execute_transaction(self, transaction: StreamTransaction) -> list[Event]:

@@ -29,12 +29,22 @@ class GarbageCollector:
         self._plans = list(plans)
         self.retention = retention
         self.interval = interval
-        self._last_run: TimePoint = 0
+        #: stream time of the last collection; ``None`` until the first
+        #: :meth:`maybe_collect` observation arms the interval clock
+        self._last_run: TimePoint | None = None
         self.collected = 0
         self.runs = 0
 
     def maybe_collect(self, now: TimePoint) -> int:
-        """Run a collection if ``interval`` has elapsed; returns items freed."""
+        """Run a collection if ``interval`` has elapsed; returns items freed.
+
+        The first observation only *arms* the clock: a stream that starts at
+        a large timestamp (e.g. a replayed suffix) must not trigger an
+        immediate collection just because ``now`` is far from zero.
+        """
+        if self._last_run is None:
+            self._last_run = now
+            return 0
         if now - self._last_run < self.interval:
             return 0
         return self.collect(now)

@@ -70,13 +70,21 @@ class ReorderBuffer:
         return len(self._heap)
 
     def push(self, event: Event) -> list[Event]:
-        """Insert one event; returns the events released by its arrival."""
-        if event.timestamp < self._last_released:
+        """Insert one event; returns the events released by its arrival.
+
+        Lateness is judged against the *watermark* — the bound the buffer
+        promises (``max_seen - max_delay``) — not against the last released
+        timestamp.  The two only differ after a :meth:`flush`, which
+        releases events ahead of the watermark: an event arriving after a
+        flush that still honours ``max_delay`` is accepted (and re-sorted
+        against the events still buffered), never falsely dead-lettered.
+        """
+        if event.timestamp < self.watermark:
             self.late_events += 1
             if self.on_late == "raise":
                 raise StreamOrderError(
                     f"event at t={event.timestamp} arrived after the reorder "
-                    f"bound (already released up to t={self._last_released})"
+                    f"bound (watermark at t={self.watermark})"
                 )
             if callable(self.on_late):
                 self.on_late(event)

@@ -23,6 +23,7 @@ def report_to_dict(report: EngineReport, *, include_outputs: bool = False) -> di
     potentially large; off by default.
     """
     result: dict[str, Any] = {
+        "backend": report.backend,
         "events_processed": report.events_processed,
         "batches": report.batches,
         "cost_units": report.cost_units,

@@ -8,9 +8,19 @@ execution.  Context derivation for ``t`` always runs before context
 processing at ``t`` — the executor callback receives the transaction and
 performs the two phases in order.
 
-The scheduler is serial (our substrate is single-process), but it still
-*verifies* the correctness condition — conflicting operations sorted by
-timestamps — through the :class:`~repro.runtime.transactions.TransactionLog`.
+Transaction formation (:meth:`TimeDrivenScheduler.collect`) and commit
+(:meth:`TimeDrivenScheduler.commit`) are split so an execution backend can
+fan the transactions of one timestamp out to shard workers and fan the
+results back in before anything is committed; :meth:`run_time` composes the
+two for the serial path.  Correctness — conflicting operations sorted by
+timestamps — is still *verified* through the
+:class:`~repro.runtime.transactions.TransactionLog` regardless of which
+backend executed the transactions.
+
+A timestamp for which the distributor holds no events at all is a no-op,
+not an error: supervised runs legitimately divert entire batches (e.g. all
+events schema-invalid) to the dead-letter queue before distribution, and
+time must still advance past them.
 """
 
 from __future__ import annotations
@@ -38,14 +48,31 @@ class TimeDrivenScheduler:
         self.log = log if log is not None else TransactionLog()
         self._last_scheduled: TimePoint = -1
         self.transactions_executed = 0
+        #: timestamps scheduled with no pending events anywhere (e.g. a
+        #: batch fully dead-lettered before distribution)
+        self.empty_timestamps = 0
 
-    def run_time(self, t: TimePoint, executor: Executor) -> list[StreamTransaction]:
-        """Extract, execute and commit all transactions for timestamp ``t``."""
+    def collect(self, t: TimePoint) -> list[StreamTransaction]:
+        """Extract the (uncommitted) transactions for timestamp ``t``.
+
+        One transaction per partition holding events, in the distributor's
+        partition order — the deterministic merge order the parallel
+        backends reproduce.  An empty timestamp (the distributor holds no
+        pending events at all) yields an empty list; a distributor whose
+        progress lags ``t`` *while still holding events* is a real
+        scheduling error and raises.
+        """
         if t <= self._last_scheduled:
             raise RuntimeEngineError(
                 f"scheduler asked to run t={t} after t={self._last_scheduled}"
             )
         if self._distributor.progress < t:
+            if self._distributor.total_pending() == 0:
+                # Nothing was distributed for t (nor remains from earlier
+                # timestamps): a legitimate empty timestamp, not a crash.
+                self._last_scheduled = t
+                self.empty_timestamps += 1
+                return []
             raise RuntimeEngineError(
                 f"event distributor progress {self._distributor.progress} has "
                 f"not reached t={t}; distribute the events first"
@@ -55,13 +82,23 @@ class TimeDrivenScheduler:
             events = self._distributor.take_until(key, t)
             if not events:
                 continue
-            transaction = StreamTransaction(
-                partition=key, timestamp=t, events=events
+            transactions.append(
+                StreamTransaction(partition=key, timestamp=t, events=events)
             )
-            executor(transaction)
+        self._last_scheduled = t
+        return transactions
+
+    def commit(self, transactions: list[StreamTransaction]) -> None:
+        """Commit executed transactions and register them with the log."""
+        for transaction in transactions:
             transaction.commit()
             self.log.register(transaction)
-            transactions.append(transaction)
             self.transactions_executed += 1
-        self._last_scheduled = t
+
+    def run_time(self, t: TimePoint, executor: Executor) -> list[StreamTransaction]:
+        """Extract, execute and commit all transactions for timestamp ``t``."""
+        transactions = self.collect(t)
+        for transaction in transactions:
+            executor(transaction)
+            self.commit([transaction])
         return transactions

@@ -75,8 +75,10 @@ class EngineSession:
 
     def _run_batch(self, batch: list[Event]) -> list[Event]:
         engine = self.engine
-        self._distributor.distribute(batch)
         t = batch[0].timestamp
+        prepared = engine._prepare_batch(list(batch), t)
+        if prepared:
+            self._distributor.distribute(prepared)
         cost_before = engine._total_cost_units()
         wall_before = _time.perf_counter()
         outputs: list[Event] = []

@@ -40,6 +40,7 @@ All supervision activity flows into the
 from __future__ import annotations
 
 import enum
+import threading
 
 from repro.core.model import CaesarModel
 from repro.errors import FatalEngineError, SchemaError
@@ -52,7 +53,6 @@ from repro.runtime.deadletter import (
     REASON_SCHEMA,
 )
 from repro.runtime.engine import CaesarEngine, EngineReport, _PartitionRuntime
-from repro.runtime.transactions import StreamTransaction
 
 
 class BreakerState(enum.Enum):
@@ -236,6 +236,26 @@ class SupervisedEngine(CaesarEngine):
         self.validate_schemas = validate_schemas
         self._breakers: dict[PlanKey, CircuitBreaker] = {}
         self.plan_failures = 0
+        #: guards ``plan_failures``: thread-backend shard workers report
+        #: failures concurrently (the DLQ carries its own lock)
+        self._failure_lock = threading.Lock()
+        #: supervision state absorbed from forked shard workers at end of
+        #: run (process backend) — merged into the report alongside the
+        #: parent's own breakers
+        self._absorbed_quarantined: set[PlanKey] = set()
+        self._absorbed_transitions: dict[str, int] = {}
+        self._capture_dead_letter_baseline()
+
+    def _capture_dead_letter_baseline(self) -> None:
+        """Reports count dead-letter activity relative to this snapshot.
+
+        The queue may be shared across engines (or survive a
+        :meth:`reset_run_state`), so the report counts only what *this*
+        engine diverted since construction/reset — which also keeps
+        back-to-back runs of the same stream byte-identical.
+        """
+        self._dlq_counts_baseline = dict(self.dead_letters.counts_by_reason)
+        self._dlq_dropped_baseline = self.dead_letters.dropped
 
     # ------------------------------------------------------------------
     # plan guarding
@@ -247,9 +267,27 @@ class SupervisedEngine(CaesarEngine):
 
     def quarantined_plans(self) -> tuple[PlanKey, ...]:
         """Keys of every plan whose breaker ever opened."""
-        return tuple(
+        local = tuple(
             key for key, breaker in self._breakers.items() if breaker.ever_opened
         )
+        absorbed = tuple(
+            key for key in self._absorbed_quarantined if key not in local
+        )
+        return local + absorbed
+
+    def reset_run_state(self) -> None:
+        """Reset supervision alongside the partition runtimes.
+
+        Breakers belong to per-partition plan instances, so they die with
+        them; failure counters and the dead-letter baseline restart so the
+        next run's report reflects only that run.
+        """
+        super().reset_run_state()
+        self._breakers = {}
+        self.plan_failures = 0
+        self._absorbed_quarantined = set()
+        self._absorbed_transitions = {}
+        self._capture_dead_letter_baseline()
 
     def _partition(self, key: object) -> _PartitionRuntime:
         created = key not in self._partitions
@@ -279,7 +317,8 @@ class SupervisedEngine(CaesarEngine):
         events: list[Event],
         now: TimePoint,
     ) -> None:
-        self.plan_failures += 1
+        with self._failure_lock:
+            self.plan_failures += 1
         breaker.record_failure(now)
         self._dead_letter_for_plan(
             events, None, REASON_PLAN_FAULT, now, error=error, key=key
@@ -308,25 +347,28 @@ class SupervisedEngine(CaesarEngine):
     # schema validation + recovery hooks
     # ------------------------------------------------------------------
 
-    def _execute_transaction(self, transaction: StreamTransaction) -> list[Event]:
-        if self.validate_schemas:
-            valid: list[Event] = []
-            for event in transaction.events:
-                try:
-                    event.event_type.schema.validate(
-                        event.payload, type_name=event.type_name
-                    )
-                except SchemaError as exc:
-                    self.dead_letters.put(
-                        event,
-                        reason=REASON_SCHEMA,
-                        error=exc,
-                        timestamp=transaction.timestamp,
-                    )
-                else:
-                    valid.append(event)
-            transaction.events = valid
-        return super()._execute_transaction(transaction)
+    def _prepare_batch(self, events: list[Event], t: TimePoint) -> list[Event]:
+        """Validate schemas *before* distribution.
+
+        Violators are dead-lettered up front so they never enter the
+        partition queues; a batch that is invalid in its entirety leaves
+        its timestamp empty, which the scheduler treats as a no-op.
+        """
+        if not self.validate_schemas:
+            return events
+        valid: list[Event] = []
+        for event in events:
+            try:
+                event.event_type.schema.validate(
+                    event.payload, type_name=event.type_name
+                )
+            except SchemaError as exc:
+                self.dead_letters.put(
+                    event, reason=REASON_SCHEMA, error=exc, timestamp=t
+                )
+            else:
+                valid.append(event)
+        return valid
 
     def _on_batch_end(self, t: TimePoint) -> None:
         if self.recovery is not None:
@@ -337,7 +379,7 @@ class SupervisedEngine(CaesarEngine):
     # ------------------------------------------------------------------
 
     def breaker_transition_counts(self) -> dict[str, int]:
-        counts: dict[str, int] = {}
+        counts: dict[str, int] = dict(self._absorbed_transitions)
         for breaker in self._breakers.values():
             for _, from_state, to_state in breaker.transitions:
                 key = f"{from_state.value}->{to_state.value}"
@@ -348,8 +390,69 @@ class SupervisedEngine(CaesarEngine):
         report.plan_failures = self.plan_failures
         report.plans_quarantined = len(self.quarantined_plans())
         report.breaker_transitions = self.breaker_transition_counts()
-        report.dead_lettered = dict(self.dead_letters.counts_by_reason)
-        report.dead_letter_dropped = self.dead_letters.dropped
+        report.dead_lettered = {
+            reason: count - self._dlq_counts_baseline.get(reason, 0)
+            for reason, count in self.dead_letters.counts_by_reason.items()
+            if count - self._dlq_counts_baseline.get(reason, 0) > 0
+        }
+        report.dead_letter_dropped = (
+            self.dead_letters.dropped - self._dlq_dropped_baseline
+        )
         if self.recovery is not None:
             report.checkpoints_taken = self.recovery.checkpoints_taken
             report.recovery_replays = self.recovery.recovery_replays
+
+    # ------------------------------------------------------------------
+    # process-backend worker state fan-in
+    # ------------------------------------------------------------------
+
+    def _worker_state_baseline(self):
+        """Snapshot taken inside a freshly forked shard worker.
+
+        The fork inherits the parent's supervision state (copy-on-write),
+        so the end-of-run summary must report *deltas* against this.
+        """
+        return {
+            "plan_failures": self.plan_failures,
+            "dlq_total": self.dead_letters.total,
+            "dlq_dropped": self.dead_letters.dropped,
+            "transitions": self.breaker_transition_counts(),
+            "quarantined": set(self.quarantined_plans()),
+        }
+
+    def _worker_state_summary(self, baseline):
+        """What a shard worker accumulated beyond its fork-time baseline."""
+        new_puts = self.dead_letters.total - baseline["dlq_total"]
+        retained = self.dead_letters.entries()
+        new_entries = retained[-new_puts:] if new_puts > 0 else []
+        transitions = self.breaker_transition_counts()
+        base_transitions = baseline["transitions"]
+        return {
+            "plan_failures": self.plan_failures - baseline["plan_failures"],
+            "dlq_entries": new_entries,
+            "dlq_dropped": self.dead_letters.dropped - baseline["dlq_dropped"],
+            "transitions": {
+                key: count - base_transitions.get(key, 0)
+                for key, count in transitions.items()
+                if count - base_transitions.get(key, 0) > 0
+            },
+            "quarantined": [
+                key
+                for key in self.quarantined_plans()
+                if key not in baseline["quarantined"]
+            ],
+        }
+
+    def _absorb_worker_state(self, summary) -> None:
+        if summary is None:
+            return
+        with self._failure_lock:
+            self.plan_failures += summary["plan_failures"]
+        self.dead_letters.absorb(
+            summary["dlq_entries"], dropped=summary["dlq_dropped"]
+        )
+        for key, count in summary["transitions"].items():
+            self._absorbed_transitions[key] = (
+                self._absorbed_transitions.get(key, 0) + count
+            )
+        self._absorbed_quarantined.update(summary["quarantined"])

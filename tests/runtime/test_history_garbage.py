@@ -116,3 +116,26 @@ class TestGarbageCollector:
         plan.execute([ev(A, 101)], ctx())
         gc.collect(now=200)
         assert gc.collected == 2
+
+
+class TestGarbageCollectorArming:
+    def test_first_observation_arms_instead_of_collecting(self):
+        """A stream starting at a large timestamp (e.g. a replayed suffix)
+        must not trigger an immediate collection on first sight."""
+        plan = seq_plan()
+        combined = CombinedQueryPlan([plan], name="c")
+        gc = GarbageCollector([combined], retention=10, interval=60)
+        plan.execute([ev(A, 99_000)], ctx())
+        assert gc.maybe_collect(now=100_000) == 0
+        assert gc.runs == 0
+        assert plan.state_size() == 1  # armed, nothing freed
+
+    def test_interval_counts_from_first_observation(self):
+        plan = seq_plan()
+        combined = CombinedQueryPlan([plan], name="c")
+        gc = GarbageCollector([combined], retention=10, interval=60)
+        gc.maybe_collect(now=100_000)  # arms
+        plan.execute([ev(A, 100_010)], ctx())
+        assert gc.maybe_collect(now=100_030) == 0  # < interval since arming
+        assert gc.maybe_collect(now=100_060) == 1  # interval elapsed, expired
+        assert gc.runs == 1

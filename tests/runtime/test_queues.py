@@ -54,3 +54,67 @@ class TestPartitioned:
         assert distributor.progress == -1
         distributor.distribute([tick(7, seg=1)])
         assert distributor.progress == 7
+
+
+class TestTakeExactly:
+    def test_takes_only_requested_timestamp(self):
+        distributor = EventDistributor()
+        distributor.distribute([tick(5), tick(5), tick(9)])
+        taken = distributor.take_exactly(None, 5)
+        assert [e.timestamp for e in taken] == [5, 5]
+        assert distributor.pending(None) == 1
+        assert distributor.stranded_taken == 0
+
+    def test_stranded_older_events_distinguished(self):
+        """Events older than t at the queue head are returned (never
+        silently stranded) but counted separately — they indicate a
+        scheduler bug, not normal same-timestamp work."""
+        distributor = EventDistributor()
+        distributor.distribute([tick(1), tick(2), tick(5)])
+        taken = distributor.take_exactly(None, 5)
+        assert [e.timestamp for e in taken] == [1, 2, 5]
+        assert distributor.stranded_taken == 2
+
+    def test_newer_events_stay_queued(self):
+        distributor = EventDistributor()
+        distributor.distribute([tick(5), tick(7)])
+        taken = distributor.take_exactly(None, 5)
+        assert [e.timestamp for e in taken] == [5]
+        assert distributor.pending(None) == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_distribute_and_take(self):
+        import threading
+
+        distributor = EventDistributor(lambda e: e["seg"])
+        errors = []
+
+        def producer(seg):
+            try:
+                for t in range(200):
+                    distributor.distribute([tick(t, seg=seg)])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def consumer(seg):
+            try:
+                for t in range(0, 200, 10):
+                    distributor.take_until(seg, t)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=producer, args=(seg,)) for seg in range(4)
+        ] + [
+            threading.Thread(target=consumer, args=(seg,)) for seg in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # every event is either still pending or was taken; nothing lost
+        remaining = distributor.total_pending()
+        assert distributor.distributed == 800
+        assert 0 <= remaining <= 800

@@ -164,3 +164,34 @@ class TestEngineIntegration:
             (e.type_name, e.timestamp) for e in r.outputs
         )
         assert key(report_reordered) == key(report_pristine)
+
+
+class TestFlushThenPush:
+    def test_post_flush_event_within_bound_not_false_late(self):
+        """Regression: lateness is judged against the *watermark*, not the
+        last released timestamp.  A flush releases events ahead of the
+        watermark; an event arriving afterwards that still honours
+        ``max_delay`` must be accepted, not dropped as late."""
+        buffer = ReorderBuffer(max_delay=10)
+        list(buffer.feed([tick(0), tick(20)]))
+        buffer.flush()  # releases t=20, far ahead of watermark 10
+        released = buffer.push(tick(12))  # lags max_seen by 8 <= max_delay
+        assert buffer.late_events == 0
+        # watermark is still 10, so the event is buffered, not yet released
+        assert released == []
+        assert buffer.pending == 1
+        released = buffer.push(tick(30))
+        assert [e.timestamp for e in released] == [12]
+
+    def test_post_flush_event_beyond_bound_still_late(self):
+        buffer = ReorderBuffer(max_delay=10)
+        list(buffer.feed([tick(0), tick(20)]))
+        buffer.flush()
+        assert buffer.push(tick(5)) == []  # lags by 15 > max_delay
+        assert buffer.late_events == 1
+
+    def test_late_error_names_watermark(self):
+        buffer = ReorderBuffer(max_delay=5, on_late="raise")
+        list(buffer.feed([tick(0), tick(100)]))
+        with pytest.raises(StreamOrderError, match="watermark at t=95"):
+            buffer.push(tick(3))

@@ -1,0 +1,122 @@
+"""Regression tests for engine re-entrancy (run-to-run state bleed).
+
+``CaesarEngine.run`` used to leave the previous run's partition runtimes —
+window stores, partial matches, router cost counters — in place, so a
+second ``run()`` on the same engine started from polluted state and
+reported inflated costs and wrong windows.  Now every run (except the one
+immediately after a checkpoint restore) starts from a clean slate.
+"""
+
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime import (
+    CaesarEngine,
+    SupervisedEngine,
+    capture_checkpoint,
+    outputs_to_rows,
+    report_to_dict,
+    restore_checkpoint,
+)
+from repro.testing import inject_plan_fault
+
+READING = EventType.define("RrReading", value="int", sec="int")
+
+
+def build_model():
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN RrReading r WHERE r.value > 100 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN RrReading r WHERE r.value <= 100 "
+        "CONTEXT alert", name="down"))
+    model.add_query(parse_query(
+        "DERIVE Alarm(r.value) PATTERN RrReading r CONTEXT alert",
+        name="alarm"))
+    return model
+
+
+def reading(t, value):
+    return Event(READING, t, {"value": value, "sec": t})
+
+
+VALUES = [50, 150, 170, 90, 120, 30, 140, 20]
+
+
+def stream():
+    return EventStream([reading(t * 10, v) for t, v in enumerate(VALUES)])
+
+
+def comparable(report):
+    d = report_to_dict(report)
+    d.pop("wall_seconds")
+    d.pop("throughput")
+    return d
+
+
+class TestRunReentrancy:
+    def test_two_runs_of_same_stream_are_identical(self):
+        engine = CaesarEngine(build_model(), seconds_per_cost_unit=1e-6)
+        first = engine.run(stream())
+        second = engine.run(stream())
+        assert outputs_to_rows(second) == outputs_to_rows(first)
+        assert comparable(second) == comparable(first)
+
+    def test_second_run_does_not_accumulate_cost_or_windows(self):
+        engine = CaesarEngine(build_model(), seconds_per_cost_unit=1e-6)
+        first = engine.run(stream())
+        second = engine.run(stream())
+        assert second.cost_units == first.cost_units
+        assert {
+            key: len(windows)
+            for key, windows in second.windows_by_partition.items()
+        } == {
+            key: len(windows)
+            for key, windows in first.windows_by_partition.items()
+        }
+
+    def test_supervised_rerun_reports_identically(self):
+        def run_twice():
+            engine = SupervisedEngine(
+                build_model(),
+                seconds_per_cost_unit=1e-6,
+                failure_threshold=1,
+                cooldown=40,
+            )
+            inject_plan_fault(engine, "alert", at_times={20})
+            return engine.run(stream()), engine.run(stream())
+
+        first, second = run_twice()
+        assert first.plan_failures > 0
+        assert comparable(second) == comparable(first)
+        # dead-letter counts are per-run deltas, not lifetime totals
+        assert second.dead_lettered == first.dead_lettered
+
+    def test_restore_checkpoint_preserves_state_for_next_run_only(self):
+        engine = CaesarEngine(build_model(), seconds_per_cost_unit=1e-6)
+        prefix = EventStream([reading(t * 10, v) for t, v in enumerate(VALUES[:4])])
+        suffix_events = [
+            reading((t + 4) * 10, v) for t, v in enumerate(VALUES[4:])
+        ]
+        full = engine.run(stream())
+
+        engine2 = CaesarEngine(build_model(), seconds_per_cost_unit=1e-6)
+        engine2.run(prefix)
+        checkpoint = capture_checkpoint(engine2)
+
+        engine3 = CaesarEngine(build_model(), seconds_per_cost_unit=1e-6)
+        restore_checkpoint(engine3, checkpoint)
+        resumed = engine3.run(EventStream(suffix_events))
+        # the restored state survived exactly one run() call ...
+        assert outputs_to_rows(resumed.outputs) == outputs_to_rows(
+            full.outputs[
+                len(CaesarEngine(build_model()).run(prefix).outputs):
+            ]
+        )
+        # ... and the next run starts clean again
+        fresh = engine3.run(stream())
+        assert comparable(fresh) == comparable(full)

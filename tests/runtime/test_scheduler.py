@@ -70,3 +70,45 @@ class TestScheduling:
         scheduler = TimeDrivenScheduler(distributor)
         scheduler.run_time(1, lambda t: None)
         assert scheduler.transactions_executed == 1
+
+
+class TestEmptyTimestamps:
+    def test_empty_timestamp_is_noop_not_crash(self):
+        """A timestamp with no distributed events anywhere is legitimate:
+        supervised runs dead-letter whole batches before distribution."""
+        distributor = EventDistributor()
+        scheduler = TimeDrivenScheduler(distributor)
+        assert scheduler.run_time(5, lambda t: None) == []
+        assert scheduler.empty_timestamps == 1
+        assert scheduler.transactions_executed == 0
+
+    def test_time_still_advances_past_empty_timestamps(self):
+        distributor = EventDistributor()
+        scheduler = TimeDrivenScheduler(distributor)
+        scheduler.run_time(5, lambda t: None)
+        # revisiting the skipped time is still an ordering error
+        with pytest.raises(RuntimeEngineError, match="after"):
+            scheduler.run_time(5, lambda t: None)
+        distributor.distribute([tick(10)])
+        [transaction] = scheduler.run_time(10, lambda t: None)
+        assert transaction.timestamp == 10
+
+    def test_pending_events_still_require_progress(self):
+        """Only a *completely drained* distributor makes a lagging
+        timestamp a no-op; pending events mean a real scheduling error."""
+        distributor = EventDistributor()
+        distributor.distribute([tick(1)])
+        scheduler = TimeDrivenScheduler(distributor)
+        with pytest.raises(RuntimeEngineError, match="progress"):
+            scheduler.run_time(5, lambda t: None)
+
+    def test_collect_commit_split_matches_run_time(self):
+        distributor = EventDistributor(lambda e: e["seg"])
+        distributor.distribute([tick(1, seg=0), tick(1, seg=1)])
+        scheduler = TimeDrivenScheduler(distributor)
+        transactions = scheduler.collect(1)
+        assert [t.partition for t in transactions] == [0, 1]
+        assert not any(t.committed for t in transactions)
+        scheduler.commit(transactions)
+        assert all(t.committed for t in transactions)
+        assert scheduler.transactions_executed == 2

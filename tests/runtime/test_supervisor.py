@@ -334,3 +334,43 @@ class TestDeadLetterSharing:
         engine.run(stream())
         assert queue.total > 0
         assert engine.dead_letters is queue
+
+
+class TestFullyInvalidBatch:
+    def test_entirely_invalid_batch_is_skipped_not_fatal(self):
+        """Chaos test: a batch whose every event violates its schema is
+        dead-lettered *before* distribution, leaving its timestamp empty —
+        which the scheduler treats as a no-op, not a crash."""
+        engine = SupervisedEngine(build_model())
+        feed = events()
+        poison = [
+            Event(READING, 45, {"value": "bad", "sec": 45}),
+            Event(READING, 45, {"value": None, "sec": 45}),
+            Event(READING, 45, {"value": "worse", "sec": 45}),
+        ]
+        feed[5:5] = poison  # one whole batch at t=45, all invalid
+        report = engine.run(EventStream(feed))
+
+        assert len(engine.dead_letters.entries(reason=REASON_SCHEMA)) == 3
+        # the empty timestamp still advanced time and counted as a batch
+        assert report.batches == len(VALUES) + 1
+        assert report.events_processed == len(VALUES) + 3
+        # the surviving stream processed exactly as without the poison
+        baseline = CaesarEngine(build_model()).run(stream())
+        assert outputs_to_rows(report.outputs) == outputs_to_rows(
+            baseline.outputs
+        )
+
+    def test_entirely_invalid_batch_in_session(self):
+        engine = SupervisedEngine(build_model())
+        session = EngineSession(engine)
+        session.feed(events()[:5])
+        outputs = session.feed(
+            [Event(READING, 45, {"value": "bad", "sec": 45})]
+        )
+        assert outputs == []
+        assert len(engine.dead_letters.entries(reason=REASON_SCHEMA)) == 1
+        # the session keeps accepting later events
+        session.feed(events()[5:])
+        report = session.close()
+        assert report.dead_lettered == {REASON_SCHEMA: 1}
