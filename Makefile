@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos bench bench-hotpath bench-parallel bench-tables examples validate lint-smoke all
+.PHONY: install test test-chaos bench bench-hotpath bench-parallel bench-observability bench-tables examples validate lint-smoke all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -30,6 +30,11 @@ bench-hotpath:
 # backends produce identical outputs before printing any number)
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel.py
+
+# observability overhead: metrics off vs on vs detailed vs tracing
+# (asserts all modes produce the same report, prints overhead %)
+bench-observability:
+	$(PYTHON) benchmarks/bench_observability.py
 
 # benchmarks with the per-figure tables printed inline
 bench-tables:

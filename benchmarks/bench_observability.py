@@ -1,0 +1,141 @@
+"""Observability overhead: metrics off vs. on vs. detailed vs. tracing.
+
+The subsystem's budget is "cheap enough to stay on by default": the default
+metrics level only touches preregistered counters at *batch* granularity,
+so its overhead over a fully disabled registry must stay within a few
+percent.  The detailed level (per-plan wall-time histograms) and tracing
+(ring-buffer spans per batch/transaction/plan) are opt-in and allowed to
+cost more.
+
+Every mode runs the same multi-partition workload and must produce the
+same report — asserted before any number is printed, mirroring
+``bench_parallel``.  ``make bench-observability`` runs :func:`main`, whose
+overhead percentages are the ones recorded in ``docs/benchmarks.md``.
+"""
+
+from benchmarks.common import FigureTable
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime import CaesarEngine
+
+READING = EventType.define("ObsBench", value="int", sec="int", zone="int")
+
+MODES = ("off", "on", "detailed", "trace")
+
+
+def build_model(queries=4):
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN ObsBench r WHERE r.value > 800 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN ObsBench r WHERE r.value < 100 "
+        "CONTEXT alert", name="down"))
+    for index in range(queries):
+        model.add_query(parse_query(
+            f"DERIVE Out{index}(r.value) PATTERN ObsBench r "
+            f"WHERE r.value > {index * 100} CONTEXT alert",
+            name=f"q{index}"))
+    return model
+
+
+def build_stream(events=4000, partitions=8):
+    return EventStream(
+        Event(
+            READING,
+            index // partitions,
+            {
+                "value": (index * 37) % 1000,
+                "sec": index // partitions,
+                "zone": index % partitions,
+            },
+        )
+        for index in range(events)
+    )
+
+
+def run_mode(mode, stream):
+    engine = CaesarEngine(
+        build_model(),
+        partition_by=lambda e: e["zone"],
+        observability=mode,
+    )
+    return engine.run(stream, track_outputs=False)
+
+
+class TestObservabilityOverhead:
+    def test_metrics_off(self, benchmark):
+        stream = build_stream()
+        report = benchmark(lambda: run_mode("off", stream))
+        assert report.events_processed == 4000
+
+    def test_metrics_on(self, benchmark):
+        stream = build_stream()
+        report = benchmark(lambda: run_mode("on", stream))
+        assert report.events_processed == 4000
+
+    def test_detailed(self, benchmark):
+        stream = build_stream()
+        report = benchmark(lambda: run_mode("detailed", stream))
+        assert report.events_processed == 4000
+
+    def test_tracing(self, benchmark):
+        stream = build_stream()
+        report = benchmark(lambda: run_mode("trace", stream))
+        assert report.events_processed == 4000
+
+    def test_modes_agree_on_reports(self, benchmark):
+        """Observability must never change what the engine computes."""
+        stream = build_stream(events=1000)
+        baseline = run_mode("off", stream)
+
+        def check():
+            observed = run_mode("trace", stream)
+            assert observed.cost_units == baseline.cost_units
+            return observed
+
+        observed = benchmark(check)
+        assert observed.outputs_by_type == baseline.outputs_by_type
+
+
+def main():
+    """Standalone entry point: ``make bench-observability``."""
+    import time
+
+    stream = build_stream(events=8000, partitions=8)
+    table = FigureTable(
+        "Observability",
+        "engine throughput by observability mode (8 partitions)",
+        "mode",
+    )
+    baseline_report = None
+    baseline_elapsed = None
+    for mode in MODES:
+        run_mode(mode, stream)  # warm-up: plan compilation, allocator
+        started = time.perf_counter()
+        report = run_mode(mode, stream)
+        elapsed = time.perf_counter() - started
+        if baseline_report is None:
+            baseline_report = report
+            baseline_elapsed = elapsed
+            overhead = 0.0
+        else:
+            assert report.cost_units == baseline_report.cost_units
+            assert (
+                report.outputs_by_type == baseline_report.outputs_by_type
+            ), f"mode {mode!r} changed the outputs"
+            overhead = (elapsed / baseline_elapsed - 1.0) * 100.0
+        table.add(
+            mode,
+            events_per_sec=report.events_processed / elapsed,
+            overhead_pct=overhead,
+        )
+    table.show()
+
+
+if __name__ == "__main__":
+    main()

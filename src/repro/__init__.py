@@ -9,7 +9,7 @@ context-aware stream router, time-driven transaction scheduler).
 
 Quickstart::
 
-    from repro import CaesarModel, CaesarEngine, parse_query
+    from repro import CaesarModel, EngineConfig, create_engine, parse_query
     from repro.events import Event, EventStream, EventType
 
     report_type = EventType.define("Report", value="int", sec="int")
@@ -25,7 +25,7 @@ Quickstart::
         "DERIVE Alarm(r.value, r.sec) PATTERN Report r CONTEXT alert",
         name="alarm"))
 
-    engine = CaesarEngine(model)
+    engine = create_engine(model)            # or EngineConfig(backend=...)
     result = engine.run(stream)
 
 See ``examples/`` for complete programs and ``DESIGN.md`` for the paper-to-
@@ -44,8 +44,17 @@ from repro.core import (
     WindowSpec,
     group_context_windows,
 )
+from repro.api import EngineConfig, SupervisionConfig, create_engine
 from repro.events import Event, EventStream, EventType, TimeInterval
 from repro.language import parse_query
+from repro.observability import (
+    MetricsRegistry,
+    Observability,
+    TraceRecorder,
+    chrome_trace,
+    to_json_snapshot,
+    to_prometheus,
+)
 from repro.optimizer.planner import build_query_plan
 from repro.optimizer.pushdown import push_context_windows_down
 from repro.optimizer.sharing import build_nonshared_workload, build_shared_workload
@@ -71,9 +80,14 @@ __all__ = [
     "ContextWindow",
     "ContextWindowStore",
     "DeadLetterQueue",
+    "EngineConfig",
     "EngineReport",
+    "MetricsRegistry",
+    "Observability",
     "RecoveryManager",
     "SupervisedEngine",
+    "SupervisionConfig",
+    "TraceRecorder",
     "Event",
     "EventQuery",
     "EventStream",
@@ -86,8 +100,12 @@ __all__ = [
     "build_nonshared_workload",
     "build_query_plan",
     "build_shared_workload",
+    "chrome_trace",
+    "create_engine",
     "group_context_windows",
     "parse_query",
     "push_context_windows_down",
+    "to_json_snapshot",
+    "to_prometheus",
     "win_ratio",
 ]

@@ -1,0 +1,171 @@
+"""The unified construction API: ``create_engine`` + ``EngineConfig``.
+
+Four engine classes grew over the project's life — :class:`CaesarEngine`,
+:class:`SupervisedEngine`, :class:`ScheduledWorkloadEngine` and
+:class:`ContextIndependentEngine` — each with its own constructor surface,
+plus two environment variables (``CAESAR_BACKEND``,
+``CAESAR_OBSERVABILITY``).  This module puts one documented path in front
+of them::
+
+    from repro import create_engine, EngineConfig, SupervisionConfig
+
+    engine = create_engine(model)                       # all defaults
+    engine = create_engine(model, EngineConfig(
+        backend="process",
+        supervision=SupervisionConfig(failure_threshold=5),
+        observability="trace",
+        partition_by=lambda e: e.payload["segment"],
+    ))
+    engine = create_engine(model, config, backend="thread")  # override
+
+The config objects are *frozen* dataclasses: they can be shared, compared,
+put in test fixtures and partially overridden with keyword arguments to
+:func:`create_engine` (applied via :func:`dataclasses.replace`) without
+aliasing surprises.  The engine classes remain public and keep working —
+``create_engine`` only composes them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.model import CaesarModel
+from repro.events.timebase import TimePoint
+from repro.observability import Observability
+from repro.optimizer.sharing import SharedWorkload
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.deadletter import DeadLetterQueue
+from repro.runtime.engine import CaesarEngine, ScheduledWorkloadEngine
+from repro.runtime.queues import Partitioner, single_partition
+from repro.runtime.supervisor import SupervisedEngine
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Fault-isolation settings for a supervised engine.
+
+    Mirrors :class:`~repro.runtime.supervisor.SupervisedEngine`'s
+    supervision keywords; attaching one (or ``supervision=True``) to an
+    :class:`EngineConfig` makes :func:`create_engine` build a
+    :class:`SupervisedEngine`.
+    """
+
+    failure_threshold: int = 3
+    cooldown: TimePoint = 60
+    dead_letters: DeadLetterQueue | None = None
+    validate_schemas: bool = True
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything that shapes an engine, in one frozen value object.
+
+    ``context_aware=False`` with ``optimize=False`` yields the paper's
+    context-independent baseline; ``supervision`` and/or ``recovery``
+    select the supervised engine; the rest passes through to the chosen
+    engine's constructor.  ``backend`` and ``observability`` accept the
+    same specs as the engine constructors (instances, names, or ``None``
+    to consult ``CAESAR_BACKEND`` / ``CAESAR_OBSERVABILITY``).
+    """
+
+    context_aware: bool = True
+    optimize: bool = True
+    backend: ExecutionBackend | str | None = None
+    supervision: SupervisionConfig | bool | None = None
+    recovery: object | None = None
+    observability: Observability | str | bool | None = None
+    partition_by: Partitioner = single_partition
+    retention: TimePoint = 300
+    gc_interval: TimePoint = 60
+    seconds_per_cost_unit: float | None = None
+    preprocessors: tuple = ()
+    on_context_transition: Callable | None = None
+
+    def supervision_config(self) -> SupervisionConfig | None:
+        """The effective supervision settings, normalising ``True``/``None``.
+
+        A recovery manager implies supervision (checkpoint autosave is a
+        supervisor concern), so ``recovery`` alone also yields defaults.
+        """
+        if isinstance(self.supervision, SupervisionConfig):
+            return self.supervision
+        if self.supervision is True or (
+            self.supervision is None and self.recovery is not None
+        ):
+            return SupervisionConfig()
+        if self.supervision in (None, False):
+            return None
+        raise TypeError(
+            f"supervision must be a SupervisionConfig, True, False or None, "
+            f"got {self.supervision!r}"
+        )
+
+
+def create_engine(
+    model: CaesarModel | SharedWorkload,
+    config: EngineConfig | None = None,
+    **overrides,
+) -> CaesarEngine | ScheduledWorkloadEngine:
+    """Build the right engine stack for ``model`` under ``config``.
+
+    ``model`` may be a :class:`~repro.core.model.CaesarModel` (the normal
+    case) or a :class:`~repro.optimizer.sharing.SharedWorkload` (the
+    workload-sharing experiments), which yields a
+    :class:`ScheduledWorkloadEngine`.  Keyword ``overrides`` replace
+    individual fields of ``config`` (:func:`dataclasses.replace`), so call
+    sites can share a base config and vary one knob.
+    """
+    if config is None:
+        config = EngineConfig()
+    elif not isinstance(config, EngineConfig):
+        raise TypeError(
+            f"config must be an EngineConfig or None, got {config!r}"
+        )
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    if isinstance(model, SharedWorkload):
+        for name in (
+            "supervision",
+            "recovery",
+            "preprocessors",
+            "on_context_transition",
+        ):
+            value = getattr(config, name)
+            if value not in (None, (), False):
+                raise TypeError(
+                    f"EngineConfig.{name} does not apply to a SharedWorkload"
+                )
+        return ScheduledWorkloadEngine(
+            model,
+            context_aware=config.context_aware,
+            seconds_per_cost_unit=config.seconds_per_cost_unit,
+            observability=config.observability,
+        )
+
+    engine_kwargs = dict(
+        optimize=config.optimize,
+        context_aware=config.context_aware,
+        retention=config.retention,
+        partition_by=config.partition_by,
+        seconds_per_cost_unit=config.seconds_per_cost_unit,
+        gc_interval=config.gc_interval,
+        preprocessors=tuple(config.preprocessors),
+        on_context_transition=config.on_context_transition,
+        backend=config.backend,
+        observability=config.observability,
+    )
+    supervision = config.supervision_config()
+    if supervision is None:
+        return CaesarEngine(model, **engine_kwargs)
+    return SupervisedEngine(
+        model,
+        failure_threshold=supervision.failure_threshold,
+        cooldown=supervision.cooldown,
+        dead_letters=supervision.dead_letters,
+        recovery=config.recovery,
+        validate_schemas=supervision.validate_schemas,
+        **engine_kwargs,
+    )

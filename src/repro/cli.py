@@ -10,6 +10,7 @@ Commands
 ``run-pam``            run the health-monitoring scenario and print the report
 ``validate-traffic``   run the traffic scenario and validate its outputs
 ``parse``              parse a CAESAR query from the argument and dump it
+``stats``              run a scenario with observability on and dump metrics
 """
 
 from __future__ import annotations
@@ -61,6 +62,34 @@ def _build_parser() -> argparse.ArgumentParser:
 
     parse_cmd = sub.add_parser("parse", help="parse one CAESAR query")
     parse_cmd.add_argument("query", help="the query text")
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a scenario with observability enabled and print metrics",
+    )
+    stats.add_argument(
+        "--scenario", choices=("traffic", "pam"), default="traffic"
+    )
+    stats.add_argument("--roads", type=int, default=1)
+    stats.add_argument("--segments", type=int, default=3)
+    stats.add_argument("--subjects", type=int, default=4)
+    stats.add_argument("--minutes", type=int, default=12)
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument(
+        "--backend", default=None,
+        help="execution backend (serial | thread | process)",
+    )
+    stats.add_argument(
+        "--format", choices=("human", "prometheus", "json"), default="human"
+    )
+    stats.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="also record trace spans and write Chrome trace JSON to FILE",
+    )
+    stats.add_argument(
+        "--timeline", action="store_true",
+        help="append the ASCII context timeline after the metrics",
+    )
     return parser
 
 
@@ -196,6 +225,86 @@ def _cmd_parse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import EngineConfig, create_engine
+    from repro.observability import (
+        Observability,
+        chrome_trace,
+        render_stats,
+        to_json_snapshot,
+        to_prometheus,
+    )
+    from repro.runtime.reporting import render_timeline
+
+    if args.scenario == "traffic":
+        from repro.linearroad.generator import (
+            LinearRoadConfig,
+            generate_stream,
+            paper_timeline_schedules,
+        )
+        from repro.linearroad.queries import (
+            build_traffic_model,
+            segment_partitioner,
+        )
+
+        scenario_config = paper_timeline_schedules(
+            LinearRoadConfig(
+                num_roads=args.roads,
+                segments_per_road=args.segments,
+                duration_minutes=args.minutes,
+                seed=args.seed,
+            )
+        )
+        model = build_traffic_model()
+        partitioner = segment_partitioner
+        stream = generate_stream(scenario_config)
+        retention = 120
+    else:
+        from repro.pam.generator import PamConfig, generate_pam_stream
+        from repro.pam.queries import build_pam_model, subject_partitioner
+
+        scenario_config = PamConfig(
+            num_subjects=args.subjects,
+            duration_minutes=args.minutes,
+            seed=args.seed,
+        )
+        model = build_pam_model()
+        partitioner = subject_partitioner
+        stream = generate_pam_stream(scenario_config)
+        retention = 60
+
+    observability = Observability(detailed=True, tracing=args.trace is not None)
+    engine = create_engine(
+        model,
+        EngineConfig(
+            backend=args.backend,
+            observability=observability,
+            partition_by=partitioner,
+            retention=retention,
+        ),
+    )
+    report = engine.run(stream)
+
+    if args.format == "prometheus":
+        print(to_prometheus(observability.registry), end="")
+    elif args.format == "json":
+        print(json.dumps(to_json_snapshot(observability), indent=2))
+    else:
+        print(report.summary())
+        print()
+        print(render_stats(observability.registry, title=args.scenario))
+    if args.timeline:
+        print()
+        print(render_timeline(report))
+    if args.trace is not None:
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            handle.write(chrome_trace(observability.recorder))
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -215,6 +324,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_validate_traffic(args)
         if args.command == "parse":
             return _cmd_parse(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
     except CaesarError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

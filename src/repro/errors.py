@@ -98,6 +98,16 @@ class TransactionOrderError(RuntimeEngineError):
     """Conflicting operations were scheduled out of timestamp order."""
 
 
+class UnknownBackendError(RuntimeEngineError, ValueError):
+    """An execution backend name not present in the backend registry.
+
+    Also a :class:`ValueError`: the bad name typically arrives from user
+    configuration (the ``backend=`` argument or the ``CAESAR_BACKEND``
+    environment variable), and callers validating configuration catch
+    ``ValueError``.  The message lists the valid names.
+    """
+
+
 class FatalEngineError(RuntimeEngineError):
     """An unrecoverable failure that must escape fault isolation.
 

@@ -1,0 +1,52 @@
+"""Runtime-wide observability: metrics registry, trace spans, exporters.
+
+See :mod:`repro.observability.hub` for the engine-facing facade and
+``docs/observability.md`` for the instrument catalog.
+"""
+
+from repro.observability.exporters import (
+    render_stats,
+    to_json_snapshot,
+    to_prometheus,
+)
+from repro.observability.hub import (
+    EngineInstruments,
+    NULL_OBSERVABILITY,
+    NullObservability,
+    Observability,
+    OBSERVABILITY_ENV_VAR,
+    resolve_observability,
+)
+from repro.observability.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    SIZE_BUCKETS,
+    TIME_BUCKETS,
+)
+from repro.observability.tracing import TraceRecorder, chrome_trace
+
+__all__ = [
+    "Counter",
+    "EngineInstruments",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVABILITY",
+    "NULL_REGISTRY",
+    "NullObservability",
+    "NullRegistry",
+    "Observability",
+    "OBSERVABILITY_ENV_VAR",
+    "SIZE_BUCKETS",
+    "TIME_BUCKETS",
+    "TraceRecorder",
+    "chrome_trace",
+    "render_stats",
+    "resolve_observability",
+    "to_json_snapshot",
+    "to_prometheus",
+]

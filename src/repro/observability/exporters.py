@@ -1,0 +1,108 @@
+"""Metric exporters: Prometheus text format, JSON snapshots, human stats.
+
+Three consumers, three formats:
+
+* :func:`to_prometheus` — the Prometheus text exposition format (v0.0.4),
+  suitable for a scrape endpoint or a textfile-collector drop;
+* :func:`to_json_snapshot` — a JSON-serializable snapshot (metrics plus
+  trace accounting), the payload handed to periodic snapshot hooks;
+* :func:`render_stats` — the aligned human table behind ``repro stats``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.observability.registry import (
+    Histogram,
+    Instrument,
+    MetricsRegistry,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.hub import Observability
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format.
+
+    Instruments sharing a name (label variants) are grouped under one
+    ``# HELP`` / ``# TYPE`` header; histograms expand to cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    """
+    by_name: dict[str, list[Instrument]] = {}
+    for instrument in registry.instruments():
+        by_name.setdefault(instrument.name, []).append(instrument)
+
+    lines: list[str] = []
+    for name in sorted(by_name):
+        group = sorted(by_name[name], key=lambda i: i.labels)
+        first = group[0]
+        if first.help:
+            lines.append(f"# HELP {name} {first.help}")
+        lines.append(f"# TYPE {name} {first.kind}")
+        for instrument in group:
+            if isinstance(instrument, Histogram):
+                base_labels = list(instrument.labels)
+                for le, cumulative in instrument.cumulative_buckets():
+                    pairs = base_labels + [("le", le)]
+                    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+                    lines.append(f"{name}_bucket{{{inner}}} {cumulative}")
+                suffix = instrument.label_suffix()
+                lines.append(
+                    f"{name}_sum{suffix} {_format_value(instrument.sum)}"
+                )
+                lines.append(f"{name}_count{suffix} {instrument.count}")
+            else:
+                lines.append(
+                    f"{name}{instrument.label_suffix()} "
+                    f"{_format_value(instrument.snapshot_value())}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json_snapshot(
+    source: "MetricsRegistry | Observability",
+    *,
+    deterministic_only: bool = False,
+) -> dict:
+    """A JSON-serializable snapshot of a registry or a whole facade."""
+    from repro.observability.hub import Observability
+
+    if isinstance(source, Observability):
+        return source.snapshot(deterministic_only=deterministic_only)
+    return {
+        "metrics": source.snapshot(deterministic_only=deterministic_only)
+    }
+
+
+def render_stats(registry: MetricsRegistry, *, title: str = "instruments") -> str:
+    """An aligned human-readable instrument table (``repro stats``)."""
+    instruments = sorted(
+        registry.instruments(), key=lambda i: (i.name, i.labels)
+    )
+    if not instruments:
+        return f"{title}: (observability disabled — no instruments)"
+    rows: list[tuple[str, str, str]] = []
+    for instrument in instruments:
+        label = instrument.name + instrument.label_suffix()
+        if isinstance(instrument, Histogram):
+            value = (
+                f"count={instrument.count} sum={instrument.sum:.6g} "
+                f"mean={instrument.mean:.6g}"
+            )
+        else:
+            value = _format_value(instrument.snapshot_value())
+        rows.append((label, instrument.kind, value))
+    name_width = max(len(r[0]) for r in rows)
+    kind_width = max(len(r[1]) for r in rows)
+    lines = [f"== {title} =="]
+    for label, kind, value in rows:
+        lines.append(f"{label:<{name_width}}  {kind:<{kind_width}}  {value}")
+    return "\n".join(lines)

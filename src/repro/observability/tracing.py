@@ -1,0 +1,155 @@
+"""Structured trace spans with a ring-buffer recorder.
+
+A *span* is one timed unit of engine work — a stream batch, a transaction,
+one plan evaluation — recorded with its wall duration, category and
+structured arguments (stream time, partition, context).  Spans live in a
+bounded ring buffer (:class:`TraceRecorder`), so tracing a long run costs
+constant memory: the newest ``capacity`` spans are retained and the
+monotonic :attr:`TraceRecorder.recorded_total` keeps the loss honest.
+
+The export target is the Chrome trace-event format (`chrome://tracing`,
+Perfetto, speedscope): :func:`chrome_trace` renders the retained spans as
+complete events (``"ph": "X"``) with microsecond timestamps relative to
+the recorder's origin.  Spans recorded inside forked shard workers carry
+the worker's pid/tid, so an 8-partition run fans out visually into its
+worker lanes.
+
+Like the metrics registry, the recorder supports the snapshot-delta-absorb
+protocol (:meth:`baseline` / :meth:`since` / :meth:`absorb`) used to merge
+worker-local spans into the parent recorder at end of run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time as _time
+from collections import deque
+from contextlib import contextmanager
+
+
+class TraceRecorder:
+    """Bounded recorder of trace spans (newest ``capacity`` retained)."""
+
+    def __init__(self, capacity: int = 8192):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._spans: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: wall-clock time at recorder creation (trace epoch, seconds)
+        self.wall_origin = _time.time()
+        self._perf_origin = _time.perf_counter()
+        #: total spans ever recorded (monotonic; eviction does not subtract)
+        self.recorded_total = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def now_us(self) -> float:
+        """Microseconds since the recorder's origin."""
+        return (_time.perf_counter() - self._perf_origin) * 1e6
+
+    def record(
+        self,
+        name: str,
+        *,
+        cat: str = "engine",
+        ts: float,
+        dur: float,
+        args: dict | None = None,
+    ) -> dict:
+        """Record one complete span (timestamps in µs since origin)."""
+        span = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": ts,
+            "dur": dur,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": args or {},
+        }
+        with self._lock:
+            self._spans.append(span)
+            self.recorded_total += 1
+        return span
+
+    @contextmanager
+    def span(self, name: str, cat: str = "engine", **args):
+        """Context manager timing one unit of work::
+
+            with recorder.span("transaction", t=42, partition="seg-3"):
+                ...
+        """
+        started = self.now_us()
+        try:
+            yield
+        finally:
+            self.record(
+                name, cat=cat, ts=started, dur=self.now_us() - started,
+                args=args,
+            )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def spans(self) -> list[dict]:
+        """The retained spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the ring bound."""
+        return self.recorded_total - len(self._spans)
+
+    # ------------------------------------------------------------------
+    # worker fan-in
+    # ------------------------------------------------------------------
+
+    def baseline(self) -> int:
+        """Fork-time marker; pair with :meth:`since`."""
+        return self.recorded_total
+
+    def since(self, baseline: int) -> list[dict]:
+        """Spans recorded after ``baseline`` that are still retained."""
+        with self._lock:
+            new = self.recorded_total - baseline
+            if new <= 0:
+                return []
+            retained = list(self._spans)
+        return retained[-new:] if new < len(retained) else retained
+
+    def absorb(self, spans: list[dict]) -> None:
+        """Merge spans recorded by a worker (parent side of the fan-in)."""
+        with self._lock:
+            for span in spans:
+                self._spans.append(span)
+                self.recorded_total += 1
+
+
+def chrome_trace(recorder: "TraceRecorder | list[dict]", *, indent=None) -> str:
+    """Render spans as a Chrome trace-event JSON document.
+
+    Load the result in ``chrome://tracing`` / Perfetto; accepts either a
+    recorder or a plain span list (e.g. a filtered selection).
+    """
+    spans = recorder.spans() if isinstance(recorder, TraceRecorder) else recorder
+    document = {
+        "traceEvents": spans,
+        "displayTimeUnit": "ms",
+    }
+    if isinstance(recorder, TraceRecorder):
+        document["otherData"] = {
+            "wall_origin": recorder.wall_origin,
+            "recorded_total": recorder.recorded_total,
+            "dropped": recorder.dropped,
+        }
+    return json.dumps(document, indent=indent, default=str)

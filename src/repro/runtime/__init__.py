@@ -53,6 +53,7 @@ from repro.runtime.supervisor import (
     SupervisedEngine,
 )
 from repro.runtime.reporting import (
+    REPORT_SCHEMA_VERSION,
     outputs_to_rows,
     render_timeline,
     report_to_dict,
@@ -81,6 +82,7 @@ __all__ = [
     "REASON_PLAN_FAULT",
     "REASON_QUARANTINED",
     "REASON_SCHEMA",
+    "REPORT_SCHEMA_VERSION",
     "RecoveryManager",
     "ReorderBuffer",
     "ScheduledWorkloadEngine",

@@ -39,7 +39,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from repro.errors import RuntimeEngineError
+from repro.errors import RuntimeEngineError, UnknownBackendError
 from repro.events.event import Event
 from repro.events.timebase import TimePoint
 from repro.runtime.transactions import StreamTransaction
@@ -470,19 +470,24 @@ def resolve_backend(
 ) -> ExecutionBackend:
     """Turn a backend spec into an instance.
 
-    ``None`` consults the ``CAESAR_BACKEND`` environment variable and falls
-    back to the serial backend; strings are looked up in :data:`BACKENDS`;
+    ``None`` consults the ``CAESAR_BACKEND`` environment variable (unset or
+    empty means serial); strings are looked up in :data:`BACKENDS`;
     instances pass through (each engine should get its own instance — a
-    backend holds per-run worker state).
+    backend holds per-run worker state).  An unknown name — explicit or
+    from the environment — raises :class:`~repro.errors.UnknownBackendError`
+    (a ``ValueError``) listing the valid names; it is never silently
+    replaced by a fallback.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
+    source = "backend spec"
     if spec is None:
         spec = os.environ.get(BACKEND_ENV_VAR, "") or "serial"
-    factory = BACKENDS.get(str(spec).lower())
+        source = f"{BACKEND_ENV_VAR} environment variable"
+    factory = BACKENDS.get(str(spec).strip().lower())
     if factory is None:
-        raise RuntimeEngineError(
-            f"unknown execution backend {spec!r}; "
+        raise UnknownBackendError(
+            f"unknown execution backend {spec!r} (from {source}); "
             f"choose one of {sorted(set(BACKENDS))}"
         )
     return factory()

@@ -35,6 +35,7 @@ class ContextIndependentEngine(CaesarEngine):
         seconds_per_cost_unit: float | None = None,
         gc_interval: TimePoint = 60,
         backend=None,
+        observability=None,
     ):
         super().__init__(
             model,
@@ -45,4 +46,5 @@ class ContextIndependentEngine(CaesarEngine):
             seconds_per_cost_unit=seconds_per_cost_unit,
             gc_interval=gc_interval,
             backend=backend,
+            observability=observability,
         )

@@ -67,6 +67,41 @@ class DeadLetterQueue:
         self.counts_by_reason: dict[str, int] = {}
         #: entries evicted because the queue was full
         self.dropped = 0
+        self._registry = None
+        self._reason_counters: dict[str, object] = {}
+        self._dropped_counter = None
+        self._pending_gauge = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror queue activity into a metrics registry.
+
+        Reason counters are bumped at :meth:`put` time — inside whichever
+        worker diverted the event, fanning in through the registry's worker
+        delta — so :meth:`absorb` deliberately leaves them alone (the
+        worker already counted its own puts).  The occupancy gauge tracks
+        the *retained* entries of this queue instance.
+        """
+        self._registry = registry
+        self._reason_counters = {}
+        self._dropped_counter = registry.counter(
+            "caesar_dead_letters_dropped_total",
+            "Dead-letter entries evicted because the queue was full",
+        )
+        self._pending_gauge = registry.gauge(
+            "caesar_dead_letters_pending",
+            "Dead-letter entries currently retained",
+        )
+
+    def _reason_counter(self, reason: str):
+        counter = self._reason_counters.get(reason)
+        if counter is None:
+            counter = self._registry.counter(
+                "caesar_dead_letters_total",
+                "Events diverted to the dead-letter queue",
+                labels={"reason": reason},
+            )
+            self._reason_counters[reason] = counter
+        return counter
 
     def put(
         self,
@@ -88,9 +123,16 @@ class DeadLetterQueue:
             self.counts_by_reason[reason] = (
                 self.counts_by_reason.get(reason, 0) + 1
             )
-            if len(self._entries) > self.capacity:
+            evicted = len(self._entries) > self.capacity
+            if evicted:
                 self._entries.popleft()
                 self.dropped += 1
+            pending = len(self._entries)
+        if self._registry is not None:
+            self._reason_counter(reason).inc()
+            if evicted:
+                self._dropped_counter.inc()
+            self._pending_gauge.set(pending)
         return entry
 
     def absorb(
@@ -106,6 +148,7 @@ class DeadLetterQueue:
         the per-reason counters are bumped to match.  ``dropped`` adds
         evictions the worker's own bounded queue already performed.
         """
+        evictions = 0
         with self._lock:
             for entry in entries:
                 self._entries.append(entry)
@@ -115,7 +158,16 @@ class DeadLetterQueue:
                 if len(self._entries) > self.capacity:
                     self._entries.popleft()
                     self.dropped += 1
+                    evictions += 1
             self.dropped += dropped
+            pending = len(self._entries)
+        if self._registry is not None:
+            # The worker that recorded these entries already counted them
+            # (its registry delta fans in); only absorb-time evictions are
+            # new activity of *this* side.
+            if evictions:
+                self._dropped_counter.inc(evictions)
+            self._pending_gauge.set(pending)
 
     def record_late(self, event: Event) -> DeadLetterEntry:
         """Divert a too-late event (:data:`REASON_LATE`).
@@ -156,6 +208,8 @@ class DeadLetterQueue:
         """Remove and return all retained entries (counters are kept)."""
         drained = list(self._entries)
         self._entries.clear()
+        if self._pending_gauge is not None:
+            self._pending_gauge.set(0)
         return drained
 
     def summary(self) -> dict:

@@ -20,6 +20,7 @@ design.
 from __future__ import annotations
 
 import time as _time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.algebra.operators import ExecutionContext, Operator
@@ -30,6 +31,12 @@ from repro.errors import RuntimeEngineError
 from repro.events.event import Event
 from repro.events.stream import EventStream
 from repro.events.timebase import TimePoint
+from repro.observability import (
+    EngineInstruments,
+    NULL_REGISTRY,
+    Observability,
+    resolve_observability,
+)
 from repro.optimizer.planner import build_plans_for_queries, build_combined_plans
 from repro.optimizer.pushdown import push_down_combined
 from repro.optimizer.sharing import ExecutionUnit, SharedWorkload
@@ -41,6 +48,40 @@ from repro.runtime.queues import EventDistributor, Partitioner, single_partition
 from repro.runtime.router import ContextAwareStreamRouter
 from repro.runtime.scheduler import TimeDrivenScheduler
 from repro.runtime.transactions import StreamTransaction
+
+
+#: ``run()`` keywords accepted for backward compatibility, mapped to their
+#: current names.  Used by every engine's ``run`` so the keyword set stays
+#: unified across :class:`CaesarEngine`, :class:`SupervisedEngine` and
+#: :class:`ScheduledWorkloadEngine`.
+_RENAMED_RUN_KWARGS = {
+    "collect_outputs": "track_outputs",
+    "keep_outputs": "track_outputs",
+}
+
+
+def _apply_run_kwarg_shims(engine_name: str, kwargs: dict) -> dict:
+    """Translate deprecated ``run()`` keywords, warning once per call site.
+
+    Unknown keywords raise ``TypeError`` exactly as a plain signature
+    mismatch would, naming the engine for a readable message.
+    """
+    translated: dict = {}
+    for name, value in kwargs.items():
+        current = _RENAMED_RUN_KWARGS.get(name)
+        if current is None:
+            raise TypeError(
+                f"{engine_name}.run() got an unexpected keyword argument "
+                f"{name!r}"
+            )
+        warnings.warn(
+            f"{engine_name}.run() keyword {name!r} is deprecated; "
+            f"use {current!r}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        translated[current] = value
+    return translated
 
 
 @dataclass
@@ -137,9 +178,20 @@ class RunState:
     timestamps and is reset by :meth:`CaesarEngine.reset_run_state`.
     """
 
-    def __init__(self, partition_by: Partitioner):
+    def __init__(
+        self,
+        partition_by: Partitioner,
+        instruments: EngineInstruments | None = None,
+    ):
+        self.instruments = (
+            instruments
+            if instruments is not None
+            else EngineInstruments(NULL_REGISTRY)
+        )
         self.distributor = EventDistributor(partition_by)
-        self.scheduler = TimeDrivenScheduler(self.distributor)
+        self.scheduler = TimeDrivenScheduler(
+            self.distributor, instruments=self.instruments
+        )
         self.latency = LatencyTracker()
         self.outputs: list[Event] = []
         self.outputs_by_type: dict[str, int] = {}
@@ -155,9 +207,15 @@ class RunState:
         service: float,
         track_outputs: bool,
     ) -> None:
-        self.latency.record(float(t), service)
+        latency = self.latency.record(float(t), service)
         self.events_processed += incoming
         self.batches += 1
+        instruments = self.instruments
+        instruments.batches.inc()
+        instruments.events.inc(incoming)
+        instruments.outputs.inc(len(batch_outputs))
+        instruments.batch_service.observe(service)
+        instruments.batch_latency.observe(latency)
         for event in batch_outputs:
             self.outputs_by_type[event.type_name] = (
                 self.outputs_by_type.get(event.type_name, 0) + 1
@@ -198,6 +256,13 @@ class CaesarEngine:
         consult the ``CAESAR_BACKEND`` environment variable (default:
         serial).  Parallel backends shard by partition and merge outputs
         deterministically, so reports are identical across backends.
+    observability:
+        An :class:`~repro.observability.Observability` facade, a mode name
+        (``"off"`` | ``"on"`` | ``"detailed"`` | ``"trace"``), a boolean,
+        or ``None`` to consult the ``CAESAR_OBSERVABILITY`` environment
+        variable (default: metrics on).  Deterministic counters are
+        byte-identical across backends; worker-local updates fan in at
+        end of run exactly like supervision state.
     """
 
     def __init__(
@@ -213,6 +278,7 @@ class CaesarEngine:
         preprocessors: tuple[Operator, ...] = (),
         on_context_transition=None,
         backend: ExecutionBackend | str | None = None,
+        observability: Observability | str | bool | None = None,
     ):
         self.model = model
         self.optimize = optimize
@@ -231,6 +297,10 @@ class CaesarEngine:
         self.on_context_transition = on_context_transition
 
         self.backend = resolve_backend(backend)
+        self.observability = resolve_observability(observability)
+        #: preregistered instrument handles — the run loop touches these
+        #: directly, never the registry (no dict lookups on the hot path)
+        self.instruments = EngineInstruments(self.observability.registry)
 
         queries = model.to_query_set()
         deriving = [q for q in queries if q.is_deriving]
@@ -283,16 +353,24 @@ class CaesarEngine:
         runtime = _PartitionRuntime(
             store=store,
             deriving_router=ContextAwareStreamRouter(
-                deriving, context_aware=self.context_aware
+                deriving,
+                context_aware=self.context_aware,
+                observability=self.observability,
+                phase="deriving",
             ),
             processing_router=ContextAwareStreamRouter(
-                processing, context_aware=self.context_aware
+                processing,
+                context_aware=self.context_aware,
+                observability=self.observability,
+                phase="processing",
             ),
             history=ContextHistory(),
             gc=GarbageCollector(
                 list(deriving.values()) + list(processing.values()),
                 retention=self.retention,
                 interval=self.gc_interval,
+                reclaimed_counter=self.instruments.gc_reclaimed,
+                runs_counter=self.instruments.gc_runs,
             ),
             preprocessors=[
                 clone_operator(op) for op in self.preprocessor_templates
@@ -310,6 +388,7 @@ class CaesarEngine:
         stream: EventStream,
         *,
         track_outputs: bool = True,
+        **deprecated,
     ) -> EngineReport:
         """Process a whole stream and report metrics.
 
@@ -326,12 +405,17 @@ class CaesarEngine:
         :func:`~repro.runtime.checkpoint.restore_checkpoint`, which resumes
         from the restored state.
         """
+        if deprecated:
+            track_outputs = _apply_run_kwarg_shims(
+                type(self).__name__, deprecated
+            ).get("track_outputs", track_outputs)
         if self._runs_started > 0 and not self._preserve_state_once:
             self.reset_run_state()
         self._preserve_state_once = False
         self._runs_started += 1
 
-        state = RunState(self.partition_by)
+        state = RunState(self.partition_by, self.instruments)
+        observability = self.observability
         backend = self.backend
         local_state = backend.local_state
         totals: RunTotals | None = None
@@ -339,35 +423,44 @@ class CaesarEngine:
         try:
             for batch in stream.batches():
                 t = batch.timestamp
-                events = self._prepare_batch(list(batch), t)
-                if events:
-                    state.distributor.distribute(events)
-                cost_before = self._total_cost_units() if local_state else 0.0
-                wall_before = _time.perf_counter()
-                transactions = state.scheduler.collect(t)
-                results = backend.execute(t, transactions, self)
-                state.scheduler.commit(transactions)
-                batch_outputs = [
-                    event for outputs in results for event in outputs
-                ]
-                if self.seconds_per_cost_unit is not None:
-                    if local_state:
-                        cost_delta = self._total_cost_units() - cost_before
+                with observability.span("batch", t=t):
+                    events = self._prepare_batch(list(batch), t)
+                    if events:
+                        state.distributor.distribute(events)
+                    cost_before = (
+                        self._total_cost_units() if local_state else 0.0
+                    )
+                    wall_before = _time.perf_counter()
+                    transactions = state.scheduler.collect(t)
+                    results = backend.execute(t, transactions, self)
+                    state.scheduler.commit(transactions)
+                    batch_outputs = [
+                        event for outputs in results for event in outputs
+                    ]
+                    if self.seconds_per_cost_unit is not None:
+                        if local_state:
+                            cost_delta = self._total_cost_units() - cost_before
+                        else:
+                            cost_delta = backend.last_cost_delta
+                        service = cost_delta * self.seconds_per_cost_unit
                     else:
-                        cost_delta = backend.last_cost_delta
-                    service = cost_delta * self.seconds_per_cost_unit
-                else:
-                    service = _time.perf_counter() - wall_before
-                state.record_batch(
-                    t, len(batch), batch_outputs, service, track_outputs
-                )
-                self._on_batch_end(t)
+                        service = _time.perf_counter() - wall_before
+                    state.record_batch(
+                        t, len(batch), batch_outputs, service, track_outputs
+                    )
+                    self._on_batch_end(t)
+                if observability.snapshot_due(state.batches):
+                    self._refresh_gauges(state)
+                    observability.emit_snapshot(t)
+                    self.instruments.snapshots.inc()
             totals = backend.collect_totals(self)
         finally:
             backend.end_run(self)
 
         if totals is None:
             totals = self._local_totals()
+        self._observe_totals(totals)
+        self._refresh_gauges(state, totals)
         report = EngineReport(
             outputs=state.outputs,
             events_processed=state.events_processed,
@@ -440,20 +533,85 @@ class CaesarEngine:
             cost_by_context=self._cost_by_context(),
         )
 
+    def _observe_totals(self, totals: RunTotals) -> None:
+        """Mirror a run's merged totals into the metrics registry.
+
+        Invoked once per run on the parent engine after the backend's
+        fan-in, so totals-derived counters are byte-identical across
+        backends by construction.  GC counters are *not* mirrored here —
+        the collector increments them live (worker-side for sharded
+        backends, fanned in through the registry delta).
+        """
+        instruments = self.instruments
+        instruments.cost_units.inc(totals.cost_units)
+        instruments.suppressed.inc(totals.suppressed_batches)
+        instruments.routed.inc(totals.routed_batches)
+        instruments.uninterested.inc(totals.interest_suppressed_batches)
+        instruments.history_discards.inc(totals.history_discards)
+        registry = self.observability.registry
+        if registry.enabled:
+            for name in sorted(totals.cost_by_context):
+                registry.counter(
+                    "caesar_context_cost_units_total",
+                    "Cost units spent per context (deriving + processing)",
+                    labels={"context": name},
+                ).inc(totals.cost_by_context[name])
+
+    def _refresh_gauges(
+        self, state: RunState, totals: RunTotals | None = None
+    ) -> None:
+        """Point-in-time gauges, refreshed at snapshot and run boundaries.
+
+        Gauges are excluded from the worker fan-in (they describe *current*
+        state, not accumulation); the parent recomputes them from whatever
+        authoritative view it has — live partition runtimes mid-run, the
+        merged totals at end of run.
+        """
+        instruments = self.instruments
+        instruments.partitions.set(len(state.distributor.partitions))
+        if totals is not None:
+            windows = [
+                window
+                for window_list in totals.windows_by_partition.values()
+                for window in window_list
+            ]
+        elif self.backend.local_state:
+            windows = [
+                window
+                for runtime in self._partitions.values()
+                for window in runtime.store.all_windows()
+            ]
+        else:  # mid-run with remote partition state: nothing to read
+            return
+        instruments.windows_total.set(len(windows))
+        instruments.open_windows.set(
+            sum(1 for window in windows if window.is_open)
+        )
+
     def _worker_state_baseline(self):
         """Hook: snapshot taken by a forked shard worker at startup.
 
-        Paired with :meth:`_worker_state_summary`; the base engine has no
-        cross-partition mutable state to report back.
+        Paired with :meth:`_worker_state_summary`.  The base engine reports
+        its observability state (registry values and span count at fork
+        time) so worker-local metric updates can be shipped home as deltas;
+        subclasses extend the dict with their own keys via ``super()``.
         """
-        return None
+        return {"observability": self.observability.worker_baseline()}
 
     def _worker_state_summary(self, baseline):
         """Hook: picklable state a shard worker sends home at end of run."""
-        return None
+        baseline = baseline or {}
+        return {
+            "observability": self.observability.worker_summary(
+                baseline.get("observability")
+            )
+        }
 
     def _absorb_worker_state(self, summary) -> None:
         """Hook: merge a shard worker's end-of-run summary (parent side)."""
+        if not summary:
+            return
+        self.observability.absorb_worker(summary.get("observability"))
 
     def _finalize_report(self, report: EngineReport) -> None:
         """Hook to enrich a freshly built report (e.g. supervision counters).
@@ -478,6 +636,18 @@ class CaesarEngine:
         return totals
 
     def _execute_transaction(self, transaction: StreamTransaction) -> list[Event]:
+        observability = self.observability
+        if observability.tracing:
+            with observability.recorder.span(
+                "transaction",
+                "engine",
+                t=transaction.timestamp,
+                partition=transaction.partition,
+            ):
+                return self._transaction_body(transaction)
+        return self._transaction_body(transaction)
+
+    def _transaction_body(self, transaction: StreamTransaction) -> list[Event]:
         runtime = self._partition(transaction.partition)
         store = runtime.store
         t = transaction.timestamp
@@ -583,10 +753,13 @@ class ScheduledWorkloadEngine:
         *,
         context_aware: bool = True,
         seconds_per_cost_unit: float | None = None,
+        observability: Observability | str | bool | None = None,
     ):
         self.workload = workload
         self.context_aware = context_aware
         self.seconds_per_cost_unit = seconds_per_cost_unit
+        self.observability = resolve_observability(observability)
+        self.instruments = EngineInstruments(self.observability.registry)
         self._store = ContextWindowStore([], "default")
         #: activation interval each unit was last seen in (None = inactive);
         #: crossing an interval boundary discards the unit's partial matches
@@ -594,7 +767,17 @@ class ScheduledWorkloadEngine:
             id(unit): None for unit in workload.units
         }
 
-    def run(self, stream: EventStream, *, track_outputs: bool = True) -> EngineReport:
+    def run(
+        self,
+        stream: EventStream,
+        *,
+        track_outputs: bool = True,
+        **deprecated,
+    ) -> EngineReport:
+        if deprecated:
+            track_outputs = _apply_run_kwarg_shims(
+                type(self).__name__, deprecated
+            ).get("track_outputs", track_outputs)
         latency = LatencyTracker()
         outputs: list[Event] = []
         outputs_by_type: dict[str, int] = {}
@@ -643,16 +826,28 @@ class ScheduledWorkloadEngine:
                 service = (cost_total - cost_before) * self.seconds_per_cost_unit
             else:
                 service = _time.perf_counter() - wall_before
-            latency.record(float(t), service)
+            batch_latency = latency.record(float(t), service)
             events_processed += len(events)
             batches += 1
+            instruments = self.instruments
+            instruments.batches.inc()
+            instruments.events.inc(len(events))
+            instruments.outputs.inc(len(batch_outputs))
+            instruments.batch_service.observe(service)
+            instruments.batch_latency.observe(batch_latency)
             for event in batch_outputs:
                 outputs_by_type[event.type_name] = (
                     outputs_by_type.get(event.type_name, 0) + 1
                 )
             if track_outputs:
                 outputs.extend(batch_outputs)
+            if self.observability.snapshot_due(batches):
+                self.observability.emit_snapshot(t)
+                self.instruments.snapshots.inc()
         wall_seconds = _time.perf_counter() - wall_started
+        self.instruments.cost_units.inc(cost_total)
+        self.instruments.suppressed.inc(suppressed)
+        self.instruments.routed.inc(routed)
         return EngineReport(
             outputs=outputs,
             events_processed=events_processed,

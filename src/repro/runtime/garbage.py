@@ -12,10 +12,17 @@ from typing import Iterable
 
 from repro.algebra.plan import CombinedQueryPlan
 from repro.events.timebase import TimePoint
+from repro.observability.registry import NULL_INSTRUMENT
 
 
 class GarbageCollector:
-    """Periodic state expiry over a set of combined plans."""
+    """Periodic state expiry over a set of combined plans.
+
+    The optional counter handles are incremented *live* at collection time
+    — inside whichever worker owns the partition — and fan in through the
+    metrics registry's worker delta, never through run totals, so the
+    reclamation counters are counted exactly once per run.
+    """
 
     def __init__(
         self,
@@ -23,12 +30,16 @@ class GarbageCollector:
         *,
         retention: TimePoint = 300,
         interval: TimePoint = 60,
+        reclaimed_counter=NULL_INSTRUMENT,
+        runs_counter=NULL_INSTRUMENT,
     ):
         if interval <= 0:
             raise ValueError(f"gc interval must be positive, got {interval}")
         self._plans = list(plans)
         self.retention = retention
         self.interval = interval
+        self._reclaimed_counter = reclaimed_counter
+        self._runs_counter = runs_counter
         #: stream time of the last collection; ``None`` until the first
         #: :meth:`maybe_collect` observation arms the interval clock
         self._last_run: TimePoint | None = None
@@ -60,4 +71,6 @@ class GarbageCollector:
         self._last_run = now
         self.collected += freed
         self.runs += 1
+        self._reclaimed_counter.inc(freed)
+        self._runs_counter.inc()
         return freed

@@ -59,6 +59,24 @@ class ReorderBuffer:
         self._last_released: TimePoint = -1
         self.late_events = 0
         self.reordered_events = 0
+        self._late_counter = None
+        self._reordered_counter = None
+        self._pending_gauge = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror buffer activity into a metrics registry: late and
+        reordered event counters plus a buffer-depth gauge."""
+        self._late_counter = registry.counter(
+            "caesar_reorder_late_total",
+            "Events that arrived after the reorder bound",
+        )
+        self._reordered_counter = registry.counter(
+            "caesar_reorder_reordered_total",
+            "Events placed out of arrival order within the bound",
+        )
+        self._pending_gauge = registry.gauge(
+            "caesar_reorder_pending", "Events held in the reorder buffer"
+        )
 
     @property
     def watermark(self) -> TimePoint:
@@ -81,6 +99,8 @@ class ReorderBuffer:
         """
         if event.timestamp < self.watermark:
             self.late_events += 1
+            if self._late_counter is not None:
+                self._late_counter.inc()
             if self.on_late == "raise":
                 raise StreamOrderError(
                     f"event at t={event.timestamp} arrived after the reorder "
@@ -91,6 +111,8 @@ class ReorderBuffer:
             return []
         if self._heap and event.timestamp < self._max_seen:
             self.reordered_events += 1
+            if self._reordered_counter is not None:
+                self._reordered_counter.inc()
         heapq.heappush(
             self._heap, (event.timestamp, event.event_id, event)
         )
@@ -103,6 +125,8 @@ class ReorderBuffer:
             _, _, event = heapq.heappop(self._heap)
             released.append(event)
             self._last_released = event.timestamp
+        if self._pending_gauge is not None:
+            self._pending_gauge.set(len(self._heap))
         return released
 
     def feed(self, events: Iterable[Event]) -> Iterator[Event]:

@@ -15,6 +15,15 @@ from typing import Any
 from repro.core.windows import ContextWindow
 from repro.runtime.engine import EngineReport
 
+#: Version of the :func:`report_to_dict` layout.  Bumped whenever a field is
+#: added, renamed or changes meaning, so downstream consumers (dashboards,
+#: archived JSON reports) can dispatch on it.  History:
+#:
+#: 1. the original flat layout (implicit — no version field)
+#: 2. adds ``schema_version`` itself; reports are produced by engines
+#:    carrying the observability subsystem
+REPORT_SCHEMA_VERSION = 2
+
 
 def report_to_dict(report: EngineReport, *, include_outputs: bool = False) -> dict:
     """A JSON-serializable summary of an engine run.
@@ -23,6 +32,7 @@ def report_to_dict(report: EngineReport, *, include_outputs: bool = False) -> di
     potentially large; off by default.
     """
     result: dict[str, Any] = {
+        "schema_version": REPORT_SCHEMA_VERSION,
         "backend": report.backend,
         "events_processed": report.events_processed,
         "batches": report.batches,

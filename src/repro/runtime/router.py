@@ -21,25 +21,53 @@ charged for it, as a state-of-the-art context-independent engine would be.
 
 from __future__ import annotations
 
-from typing import Iterable
+import time as _time
+from typing import TYPE_CHECKING, Iterable
 
 from repro.algebra.operators import ExecutionContext
 from repro.algebra.plan import CombinedQueryPlan
 from repro.core.windows import ContextWindowStore
 from repro.events.event import Event
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability import Observability
+
 
 class ContextAwareStreamRouter:
-    """Routes stream batches to the plans of currently active contexts."""
+    """Routes stream batches to the plans of currently active contexts.
+
+    With a *detailed* :class:`~repro.observability.Observability` facade the
+    router also attributes wall time to each plan evaluation
+    (``caesar_plan_seconds{phase,context}``) and, in tracing mode, emits one
+    span per dispatch — the per-operator telemetry that cost-based sharing
+    decisions feed on.  Both are resolved to preregistered handles at
+    construction; the default metrics level leaves the dispatch loop
+    untouched.
+    """
 
     def __init__(
         self,
         plans_by_context: dict[str, CombinedQueryPlan],
         *,
         context_aware: bool = True,
+        observability: "Observability | None" = None,
+        phase: str = "",
     ):
         self._plans_by_context = dict(plans_by_context)
         self.context_aware = context_aware
+        self.phase = phase
+        self._observability = observability
+        self._tracing = observability is not None and observability.tracing
+        self._plan_timers = None
+        if observability is not None and observability.detailed:
+            self._plan_timers = {
+                name: observability.registry.histogram(
+                    "caesar_plan_seconds",
+                    "Wall time per combined-plan evaluation",
+                    labels={"phase": phase, "context": name},
+                )
+                for name in self._plans_by_context
+            }
         self.batches_routed = 0
         self.batches_suppressed = 0
         #: batches skipped because the plan's interest set was disjoint from
@@ -89,6 +117,7 @@ class ContextAwareStreamRouter:
         """
         outputs: list[Event] = []
         context_aware = self.context_aware
+        plan_timers = self._plan_timers
         # One pass over the batch buckets it by type; each plan then gets a
         # set-intersection test instead of a per-event scan.
         batch_types = (
@@ -103,11 +132,42 @@ class ContextAwareStreamRouter:
                 continue
             self.batches_routed += 1
             before = plan.total_cost_units()
-            outputs.extend(plan.execute(events, ctx))
+            if plan_timers is None:
+                outputs.extend(plan.execute(events, ctx))
+            else:
+                outputs.extend(
+                    self._timed_execute(context_name, plan, events, ctx)
+                )
             delta = plan.total_cost_units() - before
             self.cost_units += delta
             self.cost_by_context[context_name] += delta
         return outputs
+
+    def _timed_execute(
+        self,
+        context_name: str,
+        plan: CombinedQueryPlan,
+        events: list[Event],
+        ctx: ExecutionContext,
+    ) -> list[Event]:
+        """Detailed-mode dispatch: per-plan wall time, optionally a span."""
+        if self._tracing:
+            with self._observability.recorder.span(
+                "plan",
+                "plan",
+                phase=self.phase,
+                context=context_name,
+                t=ctx.now,
+            ):
+                started = _time.perf_counter()
+                derived = plan.execute(events, ctx)
+        else:
+            started = _time.perf_counter()
+            derived = plan.execute(events, ctx)
+        self._plan_timers[context_name].observe(
+            _time.perf_counter() - started
+        )
+        return derived
 
     def advance_time(
         self, now, store: ContextWindowStore, ctx: ExecutionContext

@@ -43,6 +43,7 @@ class TimeDrivenScheduler:
         distributor: EventDistributor,
         *,
         log: TransactionLog | None = None,
+        instruments=None,
     ):
         self._distributor = distributor
         self.log = log if log is not None else TransactionLog()
@@ -51,6 +52,9 @@ class TimeDrivenScheduler:
         #: timestamps scheduled with no pending events anywhere (e.g. a
         #: batch fully dead-lettered before distribution)
         self.empty_timestamps = 0
+        #: optional :class:`~repro.observability.EngineInstruments` bundle;
+        #: commit and empty-timestamp accounting mirror into it
+        self._instruments = instruments
 
     def collect(self, t: TimePoint) -> list[StreamTransaction]:
         """Extract the (uncommitted) transactions for timestamp ``t``.
@@ -72,6 +76,8 @@ class TimeDrivenScheduler:
                 # timestamps): a legitimate empty timestamp, not a crash.
                 self._last_scheduled = t
                 self.empty_timestamps += 1
+                if self._instruments is not None:
+                    self._instruments.empty_timestamps.inc()
                 return []
             raise RuntimeEngineError(
                 f"event distributor progress {self._distributor.progress} has "
@@ -94,6 +100,8 @@ class TimeDrivenScheduler:
             transaction.commit()
             self.log.register(transaction)
             self.transactions_executed += 1
+        if transactions and self._instruments is not None:
+            self._instruments.transactions.inc(len(transactions))
 
     def run_time(self, t: TimePoint, executor: Executor) -> list[StreamTransaction]:
         """Extract, execute and commit all transactions for timestamp ``t``."""

@@ -37,7 +37,9 @@ class EngineSession:
     def __init__(self, engine: "CaesarEngine"):
         self.engine = engine
         self._distributor = EventDistributor(engine.partition_by)
-        self._scheduler = TimeDrivenScheduler(self._distributor)
+        self._scheduler = TimeDrivenScheduler(
+            self._distributor, instruments=engine.instruments
+        )
         self._latency = LatencyTracker()
         self._last_time: TimePoint | None = None
         self._events_processed = 0
@@ -93,14 +95,23 @@ class EngineSession:
             ) * engine.seconds_per_cost_unit
         else:
             service = _time.perf_counter() - wall_before
-        self._latency.record(float(t), service)
+        batch_latency = self._latency.record(float(t), service)
         self._events_processed += len(batch)
         self._batches += 1
+        instruments = engine.instruments
+        instruments.batches.inc()
+        instruments.events.inc(len(batch))
+        instruments.outputs.inc(len(outputs))
+        instruments.batch_service.observe(service)
+        instruments.batch_latency.observe(batch_latency)
         for event in outputs:
             self._outputs_by_type[event.type_name] = (
                 self._outputs_by_type.get(event.type_name, 0) + 1
             )
         engine._on_batch_end(t)
+        if engine.observability.snapshot_due(self._batches):
+            engine.observability.emit_snapshot(t)
+            instruments.snapshots.inc()
         return outputs
 
     # ------------------------------------------------------------------
@@ -119,6 +130,7 @@ class EngineSession:
         from repro.runtime.engine import EngineReport
 
         self._closed = True
+        self.engine._observe_totals(self.engine._local_totals())
         report = EngineReport(
             outputs=[],
             events_processed=self._events_processed,

@@ -239,6 +239,25 @@ class SupervisedEngine(CaesarEngine):
         #: guards ``plan_failures``: thread-backend shard workers report
         #: failures concurrently (the DLQ carries its own lock)
         self._failure_lock = threading.Lock()
+        registry = self.observability.registry
+        if registry.enabled:
+            self.dead_letters.bind_metrics(registry)
+        self._failure_counter = registry.counter(
+            "caesar_plan_failures_total",
+            "Plan exceptions caught and isolated by the supervisor",
+        )
+        self._quarantined_gauge = registry.gauge(
+            "caesar_plans_quarantined",
+            "Distinct plans whose circuit breaker ever opened",
+        )
+        self._checkpoints_gauge = registry.gauge(
+            "caesar_checkpoints_taken",
+            "Checkpoints autosaved by the recovery manager",
+        )
+        self._replays_gauge = registry.gauge(
+            "caesar_recovery_replays",
+            "Checkpoint restores followed by a stream-suffix replay",
+        )
         #: supervision state absorbed from forked shard workers at end of
         #: run (process backend) — merged into the report alongside the
         #: parent's own breakers
@@ -319,6 +338,7 @@ class SupervisedEngine(CaesarEngine):
     ) -> None:
         with self._failure_lock:
             self.plan_failures += 1
+        self._failure_counter.inc()
         breaker.record_failure(now)
         self._dead_letter_for_plan(
             events, None, REASON_PLAN_FAULT, now, error=error, key=key
@@ -401,6 +421,9 @@ class SupervisedEngine(CaesarEngine):
         if self.recovery is not None:
             report.checkpoints_taken = self.recovery.checkpoints_taken
             report.recovery_replays = self.recovery.recovery_replays
+        self._quarantined_gauge.set(report.plans_quarantined)
+        self._checkpoints_gauge.set(report.checkpoints_taken)
+        self._replays_gauge.set(report.recovery_replays)
 
     # ------------------------------------------------------------------
     # process-backend worker state fan-in
@@ -411,26 +434,39 @@ class SupervisedEngine(CaesarEngine):
 
         The fork inherits the parent's supervision state (copy-on-write),
         so the end-of-run summary must report *deltas* against this.
+        Extends the base engine's baseline (observability) with the
+        supervision slice.
         """
-        return {
+        baseline = super()._worker_state_baseline() or {}
+        baseline["supervision"] = {
             "plan_failures": self.plan_failures,
             "dlq_total": self.dead_letters.total,
             "dlq_dropped": self.dead_letters.dropped,
             "transitions": self.breaker_transition_counts(),
             "quarantined": set(self.quarantined_plans()),
         }
+        return baseline
 
     def _worker_state_summary(self, baseline):
         """What a shard worker accumulated beyond its fork-time baseline."""
-        new_puts = self.dead_letters.total - baseline["dlq_total"]
+        baseline = baseline or {}
+        summary = super()._worker_state_summary(baseline) or {}
+        base = baseline.get("supervision") or {
+            "plan_failures": 0,
+            "dlq_total": 0,
+            "dlq_dropped": 0,
+            "transitions": {},
+            "quarantined": set(),
+        }
+        new_puts = self.dead_letters.total - base["dlq_total"]
         retained = self.dead_letters.entries()
         new_entries = retained[-new_puts:] if new_puts > 0 else []
         transitions = self.breaker_transition_counts()
-        base_transitions = baseline["transitions"]
-        return {
-            "plan_failures": self.plan_failures - baseline["plan_failures"],
+        base_transitions = base["transitions"]
+        summary["supervision"] = {
+            "plan_failures": self.plan_failures - base["plan_failures"],
             "dlq_entries": new_entries,
-            "dlq_dropped": self.dead_letters.dropped - baseline["dlq_dropped"],
+            "dlq_dropped": self.dead_letters.dropped - base["dlq_dropped"],
             "transitions": {
                 key: count - base_transitions.get(key, 0)
                 for key, count in transitions.items()
@@ -439,20 +475,25 @@ class SupervisedEngine(CaesarEngine):
             "quarantined": [
                 key
                 for key in self.quarantined_plans()
-                if key not in baseline["quarantined"]
+                if key not in base["quarantined"]
             ],
         }
+        return summary
 
     def _absorb_worker_state(self, summary) -> None:
-        if summary is None:
+        if not summary:
+            return
+        super()._absorb_worker_state(summary)
+        supervision = summary.get("supervision")
+        if supervision is None:
             return
         with self._failure_lock:
-            self.plan_failures += summary["plan_failures"]
+            self.plan_failures += supervision["plan_failures"]
         self.dead_letters.absorb(
-            summary["dlq_entries"], dropped=summary["dlq_dropped"]
+            supervision["dlq_entries"], dropped=supervision["dlq_dropped"]
         )
-        for key, count in summary["transitions"].items():
+        for key, count in supervision["transitions"].items():
             self._absorbed_transitions[key] = (
                 self._absorbed_transitions.get(key, 0) + count
             )
-        self._absorbed_quarantined.update(summary["quarantined"])
+        self._absorbed_quarantined.update(supervision["quarantined"])

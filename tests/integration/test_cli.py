@@ -77,3 +77,61 @@ class TestParse:
     def test_unknown_command_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestStats:
+    def test_human_table(self, capsys):
+        code = main(
+            ["stats", "--scenario", "traffic", "--segments", "2",
+             "--minutes", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events=" in out
+        assert "== traffic ==" in out
+        assert "caesar_events_total" in out
+        assert "caesar_plan_seconds" in out  # stats runs in detailed mode
+
+    def test_prometheus_format(self, capsys):
+        code = main(
+            ["stats", "--scenario", "pam", "--subjects", "2",
+             "--minutes", "6", "--format", "prometheus"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE caesar_events_total counter" in out
+        assert 'le="+Inf"' in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        code = main(
+            ["stats", "--segments", "1", "--minutes", "6",
+             "--format", "json"]
+        )
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["metrics"]["caesar_batches_total"] > 0
+
+    def test_trace_file_and_timeline(self, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "trace.json"
+        code = main(
+            ["stats", "--segments", "1", "--minutes", "6",
+             "--trace", str(trace_file), "--timeline"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "partition" in captured.out  # the ASCII timeline
+        assert str(trace_file) in captured.err
+        document = json.loads(trace_file.read_text())
+        assert document["traceEvents"]
+
+    def test_backend_flag(self, capsys):
+        code = main(
+            ["stats", "--segments", "2", "--minutes", "6",
+             "--backend", "thread"]
+        )
+        assert code == 0
+        assert "caesar_events_total" in capsys.readouterr().out

@@ -1,0 +1,57 @@
+"""Shared fixtures for the observability tests: a small context-switching
+model over a multi-segment stream, mirroring the backend test workload."""
+
+import pytest
+
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+
+READING = EventType.define("ObsReading", value="int", seg="int", sec="int")
+
+
+def build_model():
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN ObsReading r WHERE r.value > 100 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN ObsReading r WHERE r.value <= 100 "
+        "CONTEXT alert", name="down"))
+    model.add_query(parse_query(
+        "DERIVE Norm(r.sec) PATTERN ObsReading r CONTEXT normal",
+        name="norm"))
+    model.add_query(parse_query(
+        "DERIVE Alarm(r.value) PATTERN ObsReading r CONTEXT alert",
+        name="alarm"))
+    return model
+
+
+def reading(t, value, seg=0):
+    return Event(READING, t, {"value": value, "seg": seg, "sec": t})
+
+
+def by_segment(event):
+    return event["seg"]
+
+
+def multi_partition_stream(segments=8, steps=12):
+    events = []
+    for t in range(steps):
+        for seg in range(segments):
+            value = 150 if (t + seg) % 4 == 0 else 50
+            events.append(reading(t * 10, value, seg=seg))
+    return EventStream(events)
+
+
+@pytest.fixture
+def model():
+    return build_model()
+
+
+@pytest.fixture
+def stream():
+    return multi_partition_stream()

@@ -1,0 +1,294 @@
+"""Engine-level observability tests: instrumentation, spans, hooks.
+
+The acceptance bar from the subsystem's design: metrics on by default and
+cheap, a fully disabled mode that changes nothing about the report, valid
+Prometheus and Chrome-trace exports for a multi-partition Linear Road run.
+"""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    NULL_OBSERVABILITY,
+    NullObservability,
+    Observability,
+    OBSERVABILITY_ENV_VAR,
+    chrome_trace,
+    resolve_observability,
+    to_prometheus,
+)
+from repro.runtime import (
+    CaesarEngine,
+    REASON_PLAN_FAULT,
+    SupervisedEngine,
+    report_to_dict,
+)
+from repro.testing import inject_plan_fault
+
+from tests.observability.conftest import (
+    build_model,
+    by_segment,
+    multi_partition_stream,
+)
+
+
+def comparable(report):
+    d = report_to_dict(report)
+    for key in ("wall_seconds", "throughput"):
+        d.pop(key)
+    return d
+
+
+def run_engine(observability, **kwargs):
+    engine = CaesarEngine(
+        build_model(),
+        partition_by=by_segment,
+        seconds_per_cost_unit=1e-6,
+        observability=observability,
+        **kwargs,
+    )
+    report = engine.run(multi_partition_stream())
+    return engine, report
+
+
+class TestResolveObservability:
+    def test_instance_passes_through(self):
+        obs = Observability()
+        assert resolve_observability(obs) is obs
+
+    def test_booleans(self):
+        assert resolve_observability(False) is NULL_OBSERVABILITY
+        assert resolve_observability(True).enabled
+
+    def test_none_defaults_to_metrics_on(self, monkeypatch):
+        monkeypatch.delenv(OBSERVABILITY_ENV_VAR, raising=False)
+        obs = resolve_observability(None)
+        assert obs.enabled
+        assert not obs.tracing
+
+    def test_none_consults_environment(self, monkeypatch):
+        monkeypatch.setenv(OBSERVABILITY_ENV_VAR, "off")
+        assert resolve_observability(None) is NULL_OBSERVABILITY
+        monkeypatch.setenv(OBSERVABILITY_ENV_VAR, "trace")
+        obs = resolve_observability(None)
+        assert obs.tracing and obs.detailed
+
+    def test_mode_strings(self):
+        assert resolve_observability("off") is NULL_OBSERVABILITY
+        assert resolve_observability("on").enabled
+        detailed = resolve_observability("detailed")
+        assert detailed.detailed and not detailed.tracing
+        assert resolve_observability("TRACE").tracing
+
+    def test_fresh_instance_per_resolution(self):
+        assert resolve_observability("on") is not resolve_observability("on")
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown observability mode"):
+            resolve_observability("bogus")
+
+
+class TestDefaultMetrics:
+    def test_engine_counts_batches_events_outputs(self):
+        engine, report = run_engine("on")
+        snap = engine.observability.registry.snapshot()
+        assert snap["caesar_events_total"] == report.events_processed
+        assert snap["caesar_outputs_total"] == sum(
+            report.outputs_by_type.values()
+        )
+        assert snap["caesar_batches_total"] == 12
+        assert snap["caesar_cost_units_total"] == pytest.approx(
+            report.cost_units
+        )
+        assert snap["caesar_transactions_total"] > 0
+
+    def test_routing_counters_match_totals(self):
+        engine, report = run_engine("on")
+        snap = engine.observability.registry.snapshot()
+        assert snap["caesar_batches_suppressed_total"] == (
+            report.suppressed_batches
+        )
+        assert snap["caesar_batches_routed_total"] == report.routed_batches
+
+    def test_per_context_cost_breakdown(self):
+        engine, report = run_engine("on")
+        snap = engine.observability.registry.snapshot()
+        per_context = {
+            key: value for key, value in snap.items()
+            if key.startswith("caesar_context_cost_units_total")
+        }
+        assert set(per_context) == {
+            'caesar_context_cost_units_total{context="alert"}',
+            'caesar_context_cost_units_total{context="normal"}',
+        }
+        assert sum(per_context.values()) == pytest.approx(report.cost_units)
+
+    def test_gauges_reflect_final_state(self):
+        engine, report = run_engine("on")
+        snap = engine.observability.registry.snapshot()
+        assert snap["caesar_partitions"] == 8
+        assert snap["caesar_context_windows"] == sum(
+            len(ws) for ws in report.windows_by_partition.values()
+        )
+
+    def test_gc_counters_are_live(self):
+        engine, _ = run_engine("on", retention=20, gc_interval=30)
+        snap = engine.observability.registry.snapshot()
+        assert snap["caesar_gc_runs_total"] > 0
+        assert snap["caesar_gc_reclaimed_total"] >= 0
+
+    def test_batch_latency_histogram_populated(self):
+        engine, _ = run_engine("on")
+        snap = engine.observability.registry.snapshot()
+        assert snap["caesar_batch_latency_seconds"]["count"] == 12
+        assert snap["caesar_batch_service_seconds"]["count"] == 12
+
+
+class TestDisabledObservability:
+    def test_off_spec_yields_null_facade(self):
+        engine, _ = run_engine("off")
+        assert isinstance(engine.observability, NullObservability)
+        assert engine.observability.registry.snapshot() == {}
+
+    def test_report_identical_with_and_without_metrics(self):
+        _, report_on = run_engine("on")
+        _, report_off = run_engine("off")
+        assert comparable(report_on) == comparable(report_off)
+
+    def test_rerun_on_same_engine_does_not_double_count(self):
+        engine, report = run_engine("on")
+        report2 = engine.run(multi_partition_stream())
+        snap = engine.observability.registry.snapshot()
+        assert comparable(report) == comparable(report2)
+        assert snap["caesar_events_total"] == 2 * report.events_processed
+        assert snap["caesar_cost_units_total"] == pytest.approx(
+            2 * report.cost_units
+        )
+
+
+class TestDetailedAndTracing:
+    def test_detailed_adds_plan_timers(self):
+        engine, _ = run_engine("detailed")
+        snap = engine.observability.registry.snapshot()
+        plan_keys = [k for k in snap if k.startswith("caesar_plan_seconds")]
+        assert plan_keys
+        assert any('phase="processing"' in k for k in plan_keys)
+
+    def test_tracing_records_spans(self):
+        engine, _ = run_engine("trace")
+        recorder = engine.observability.recorder
+        names = {span["name"] for span in recorder.spans()}
+        assert names >= {"batch", "transaction", "plan"}
+
+    def test_default_mode_records_no_spans(self):
+        engine, _ = run_engine("on")
+        assert engine.observability.recorder is None
+
+
+class TestSnapshotHooks:
+    def test_periodic_snapshots_at_batch_boundaries(self):
+        seen = []
+        obs = Observability(snapshot_interval=5, on_snapshot=seen.append)
+        engine, _ = run_engine(obs)
+        assert len(seen) == 2  # 12 batches, interval 5 -> after 5 and 10
+        assert seen[0]["stream_time"] == 40
+        assert seen[1]["stream_time"] == 90
+        assert seen[0]["metrics"]["caesar_batches_total"] == 5.0
+        snap = engine.observability.registry.snapshot()
+        assert snap["caesar_snapshots_total"] == 2
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="snapshot_interval"):
+            Observability(snapshot_interval=0)
+
+
+class TestSupervisedObservability:
+    def test_plan_failures_and_dead_letters_counted(self):
+        engine = SupervisedEngine(
+            build_model(),
+            partition_by=by_segment,
+            failure_threshold=2,
+            observability="on",
+        )
+        inject_plan_fault(engine, "alert", at_times={50})
+        report = engine.run(multi_partition_stream())
+        snap = engine.observability.registry.snapshot()
+        assert snap["caesar_plan_failures_total"] == report.plan_failures
+        dlq_key = (
+            'caesar_dead_letters_total{reason="%s"}' % REASON_PLAN_FAULT
+        )
+        assert snap[dlq_key] >= 1
+        by_reason = {
+            key: value for key, value in snap.items()
+            if key.startswith("caesar_dead_letters_total")
+        }
+        assert sum(by_reason.values()) == sum(report.dead_lettered.values())
+        assert snap["caesar_dead_letters_pending"] == sum(by_reason.values())
+
+    def test_clean_run_reports_zero_failures(self):
+        engine = SupervisedEngine(
+            build_model(), partition_by=by_segment, observability="on"
+        )
+        engine.run(multi_partition_stream())
+        snap = engine.observability.registry.snapshot()
+        assert snap["caesar_plan_failures_total"] == 0
+        assert snap["caesar_plans_quarantined"] == 0
+
+
+class TestLinearRoadExports:
+    """The 8-partition Linear Road acceptance run."""
+
+    @pytest.fixture(scope="class")
+    def traffic_engine(self):
+        from repro.linearroad.generator import (
+            LinearRoadConfig,
+            generate_stream,
+            paper_timeline_schedules,
+        )
+        from repro.linearroad.queries import (
+            build_traffic_model,
+            segment_partitioner,
+        )
+
+        config = paper_timeline_schedules(
+            LinearRoadConfig(
+                num_roads=4,
+                segments_per_road=2,
+                duration_minutes=8,
+                seed=7,
+            )
+        )
+        engine = CaesarEngine(
+            build_traffic_model(),
+            partition_by=segment_partitioner,
+            retention=120,
+            observability="trace",
+        )
+        engine.run(generate_stream(config))
+        return engine
+
+    def test_runs_eight_partitions(self, traffic_engine):
+        snap = traffic_engine.observability.registry.snapshot()
+        assert snap["caesar_partitions"] == 8
+
+    def test_prometheus_export_is_well_formed(self, traffic_engine):
+        text = to_prometheus(traffic_engine.observability.registry)
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line
+        assert "# TYPE caesar_events_total counter" in text
+        assert "caesar_batch_latency_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+
+    def test_chrome_trace_is_valid(self, traffic_engine):
+        document = json.loads(
+            chrome_trace(traffic_engine.observability.recorder)
+        )
+        events = document["traceEvents"]
+        assert events
+        assert {e["ph"] for e in events} == {"X"}
+        assert {e["name"] for e in events} >= {"batch", "transaction"}
+        for event in events:
+            assert event["dur"] >= 0
+            assert isinstance(event["ts"], float)

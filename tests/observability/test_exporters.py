@@ -1,0 +1,97 @@
+"""Tests for the Prometheus / JSON / human exporters."""
+
+from repro.observability import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    Observability,
+    render_stats,
+    to_json_snapshot,
+    to_prometheus,
+)
+
+
+def sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("caesar_events_total", "Input events").inc(100)
+    registry.gauge("caesar_partitions", "Partitions").set(8)
+    registry.counter(
+        "caesar_cost", "Cost units", labels={"context": "alert"}
+    ).inc(2.5)
+    h = registry.histogram("caesar_lat", "Latency", buckets=(0.5, 1.0))
+    h.observe(0.25)
+    h.observe(0.75)
+    h.observe(3.0)
+    return registry
+
+
+class TestPrometheus:
+    def test_headers_and_series(self):
+        text = to_prometheus(sample_registry())
+        lines = text.splitlines()
+        assert "# HELP caesar_events_total Input events" in lines
+        assert "# TYPE caesar_events_total counter" in lines
+        assert "caesar_events_total 100" in lines
+        assert "# TYPE caesar_partitions gauge" in lines
+        assert "caesar_partitions 8" in lines
+        assert 'caesar_cost{context="alert"} 2.5' in lines
+        assert text.endswith("\n")
+
+    def test_histogram_expands_to_buckets_sum_count(self):
+        lines = to_prometheus(sample_registry()).splitlines()
+        assert 'caesar_lat_bucket{le="0.5"} 1' in lines
+        assert 'caesar_lat_bucket{le="1"} 2' in lines
+        assert 'caesar_lat_bucket{le="+Inf"} 3' in lines
+        assert "caesar_lat_sum 4" in lines
+        assert "caesar_lat_count 3" in lines
+
+    def test_label_variants_share_one_header(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", "Hits", labels={"ctx": "a"}).inc()
+        registry.counter("hits", "Hits", labels={"ctx": "b"}).inc(2)
+        text = to_prometheus(registry)
+        assert text.count("# TYPE hits counter") == 1
+        assert 'hits{ctx="a"} 1' in text
+        assert 'hits{ctx="b"} 2' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(NULL_REGISTRY) == ""
+
+
+class TestJsonSnapshot:
+    def test_registry_snapshot(self):
+        snap = to_json_snapshot(sample_registry())
+        assert snap["metrics"]["caesar_events_total"] == 100.0
+        assert snap["metrics"]["caesar_lat"]["count"] == 3
+
+    def test_observability_snapshot_includes_trace_accounting(self):
+        obs = Observability(tracing=True)
+        obs.registry.counter("hits").inc()
+        with obs.span("batch", t=1):
+            pass
+        snap = to_json_snapshot(obs)
+        assert snap["metrics"]["hits"] == 1.0
+        assert snap["trace"]["recorded"] == 1
+        assert snap["trace"]["dropped"] == 0
+
+    def test_deterministic_only_passthrough(self):
+        registry = sample_registry()
+        snap = to_json_snapshot(registry, deterministic_only=True)
+        assert "caesar_lat" not in snap["metrics"]
+        assert "caesar_partitions" not in snap["metrics"]
+        assert snap["metrics"]["caesar_events_total"] == 100.0
+
+
+class TestRenderStats:
+    def test_aligned_table(self):
+        text = render_stats(sample_registry(), title="sample")
+        lines = text.splitlines()
+        assert lines[0] == "== sample =="
+        assert any(
+            line.startswith("caesar_events_total") and "counter" in line
+            and line.rstrip().endswith("100")
+            for line in lines
+        )
+        assert any("count=3" in line for line in lines)
+
+    def test_disabled_registry_message(self):
+        assert "disabled" in render_stats(NULL_REGISTRY)

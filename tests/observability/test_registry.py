@@ -1,0 +1,208 @@
+"""Tests for the metrics registry: instruments, snapshots, fan-in."""
+
+import pytest
+
+from repro.observability import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    SIZE_BUCKETS,
+    TIME_BUCKETS,
+)
+from repro.observability.registry import NULL_INSTRUMENT, format_bound
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("hits")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_rejects_negative_increments(self):
+        c = Counter("hits")
+        with pytest.raises(ValueError, match="must be >= 0"):
+            c.inc(-1)
+
+    def test_deterministic_by_default(self):
+        assert Counter("hits").deterministic is True
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+    def test_not_deterministic_by_default(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("depth").deterministic is False
+
+
+class TestHistogram:
+    def test_observe_assigns_buckets(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(100.0)
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(105.5)
+        assert h.mean == pytest.approx(105.5 / 3)
+
+    def test_boundary_value_falls_in_lower_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_cumulative_buckets_end_with_inf(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 100.0):
+            h.observe(v)
+        assert h.cumulative_buckets() == [("1", 1), ("10", 2), ("+Inf", 3)]
+
+    def test_rejects_empty_or_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("lat", buckets=(10.0, 1.0))
+
+    def test_default_bucket_tables(self):
+        assert list(TIME_BUCKETS) == sorted(TIME_BUCKETS)
+        assert list(SIZE_BUCKETS) == sorted(SIZE_BUCKETS)
+
+    def test_format_bound(self):
+        assert format_bound(1.0) == "1"
+        assert format_bound(0.5) == "0.5"
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", "help text")
+        b = registry.counter("hits")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_label_variants_are_distinct(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", labels={"ctx": "x"})
+        b = registry.counter("hits", labels={"ctx": "y"})
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_label_order_is_normalized(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", labels={"a": "1", "b": "2"})
+        b = registry.counter("hits", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("hits")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("hits")
+
+    def test_snapshot_keys_and_values(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("depth").set(7)
+        registry.counter("ctx", labels={"name": "alert"}).inc()
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        snap = registry.snapshot()
+        assert snap["hits"] == 3.0
+        assert snap["depth"] == 7.0
+        assert snap['ctx{name="alert"}'] == 1.0
+        assert snap["lat"] == {
+            "count": 1, "sum": 0.5, "buckets": {"1": 1, "+Inf": 1},
+        }
+
+    def test_deterministic_only_projection(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.gauge("depth").set(1)
+        registry.histogram("lat").observe(0.1)
+        registry.histogram("exact", deterministic=True).observe(2.0)
+        snap = registry.snapshot(deterministic_only=True)
+        assert set(snap) == {"hits", "exact"}
+
+
+class TestFanIn:
+    def test_delta_measures_post_baseline_growth(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        hist = registry.histogram("lat", buckets=(1.0,))
+        counter.inc(5)
+        hist.observe(0.5)
+        baseline = registry.baseline()
+        counter.inc(2)
+        hist.observe(10.0)
+        delta = registry.delta(baseline)
+        assert delta["counters"][("hits", ())][0] == 2.0
+        counts, sum_change, count_change, *_ = delta["histograms"][("lat", ())]
+        assert counts == [0, 1]
+        assert sum_change == pytest.approx(10.0)
+        assert count_change == 1
+
+    def test_unchanged_instruments_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(5)
+        baseline = registry.baseline()
+        delta = registry.delta(baseline)
+        assert delta == {"counters": {}, "histograms": {}}
+
+    def test_merge_delta_recreates_missing_instruments(self):
+        worker = MetricsRegistry()
+        worker.counter("hits", "help!", labels={"ctx": "a"}).inc(3)
+        worker.histogram("lat", buckets=(1.0,)).observe(0.2)
+        parent = MetricsRegistry()
+        parent.merge_delta(worker.delta(None))
+        assert parent.snapshot() == worker.snapshot()
+        merged = parent.get("hits", {"ctx": "a"})
+        assert merged.help == "help!"
+
+    def test_merge_delta_accumulates_into_existing(self):
+        parent = MetricsRegistry()
+        parent.counter("hits").inc(10)
+        worker = MetricsRegistry()
+        worker.counter("hits").inc(4)
+        parent.merge_delta(worker.delta(None))
+        assert parent.get("hits").value == 14.0
+
+    def test_merge_none_is_noop(self):
+        parent = MetricsRegistry()
+        parent.merge_delta(None)
+        assert len(parent) == 0
+
+
+class TestNullRegistry:
+    def test_hands_out_shared_null_instrument(self):
+        assert NULL_REGISTRY.counter("anything") is NULL_INSTRUMENT
+        assert NULL_REGISTRY.gauge("other") is NULL_INSTRUMENT
+        assert NULL_REGISTRY.histogram("third") is NULL_INSTRUMENT
+
+    def test_mutators_do_nothing(self):
+        instrument = NULL_REGISTRY.counter("x")
+        instrument.inc(5)
+        instrument.observe(1.0)
+        instrument.set(9)
+        instrument.dec()
+        assert instrument.value == 0.0
+        assert NULL_REGISTRY.snapshot() == {}
+        assert len(NULL_REGISTRY.instruments()) == 0
+
+    def test_fan_in_is_empty(self):
+        assert NULL_REGISTRY.baseline() == {}
+        assert NULL_REGISTRY.delta(None) == {"counters": {}, "histograms": {}}
+        NULL_REGISTRY.merge_delta({"counters": {}, "histograms": {}})
+
+    def test_disabled_flag(self):
+        assert NullRegistry().enabled is False
+        assert MetricsRegistry().enabled is True

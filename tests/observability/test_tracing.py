@@ -1,0 +1,84 @@
+"""Tests for the trace recorder and the Chrome trace exporter."""
+
+import json
+
+import pytest
+
+from repro.observability import TraceRecorder, chrome_trace
+
+
+class TestTraceRecorder:
+    def test_record_builds_chrome_format_spans(self):
+        recorder = TraceRecorder()
+        span = recorder.record("batch", ts=10.0, dur=5.0, args={"t": 42})
+        assert span["ph"] == "X"
+        assert span["name"] == "batch"
+        assert span["ts"] == 10.0
+        assert span["dur"] == 5.0
+        assert span["args"] == {"t": 42}
+        assert isinstance(span["pid"], int)
+        assert recorder.spans() == [span]
+
+    def test_span_context_manager_times_work(self):
+        recorder = TraceRecorder()
+        with recorder.span("transaction", "engine", t=7, partition="p1"):
+            pass
+        (span,) = recorder.spans()
+        assert span["cat"] == "engine"
+        assert span["args"] == {"t": 7, "partition": "p1"}
+        assert span["dur"] >= 0.0
+
+    def test_ring_buffer_bounds_memory(self):
+        recorder = TraceRecorder(capacity=3)
+        for i in range(10):
+            recorder.record(f"s{i}", ts=float(i), dur=1.0)
+        assert len(recorder) == 3
+        assert recorder.recorded_total == 10
+        assert recorder.dropped == 7
+        assert [s["name"] for s in recorder.spans()] == ["s7", "s8", "s9"]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity must be positive"):
+            TraceRecorder(capacity=0)
+
+    def test_since_returns_post_baseline_spans(self):
+        recorder = TraceRecorder()
+        recorder.record("old", ts=0.0, dur=1.0)
+        baseline = recorder.baseline()
+        assert recorder.since(baseline) == []
+        recorder.record("new", ts=1.0, dur=1.0)
+        assert [s["name"] for s in recorder.since(baseline)] == ["new"]
+
+    def test_absorb_merges_worker_spans(self):
+        parent = TraceRecorder()
+        parent.record("parent", ts=0.0, dur=1.0)
+        worker = TraceRecorder()
+        worker.record("worker", ts=5.0, dur=1.0)
+        parent.absorb(worker.spans())
+        assert [s["name"] for s in parent.spans()] == ["parent", "worker"]
+        assert parent.recorded_total == 2
+
+
+class TestChromeTrace:
+    def test_document_is_valid_json_with_trace_events(self):
+        recorder = TraceRecorder()
+        recorder.record("batch", ts=0.0, dur=2.0)
+        document = json.loads(chrome_trace(recorder))
+        assert document["displayTimeUnit"] == "ms"
+        assert len(document["traceEvents"]) == 1
+        assert document["otherData"]["recorded_total"] == 1
+        assert document["otherData"]["dropped"] == 0
+
+    def test_accepts_plain_span_lists(self):
+        recorder = TraceRecorder()
+        recorder.record("a", ts=0.0, dur=1.0)
+        recorder.record("b", ts=1.0, dur=1.0)
+        selected = [s for s in recorder.spans() if s["name"] == "b"]
+        document = json.loads(chrome_trace(selected))
+        assert [e["name"] for e in document["traceEvents"]] == ["b"]
+        assert "otherData" not in document
+
+    def test_non_serializable_args_are_stringified(self):
+        recorder = TraceRecorder()
+        recorder.record("batch", ts=0.0, dur=1.0, args={"part": (0, 1)})
+        json.loads(chrome_trace(recorder))
