@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos bench bench-hotpath bench-parallel bench-observability bench-tables examples validate lint-smoke all
+.PHONY: install test test-chaos difftest bench bench-hotpath bench-parallel bench-observability bench-tables examples validate lint-smoke all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -18,6 +18,14 @@ test-chaos:
 		tests/runtime/test_recovery.py \
 		tests/runtime/test_deadletter.py \
 		-q -p no:randomly
+
+# differential correctness harness: pairs of configurations that must
+# agree (optimizer rules, context-aware vs baseline, backends,
+# checkpoint/restore, reordered arrival) — pytest suite plus a
+# small-budget CLI sweep over every scenario and axis (docs/difftest.md)
+difftest:
+	$(PYTHON) -m pytest tests/difftest/ -q
+	$(PYTHON) -m repro diff --scenario all --axis all --scale 0.5
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -55,6 +55,7 @@ from repro.observability import (
     to_json_snapshot,
     to_prometheus,
 )
+from repro.optimizer.apply import OptimizationRules
 from repro.optimizer.planner import build_query_plan
 from repro.optimizer.pushdown import push_context_windows_down
 from repro.optimizer.sharing import build_nonshared_workload, build_shared_workload
@@ -84,6 +85,7 @@ __all__ = [
     "EngineReport",
     "MetricsRegistry",
     "Observability",
+    "OptimizationRules",
     "RecoveryManager",
     "SupervisedEngine",
     "SupervisionConfig",

@@ -34,6 +34,7 @@ from typing import Callable
 from repro.core.model import CaesarModel
 from repro.events.timebase import TimePoint
 from repro.observability import Observability
+from repro.optimizer.apply import OptimizationRules
 from repro.optimizer.sharing import SharedWorkload
 from repro.runtime.backend import ExecutionBackend
 from repro.runtime.deadletter import DeadLetterQueue
@@ -68,10 +69,13 @@ class EngineConfig:
     engine's constructor.  ``backend`` and ``observability`` accept the
     same specs as the engine constructors (instances, names, or ``None``
     to consult ``CAESAR_BACKEND`` / ``CAESAR_OBSERVABILITY``).
+    ``optimize`` additionally accepts an
+    :class:`~repro.optimizer.apply.OptimizationRules` for per-rewrite
+    control (the differential harness's optimizer axis).
     """
 
     context_aware: bool = True
-    optimize: bool = True
+    optimize: bool | OptimizationRules = True
     backend: ExecutionBackend | str | None = None
     supervision: SupervisionConfig | bool | None = None
     recovery: object | None = None

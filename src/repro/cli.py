@@ -11,6 +11,7 @@ Commands
 ``validate-traffic``   run the traffic scenario and validate its outputs
 ``parse``              parse a CAESAR query from the argument and dump it
 ``stats``              run a scenario with observability on and dump metrics
+``diff``               differential correctness harness (see docs/difftest.md)
 """
 
 from __future__ import annotations
@@ -89,6 +90,41 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--timeline", action="store_true",
         help="append the ASCII context timeline after the metrics",
+    )
+
+    diff = sub.add_parser(
+        "diff",
+        help="run the differential correctness harness: pairs of "
+        "configurations that must agree (optimizer on/off, context-aware "
+        "vs baseline, backends, checkpoint/restore, reordered arrival)",
+    )
+    diff.add_argument(
+        "--scenario",
+        choices=("traffic", "pam", "threshold", "all"),
+        default="all",
+        help="workload to diff (default: all)",
+    )
+    diff.add_argument(
+        "--axis",
+        choices=("optimizer", "context", "backend", "checkpoint",
+                 "reorder", "all"),
+        default="all",
+        help="equivalence axis to check (default: all)",
+    )
+    diff.add_argument("--seed", type=int, default=7)
+    diff.add_argument(
+        "--scale", type=float, default=1.0,
+        help="stream length multiplier (CI uses a small budget like 0.5)",
+    )
+    diff.add_argument(
+        "--inject-divergence", action="store_true",
+        help="drop one event from one side to prove the harness catches "
+        "and minimizes a real disagreement (exits non-zero)",
+    )
+    diff.add_argument(
+        "--no-shrink", action="store_true",
+        help="report the first divergence without ddmin-minimizing "
+        "the failing stream",
     )
     return parser
 
@@ -305,6 +341,54 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.difftest import AXES, comparisons_for, get_scenario, run_comparison
+
+    scenario_names = (
+        ("traffic", "pam", "threshold")
+        if args.scenario == "all"
+        else (args.scenario,)
+    )
+    axes = AXES if args.axis == "all" else (args.axis,)
+    failures = 0
+    checks = 0
+    for name in scenario_names:
+        scenario = get_scenario(name)
+        events = scenario.make_events(args.seed, args.scale)
+        print(
+            f"[{name}] {scenario.description}: {len(events)} events "
+            f"(seed={args.seed}, scale={args.scale})"
+        )
+        for axis in axes:
+            for comparison in comparisons_for(scenario, axis):
+                checks += 1
+                result = run_comparison(
+                    scenario,
+                    comparison,
+                    events,
+                    shrink=not args.no_shrink,
+                    inject_divergence=args.inject_divergence,
+                )
+                status = "ok" if result.passed else "DIVERGED"
+                print(f"  {axis:10s} {comparison.label:24s} {status}")
+                if not result.passed:
+                    failures += 1
+                    indent = "    "
+                    print(indent + result.divergence.describe().replace(
+                        "\n", "\n" + indent))
+                    if result.minimized is not None:
+                        print(
+                            f"{indent}minimized failing stream "
+                            f"({len(result.minimized)} of "
+                            f"{result.events_run} events):"
+                        )
+                        for event in result.minimized:
+                            print(f"{indent}  {event!r}")
+    verdict = "diverged" if failures else "agreed"
+    print(f"{checks} comparisons, {failures} diverged -> {verdict}")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -326,6 +410,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_parse(args)
         if args.command == "stats":
             return _cmd_stats(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
     except CaesarError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

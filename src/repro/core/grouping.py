@@ -71,7 +71,14 @@ def _dedup_queries(queries: Iterable[EventQuery]) -> tuple[EventQuery, ...]:
 
 def _merge_identical(specs: list[WindowSpec]) -> list[WindowSpec]:
     """Merge windows with identical bounds, combining their workloads
-    (Listing 1, line 6)."""
+    (Listing 1, line 6).
+
+    Provenance travels in the merged spec's ``sources`` tuple — *not* in
+    its display name — so original window names survive verbatim however
+    they are spelled (a name containing ``"+"`` used to corrupt
+    :func:`grouped_windows_for_source` attribution when merged names were
+    re-split on the separator).
+    """
     by_bounds: dict[tuple[TimePoint, TimePoint], WindowSpec] = {}
     order: list[tuple[TimePoint, TimePoint]] = []
     for spec in specs:
@@ -84,6 +91,7 @@ def _merge_identical(specs: list[WindowSpec]) -> list[WindowSpec]:
                 end=spec.end,
                 queries=existing.queries + spec.queries,
                 predicates=existing.predicates + spec.predicates,
+                sources=existing.source_names + spec.source_names,
             )
         else:
             by_bounds[key] = spec
@@ -133,20 +141,38 @@ def group_context_windows(
 
     # Lines 8-19: sweep the window bounds; each interval between two
     # subsequent bounds becomes one grouped window carrying the queries of
-    # all original windows active during that interval.
+    # all original windows active during that interval.  The sweep keeps an
+    # *active set* updated at each bound (specs entering at their start,
+    # leaving at their end) instead of rescanning every spec per interval,
+    # so the pass is ``O(bounds + windows)`` rather than
+    # ``O(bounds × windows)``.  ``active`` is keyed by the spec's position
+    # in the (start, end)-sorted ``overlapping`` list: insertions happen in
+    # ascending index order, so iterating the dict reproduces exactly the
+    # spec order the former rescan produced.
     bounds = sorted({s.start for s in overlapping} | {s.end for s in overlapping})
+    entering: dict[TimePoint, list[int]] = {}
+    leaving: dict[TimePoint, list[int]] = {}
+    for index, spec in enumerate(overlapping):
+        entering.setdefault(spec.start, []).append(index)
+        leaving.setdefault(spec.end, []).append(index)
+    active: dict[int, WindowSpec] = {}
     for previous, nxt in zip(bounds, bounds[1:]):
-        active = [s for s in overlapping if s.start <= previous and nxt <= s.end]
+        for index in leaving.get(previous, ()):
+            active.pop(index, None)
+        for index in entering.get(previous, ()):
+            active[index] = overlapping[index]
         if not active:
             continue
-        queries = [q for spec in active for q in spec.queries]
+        queries = [q for spec in active.values() for q in spec.queries]
         grouped.append(
             GroupedWindow(
                 start=previous,
                 end=nxt,
                 queries=_dedup_queries(queries),
                 source_names=tuple(
-                    name for spec in active for name in spec.name.split("+")
+                    name
+                    for spec in active.values()
+                    for name in spec.source_names
                 ),
             )
         )

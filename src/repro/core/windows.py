@@ -36,11 +36,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass
 class ContextWindow:
-    """A concrete context window ``w_c`` with duration ``(start, end]``.
+    """A concrete context window ``w_c`` with occupancy ``[start, end)``.
 
     ``end is None`` while the window is still open.  ``start`` is the time
     point at which an initiating query matched; ``end`` the time point at
     which a terminating query matched (Definition 1).
+
+    The paper writes window durations as ``(t_i, t_t]``; this repository
+    uses the equivalent half-open convention ``[t_i, t_t)`` shifted one
+    scheduling step left, because the time-driven scheduler completes
+    context *derivation* for time ``t`` before context *processing* at
+    ``t``: a context initiated at ``t`` is already in force for the batch
+    at ``t``, and a context terminated at ``t`` is already out of force at
+    ``t``.  Both conventions make consecutive windows partition the
+    timeline without gap or double occupancy; see
+    ``docs/architecture.md`` § 9.1.
     """
 
     context_name: str
@@ -52,16 +62,20 @@ class ContextWindow:
         return self.end is None
 
     def holds_at(self, t: TimePoint) -> bool:
-        """True if the window holds at time ``t`` (duration ``(start, end]``).
+        """True if the window holds at time ``t`` (occupancy ``[start, end)``).
 
         The initiating time point itself belongs to the window so that the
         very batch that raises a context is processed within it — the
-        benchmark's toll queries rely on this (the paper's scheduler runs
-        context derivation for time ``t`` before context processing at ``t``).
+        benchmark's toll queries rely on this.  The terminating time point
+        does *not*: the deriving phase at ``end`` clears the context bit
+        before any processing at ``end`` runs, so the engine never executes
+        a plan within a window at its own termination instant.  (Before
+        this was fixed, ``holds_at`` claimed closed-end occupancy the
+        router never actually implemented.)
         """
         if t < self.start:
             return False
-        return self.end is None or t <= self.end
+        return self.end is None or t < self.end
 
     @property
     def duration(self) -> TimePoint | None:
@@ -71,7 +85,7 @@ class ContextWindow:
 
     def __repr__(self) -> str:
         end = "open" if self.end is None else self.end
-        return f"<w_{self.context_name} ({self.start}, {end}]>"
+        return f"<w_{self.context_name} [{self.start}, {end})>"
 
 
 @dataclass(frozen=True)
@@ -91,6 +105,13 @@ class WindowSpec:
     end: TimePoint
     queries: tuple["EventQuery", ...] = ()
     predicates: tuple["ThresholdPredicate", ...] = ()
+    #: names of the original user windows this spec stands for.  Empty for
+    #: a user-authored spec (the spec *is* the original window); populated
+    #: by the grouping algorithm when identical-bound windows are merged.
+    #: Carrying provenance as structured data — instead of encoding it into
+    #: ``name`` with a separator — keeps attribution correct for user
+    #: window names containing arbitrary characters (``"+"`` included).
+    sources: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.end <= self.start:
@@ -99,11 +120,22 @@ class WindowSpec:
                 f"[{self.start}, {self.end}]"
             )
 
+    @property
+    def source_names(self) -> tuple[str, ...]:
+        """The original user window names this spec carries.
+
+        A plain spec represents itself; a merged spec (identical bounds,
+        Listing 1 line 6) represents every window merged into it.
+        """
+        return self.sources or (self.name,)
+
     def overlaps(self, other: "WindowSpec") -> bool:
         """True if the two specs' intervals share more than a point."""
         return self.start < other.end and other.start < self.end
 
     def covers(self, t: TimePoint) -> bool:
+        """Half-open ``[start, end)`` coverage — the same occupancy
+        convention as :meth:`ContextWindow.holds_at`."""
         return self.start <= t < self.end
 
     @property

@@ -1,0 +1,72 @@
+"""Differential correctness harness (``repro diff``).
+
+The repository accumulates pairs of execution paths that are *supposed* to
+be equivalent: optimized vs unoptimized plans, context-aware routing vs the
+context-independent baseline, serial vs sharded backends, a straight
+run vs checkpoint/restore-mid-stream, in-order arrival vs jittered arrival
+recovered through a :class:`~repro.runtime.reorder.ReorderBuffer`.  Each
+equivalence is a metamorphic test oracle — no hand-written expected output
+needed, just "these two configurations must agree".
+
+This package runs generated workloads through those pairs and diffs the
+*canonical results* (derived-event streams, context windows, deterministic
+counters).  On divergence it reports the first differing element and
+ddmin-shrinks the input stream to a minimal failing reproduction.
+
+Three entry points:
+
+* ``python -m repro diff --scenario traffic --axis all`` (CLI);
+* the :mod:`tests.difftest` property suite (pytest + hypothesis);
+* ``make difftest`` (CI).
+
+See ``docs/difftest.md`` for the full tour.
+"""
+
+from repro.difftest.axes import (
+    AXES,
+    Comparison,
+    comparisons_for,
+    run_axis,
+    run_comparison,
+)
+from repro.difftest.canonical import (
+    CanonicalResult,
+    Divergence,
+    canonical_event,
+    canonicalize,
+    first_divergence,
+)
+from repro.difftest.harness import DiffResult, RunSpec, execute, run_pair
+from repro.difftest.scenarios import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    pam_scenario,
+    threshold_scenario,
+    traffic_scenario,
+)
+from repro.difftest.shrink import ddmin
+
+__all__ = [
+    "AXES",
+    "CanonicalResult",
+    "Comparison",
+    "DiffResult",
+    "Divergence",
+    "RunSpec",
+    "SCENARIOS",
+    "Scenario",
+    "canonical_event",
+    "canonicalize",
+    "comparisons_for",
+    "ddmin",
+    "execute",
+    "first_divergence",
+    "get_scenario",
+    "pam_scenario",
+    "run_axis",
+    "run_comparison",
+    "run_pair",
+    "threshold_scenario",
+    "traffic_scenario",
+]

@@ -1,0 +1,177 @@
+"""The five differential axes and their comparison pairs.
+
+Each axis names an equivalence the engine stack promises:
+
+``optimizer``
+    Unoptimized plans vs the default push-down vs the full rewrite
+    pipeline, plus (where the scenario carries a user-window schedule)
+    non-shared vs shared workload execution — grouping on/off.
+``context``
+    Context-aware routing/suspension vs the context-independent baseline.
+``backend``
+    Serial execution vs the thread- and process-sharded backends.
+``checkpoint``
+    One straight run vs checkpoint mid-stream, restore into a fresh
+    engine, replay the suffix.
+``reorder``
+    In-order arrival vs arrival jittered within a bound and recovered
+    through a :class:`~repro.runtime.reorder.ReorderBuffer`.
+
+:func:`run_comparison` executes one pair, and on divergence ddmin-shrinks
+the stream to a minimal failing reproduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.difftest.harness import DiffResult, RunSpec, run_pair
+from repro.difftest.scenarios import Scenario
+from repro.difftest.shrink import ddmin
+from repro.events.event import Event
+
+AXES = ("optimizer", "context", "backend", "checkpoint", "reorder")
+
+_BASELINE = RunSpec(label="baseline")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One must-agree pair within an axis."""
+
+    axis: str
+    label: str
+    left: RunSpec
+    right: RunSpec
+
+
+def _process_backend_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def comparisons_for(scenario: Scenario, axis: str) -> list[Comparison]:
+    """The comparison pairs of ``axis`` applicable to ``scenario``."""
+    if axis == "optimizer":
+        pairs = [
+            Comparison(
+                axis, "none-vs-pushdown",
+                RunSpec(label="optimize:none", optimize="none"),
+                RunSpec(label="optimize:default", optimize="default"),
+            ),
+            Comparison(
+                axis, "none-vs-full",
+                RunSpec(label="optimize:none", optimize="none"),
+                RunSpec(label="optimize:full", optimize="full"),
+            ),
+        ]
+        if scenario.window_specs is not None:
+            pairs.append(Comparison(
+                axis, "nonshared-vs-shared",
+                RunSpec(label="workload:nonshared", workload="nonshared"),
+                RunSpec(label="workload:shared", workload="shared"),
+            ))
+        return pairs
+    if axis == "context":
+        return [Comparison(
+            axis, "aware-vs-independent",
+            _BASELINE,
+            RunSpec(label="context-independent", context_aware=False),
+        )]
+    if axis == "backend":
+        pairs = [Comparison(
+            axis, "serial-vs-thread",
+            _BASELINE,
+            RunSpec(label="backend:thread", backend="thread"),
+        )]
+        if _process_backend_available():
+            pairs.append(Comparison(
+                axis, "serial-vs-process",
+                _BASELINE,
+                RunSpec(label="backend:process", backend="process"),
+            ))
+        return pairs
+    if axis == "checkpoint":
+        return [Comparison(
+            axis, "straight-vs-restored",
+            _BASELINE,
+            RunSpec(label="checkpoint@0.5", checkpoint_at=0.5),
+        )]
+    if axis == "reorder":
+        jitter = int(scenario.reorder_jitter)
+        return [Comparison(
+            axis, "inorder-vs-jittered",
+            _BASELINE,
+            RunSpec(label=f"jitter:{jitter}", jitter=jitter),
+        )]
+    raise ValueError(f"unknown axis {axis!r} (have: {AXES})")
+
+
+def run_comparison(
+    scenario: Scenario,
+    comparison: Comparison,
+    events: list[Event],
+    *,
+    shrink: bool = True,
+    inject_divergence: bool = False,
+    max_shrink_tests: int = 200,
+) -> DiffResult:
+    """Execute one comparison; shrink the stream if it diverges.
+
+    ``inject_divergence`` drops one event from the right side's input —
+    the self-test proving the harness detects, reports and minimizes a
+    real disagreement (and that ``repro diff`` exits non-zero on one).
+    """
+    right = comparison.right
+    if inject_divergence:
+        right = dataclasses.replace(
+            right,
+            label=right.label + "+dropped-event",
+            drop_index=len(events) // 2,
+        )
+    divergence = run_pair(scenario, comparison.left, right, events)
+    minimized = None
+    if divergence is not None and shrink and len(events) > 1:
+        failing = ddmin(
+            events,
+            lambda subset: run_pair(scenario, comparison.left, right, subset)
+            is not None,
+            max_tests=max_shrink_tests,
+        )
+        minimized = tuple(failing)
+        # re-diff the minimized stream so the reported first divergence
+        # matches the reproduction we hand the user
+        divergence = run_pair(scenario, comparison.left, right, minimized)
+    return DiffResult(
+        scenario=scenario.name,
+        axis=comparison.axis,
+        label=comparison.label,
+        divergence=divergence,
+        events_run=len(events),
+        minimized=minimized,
+    )
+
+
+def run_axis(
+    scenario: Scenario,
+    axis: str,
+    *,
+    seed: int = 7,
+    scale: float = 1.0,
+    shrink: bool = True,
+    inject_divergence: bool = False,
+) -> list[DiffResult]:
+    """Run every comparison of ``axis`` on a freshly generated stream."""
+    events = scenario.make_events(seed, scale)
+    return [
+        run_comparison(
+            scenario,
+            comparison,
+            events,
+            shrink=shrink,
+            inject_divergence=inject_divergence,
+        )
+        for comparison in comparisons_for(scenario, axis)
+    ]

@@ -1,0 +1,259 @@
+"""Executing one configuration of a differential pair.
+
+:class:`RunSpec` is a frozen description of *how* to run a scenario's
+stream — which optimizer rules, context-aware or baseline, which backend,
+whether to checkpoint/restore mid-stream, whether to jitter arrival order
+through a reorder buffer.  :func:`execute` turns
+``(scenario, spec, events)`` into a :class:`~repro.difftest.canonical.CanonicalResult`
+via the public :func:`~repro.api.create_engine` path, so the harness
+exercises exactly the configuration surface applications use.
+
+Everything is a pure function of its inputs: same scenario + spec + events
+→ same canonical result.  That property is what makes ddmin shrinking
+(:mod:`repro.difftest.shrink`) sound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.api import EngineConfig, create_engine
+from repro.difftest.canonical import (
+    CanonicalResult,
+    Divergence,
+    canonicalize,
+    first_divergence,
+)
+from repro.difftest.scenarios import Scenario
+from repro.errors import CaesarError
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.optimizer.apply import OptimizationRules
+from repro.optimizer.sharing import (
+    build_nonshared_workload,
+    build_shared_workload,
+)
+from repro.runtime.checkpoint import capture_checkpoint, restore_checkpoint
+from repro.runtime.reorder import ReorderBuffer
+
+_NAMED_RULES = {
+    "default": OptimizationRules.default(),
+    "none": OptimizationRules.none(),
+    "full": OptimizationRules.all(),
+}
+
+
+def resolve_rules(spec: "str | bool | OptimizationRules") -> OptimizationRules:
+    """Accept named rule sets, bools, or explicit rule objects."""
+    if isinstance(spec, str):
+        try:
+            return _NAMED_RULES[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown optimize spec {spec!r} (have: {sorted(_NAMED_RULES)})"
+            ) from None
+    return OptimizationRules.from_spec(spec)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One side of a differential comparison.
+
+    ``optimize`` names a rule set ("default" / "none" / "full"), or is a
+    bool or :class:`OptimizationRules`.  ``checkpoint_at`` is a fraction of
+    the stream at which to capture a checkpoint, rebuild a fresh engine,
+    restore, and replay the suffix (aligned down to a stream-transaction
+    boundary — checkpoints are taken between transactions).  ``jitter``
+    displaces each event's *arrival* by up to that many time units and
+    recovers order through ``ReorderBuffer(max_delay=jitter)``.
+    ``workload`` switches to the scheduled workload engine over the
+    scenario's user-window schedule ("shared" groups windows, "nonshared"
+    runs one plan per (window, query)); its contract is derivation-set
+    equality, so those runs are canonicalized with ``dedup``.
+    ``drop_index`` silently drops one input event — the deliberate fault
+    used to prove the harness detects and shrinks divergences.
+    """
+
+    label: str
+    optimize: object = "default"
+    context_aware: bool = True
+    backend: str = "serial"
+    checkpoint_at: float | None = None
+    jitter: int = 0
+    jitter_seed: int = 17
+    workload: str | None = None  # None | "shared" | "nonshared"
+    drop_index: int | None = None
+
+    def __post_init__(self):
+        resolve_rules(self.optimize)  # validate eagerly
+        if self.workload not in (None, "shared", "nonshared"):
+            raise ValueError(
+                f"workload must be None, 'shared' or 'nonshared', "
+                f"got {self.workload!r}"
+            )
+        if self.checkpoint_at is not None and not 0 < self.checkpoint_at < 1:
+            raise ValueError("checkpoint_at must be a fraction in (0, 1)")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+
+class HarnessError(CaesarError):
+    """The harness itself was mis-used (not a divergence)."""
+
+
+# ---------------------------------------------------------------------------
+# input transformations
+# ---------------------------------------------------------------------------
+
+
+def _drop(events: list[Event], index: int) -> list[Event]:
+    if not events:
+        return events
+    index %= len(events)
+    return [e for i, e in enumerate(events) if i != index]
+
+
+def _jittered(events: list[Event], jitter: int, seed: int) -> list[Event]:
+    """Simulate out-of-order arrival bounded by ``jitter``, then recover.
+
+    Each event's arrival time is its timestamp plus a uniform displacement
+    in ``[0, jitter]``; the displaced arrival order feeds a
+    :class:`ReorderBuffer` with ``max_delay=jitter``.  The bound guarantees
+    no event is ever late (for any event ``e`` and earlier arrival ``f``:
+    ``t_f <= t_e + jitter``, so the watermark never passes ``t_e``), hence
+    recovery is lossless and the engine must see an equivalent stream.
+    Simultaneous events are normalized back to generation order afterwards
+    — a batch is a *set* in the model, but float aggregation makes
+    within-batch order observable, and that is not what this axis tests.
+    """
+    rng = random.Random(seed)
+    arrival = sorted(
+        events,
+        key=lambda e: (e.timestamp + rng.randint(0, jitter), e.event_id),
+    )
+    buffer = ReorderBuffer(max_delay=jitter)
+    released = list(buffer.feed(arrival))
+    released.extend(buffer.flush())
+    if buffer.late_events or len(released) != len(events):
+        raise HarnessError(
+            "jittered replay lost events: the displacement bound and the "
+            "reorder delay bound must be equal"
+        )
+    released.sort(key=lambda e: (e.timestamp, e.event_id))
+    return released
+
+
+def prepare_events(spec: RunSpec, events: list[Event]) -> list[Event]:
+    """Apply the spec's input transformations (drop, then jitter)."""
+    prepared = list(events)
+    if spec.drop_index is not None:
+        prepared = _drop(prepared, spec.drop_index)
+    if spec.jitter:
+        prepared = _jittered(prepared, spec.jitter, spec.jitter_seed)
+    return prepared
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+def _engine_config(scenario: Scenario, spec: RunSpec) -> EngineConfig:
+    return EngineConfig(
+        context_aware=spec.context_aware,
+        optimize=resolve_rules(spec.optimize),
+        backend=spec.backend,
+        partition_by=scenario.partition_by,
+        retention=scenario.retention,
+    )
+
+
+def _transaction_boundary(events: list[Event], fraction: float) -> int:
+    """The split index nearest ``fraction``, aligned up so a timestamp's
+    batch is never cut in half (checkpoints sit between transactions)."""
+    cut = max(1, min(len(events) - 1, int(len(events) * fraction)))
+    while cut < len(events) and (
+        events[cut].timestamp == events[cut - 1].timestamp
+    ):
+        cut += 1
+    return cut
+
+
+def _execute_workload(
+    scenario: Scenario, spec: RunSpec, events: list[Event]
+) -> CanonicalResult:
+    if scenario.window_specs is None:
+        raise HarnessError(
+            f"scenario {scenario.name!r} defines no window schedule for "
+            "workload runs"
+        )
+    builder = (
+        build_shared_workload
+        if spec.workload == "shared"
+        else build_nonshared_workload
+    )
+    workload = builder(
+        list(scenario.window_specs()), retention=scenario.retention
+    )
+    engine = create_engine(
+        workload, EngineConfig(context_aware=spec.context_aware)
+    )
+    report = engine.run(EventStream(events))
+    # derivation-*set* equality: multiplicity belongs to the non-shared
+    # side by construction (one derivation per covering window)
+    return canonicalize(report, dedup=True, compare_windows=False)
+
+
+def execute(
+    scenario: Scenario, spec: RunSpec, events: list[Event]
+) -> CanonicalResult:
+    """Run ``events`` under ``spec`` and return the canonical result."""
+    prepared = prepare_events(spec, events)
+    if spec.workload is not None:
+        return _execute_workload(scenario, spec, prepared)
+    config = _engine_config(scenario, spec)
+    if spec.checkpoint_at is None:
+        engine = create_engine(scenario.build_model(), config)
+        return canonicalize(engine.run(EventStream(prepared)))
+    cut = _transaction_boundary(prepared, spec.checkpoint_at)
+    prefix, suffix = prepared[:cut], prepared[cut:]
+    first = create_engine(scenario.build_model(), config)
+    prefix_report = first.run(EventStream(prefix))
+    checkpoint = capture_checkpoint(first)
+    second = create_engine(scenario.build_model(), config)
+    restore_checkpoint(second, checkpoint)
+    suffix_report = second.run(EventStream(suffix))
+    return canonicalize(
+        suffix_report,
+        extra_outputs=prefix_report.outputs,
+        extra_events_processed=prefix_report.events_processed,
+    )
+
+
+@dataclass(frozen=True)
+class DiffResult:
+    """Outcome of one differential comparison (possibly after shrinking)."""
+
+    scenario: str
+    axis: str
+    label: str
+    divergence: Divergence | None
+    events_run: int
+    minimized: tuple[Event, ...] | None = None
+
+    @property
+    def passed(self) -> bool:
+        return self.divergence is None
+
+
+def run_pair(
+    scenario: Scenario,
+    left: RunSpec,
+    right: RunSpec,
+    events: list[Event],
+) -> Divergence | None:
+    """Run both sides on the same events and diff the canonical results."""
+    return first_divergence(
+        execute(scenario, left, events), execute(scenario, right, events)
+    )

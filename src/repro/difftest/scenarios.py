@@ -1,0 +1,243 @@
+"""Workload scenarios for the differential harness.
+
+A :class:`Scenario` bundles everything one differential comparison needs:
+a model factory, a seeded stream generator, the partitioner and retention
+the application would use, and (optionally) a user-window schedule for the
+workload-sharing comparison.  Three scenarios ship:
+
+* ``traffic`` — the Linear Road reproduction (segment-partitioned,
+  congestion/accident contexts, toll + accident-warning derivations);
+* ``pam`` — physical activity monitoring (subject-partitioned heart-rate
+  bands);
+* ``threshold`` — a small synthetic alert/critical model whose streams are
+  cheap enough for hypothesis-driven property tests, with an overlapping
+  window schedule for the sharing (grouping on/off) comparison.
+
+``make_events(seed, scale)`` is deterministic in ``seed``; ``scale``
+multiplies run length so the CLI can trade coverage for time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.algebra.expressions import attr
+from repro.algebra.pattern import EventMatch
+from repro.core.model import CaesarModel
+from repro.core.queries import EventQuery, QueryAction
+from repro.core.windows import WindowSpec
+from repro.events.event import Event
+from repro.events.timebase import TimePoint
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime.queues import Partitioner, single_partition
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One differential workload: model + stream + engine settings."""
+
+    name: str
+    description: str
+    build_model: Callable[[], CaesarModel]
+    make_events: Callable[[int, float], list[Event]]
+    partition_by: Partitioner = single_partition
+    retention: TimePoint = 300
+    #: max timestamp displacement for the reorder axis (and the reorder
+    #: buffer's delay bound — arrival jittered by at most d is fully
+    #: recoverable with ``max_delay=d``)
+    reorder_jitter: TimePoint = 30
+    #: overlapping user windows for the sharing comparison (grouping
+    #: on/off); ``None`` skips that comparison for the scenario
+    window_specs: Callable[[], Sequence[WindowSpec]] | None = None
+
+
+# ---------------------------------------------------------------------------
+# traffic (Linear Road)
+# ---------------------------------------------------------------------------
+
+
+def traffic_scenario(*, segments: int = 3, minutes: int = 6) -> Scenario:
+    """The Linear Road scenario at a configurable (small) scale."""
+    from repro.linearroad.queries import (
+        build_traffic_model,
+        segment_partitioner,
+    )
+
+    def make_events(seed: int, scale: float) -> list[Event]:
+        from repro.linearroad.generator import (
+            LinearRoadConfig,
+            generate_stream,
+            paper_timeline_schedules,
+        )
+
+        config = paper_timeline_schedules(
+            LinearRoadConfig(
+                num_roads=1,
+                segments_per_road=segments,
+                duration_minutes=max(2, round(minutes * scale)),
+                seed=seed,
+            )
+        )
+        return list(generate_stream(config))
+
+    return Scenario(
+        name="traffic",
+        description=f"Linear Road, 1 road x {segments} segments",
+        build_model=build_traffic_model,
+        make_events=make_events,
+        partition_by=segment_partitioner,
+        retention=120,
+        reorder_jitter=30,
+    )
+
+
+# ---------------------------------------------------------------------------
+# pam (physical activity monitoring)
+# ---------------------------------------------------------------------------
+
+
+def pam_scenario(*, subjects: int = 3, minutes: int = 8) -> Scenario:
+    """The PAM scenario at a configurable (small) scale."""
+    from repro.pam.queries import build_pam_model, subject_partitioner
+
+    def make_events(seed: int, scale: float) -> list[Event]:
+        from repro.pam.generator import PamConfig, generate_pam_stream
+
+        config = PamConfig(
+            num_subjects=subjects,
+            duration_minutes=max(2, round(minutes * scale)),
+            seed=seed,
+        )
+        return list(generate_pam_stream(config))
+
+    return Scenario(
+        name="pam",
+        description=f"activity monitoring, {subjects} subjects",
+        build_model=build_pam_model,
+        make_events=make_events,
+        partition_by=subject_partitioner,
+        retention=60,
+        reorder_jitter=15,
+    )
+
+
+# ---------------------------------------------------------------------------
+# threshold (synthetic, property-test sized)
+# ---------------------------------------------------------------------------
+
+DIFF_READING = EventType.define(
+    "DiffReading", value="int", sec="int", zone="int"
+)
+DIFF_OUT = EventType.define("DiffOut", value="int", sec="int")
+
+
+def _build_threshold_model() -> CaesarModel:
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_context("critical")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN DiffReading r "
+        "WHERE r.value > 10 CONTEXT normal", name="raise_alert"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN DiffReading r "
+        "WHERE r.value <= 10 CONTEXT alert", name="clear_alert"))
+    model.add_query(parse_query(
+        "INITIATE CONTEXT critical PATTERN DiffReading r "
+        "WHERE r.value > 16 CONTEXT alert", name="raise_critical"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT critical PATTERN DiffReading r "
+        "WHERE r.value <= 16 CONTEXT critical", name="clear_critical"))
+    model.add_query(parse_query(
+        "DERIVE Alarm(r.value, r.sec) PATTERN DiffReading r CONTEXT alert",
+        name="alarm"))
+    model.add_query(parse_query(
+        "DERIVE Page(r.value, r.sec) PATTERN DiffReading r CONTEXT critical",
+        name="page"))
+    model.add_query(parse_query(
+        "DERIVE Pair(a.sec, b.sec) PATTERN SEQ(DiffReading a, DiffReading b) "
+        "WHERE a.value = b.value CONTEXT alert", name="pairs"))
+    return model
+
+
+def _zone_partitioner(event) -> object:
+    return event.get("zone")
+
+
+def _threshold_events(seed: int, scale: float) -> list[Event]:
+    rng = random.Random(seed)
+    steps = max(10, round(120 * scale))
+    events = []
+    for step in range(steps):
+        t = step * 5
+        for zone in (0, 1):
+            # occasional gaps keep context histories non-trivial
+            if rng.random() < 0.15:
+                continue
+            events.append(Event(DIFF_READING, t, {
+                "value": rng.randint(0, 20),
+                "sec": t,
+                "zone": zone,
+            }))
+    return events
+
+
+def _threshold_query(name: str, threshold: int) -> EventQuery:
+    return EventQuery(
+        name=name,
+        action=QueryAction.DERIVE,
+        pattern=EventMatch("DiffReading", "r"),
+        where=attr("value", "r").gt(threshold),
+        derive_type=DIFF_OUT,
+        derive_items=(
+            ("value", attr("value", "r")),
+            ("sec", attr("sec", "r")),
+        ),
+    )
+
+
+def _threshold_window_specs() -> list[WindowSpec]:
+    """Overlapping and contained user windows exercising Listing 1:
+    partial overlap, containment, and an identical-span merge."""
+    q_low = _threshold_query("low", 3)
+    q_mid = _threshold_query("mid", 9)
+    q_high = _threshold_query("high", 15)
+    return [
+        WindowSpec("morning", start=0, end=250, queries=(q_low, q_mid)),
+        WindowSpec("rush", start=150, end=400, queries=(q_mid, q_high)),
+        WindowSpec("incident", start=200, end=300, queries=(q_high,)),
+        WindowSpec("audit", start=150, end=400, queries=(q_low,)),
+    ]
+
+
+def threshold_scenario() -> Scenario:
+    return Scenario(
+        name="threshold",
+        description="synthetic alert/critical thresholds, 2 zones",
+        build_model=_build_threshold_model,
+        make_events=_threshold_events,
+        partition_by=_zone_partitioner,
+        retention=100,
+        reorder_jitter=20,
+        window_specs=_threshold_window_specs,
+    )
+
+
+SCENARIOS: dict[str, Callable[[], Scenario]] = {
+    "traffic": traffic_scenario,
+    "pam": pam_scenario,
+    "threshold": threshold_scenario,
+}
+
+
+def get_scenario(name: str, **kwargs) -> Scenario:
+    """Build a registered scenario by name (factory kwargs pass through)."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r} (have: {sorted(SCENARIOS)})"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,86 @@
+"""Delta-debugging (ddmin) stream minimization.
+
+When a differential pair diverges on a generated stream of thousands of
+events, the raw reproduction is useless for debugging.  :func:`ddmin`
+implements Zeller's classic algorithm over the event list: repeatedly try
+removing chunks (then complements of chunks) while the failure predicate
+still holds, halving granularity until the result is 1-minimal — removing
+any single remaining event makes the divergence disappear.
+
+Event subsets preserve relative order, so any subset of a
+timestamp-ordered stream is itself a valid stream.  The predicate must be
+deterministic (it re-runs both sides of the comparison), which
+:mod:`repro.difftest.harness` guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+Item = TypeVar("Item")
+
+
+def ddmin(
+    items: Sequence[Item],
+    is_failing: Callable[[list[Item]], bool],
+    *,
+    max_tests: int = 2000,
+) -> list[Item]:
+    """Minimize ``items`` while ``is_failing`` holds.
+
+    ``is_failing`` receives a candidate sublist (in original order) and
+    returns True when the divergence still reproduces.  ``max_tests``
+    bounds predicate invocations; on exhaustion the best-so-far reduction
+    is returned (still failing, possibly not 1-minimal).
+
+    Raises ``ValueError`` if the full input does not fail — minimizing a
+    passing input means the caller's predicate is broken.
+    """
+    current = list(items)
+    if not is_failing(current):
+        raise ValueError("ddmin requires a failing input to minimize")
+    tests = 1
+    granularity = 2
+    while len(current) >= 2 and tests < max_tests:
+        chunk = max(1, len(current) // granularity)
+        subsets = [
+            current[start : start + chunk]
+            for start in range(0, len(current), chunk)
+        ]
+        reduced = False
+        # try each subset alone, then each complement
+        for candidate in subsets:
+            if tests >= max_tests:
+                break
+            tests += 1
+            if len(candidate) < len(current) and is_failing(candidate):
+                current = candidate
+                granularity = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        if granularity > 2:
+            for index in range(len(subsets)):
+                if tests >= max_tests:
+                    break
+                complement = [
+                    item
+                    for i, subset in enumerate(subsets)
+                    if i != index
+                    for item in subset
+                ]
+                if len(complement) == len(current):
+                    continue
+                tests += 1
+                if is_failing(complement):
+                    current = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if reduced:
+            continue
+        if granularity >= len(current):
+            break  # 1-minimal
+        granularity = min(len(current), granularity * 2)
+    return current

@@ -1,11 +1,21 @@
 """Time domain of the CAESAR model (Section 2, "Preliminaries").
 
-Time is a linearly ordered set of time points ``(T, <=)`` with ``T`` a subset
-of the non-negative rationals.  We represent time points as plain numbers
-(``int`` or ``float``); a :class:`TimeInterval` is a closed interval
-``[start, end]`` with ``start <= end``.  The occurrence time of a *complex*
-event spans the occurrence times of all events it was derived from, so
-intervals — not just points — are first-class here.
+Time is a linearly ordered set of time points ``(T, <=)``; the paper takes
+``T`` to be a subset of the non-negative rationals, but this library only
+requires the ordering — negative time points (epoch offsets, clocks
+rebased to a reference instant) are accepted everywhere, which matters for
+the reorder buffer's lateness accounting.  We represent time points as
+plain numbers (``int`` or ``float``); a :class:`TimeInterval` is a closed
+interval ``[start, end]`` with ``start <= end``.  The occurrence time of a
+*complex* event spans the occurrence times of all events it was derived
+from, so intervals — not just points — are first-class here.
+
+Note the two interval conventions living side by side: *occurrence times*
+of events are closed intervals (an event derived from contributors at 10
+and 20 occurred throughout ``[10, 20]``), whereas *context window
+occupancy* is half-open ``[start, end)`` (see
+:class:`repro.core.windows.ContextWindow` and ``docs/architecture.md``
+§ 9.1).  They answer different questions and are deliberately distinct.
 """
 
 from __future__ import annotations
@@ -28,8 +38,6 @@ class TimeInterval:
     end: TimePoint
 
     def __post_init__(self) -> None:
-        if self.start < 0:
-            raise ValueError(f"time must be non-negative, got start={self.start}")
         if self.end < self.start:
             raise ValueError(
                 f"interval end must not precede start: [{self.start}, {self.end}]"

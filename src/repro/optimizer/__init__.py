@@ -15,7 +15,12 @@
 
 from repro.optimizer.planner import build_combined_plans, build_query_plan
 from repro.optimizer.pushdown import is_pushed_down, push_context_windows_down
-from repro.optimizer.apply import full_optimize, reorder_filters
+from repro.optimizer.apply import (
+    OptimizationRules,
+    full_optimize,
+    optimize_combined,
+    reorder_filters,
+)
 from repro.optimizer.cost import CostModel, estimate_plan_cost
 from repro.optimizer.search import (
     LogicalOperator,
@@ -30,6 +35,7 @@ from repro.optimizer.sharing import SharedWorkload, build_shared_workload
 __all__ = [
     "CostModel",
     "LogicalOperator",
+    "OptimizationRules",
     "SearchResult",
     "SharedWorkload",
     "build_combined_plans",
@@ -42,6 +48,7 @@ __all__ = [
     "greedy_search",
     "is_pushed_down",
     "make_search_space",
+    "optimize_combined",
     "push_context_windows_down",
     "reorder_filters",
 ]

@@ -13,8 +13,10 @@ optimization pipeline::
 
 from __future__ import annotations
 
+from dataclasses import dataclass, fields
+
 from repro.algebra.operators import Operator
-from repro.algebra.plan import QueryPlan
+from repro.algebra.plan import CombinedQueryPlan, QueryPlan
 from repro.algebra.relational_ops import Filter
 from repro.optimizer.cost import CostModel
 from repro.optimizer.pushdown import push_context_windows_down
@@ -22,6 +24,58 @@ from repro.optimizer.rules import (
     merge_adjacent_filters,
     swap_filter_below_projection,
 )
+
+
+@dataclass(frozen=True)
+class OptimizationRules:
+    """Per-rule enable/disable switches for the optimization pipeline.
+
+    Every rewrite is individually toggleable so equivalence tooling (the
+    ``repro.difftest`` harness, the optimizer property tests) can diff a
+    plan with exactly one rule on against the same plan with it off — each
+    rule must be result-preserving on its own, not only in composition.
+
+    ``from_spec`` normalises the engine-facing spec:
+
+    * ``True`` → :meth:`default` — the context window push-down only, the
+      paper's Section 5.2 rewrite and the engines' historical behaviour;
+    * ``False`` → :meth:`none` — the naive Table 1 plan, untouched;
+    * an :class:`OptimizationRules` instance passes through unchanged.
+    """
+
+    pushdown: bool = True
+    filter_swap: bool = False
+    filter_reorder: bool = False
+    filter_merge: bool = False
+
+    @classmethod
+    def default(cls) -> "OptimizationRules":
+        """What ``optimize=True`` has always meant: push-down only."""
+        return cls()
+
+    @classmethod
+    def none(cls) -> "OptimizationRules":
+        return cls(False, False, False, False)
+
+    @classmethod
+    def all(cls) -> "OptimizationRules":
+        """Every rewrite on — the :func:`full_optimize` pipeline."""
+        return cls(True, True, True, True)
+
+    @classmethod
+    def from_spec(cls, spec: "bool | OptimizationRules") -> "OptimizationRules":
+        if isinstance(spec, OptimizationRules):
+            return spec
+        if spec is True:
+            return cls.default()
+        if spec is False:
+            return cls.none()
+        raise TypeError(
+            f"optimize must be a bool or OptimizationRules, got {spec!r}"
+        )
+
+    def __bool__(self) -> bool:
+        return any(getattr(self, f.name) for f in fields(self))
 
 
 def _filter_rank(filter_op: Filter, model: CostModel) -> float:
@@ -65,7 +119,10 @@ def reorder_filters(
 
 
 def full_optimize(
-    plan: QueryPlan, model: CostModel | None = None
+    plan: QueryPlan,
+    model: CostModel | None = None,
+    *,
+    rules: OptimizationRules | None = None,
 ) -> QueryPlan:
     """The complete single-plan optimization pipeline.
 
@@ -75,11 +132,41 @@ def full_optimize(
     3. adjacent-filter merging happens *after* the reorder so the merged
        conjunct evaluates its cheapest-selective condition first
        (``And`` evaluation short-circuits left to right).
+
+    ``rules`` disables individual rewrites (default: all on); every subset
+    must be result-preserving, which the difftest property suite asserts.
     """
     model = model or CostModel()
-    plan = push_context_windows_down(plan)
+    rules = OptimizationRules.all() if rules is None else rules
+    if rules.pushdown:
+        plan = push_context_windows_down(plan)
     # swap filters below projections first so the reorderable run is maximal
-    plan = swap_filter_below_projection(plan)
-    plan = reorder_filters(plan, model)
-    plan = merge_adjacent_filters(plan)
+    if rules.filter_swap:
+        plan = swap_filter_below_projection(plan)
+    if rules.filter_reorder:
+        plan = reorder_filters(plan, model)
+    if rules.filter_merge:
+        plan = merge_adjacent_filters(plan)
     return plan
+
+
+def optimize_combined(
+    combined: CombinedQueryPlan,
+    rules: OptimizationRules,
+    model: CostModel | None = None,
+) -> CombinedQueryPlan:
+    """Apply the rule-gated pipeline to every plan of a combined plan.
+
+    This is the engines' optimization entry point: a
+    :class:`~repro.runtime.engine.CaesarEngine` built with
+    ``optimize=OptimizationRules(...)`` routes its plan templates through
+    here, so each rewrite can be switched independently per engine.
+    """
+    if not rules:
+        return combined
+    model = model or CostModel()
+    return CombinedQueryPlan(
+        [full_optimize(plan, model, rules=rules) for plan in combined.plans],
+        name=combined.name,
+        context_name=combined.context_name,
+    )

@@ -37,8 +37,8 @@ from repro.observability import (
     Observability,
     resolve_observability,
 )
+from repro.optimizer.apply import OptimizationRules, optimize_combined
 from repro.optimizer.planner import build_plans_for_queries, build_combined_plans
-from repro.optimizer.pushdown import push_down_combined
 from repro.optimizer.sharing import ExecutionUnit, SharedWorkload
 from repro.runtime.backend import ExecutionBackend, RunTotals, resolve_backend
 from repro.runtime.garbage import GarbageCollector
@@ -236,7 +236,12 @@ class CaesarEngine:
     model:
         The CAESAR model to execute.
     optimize:
-        Apply the context window push-down to every plan (Section 5.2).
+        ``True`` applies the context window push-down to every plan
+        (Section 5.2); ``False`` leaves the naive Table 1 plans untouched.
+        An :class:`~repro.optimizer.apply.OptimizationRules` instance
+        switches each rewrite (push-down, filter/projection swap, filter
+        reordering, filter merging) individually — the differential
+        harness's optimized-vs-unoptimized axis runs on these switches.
     context_aware:
         Route batches only to plans of active contexts (Section 6.2).  With
         both flags False the engine is the context-independent baseline.
@@ -269,7 +274,7 @@ class CaesarEngine:
         self,
         model: CaesarModel,
         *,
-        optimize: bool = True,
+        optimize: bool | OptimizationRules = True,
         context_aware: bool = True,
         retention: TimePoint = 300,
         partition_by: Partitioner = single_partition,
@@ -281,7 +286,11 @@ class CaesarEngine:
         observability: Observability | str | bool | None = None,
     ):
         self.model = model
-        self.optimize = optimize
+        #: the per-rule switches actually applied to the plan templates
+        self.optimize_rules = OptimizationRules.from_spec(optimize)
+        #: truthiness of the rule set — kept as a plain bool because the
+        #: checkpoint format verifies it structurally (v2 ``optimize`` flag)
+        self.optimize = bool(self.optimize_rules)
         self.context_aware = context_aware
         self.retention = retention
         self.partition_by = partition_by
@@ -320,8 +329,10 @@ class CaesarEngine:
     def _templates(self, queries) -> dict[str, CombinedQueryPlan]:
         plans = build_plans_for_queries(queries, retention=self.retention)
         combined = build_combined_plans(plans)
-        if self.optimize:
-            combined = [push_down_combined(c) for c in combined]
+        if self.optimize_rules:
+            combined = [
+                optimize_combined(c, self.optimize_rules) for c in combined
+            ]
         templates: dict[str, CombinedQueryPlan] = {}
         for plan in combined:
             if plan.context_name is None:

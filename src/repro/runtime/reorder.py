@@ -55,8 +55,13 @@ class ReorderBuffer:
         self.max_delay = max_delay
         self.on_late = on_late
         self._heap: list[tuple[TimePoint, int, Event]] = []
-        self._max_seen: TimePoint = -1
-        self._last_released: TimePoint = -1
+        #: largest timestamp seen so far; ``None`` until the first event.
+        #: A numeric sentinel (the old ``-1``) would anchor the initial
+        #: watermark at ``-1 - max_delay``, silently dead-lettering events
+        #: on streams whose timestamps are negative (epoch offsets,
+        #: relative clocks) and mis-counting reorderings around t=0.
+        self._max_seen: TimePoint | None = None
+        self._last_released: TimePoint | None = None
         self.late_events = 0
         self.reordered_events = 0
         self._late_counter = None
@@ -80,7 +85,13 @@ class ReorderBuffer:
 
     @property
     def watermark(self) -> TimePoint:
-        """Events at or below this timestamp are safe to release."""
+        """Events at or below this timestamp are safe to release.
+
+        Before any event has been seen the watermark is ``-inf``: nothing
+        can be late relative to a stream that has not started.
+        """
+        if self._max_seen is None:
+            return float("-inf")
         return self._max_seen - self.max_delay
 
     @property
@@ -109,14 +120,19 @@ class ReorderBuffer:
             if callable(self.on_late):
                 self.on_late(event)
             return []
-        if self._heap and event.timestamp < self._max_seen:
+        if (
+            self._heap
+            and self._max_seen is not None
+            and event.timestamp < self._max_seen
+        ):
             self.reordered_events += 1
             if self._reordered_counter is not None:
                 self._reordered_counter.inc()
         heapq.heappush(
             self._heap, (event.timestamp, event.event_id, event)
         )
-        self._max_seen = max(self._max_seen, event.timestamp)
+        if self._max_seen is None or event.timestamp > self._max_seen:
+            self._max_seen = event.timestamp
         return self._release(self.watermark)
 
     def _release(self, up_to: TimePoint) -> list[Event]:
@@ -136,6 +152,8 @@ class ReorderBuffer:
 
     def flush(self) -> list[Event]:
         """Release everything still buffered (end of stream)."""
+        if self._max_seen is None:
+            return []
         return self._release(self._max_seen)
 
     def sort_stream(self, events: Iterable[Event]) -> EventStream:

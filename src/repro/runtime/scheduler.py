@@ -47,7 +47,9 @@ class TimeDrivenScheduler:
     ):
         self._distributor = distributor
         self.log = log if log is not None else TransactionLog()
-        self._last_scheduled: TimePoint = -1
+        #: ``None`` until the first timestamp is scheduled — a numeric
+        #: sentinel would misorder streams that start at negative times
+        self._last_scheduled: TimePoint | None = None
         self.transactions_executed = 0
         #: timestamps scheduled with no pending events anywhere (e.g. a
         #: batch fully dead-lettered before distribution)
@@ -66,7 +68,7 @@ class TimeDrivenScheduler:
         progress lags ``t`` *while still holding events* is a real
         scheduling error and raises.
         """
-        if t <= self._last_scheduled:
+        if self._last_scheduled is not None and t <= self._last_scheduled:
             raise RuntimeEngineError(
                 f"scheduler asked to run t={t} after t={self._last_scheduled}"
             )

@@ -138,6 +138,40 @@ class TestSpecialCases:
         ]
         assert total_covered_length(grouped) == 15
 
+    def test_plus_in_window_name_survives_merging(self):
+        """Regression: merged provenance used to be encoded by joining
+        names with "+" and re-splitting, so a user window literally named
+        with a "+" broke attribution (and thereby partial-match retention
+        across its grouped splits)."""
+        specs = [
+            WindowSpec("rush+hour", start=0, end=10, queries=(Q1,)),
+            WindowSpec("night", start=0, end=10, queries=(Q2,)),
+            # overlap partner forces the merge path
+            WindowSpec("other", start=5, end=15, queries=(Q3,)),
+        ]
+        grouped = group_context_windows(specs)
+        rush = grouped_windows_for_source(grouped, "rush+hour")
+        assert [(w.start, w.end) for w in rush] == [(0, 5), (5, 10)]
+        for window in rush:
+            assert "rush+hour" in window.source_names
+            assert "rush" not in window.source_names
+            assert "hour" not in window.source_names
+        # the other merged window is attributed independently
+        night = grouped_windows_for_source(grouped, "night")
+        assert [(w.start, w.end) for w in night] == [(0, 5), (5, 10)]
+
+    def test_plus_named_window_without_merge(self):
+        specs = [
+            WindowSpec("a+b", start=0, end=20, queries=(Q1,)),
+            WindowSpec("c", start=10, end=30, queries=(Q2,)),
+        ]
+        grouped = group_context_windows(specs)
+        assert [
+            (w.start, w.end) for w in grouped_windows_for_source(grouped, "a+b")
+        ] == [(0, 10), (10, 20)]
+        assert grouped_windows_for_source(grouped, "a") == []
+        assert grouped_windows_for_source(grouped, "b") == []
+
 
 # ---------------------------------------------------------------------------
 # Property-based validation of the Listing 1 post-conditions
@@ -205,3 +239,68 @@ class TestGroupingProperties:
         for window in group_context_windows(specs):
             signatures = [q.signature() for q in window.queries]
             assert len(signatures) == len(set(signatures))
+
+    @given(window_specs())
+    @settings(max_examples=150)
+    def test_sweep_matches_quadratic_reference(self, specs):
+        """The active-set sweep is a pure optimization: byte-identical
+        output (order, bounds, workloads, provenance) to the quadratic
+        rescan it replaced."""
+        assert group_context_windows(specs) == _reference_grouping(specs)
+
+    @given(window_specs())
+    @settings(max_examples=150)
+    def test_source_attribution_is_exact(self, specs):
+        """A grouped window names source ``s`` iff spec ``s`` covers it."""
+        by_name = {s.name: s for s in specs}
+        for window in group_context_windows(specs):
+            for name, spec in by_name.items():
+                covered = spec.covers(window.start) and window.end <= spec.end
+                assert (name in window.source_names) == covered
+
+
+def _reference_grouping(specs):
+    """The pre-optimization quadratic implementation of Listing 1's sweep,
+    kept as the differential oracle for the active-set version."""
+    from repro.core.grouping import _dedup_queries, _merge_identical
+    from repro.errors import OptimizerError
+
+    if not specs:
+        return []
+    names = [s.name for s in specs]
+    if len(names) != len(set(names)):
+        raise OptimizerError("duplicate window spec names")
+    overlapping, grouped = [], []
+    for spec in specs:
+        if any(spec.overlaps(other) for other in specs if other is not spec):
+            overlapping.append(spec)
+        else:
+            grouped.append(
+                GroupedWindow(
+                    start=spec.start,
+                    end=spec.end,
+                    queries=_dedup_queries(spec.queries),
+                    source_names=(spec.name,),
+                )
+            )
+    overlapping.sort(key=lambda s: (s.start, s.end))
+    overlapping = _merge_identical(overlapping)
+    bounds = sorted({s.start for s in overlapping} | {s.end for s in overlapping})
+    for previous, nxt in zip(bounds, bounds[1:]):
+        active = [s for s in overlapping if s.start <= previous and nxt <= s.end]
+        if not active:
+            continue
+        grouped.append(
+            GroupedWindow(
+                start=previous,
+                end=nxt,
+                queries=_dedup_queries(
+                    [q for spec in active for q in spec.queries]
+                ),
+                source_names=tuple(
+                    name for spec in active for name in spec.source_names
+                ),
+            )
+        )
+    grouped.sort(key=lambda w: (w.start, w.end))
+    return grouped

@@ -25,8 +25,26 @@ class TestContextWindow:
         window = ContextWindow("congestion", 10, 50)
         assert not window.is_open
         assert window.duration == 40
-        assert window.holds_at(50)
+        assert window.holds_at(49)
+        assert not window.holds_at(50)
         assert not window.holds_at(51)
+
+    def test_boundary_occupancy_is_half_open(self):
+        """One consistent convention across the repo: ``[start, end)``.
+
+        The scheduler completes context derivation at ``t`` before any
+        processing at ``t``, so the initiating instant is inside the
+        window and the terminating instant is outside — the engine never
+        routes a batch to a plan of a window at its own termination time.
+        """
+        window = ContextWindow("c", 10, 20)
+        assert window.holds_at(10)  # initiation instant: in
+        assert not window.holds_at(20)  # termination instant: out
+        assert not window.holds_at(9)
+        # consecutive windows partition the timeline: no double occupancy
+        successor = ContextWindow("c2", 20, 30)
+        for t in (19, 20, 21):
+            assert window.holds_at(t) + successor.holds_at(t) == 1
 
 
 class TestWindowSpec:
@@ -45,6 +63,23 @@ class TestWindowSpec:
         spec = WindowSpec("w", start=0, end=10)
         assert spec.covers(0)
         assert not spec.covers(10)
+
+    def test_covers_matches_runtime_occupancy(self):
+        """WindowSpec.covers and ContextWindow.holds_at agree at every
+        boundary value — the compile-time and runtime views use the same
+        ``[start, end)`` convention."""
+        spec = WindowSpec("w", start=5, end=15)
+        window = ContextWindow("w", 5, 15)
+        for t in (4, 5, 6, 14, 15, 16):
+            assert spec.covers(t) == window.holds_at(t), f"disagree at t={t}"
+
+    def test_source_names_default_to_own_name(self):
+        spec = WindowSpec("solo", start=0, end=10)
+        assert spec.source_names == ("solo",)
+
+    def test_source_names_carry_merged_provenance(self):
+        spec = WindowSpec("a+b", start=0, end=10, sources=("a", "b"))
+        assert spec.source_names == ("a", "b")
 
     def test_guaranteed_overlap(self):
         outer = WindowSpec("outer", start=0, end=100)

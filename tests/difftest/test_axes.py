@@ -1,0 +1,68 @@
+"""All five differential axes agree on every shipped scenario.
+
+These are the headline acceptance checks of the harness: the same
+generated workload run through pairs of configurations that promise
+equivalence — optimizer rule sets, context-aware vs baseline, execution
+backends, checkpoint/restore-mid-stream, jittered arrival through the
+reorder buffer — produces identical canonical results.
+"""
+
+import pytest
+
+from repro.difftest import (
+    AXES,
+    comparisons_for,
+    get_scenario,
+    run_comparison,
+)
+
+SCALE = 0.4
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def streams():
+    """One generated stream per scenario, shared across axis tests."""
+    cache = {}
+    for name in ("traffic", "pam", "threshold"):
+        scenario = get_scenario(name)
+        cache[name] = (scenario, scenario.make_events(SEED, SCALE))
+    return cache
+
+
+@pytest.mark.parametrize("scenario_name", ["traffic", "pam", "threshold"])
+@pytest.mark.parametrize("axis", AXES)
+def test_axis_agrees(streams, scenario_name, axis):
+    scenario, events = streams[scenario_name]
+    assert events, "scenario generated an empty stream"
+    for comparison in comparisons_for(scenario, axis):
+        result = run_comparison(scenario, comparison, events, shrink=False)
+        assert result.passed, (
+            f"{scenario_name}/{axis}/{comparison.label}: "
+            f"{result.divergence.describe()}"
+        )
+
+
+def test_every_axis_has_comparisons():
+    scenario = get_scenario("threshold")
+    for axis in AXES:
+        assert comparisons_for(scenario, axis)
+
+
+def test_sharing_comparison_requires_window_schedule(streams):
+    scenario, _ = streams["traffic"]
+    labels = [c.label for c in comparisons_for(scenario, "optimizer")]
+    assert "nonshared-vs-shared" not in labels
+    threshold, _ = streams["threshold"]
+    labels = [c.label for c in comparisons_for(threshold, "optimizer")]
+    assert "nonshared-vs-shared" in labels
+
+
+def test_unknown_axis_rejected():
+    with pytest.raises(ValueError, match="unknown axis"):
+        comparisons_for(get_scenario("threshold"), "quantum")
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        get_scenario("nope")

@@ -1,0 +1,231 @@
+"""The harness itself: divergence detection, shrinking, CLI exit codes.
+
+A differential harness that cannot catch a planted bug proves nothing, so
+the central tests here *inject* a divergence (drop one event from one
+side) and assert it is detected, reported with a first-divergence element,
+ddmin-minimized, and surfaced as a non-zero CLI exit.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.difftest import (
+    RunSpec,
+    canonical_event,
+    comparisons_for,
+    ddmin,
+    execute,
+    first_divergence,
+    get_scenario,
+    run_comparison,
+    run_pair,
+)
+from repro.difftest.canonical import CanonicalResult, Divergence
+from repro.difftest.harness import prepare_events
+from repro.events.event import Event
+from repro.events.types import EventType
+
+PING = EventType.define("DiffPing", n="int")
+
+
+def ping(t, n=0):
+    return Event(PING, t, {"n": n})
+
+
+class TestInjectedDivergence:
+    """The harness catches, reports and minimizes a planted disagreement."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        scenario = get_scenario("threshold")
+        events = scenario.make_events(5, 0.3)
+        comparison = comparisons_for(scenario, "context")[0]
+        return run_comparison(
+            scenario, comparison, events, inject_divergence=True
+        ), len(events)
+
+    def test_divergence_detected(self, result):
+        outcome, _ = result
+        assert not outcome.passed
+        assert isinstance(outcome.divergence, Divergence)
+        assert outcome.divergence.component in (
+            "outputs", "windows", "counters",
+        )
+
+    def test_stream_minimized(self, result):
+        outcome, original = result
+        assert outcome.minimized is not None
+        assert 1 <= len(outcome.minimized) < original
+        # a single dropped event reproduces from any non-empty stream,
+        # so ddmin must reach the 1-minimal reproduction
+        assert len(outcome.minimized) == 1
+
+    def test_minimized_stream_still_diverges(self, result):
+        outcome, _ = result
+        scenario = get_scenario("threshold")
+        comparison = comparisons_for(scenario, "context")[0]
+        import dataclasses
+        right = dataclasses.replace(
+            comparison.right, drop_index=outcome.events_run // 2
+        )
+        assert run_pair(
+            scenario, comparison.left, right, list(outcome.minimized)
+        ) is not None
+
+
+class TestCli:
+    def test_agreeing_run_exits_zero(self, capsys):
+        code = main([
+            "diff", "--scenario", "threshold", "--axis", "reorder",
+            "--scale", "0.2", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 diverged -> agreed" in out
+
+    def test_injected_divergence_exits_nonzero_with_minimized_stream(
+        self, capsys
+    ):
+        code = main([
+            "diff", "--scenario", "threshold", "--axis", "context",
+            "--scale", "0.2", "--seed", "3", "--inject-divergence",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DIVERGED" in out
+        assert "first divergence in" in out
+        assert "minimized failing stream (1 of" in out
+
+    def test_no_shrink_skips_minimization(self, capsys):
+        code = main([
+            "diff", "--scenario", "threshold", "--axis", "context",
+            "--scale", "0.2", "--seed", "3", "--inject-divergence",
+            "--no-shrink",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "minimized failing stream" not in out
+
+
+class TestRunSpecValidation:
+    def test_bad_optimize_name(self):
+        with pytest.raises(ValueError, match="unknown optimize spec"):
+            RunSpec(label="x", optimize="turbo")
+
+    def test_bad_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            RunSpec(label="x", workload="grouped")
+
+    def test_bad_checkpoint_fraction(self):
+        with pytest.raises(ValueError, match="fraction"):
+            RunSpec(label="x", checkpoint_at=1.5)
+
+    def test_negative_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RunSpec(label="x", jitter=-1)
+
+
+class TestPrepareEvents:
+    def test_drop_removes_exactly_one(self):
+        events = [ping(t) for t in range(10)]
+        spec = RunSpec(label="x", drop_index=4)
+        prepared = prepare_events(spec, events)
+        assert len(prepared) == 9
+        assert [e.timestamp for e in prepared] == [
+            0, 1, 2, 3, 5, 6, 7, 8, 9,
+        ]
+
+    def test_jitter_recovers_original_order(self):
+        events = [ping(t, n=t) for t in range(0, 100, 3)]
+        spec = RunSpec(label="x", jitter=12, jitter_seed=9)
+        prepared = prepare_events(spec, events)
+        assert [e.event_id for e in prepared] == [
+            e.event_id for e in events
+        ]
+
+    def test_zero_jitter_is_identity(self):
+        events = [ping(t) for t in range(5)]
+        assert prepare_events(RunSpec(label="x"), events) == events
+
+
+class TestCanonical:
+    def test_canonical_event_ignores_identity(self):
+        a, b = ping(4, n=2), ping(4, n=2)
+        assert a.event_id != b.event_id
+        assert canonical_event(a) == canonical_event(b)
+
+    def test_first_divergence_none_on_equal(self):
+        result = CanonicalResult(outputs=(1, 2), windows=(), counters=())
+        assert first_divergence(result, result) is None
+
+    def test_first_divergence_reports_component_and_index(self):
+        left = CanonicalResult(outputs=(1, 2), windows=(), counters=())
+        right = CanonicalResult(outputs=(1, 3), windows=(), counters=())
+        found = first_divergence(left, right)
+        assert (found.component, found.index) == ("outputs", 1)
+        assert (found.left, found.right) == (2, 3)
+
+    def test_first_divergence_on_length_mismatch(self):
+        left = CanonicalResult(outputs=(1,), windows=(), counters=())
+        right = CanonicalResult(outputs=(1, 9), windows=(), counters=())
+        found = first_divergence(left, right)
+        assert (found.component, found.index) == ("outputs", 1)
+        assert (found.left, found.right) == (None, 9)
+
+    def test_outputs_checked_before_counters(self):
+        left = CanonicalResult(
+            outputs=(1,), windows=(), counters=(("n", 1),)
+        )
+        right = CanonicalResult(
+            outputs=(2,), windows=(), counters=(("n", 2),)
+        )
+        assert first_divergence(left, right).component == "outputs"
+
+
+class TestDdmin:
+    def test_minimizes_to_single_culprit(self):
+        items = list(range(40))
+        shrunk = ddmin(items, lambda subset: 23 in subset)
+        assert shrunk == [23]
+
+    def test_minimizes_interacting_pair(self):
+        items = list(range(30))
+        shrunk = ddmin(
+            items, lambda subset: 4 in subset and 27 in subset
+        )
+        assert shrunk == [4, 27]
+
+    def test_preserves_relative_order(self):
+        items = [5, 1, 9, 1, 7]
+        shrunk = ddmin(items, lambda subset: subset.count(1) >= 2)
+        assert shrunk == [1, 1]
+
+    def test_rejects_passing_input(self):
+        with pytest.raises(ValueError, match="failing input"):
+            ddmin([1, 2, 3], lambda subset: False)
+
+    def test_test_budget_returns_failing_reduction(self):
+        items = list(range(64))
+        shrunk = ddmin(items, lambda s: 10 in s, max_tests=5)
+        assert 10 in shrunk
+
+
+class TestExecuteDeterminism:
+    def test_same_spec_same_result(self):
+        scenario = get_scenario("threshold")
+        events = scenario.make_events(2, 0.2)
+        spec = RunSpec(label="x", optimize="full")
+        assert execute(scenario, spec, events) == execute(
+            scenario, spec, events
+        )
+
+    def test_workload_requires_schedule(self):
+        from repro.difftest.harness import HarnessError
+
+        scenario = get_scenario("traffic")
+        with pytest.raises(HarnessError, match="window schedule"):
+            execute(
+                scenario,
+                RunSpec(label="x", workload="shared"),
+                scenario.make_events(2, 0.2)[:10],
+            )

@@ -20,9 +20,13 @@ class TestTimeIntervalConstruction:
         assert not interval.is_point
         assert interval.duration == 5
 
-    def test_negative_start_rejected(self):
-        with pytest.raises(ValueError, match="non-negative"):
-            TimeInterval(-1, 4)
+    def test_negative_times_allowed(self):
+        """The paper restricts T to non-negative rationals; the library
+        only needs the ordering.  Epoch-offset (negative) clocks are valid
+        — the reorder buffer's lateness tests rely on this."""
+        interval = TimeInterval(-10, 4)
+        assert interval.duration == 14
+        assert TimeInterval.point(-3).is_point
 
     def test_inverted_bounds_rejected(self):
         with pytest.raises(ValueError, match="precede"):

@@ -84,6 +84,45 @@ class TestBasics:
         assert buffer.push(tick(9)) == []
         assert buffer.late_events == 1
 
+    def test_negative_timestamps_not_misclassified(self):
+        """Regression: ``_max_seen`` initialized to ``-1`` anchored the
+        initial watermark at ``-1 - max_delay``, so streams with negative
+        timestamps (epoch offsets) were silently dead-lettered."""
+        buffer = ReorderBuffer(max_delay=0)
+        released = list(buffer.feed([tick(-30), tick(-20), tick(-10)]))
+        released.extend(buffer.flush())
+        assert [e.timestamp for e in released] == [-30, -20, -10]
+        assert buffer.late_events == 0
+
+    def test_negative_timestamps_reorder_within_bound(self):
+        buffer = ReorderBuffer(max_delay=10)
+        released = list(buffer.feed([tick(-10), tick(-15), tick(-2), tick(20)]))
+        released.extend(buffer.flush())
+        assert [e.timestamp for e in released] == [-15, -10, -2, 20]
+        assert buffer.late_events == 0
+        assert buffer.reordered_events == 1
+
+    def test_first_event_never_counted_reordered(self):
+        """Regression: the numeric sentinel compared the first event's
+        timestamp against ``-1`` — an event at a negative time could be
+        mis-booked as reordered (or late) before any predecessor existed."""
+        buffer = ReorderBuffer(max_delay=100)
+        buffer.push(tick(-50))
+        assert buffer.reordered_events == 0
+        assert buffer.late_events == 0
+        assert buffer.watermark == -150
+
+    def test_initial_watermark_is_minus_infinity(self):
+        buffer = ReorderBuffer(max_delay=5)
+        assert buffer.watermark == float("-inf")
+        assert buffer.flush() == []
+
+    def test_negative_late_event_detected(self):
+        buffer = ReorderBuffer(max_delay=5)
+        list(buffer.feed([tick(-100), tick(-50)]))
+        assert buffer.push(tick(-90)) == []  # watermark at -55
+        assert buffer.late_events == 1
+
     def test_on_late_callback_invoked_after_counting(self):
         seen = []
         buffer = ReorderBuffer(max_delay=5, on_late=seen.append)

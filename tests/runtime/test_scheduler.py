@@ -37,6 +37,20 @@ class TestScheduling:
         with pytest.raises(RuntimeEngineError, match="after"):
             scheduler.run_time(1, lambda t: None)
 
+    def test_negative_timestamps_schedulable(self):
+        """Regression (found by the differential property suite): the
+        last-scheduled sentinel was the number ``-1``, so a stream starting
+        at t <= -1 crashed with a bogus misordering error."""
+        distributor = EventDistributor()
+        distributor.distribute([tick(-30), tick(-1)])
+        scheduler = TimeDrivenScheduler(distributor)
+        executed = []
+        scheduler.run_time(-30, executed.append)
+        scheduler.run_time(-1, executed.append)
+        assert [t.timestamp for t in executed] == [-30, -1]
+        with pytest.raises(RuntimeEngineError, match="after"):
+            scheduler.run_time(-1, lambda t: None)
+
     def test_waits_for_distributor_progress(self):
         """The scheduler refuses to run ahead of the distributor
         (Section 6.2: wait until the distributor progress passes t)."""
