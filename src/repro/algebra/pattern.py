@@ -66,6 +66,19 @@ class MatchEvent(Event):
         # to __getattr__, which materializes the flat payload in place.
         object.__delattr__(self, "_payload")
 
+    def __getstate__(self) -> dict:
+        # Event's state protocol doesn't know about the binding slot; ship
+        # it explicitly so matches survive the process backend's object
+        # lane (the flat payload is rematerialized lazily on the far side).
+        state = super().__getstate__()
+        state["binding"] = self.binding
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        binding = state.pop("binding")
+        super().__setstate__(state)
+        object.__setattr__(self, "binding", dict(binding))
+
     def __getattr__(self, name: str) -> Any:
         if name != "_payload":
             raise AttributeError(name)

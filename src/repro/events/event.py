@@ -140,6 +140,28 @@ class Event:
         return f"{self.type_name}@{self.time}({attrs})"
 
 
+def rehydrate_event(
+    event_type: EventType,
+    time: TimeInterval,
+    payload: dict[str, Any],
+) -> Event:
+    """Fast-path constructor for trusted, already-normalized inputs.
+
+    Used by the columnar batch codec when materializing decoded events:
+    ``time`` is a ready :class:`TimeInterval` and ``payload`` a freshly
+    built dict the caller hands over, so the normalization and defensive
+    copy of :meth:`Event.__init__` are skipped.  Semantically equivalent
+    to unpickling: a fresh process-local ``event_id`` is assigned.
+    """
+    event = Event.__new__(Event)
+    object.__setattr__(event, "event_type", event_type)
+    object.__setattr__(event, "time", time)
+    object.__setattr__(event, "_payload", payload)
+    object.__setattr__(event, "event_id", next(_EVENT_IDS))
+    object.__setattr__(event, "derived_from", ())
+    return event
+
+
 def derive_complex_event(
     event_type: EventType,
     contributors: Iterable[Event],

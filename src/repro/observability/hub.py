@@ -301,6 +301,10 @@ class EngineInstruments:
         "open_windows",
         "windows_total",
         "snapshots",
+        "transport_bytes_out",
+        "transport_bytes_in",
+        "batches_shm",
+        "batches_pickled",
     )
 
     def __init__(self, registry: MetricsRegistry):
@@ -369,4 +373,28 @@ class EngineInstruments:
         )
         self.snapshots: Counter = counter(
             "caesar_snapshots_total", "Periodic observability snapshots emitted"
+        )
+        # Transport diagnostics: how events moved between processes, not
+        # what the run computed.  Byte counts depend on pickle protocol
+        # details and ring geometry, so like the timing histograms they
+        # are non-deterministic and stay out of the parity projection.
+        self.transport_bytes_out: Counter = counter(
+            "caesar_transport_bytes_out_total",
+            "Bytes shipped to shard workers (shm frames + pipe messages)",
+            deterministic=False,
+        )
+        self.transport_bytes_in: Counter = counter(
+            "caesar_transport_bytes_in_total",
+            "Bytes shipped back from shard workers",
+            deterministic=False,
+        )
+        self.batches_shm: Counter = counter(
+            "caesar_batches_shm_total",
+            "Event batches placed in a shared-memory ring",
+            deterministic=False,
+        )
+        self.batches_pickled: Counter = counter(
+            "caesar_batches_pickled_fallback_total",
+            "Event batches that fell back to pipe pickling",
+            deterministic=False,
         )

@@ -28,6 +28,7 @@ from repro.algebra.plan import CombinedQueryPlan, clone_operator
 from repro.core.model import CaesarModel
 from repro.core.windows import ContextWindow, ContextWindowStore
 from repro.errors import RuntimeEngineError
+from repro.events.batch import ColumnarEvents, columnar_enabled
 from repro.events.event import Event
 from repro.events.stream import EventStream
 from repro.events.timebase import TimePoint
@@ -128,6 +129,19 @@ class EngineReport:
     recovery_replays: int = 0
     #: name of the execution backend that produced this report
     backend: str = "serial"
+    # -- transport diagnostics (nonzero only for the process backend; they
+    # -- describe *how* events moved, not what the run computed, so they are
+    # -- excluded from the cross-backend parity projection) ---------------
+    #: bytes shipped parent -> workers (shared-memory batch frames + pipe
+    #: messages, measured at the transport boundary)
+    transport_bytes_out: int = 0
+    #: bytes shipped workers -> parent (derived events, summaries)
+    transport_bytes_in: int = 0
+    #: event batches placed in the shared-memory ring
+    batches_shm: int = 0
+    #: event batches that fell back to pipe pickling (ring full / shm
+    #: unavailable / batch exceeding the ring)
+    batches_pickled_fallback: int = 0
 
     @property
     def throughput(self) -> float:
@@ -306,7 +320,14 @@ class CaesarEngine:
         self.on_context_transition = on_context_transition
 
         self.backend = resolve_backend(backend)
+        #: the backend instance actually driving the current/most recent
+        #: run — differs from ``self.backend`` only when an env-selected
+        #: backend falls back for an incompatible engine (``for_engine``)
+        self._effective_backend = self.backend
         self.observability = resolve_observability(observability)
+        #: wrap each transaction's event list in ColumnarEvents so filters
+        #: and routers can take the vectorized path (CAESAR_COLUMNAR)
+        self._columnar = columnar_enabled()
         #: preregistered instrument handles — the run loop touches these
         #: directly, never the registry (no dict lookups on the hot path)
         self.instruments = EngineInstruments(self.observability.registry)
@@ -427,7 +448,8 @@ class CaesarEngine:
 
         state = RunState(self.partition_by, self.instruments)
         observability = self.observability
-        backend = self.backend
+        backend = self.backend.for_engine(self)
+        self._effective_backend = backend
         local_state = backend.local_state
         totals: RunTotals | None = None
         backend.begin_run(self)
@@ -489,9 +511,24 @@ class CaesarEngine:
             history_discards=totals.history_discards,
             cost_by_context=totals.cost_by_context,
             backend=backend.name,
+            transport_bytes_out=totals.transport_bytes_out,
+            transport_bytes_in=totals.transport_bytes_in,
+            batches_shm=totals.batches_shm,
+            batches_pickled_fallback=totals.batches_pickled_fallback,
         )
         self._finalize_report(report)
         return report
+
+    def close(self) -> None:
+        """Release backend resources (worker pools, shared-memory rings).
+
+        Idempotent; safe on engines whose backend holds no resources.  An
+        engine remains usable after ``close()`` — the next :meth:`run`
+        simply pays the pool spawn cost again.
+        """
+        self.backend.close()
+        if self._effective_backend is not self.backend:
+            self._effective_backend.close()
 
     def reset_run_state(self) -> None:
         """Discard all state accumulated by previous runs.
@@ -559,6 +596,10 @@ class CaesarEngine:
         instruments.routed.inc(totals.routed_batches)
         instruments.uninterested.inc(totals.interest_suppressed_batches)
         instruments.history_discards.inc(totals.history_discards)
+        instruments.transport_bytes_out.inc(totals.transport_bytes_out)
+        instruments.transport_bytes_in.inc(totals.transport_bytes_in)
+        instruments.batches_shm.inc(totals.batches_shm)
+        instruments.batches_pickled.inc(totals.batches_pickled_fallback)
         registry = self.observability.registry
         if registry.enabled:
             for name in sorted(totals.cost_by_context):
@@ -586,7 +627,7 @@ class CaesarEngine:
                 for window_list in totals.windows_by_partition.values()
                 for window in window_list
             ]
-        elif self.backend.local_state:
+        elif self._effective_backend.local_state:
             windows = [
                 window
                 for runtime in self._partitions.values()
@@ -598,6 +639,17 @@ class CaesarEngine:
         instruments.open_windows.set(
             sum(1 for window in windows if window.is_open)
         )
+
+    def _worker_pool_reusable(self) -> bool:
+        """Hook: may a persistent worker pool carry over into the next run?
+
+        Workers fork with a snapshot of the engine; reuse is sound only
+        when the parent engine holds no run state a fresh worker would
+        lack.  After :meth:`reset_run_state` the partition map is empty —
+        workers perform the same reset on ``begin`` — so a pool spawned
+        from a pristine engine stays equivalent to a fresh fork.
+        """
+        return not self._partitions
 
     def _worker_state_baseline(self):
         """Hook: snapshot taken by a forked shard worker at startup.
@@ -665,13 +717,20 @@ class CaesarEngine:
         ctx = ExecutionContext(windows=store, now=t)
 
         # Phase 0 — always-active preprocessing stages (e.g. windowed
-        # statistics); their derivations join the batch.
+        # statistics); their derivations join the batch.  When columnar
+        # mode is on the batch is wrapped in ColumnarEvents (a list
+        # subclass) so downstream filters and interest-set routing can use
+        # the segmented view; re-wrapped after every merge because
+        # ``list + list`` returns a plain list.
         events = transaction.events
+        if self._columnar and type(events) is list:
+            events = ColumnarEvents(events)
         for operator in runtime.preprocessors:
             derived = operator.process(events, ctx)
             derived.extend(operator.on_time_advance(t, ctx))
             if derived:
-                events = events + derived
+                merged = list(events) + derived
+                events = ColumnarEvents(merged) if self._columnar else merged
         transaction.events = events
 
         # Phase 1 — context derivation (Section 6.2: derivation for time t

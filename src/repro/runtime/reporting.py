@@ -22,7 +22,9 @@ from repro.runtime.engine import EngineReport
 #: 1. the original flat layout (implicit — no version field)
 #: 2. adds ``schema_version`` itself; reports are produced by engines
 #:    carrying the observability subsystem
-REPORT_SCHEMA_VERSION = 2
+#: 3. adds the ``transport`` subdict (process-backend shared-memory /
+#:    pipe diagnostics; zeros for in-process backends)
+REPORT_SCHEMA_VERSION = 3
 
 
 def report_to_dict(report: EngineReport, *, include_outputs: bool = False) -> dict:
@@ -56,6 +58,12 @@ def report_to_dict(report: EngineReport, *, include_outputs: bool = False) -> di
             "dead_letter_dropped": report.dead_letter_dropped,
             "checkpoints_taken": report.checkpoints_taken,
             "recovery_replays": report.recovery_replays,
+        },
+        "transport": {
+            "bytes_out": report.transport_bytes_out,
+            "bytes_in": report.transport_bytes_in,
+            "batches_shm": report.batches_shm,
+            "batches_pickled_fallback": report.batches_pickled_fallback,
         },
         "windows": {
             _partition_key(key): [_window_to_dict(w) for w in windows]

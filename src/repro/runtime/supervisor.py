@@ -308,6 +308,17 @@ class SupervisedEngine(CaesarEngine):
         self._absorbed_transitions = {}
         self._capture_dead_letter_baseline()
 
+    def _worker_pool_reusable(self) -> bool:
+        """Reuse the worker pool only while the dead-letter queue is empty.
+
+        Retained DLQ entries are part of the engine state a fresh fork
+        would carry into the workers; a reused worker instead holds its
+        own entries from the previous run, so eviction behaviour could
+        diverge.  Respawning whenever entries are retained keeps the
+        persistent pool observationally identical to fork-per-run.
+        """
+        return super()._worker_pool_reusable() and self.dead_letters.total == 0
+
     def _partition(self, key: object) -> _PartitionRuntime:
         created = key not in self._partitions
         runtime = super()._partition(key)

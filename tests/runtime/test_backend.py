@@ -85,9 +85,11 @@ def run_with(backend, *, stream=None, model=None):
 
 
 def comparable(report):
-    """Everything in the report except wall-clock and backend identity."""
+    """Everything in the report except wall-clock, backend identity and
+    transport diagnostics (which describe *how* events moved, not what the
+    run computed — inherently backend-specific)."""
     d = report_to_dict(report)
-    for key in ("wall_seconds", "throughput", "backend"):
+    for key in ("wall_seconds", "throughput", "backend", "transport"):
         d.pop(key)
     return d
 
@@ -234,6 +236,116 @@ class TestProcessEquivalence:
         inject_plan_fault(engine, "alert", at_times={50})
         with pytest.raises(InjectedFaultError):
             engine.run(multi_partition_stream())
+
+
+@needs_fork
+class TestProcessPoolLifecycle:
+    """The pool outlives a run: spawn once per engine, reuse, close()."""
+
+    def test_pool_reused_across_consecutive_runs(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        engine = CaesarEngine(
+            build_model(),
+            partition_by=by_segment,
+            seconds_per_cost_unit=1e-6,
+            backend=backend,
+        )
+        try:
+            first = engine.run(multi_partition_stream())
+            first_pids = backend.worker_pids
+            assert len(first_pids) == 2
+            second = engine.run(multi_partition_stream())
+            assert backend.worker_pids == first_pids  # same workers, no refork
+            assert comparable(second) == comparable(first)
+            assert outputs_to_rows(second) == outputs_to_rows(first)
+            assert comparable(first) == comparable(run_with("serial"))
+        finally:
+            engine.close()
+
+    def test_close_is_idempotent_and_engine_stays_usable(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        engine = CaesarEngine(
+            build_model(),
+            partition_by=by_segment,
+            seconds_per_cost_unit=1e-6,
+            backend=backend,
+        )
+        first = engine.run(multi_partition_stream())
+        engine.close()
+        assert backend.worker_pids == ()
+        engine.close()  # idempotent
+        try:
+            again = engine.run(multi_partition_stream())  # respawns the pool
+            assert comparable(again) == comparable(first)
+        finally:
+            engine.close()
+
+    def test_failed_pool_is_scrapped(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        engine = CaesarEngine(
+            build_model(),
+            partition_by=by_segment,
+            backend=backend,
+        )
+        inject_plan_fault(engine, "alert", at_times={50})
+        with pytest.raises(InjectedFaultError):
+            engine.run(multi_partition_stream())
+        assert backend.worker_pids == ()  # diverged workers must not linger
+
+    def test_shared_memory_transport_is_the_default(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        try:
+            report = run_with(backend)
+        finally:
+            backend.close()
+        assert report.batches_shm > 0
+        assert report.batches_pickled_fallback == 0
+        assert report.transport_bytes_out > 0
+        assert report.transport_bytes_in > 0
+
+    def test_tiny_ring_falls_back_to_pipe_pickling(self):
+        serial = run_with("serial")
+        backend = ProcessPoolBackend(max_workers=2, ring_bytes=16)
+        try:
+            report = run_with(backend)
+        finally:
+            backend.close()
+        assert report.batches_shm == 0
+        assert report.batches_pickled_fallback > 0
+        # slower lane, identical answers
+        assert comparable(report) == comparable(serial)
+        assert outputs_to_rows(report) == outputs_to_rows(serial)
+
+    def test_env_selected_backend_falls_back_for_incompatible_engine(
+        self, monkeypatch
+    ):
+        # A fleet-wide CAESAR_BACKEND=process must not break engines that
+        # are structurally serial; an *explicit* process backend still
+        # raises (covered by TestProcessEquivalence).
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        engine = CaesarEngine(
+            build_model(),
+            partition_by=by_segment,
+            seconds_per_cost_unit=1e-6,
+            on_context_transition=lambda *a: None,
+        )
+        report = engine.run(multi_partition_stream())
+        assert report.backend == "serial"
+        assert comparable(report) == comparable(run_with("serial"))
+
+    def test_workers_env_override(self, monkeypatch):
+        from repro.runtime.backend import WORKERS_ENV_VAR
+
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        assert default_worker_count() == 3
+        monkeypatch.setenv(WORKERS_ENV_VAR, "0")
+        with pytest.raises(RuntimeEngineError, match=WORKERS_ENV_VAR):
+            default_worker_count()
+        monkeypatch.setenv(WORKERS_ENV_VAR, "lots")
+        with pytest.raises(RuntimeEngineError, match=WORKERS_ENV_VAR):
+            default_worker_count()
+        monkeypatch.delenv(WORKERS_ENV_VAR)
+        assert default_worker_count() >= 2
 
 
 class TestSupervisedParallel:

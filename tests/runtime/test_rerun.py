@@ -55,6 +55,10 @@ def comparable(report):
     d = report_to_dict(report)
     d.pop("wall_seconds")
     d.pop("throughput")
+    # Transport diagnostics legitimately differ between runs on a reused
+    # process-backend pool: the first run ships event-type definitions in
+    # batch headers, later runs reference the already-primed directory.
+    d.pop("transport", None)
     return d
 
 
