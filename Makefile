@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos difftest bench bench-hotpath bench-parallel bench-observability bench-tables examples validate lint-smoke all
+.PHONY: install test test-chaos test-overload difftest bench bench-hotpath bench-parallel bench-observability bench-shedding bench-tables examples validate lint-smoke all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -27,6 +27,16 @@ difftest:
 	$(PYTHON) -m pytest tests/difftest/ -q
 	$(PYTHON) -m repro diff --scenario all --axis all --scale 0.5
 
+# overload-management suite: admission control, controller determinism,
+# breaker re-entry under time regressions, and the shed difftest axis.
+# Fixed seeds drive every shedding decision, so ordering plugins are
+# disabled as in test-chaos.
+test-overload:
+	$(PYTHON) -m pytest tests/runtime/test_shedding.py \
+		tests/runtime/test_breaker_reentry.py \
+		tests/difftest/test_shed_axis.py \
+		-q -p no:randomly
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -43,6 +53,11 @@ bench-parallel:
 # (asserts all modes produce the same report, prints overhead %)
 bench-observability:
 	$(PYTHON) benchmarks/bench_observability.py
+
+# overload shedding under burst: bounded backlog vs unbounded queue
+# growth (asserts protected outputs are identical before printing)
+bench-shedding:
+	$(PYTHON) benchmarks/bench_shedding.py
 
 # benchmarks with the per-figure tables printed inline
 bench-tables:

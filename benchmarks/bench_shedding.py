@@ -1,0 +1,193 @@
+"""Load shedding under burst overload: bounded latency vs backlog growth.
+
+Two concurrently active contexts — high-priority ``ops`` (derives Alert
+from telemetry) and low-priority ``audit`` (digests a high-rate noise
+feed) — and a noise burst that pushes the audit workload past the
+engine's service rate.  ``seconds_per_cost_unit`` makes service time a
+deterministic function of plan cost, so the backlog model — and
+therefore every number below — is reproducible without a wall clock.
+
+Two runs of the identical stream:
+
+* **unshedded** — an observe-only shedder (``fixed_pressure=0.0``) that
+  admits everything and just records the backlog trajectory.  During the
+  burst the backlog grows monotonically: an unbounded queue.
+* **shed-on** — the PID controller targets ``LATENCY_TARGET`` seconds of
+  backlog; past the suspension threshold it suspends the low-priority
+  ``audit`` context, shedding its feed while ``ops`` runs untouched.
+
+The run asserts the overload contract before printing any number: the
+shed run's protected outputs (Alert derivations, whose lineage never
+leaves protected types) equal the unshedded run's, the unshedded backlog
+peak is far beyond target, and the shed run's peak stays an order of
+magnitude below it.  ``make bench-shedding`` runs :func:`main`, whose
+numbers are the ones recorded in ``docs/benchmarks.md``.
+"""
+
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime import CaesarEngine
+from repro.runtime.shedding import SheddingConfig
+
+TELEMETRY = EventType.define("ShedBenchTelemetry", value="int", sec="int")
+NOISE = EventType.define("ShedBenchNoise", n="int", sec="int")
+OPS_ON = EventType.define("ShedBenchOpsOn", level="int")
+AUDIT_ON = EventType.define("ShedBenchAuditOn", level="int")
+
+#: simulated seconds of service per plan cost unit
+SERVICE_PER_COST = 0.05
+#: backlog the controller defends (seconds of unserved work)
+LATENCY_TARGET = 0.5
+#: short retention keeps the single-event pattern's history (and hence
+#: per-batch cost) proportional to the recent arrival rate
+RETENTION = 10
+GC_INTERVAL = 5
+
+DURATION = 120
+BURST_START, BURST_END = 30, 90
+BASE_NOISE, BURST_NOISE = 4, 120
+
+
+def build_model():
+    model = CaesarModel(default_context="idle")
+    model.add_context("ops")
+    model.add_context("audit")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT ops PATTERN ShedBenchOpsOn s "
+        "WHERE s.level > 0 CONTEXT idle", name="ops-on"))
+    # opened from ops, so both non-default contexts stay active together
+    model.add_query(parse_query(
+        "INITIATE CONTEXT audit PATTERN ShedBenchAuditOn s "
+        "WHERE s.level > 0 CONTEXT ops", name="audit-on"))
+    model.add_query(parse_query(
+        "DERIVE Alert(t.value) PATTERN ShedBenchTelemetry t "
+        "WHERE t.value > 700 CONTEXT ops", name="alert"))
+    model.add_query(parse_query(
+        "DERIVE Digest(n.n) PATTERN ShedBenchNoise n "
+        "WHERE n.n >= 0 CONTEXT audit", name="digest"))
+    return model
+
+
+def burst_stream():
+    """Steady telemetry plus an audit-feed burst past the service rate."""
+    events = [Event(OPS_ON, 0, {"level": 1})]
+    for sec in range(DURATION):
+        if sec == 1:
+            events.append(Event(AUDIT_ON, sec, {"level": 1}))
+        events.append(
+            Event(TELEMETRY, sec, {"value": (sec * 211) % 1000, "sec": sec})
+        )
+        noise = BURST_NOISE if BURST_START <= sec < BURST_END else BASE_NOISE
+        for n in range(noise):
+            events.append(Event(NOISE, sec, {"n": n, "sec": sec}))
+    return events
+
+
+def run_once(shedding):
+    engine = CaesarEngine(
+        build_model(),
+        seconds_per_cost_unit=SERVICE_PER_COST,
+        shedding=shedding,
+        observability="off",
+        retention=RETENTION,
+        gc_interval=GC_INTERVAL,
+    )
+    report = engine.run(EventStream(burst_stream()))
+    return engine, report
+
+
+def observe_only_config():
+    return SheddingConfig(
+        latency_target=LATENCY_TARGET,
+        fixed_pressure=0.0,
+        record_decisions=True,
+        seed=2016,
+    )
+
+
+def shed_config():
+    return SheddingConfig(
+        latency_target=LATENCY_TARGET,
+        context_priorities={"ops": 0.9, "audit": 0.1},
+        suspend_pressure=0.9,
+        suspend_below_priority=0.5,
+        record_decisions=True,
+        seed=2016,
+    )
+
+
+def alert_count(report):
+    return report.outputs_by_type.get("Alert", 0)
+
+
+class TestOverloadContract:
+    def test_unshedded_backlog_grows_through_the_burst(self):
+        engine, report = run_once(observe_only_config())
+        assert report.shed_events == 0
+        trajectory = [
+            b for t, b in engine.shedder.backlog_trajectory
+            if BURST_START < t < BURST_END
+        ]
+        # monotone growth while the burst outpaces the drain
+        assert all(
+            later >= earlier
+            for earlier, later in zip(trajectory, trajectory[1:])
+        )
+        assert engine.shedder.backlog_peak > 10 * LATENCY_TARGET
+
+    def test_suspension_bounds_the_backlog(self):
+        baseline = run_once(observe_only_config())
+        engine, report = run_once(shed_config())
+        assert report.shed_events > 0
+        assert "audit" in engine.shedder.suspended_contexts
+        assert "ops" not in engine.shedder.suspended_contexts
+        assert report.shed_by_class.get("suspended", 0) > 0
+        # orders of magnitude below the unshedded peak
+        off_engine, _ = baseline
+        assert (
+            engine.shedder.backlog_peak < off_engine.shedder.backlog_peak / 10
+        )
+        # protected derivations survive intact
+        _, off_report = baseline
+        assert alert_count(report) == alert_count(off_report)
+
+
+def main():
+    """Standalone entry point: ``make bench-shedding``."""
+    from benchmarks.common import FigureTable
+
+    off_engine, off_report = run_once(observe_only_config())
+    on_engine, on_report = run_once(shed_config())
+
+    assert alert_count(on_report) == alert_count(off_report), (
+        "shedding changed the protected Alert derivations"
+    )
+    assert off_engine.shedder.backlog_peak > 10 * LATENCY_TARGET
+    assert on_engine.shedder.backlog_peak < off_engine.shedder.backlog_peak / 10
+
+    table = FigureTable(
+        "Overload",
+        f"audit feed x{BURST_NOISE // BASE_NOISE} for "
+        f"{BURST_END - BURST_START}s, latency target "
+        f"{LATENCY_TARGET:g}s (simulated service clock)",
+        "mode",
+    )
+    for mode, engine, report in (
+        ("unshedded", off_engine, off_report),
+        ("shed-on", on_engine, on_report),
+    ):
+        table.add(
+            mode,
+            backlog_peak_s=engine.shedder.backlog_peak,
+            shed_events=report.shed_events,
+            protected=report.protected_events,
+            alerts=alert_count(report),
+        )
+    table.show()
+
+
+if __name__ == "__main__":
+    main()

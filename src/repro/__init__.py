@@ -66,6 +66,7 @@ from repro.runtime import (
     EngineReport,
     RecoveryManager,
     ScheduledWorkloadEngine,
+    SheddingConfig,
     SupervisedEngine,
     win_ratio,
 )
@@ -87,6 +88,7 @@ __all__ = [
     "Observability",
     "OptimizationRules",
     "RecoveryManager",
+    "SheddingConfig",
     "SupervisedEngine",
     "SupervisionConfig",
     "TraceRecorder",

@@ -68,7 +68,9 @@ class EngineConfig:
     select the supervised engine; the rest passes through to the chosen
     engine's constructor.  ``backend`` and ``observability`` accept the
     same specs as the engine constructors (instances, names, or ``None``
-    to consult ``CAESAR_BACKEND`` / ``CAESAR_OBSERVABILITY``).
+    to consult ``CAESAR_BACKEND`` / ``CAESAR_OBSERVABILITY``); ``shedding``
+    accepts a :class:`~repro.runtime.shedding.SheddingConfig`, a spec
+    string, ``True``/``False``, or ``None`` to consult ``CAESAR_SHED``.
     ``optimize`` additionally accepts an
     :class:`~repro.optimizer.apply.OptimizationRules` for per-rewrite
     control (the differential harness's optimizer axis).
@@ -80,6 +82,7 @@ class EngineConfig:
     supervision: SupervisionConfig | bool | None = None
     recovery: object | None = None
     observability: Observability | str | bool | None = None
+    shedding: object | None = None
     partition_by: Partitioner = single_partition
     retention: TimePoint = 300
     gc_interval: TimePoint = 60
@@ -136,6 +139,7 @@ def create_engine(
             "recovery",
             "preprocessors",
             "on_context_transition",
+            "shedding",
         ):
             value = getattr(config, name)
             if value not in (None, (), False):
@@ -160,6 +164,7 @@ def create_engine(
         on_context_transition=config.on_context_transition,
         backend=config.backend,
         observability=config.observability,
+        shedding=config.shedding,
     )
     supervision = config.supervision_config()
     if supervision is None:

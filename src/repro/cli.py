@@ -107,7 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument(
         "--axis",
         choices=("optimizer", "context", "backend", "checkpoint",
-                 "reorder", "all"),
+                 "reorder", "shed", "all"),
         default="all",
         help="equivalence axis to check (default: all)",
     )

@@ -1,4 +1,4 @@
-"""The five differential axes and their comparison pairs.
+"""The six differential axes and their comparison pairs.
 
 Each axis names an equivalence the engine stack promises:
 
@@ -16,6 +16,11 @@ Each axis names an equivalence the engine stack promises:
 ``reorder``
     In-order arrival vs arrival jittered within a bound and recovered
     through a :class:`~repro.runtime.reorder.ReorderBuffer`.
+``shed``
+    Load shedding off vs on, compared on the protected subset (derived
+    events whose lineage avoids every shed input must be identical), plus
+    shed runs across backends, whose decision digests must be
+    byte-identical — same seed, same stream, same decisions everywhere.
 
 :func:`run_comparison` executes one pair, and on divergence ddmin-shrinks
 the stream to a minimal failing reproduction.
@@ -24,14 +29,16 @@ the stream to a minimal failing reproduction.
 from __future__ import annotations
 
 import dataclasses
+import random
 from dataclasses import dataclass
 
 from repro.difftest.harness import DiffResult, RunSpec, run_pair
 from repro.difftest.scenarios import Scenario
 from repro.difftest.shrink import ddmin
 from repro.events.event import Event
+from repro.events.types import EventType
 
-AXES = ("optimizer", "context", "backend", "checkpoint", "reorder")
+AXES = ("optimizer", "context", "backend", "checkpoint", "reorder", "shed")
 
 _BASELINE = RunSpec(label="baseline")
 
@@ -106,6 +113,27 @@ def comparisons_for(scenario: Scenario, axis: str) -> list[Comparison]:
             _BASELINE,
             RunSpec(label=f"jitter:{jitter}", jitter=jitter),
         )]
+    if axis == "shed":
+        shed_serial = RunSpec(label="shed:serial", shed=True)
+        pairs = [
+            Comparison(
+                axis, "off-vs-on-protected",
+                _BASELINE,
+                RunSpec(label="shed:on", shed=True),
+            ),
+            Comparison(
+                axis, "shed-serial-vs-thread",
+                shed_serial,
+                RunSpec(label="shed:thread", backend="thread", shed=True),
+            ),
+        ]
+        if _process_backend_available():
+            pairs.append(Comparison(
+                axis, "shed-serial-vs-process",
+                shed_serial,
+                RunSpec(label="shed:process", backend="process", shed=True),
+            ))
+        return pairs
     raise ValueError(f"unknown axis {axis!r} (have: {AXES})")
 
 
@@ -154,6 +182,25 @@ def run_comparison(
     )
 
 
+#: Ballast for the ``shed`` axis: a type no scenario model consumes, so
+#: the admission ladder classifies it cold and actually sheds under
+#: pressure.  The scenarios' own streams are (correctly) dominated by
+#: protected types — without ballast the axis would only ever prove the
+#: trivial "nothing sheddable" case.
+_NOISE_TYPE = EventType.define("OverloadNoise", n="int")
+
+
+def with_overload_noise(events: list[Event], seed: int) -> list[Event]:
+    """Interleave deterministic cold-telemetry events into a stream."""
+    rng = random.Random(seed)
+    noisy = list(events)
+    for t in sorted({e.timestamp for e in events}):
+        for _ in range(3):
+            noisy.append(Event(_NOISE_TYPE, t, {"n": rng.randint(0, 999)}))
+    noisy.sort(key=lambda e: (e.timestamp, e.event_id))
+    return noisy
+
+
 def run_axis(
     scenario: Scenario,
     axis: str,
@@ -165,6 +212,8 @@ def run_axis(
 ) -> list[DiffResult]:
     """Run every comparison of ``axis`` on a freshly generated stream."""
     events = scenario.make_events(seed, scale)
+    if axis == "shed":
+        events = with_overload_noise(events, seed)
     return [
         run_comparison(
             scenario,

@@ -15,6 +15,7 @@ Everything is a pure function of its inputs: same scenario + spec + events
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass
 
@@ -36,6 +37,18 @@ from repro.optimizer.sharing import (
 )
 from repro.runtime.checkpoint import capture_checkpoint, restore_checkpoint
 from repro.runtime.reorder import ReorderBuffer
+from repro.runtime.shedding import SheddingConfig, event_value_key
+
+#: The shedding configuration every ``shed`` run uses.  A tight latency
+#: target against a modest cost rate, so the controller builds real
+#: pressure on the difftest streams; ``record_decisions`` keeps the shed
+#: identity set the protected-subset projection filters by.
+DIFF_SHED_CONFIG = SheddingConfig(
+    latency_target=1.0,
+    cost_rate=5.0,
+    seed=1299827,
+    record_decisions=True,
+)
 
 _NAMED_RULES = {
     "default": OptimizationRules.default(),
@@ -72,7 +85,10 @@ class RunSpec:
     runs one plan per (window, query)); its contract is derivation-set
     equality, so those runs are canonicalized with ``dedup``.
     ``drop_index`` silently drops one input event — the deliberate fault
-    used to prove the harness detects and shrinks divergences.
+    used to prove the harness detects and shrinks divergences.  ``shed``
+    runs the engine under :data:`DIFF_SHED_CONFIG` admission control; the
+    decision digest and shed counters join the canonical counters, so two
+    shed runs agree only when their decision streams are byte-identical.
     """
 
     label: str
@@ -84,6 +100,7 @@ class RunSpec:
     jitter_seed: int = 17
     workload: str | None = None  # None | "shared" | "nonshared"
     drop_index: int | None = None
+    shed: bool = False
 
     def __post_init__(self):
         resolve_rules(self.optimize)  # validate eagerly
@@ -166,6 +183,7 @@ def _engine_config(scenario: Scenario, spec: RunSpec) -> EngineConfig:
         backend=spec.backend,
         partition_by=scenario.partition_by,
         retention=scenario.retention,
+        shedding=DIFF_SHED_CONFIG if spec.shed else False,
     )
 
 
@@ -215,7 +233,21 @@ def execute(
     config = _engine_config(scenario, spec)
     if spec.checkpoint_at is None:
         engine = create_engine(scenario.build_model(), config)
-        return canonicalize(engine.run(EventStream(prepared)))
+        report = engine.run(EventStream(prepared))
+        result = canonicalize(report)
+        if spec.shed:
+            # fold the decision stream into the canon: two shed runs agree
+            # only when every per-event decision matched, byte for byte
+            result = dataclasses.replace(
+                result,
+                counters=result.counters
+                + (
+                    ("shed:digest", report.shed_decision_digest),
+                    ("shed:events", report.shed_events),
+                    ("shed:protected", report.protected_events),
+                ),
+            )
+        return result
     cut = _transaction_boundary(prepared, spec.checkpoint_at)
     prefix, suffix = prepared[:cut], prepared[cut:]
     first = create_engine(scenario.build_model(), config)
@@ -247,6 +279,57 @@ class DiffResult:
         return self.divergence is None
 
 
+def _lineage_touches(event: Event, shed_keys: set) -> bool:
+    """Whether any event in ``event``'s lineage was shed in the on-run.
+
+    Lineage is walked by value identity (:func:`event_value_key`) because
+    ``event_id`` is process-unique and the two runs construct distinct
+    event objects for the same stream.
+    """
+    stack = [event]
+    while stack:
+        node = stack.pop()
+        if event_value_key(node) in shed_keys:
+            return True
+        stack.extend(node.derived_from)
+    return False
+
+
+def _shed_protected_divergence(
+    scenario: Scenario,
+    left: RunSpec,
+    right: RunSpec,
+    events: list[Event],
+) -> Divergence | None:
+    """Diff a shed-off run against a shed-on run on the protected subset.
+
+    The shed-on engine is run first so its shedder can report exactly
+    which input events it dropped; derived events whose lineage touches a
+    shed input are then projected out of *both* reports (the off-run may
+    legitimately derive from events the on-run never saw).  Everything
+    else — protected-derived outputs, context windows, events processed —
+    must agree exactly.
+    """
+    on_config = _engine_config(scenario, right)
+    on_engine = create_engine(
+        scenario.build_model(), on_config
+    )
+    on_report = on_engine.run(EventStream(prepare_events(right, events)))
+    shed_keys = set(on_engine.shedder.shed_event_keys)
+    off_engine = create_engine(
+        scenario.build_model(), _engine_config(scenario, left)
+    )
+    off_report = off_engine.run(EventStream(prepare_events(left, events)))
+
+    def projected(report):
+        kept = [
+            e for e in report.outputs if not _lineage_touches(e, shed_keys)
+        ]
+        return canonicalize(dataclasses.replace(report, outputs=kept))
+
+    return first_divergence(projected(off_report), projected(on_report))
+
+
 def run_pair(
     scenario: Scenario,
     left: RunSpec,
@@ -254,6 +337,8 @@ def run_pair(
     events: list[Event],
 ) -> Divergence | None:
     """Run both sides on the same events and diff the canonical results."""
+    if right.shed and not left.shed:
+        return _shed_protected_divergence(scenario, left, right, events)
     return first_divergence(
         execute(scenario, left, events), execute(scenario, right, events)
     )

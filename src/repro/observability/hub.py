@@ -298,6 +298,7 @@ class EngineInstruments:
         "gc_reclaimed",
         "gc_runs",
         "partitions",
+        "queue_depth",
         "open_windows",
         "windows_total",
         "snapshots",
@@ -364,6 +365,10 @@ class EngineInstruments:
         )
         self.partitions: Gauge = gauge(
             "caesar_partitions", "Stream partitions observed"
+        )
+        self.queue_depth: Gauge = gauge(
+            "caesar_queue_depth",
+            "Events pending in partition queues after batch admission",
         )
         self.open_windows: Gauge = gauge(
             "caesar_open_windows", "Currently open context windows"

@@ -45,6 +45,13 @@ from repro.runtime.deadletter import (
     REASON_PLAN_FAULT,
     REASON_QUARANTINED,
     REASON_SCHEMA,
+    REASON_SHED,
+)
+from repro.runtime.shedding import (
+    LoadShedder,
+    OverloadController,
+    SheddingConfig,
+    resolve_shedding,
 )
 from repro.runtime.recovery import RecoveryManager
 from repro.runtime.supervisor import (
@@ -78,14 +85,18 @@ __all__ = [
     "EventDistributor",
     "GarbageCollector",
     "LatencyTracker",
+    "LoadShedder",
+    "OverloadController",
     "REASON_LATE",
     "REASON_PLAN_FAULT",
     "REASON_QUARANTINED",
     "REASON_SCHEMA",
+    "REASON_SHED",
     "REPORT_SCHEMA_VERSION",
     "RecoveryManager",
     "ReorderBuffer",
     "ScheduledWorkloadEngine",
+    "SheddingConfig",
     "SupervisedEngine",
     "TimeDrivenScheduler",
     "capture_checkpoint",
@@ -93,6 +104,7 @@ __all__ = [
     "render_timeline",
     "report_to_dict",
     "resolve_backend",
+    "resolve_shedding",
     "restore_checkpoint",
     "win_ratio",
 ]

@@ -128,6 +128,16 @@ class ExecutionBackend:
         """Cost units spent by the last :meth:`execute` (non-local backends)."""
         return 0.0
 
+    @property
+    def last_shed_feedback(self):
+        """Per-partition shed feedback gathered by the last :meth:`execute`.
+
+        Only the process backend (whose partition state lives in workers)
+        returns anything; backends with local state let the admission
+        controller read the partitions directly.
+        """
+        return None
+
     def collect_totals(self, engine: "CaesarEngine") -> RunTotals | None:
         """Merged run totals, or None when the engine can read its own."""
         return None
@@ -383,7 +393,7 @@ def _process_worker_main(conn, engine: "CaesarEngine", shm) -> None:
             cost_delta = engine._total_cost_units() - cost_before
             conn.send_bytes(
                 pickle.dumps(
-                    ("ok", replies, cost_delta),
+                    ("ok", replies, cost_delta, engine._shed_feedback()),
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
             )
@@ -520,6 +530,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self._shard_map: _ShardMap | None = None
         self._partition_order: list = []
         self._cost_delta = 0.0
+        self._shed_feedback: dict = {}
         self._bytes_out = 0
         self._bytes_in = 0
         self._batches_shm = 0
@@ -647,6 +658,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self._shard_map = _ShardMap(self.max_workers)
         self._partition_order = []
         self._cost_delta = 0.0
+        self._shed_feedback = {}
         self._bytes_out = 0
         self._bytes_in = 0
         self._batches_shm = 0
@@ -690,6 +702,7 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def execute(self, t, transactions, engine):
         self._cost_delta = 0.0
+        self._shed_feedback = {}
         if not transactions:
             return []
         pool = self._pool
@@ -723,8 +736,10 @@ class ProcessPoolBackend(ExecutionBackend):
                 if reply[0] == "error":
                     errors[items[0][0]] = reply[1]
                     continue
-                _, replies, cost_delta = reply
+                _, replies, cost_delta, shed_feedback = reply
                 self._cost_delta += cost_delta
+                if shed_feedback:
+                    self._shed_feedback.update(shed_feedback)
                 for index, outputs, operations in replies:
                     results[index] = outputs
                     # The worker recorded the context reads/writes; adopt
@@ -747,6 +762,10 @@ class ProcessPoolBackend(ExecutionBackend):
     @property
     def last_cost_delta(self) -> float:
         return self._cost_delta
+
+    @property
+    def last_shed_feedback(self):
+        return self._shed_feedback or None
 
     def collect_totals(self, engine):
         pool = self._pool

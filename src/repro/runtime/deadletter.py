@@ -32,6 +32,8 @@ REASON_LATE = "late"
 REASON_QUARANTINED = "quarantined"
 #: An event batch triggered a plan exception (the fault itself).
 REASON_PLAN_FAULT = "plan_fault"
+#: An event was dropped by the load shedder under overload.
+REASON_SHED = "shed"
 
 
 @dataclass(frozen=True)
@@ -67,6 +69,10 @@ class DeadLetterQueue:
         self.counts_by_reason: dict[str, int] = {}
         #: entries evicted because the queue was full
         self.dropped = 0
+        #: evictions broken down by the *evicted* entry's reason, so loss
+        #: of ``shed`` vs ``late`` vs ``quarantined`` entries stays
+        #: distinguishable even after the queue wrapped
+        self.dropped_by_reason: dict[str, int] = {}
         self._registry = None
         self._reason_counters: dict[str, object] = {}
         self._dropped_counter = None
@@ -125,8 +131,11 @@ class DeadLetterQueue:
             )
             evicted = len(self._entries) > self.capacity
             if evicted:
-                self._entries.popleft()
+                oldest = self._entries.popleft()
                 self.dropped += 1
+                self.dropped_by_reason[oldest.reason] = (
+                    self.dropped_by_reason.get(oldest.reason, 0) + 1
+                )
             pending = len(self._entries)
         if self._registry is not None:
             self._reason_counter(reason).inc()
@@ -140,13 +149,15 @@ class DeadLetterQueue:
         entries: Iterable[DeadLetterEntry],
         *,
         dropped: int = 0,
+        dropped_by_reason: dict[str, int] | None = None,
     ) -> None:
         """Merge entries recorded by a shard worker in another process.
 
         Unlike :meth:`put` the entries already carry their reason/error, so
         they are appended verbatim (still honouring the capacity bound) and
-        the per-reason counters are bumped to match.  ``dropped`` adds
-        evictions the worker's own bounded queue already performed.
+        the per-reason counters are bumped to match.  ``dropped`` /
+        ``dropped_by_reason`` add evictions the worker's own bounded queue
+        already performed.
         """
         evictions = 0
         with self._lock:
@@ -156,10 +167,17 @@ class DeadLetterQueue:
                     self.counts_by_reason.get(entry.reason, 0) + 1
                 )
                 if len(self._entries) > self.capacity:
-                    self._entries.popleft()
+                    oldest = self._entries.popleft()
                     self.dropped += 1
+                    self.dropped_by_reason[oldest.reason] = (
+                        self.dropped_by_reason.get(oldest.reason, 0) + 1
+                    )
                     evictions += 1
             self.dropped += dropped
+            for reason, count in (dropped_by_reason or {}).items():
+                self.dropped_by_reason[reason] = (
+                    self.dropped_by_reason.get(reason, 0) + count
+                )
             pending = len(self._entries)
         if self._registry is not None:
             # The worker that recorded these entries already counted them
@@ -217,5 +235,6 @@ class DeadLetterQueue:
         return {
             "retained": len(self._entries),
             "dropped": self.dropped,
+            "dropped_by_reason": dict(self.dropped_by_reason),
             "by_reason": dict(self.counts_by_reason),
         }

@@ -48,6 +48,7 @@ from repro.runtime.metrics import LatencyTracker
 from repro.runtime.queues import EventDistributor, Partitioner, single_partition
 from repro.runtime.router import ContextAwareStreamRouter
 from repro.runtime.scheduler import TimeDrivenScheduler
+from repro.runtime.shedding import LoadShedder, SheddingConfig, resolve_shedding
 from repro.runtime.transactions import StreamTransaction
 
 
@@ -142,6 +143,32 @@ class EngineReport:
     #: event batches that fell back to pipe pickling (ring full / shm
     #: unavailable / batch exceeding the ring)
     batches_pickled_fallback: int = 0
+    # -- overload management (populated by the load shedder; zeros and an
+    # -- empty digest when shedding is off) -------------------------------
+    #: events dropped by the load shedder (all classes)
+    shed_events: int = 0
+    #: events admitted because the decision ladder protected them
+    protected_events: int = 0
+    #: sheddable events admitted by the sampling hash
+    sampled_events: int = 0
+    #: events retained solely to keep a partition's transaction clock alive
+    shed_ticks: int = 0
+    #: shed events by ladder class ("cold" / "warm" / "suspended")
+    shed_by_class: dict[str, int] = field(default_factory=dict)
+    #: shed events charged to their highest-priority interested context
+    shed_by_context: dict[str, int] = field(default_factory=dict)
+    #: blake2b over every (timestamp, decision bytes) — byte-identical
+    #: across backends for the same seed and stream
+    shed_decision_digest: str = ""
+    #: controller peaks over the run
+    shed_pressure_peak: float = 0.0
+    shed_depth_peak: int = 0
+    shed_backlog_peak_seconds: float = 0.0
+    #: contexts the shedder ever suspended outright (low priority under
+    #: extreme pressure)
+    suspended_contexts: tuple = ()
+    # -- dead-letter drop accounting by the evicted entry's reason --------
+    dead_letter_dropped_by_reason: dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -282,6 +309,14 @@ class CaesarEngine:
         variable (default: metrics on).  Deterministic counters are
         byte-identical across backends; worker-local updates fan in at
         end of run exactly like supervision state.
+    shedding:
+        A :class:`~repro.runtime.shedding.SheddingConfig`, ``True`` for
+        defaults, a ``key=value,...`` string, or ``None`` to consult the
+        ``CAESAR_SHED`` environment variable (default: off — a strict
+        no-op).  When enabled, a deterministic admission controller runs
+        in :meth:`_prepare_batch` and sheds cold/warm events under
+        overload while protecting context-deriving events and hot partial
+        matches (see :mod:`repro.runtime.shedding`).
     """
 
     def __init__(
@@ -298,6 +333,7 @@ class CaesarEngine:
         on_context_transition=None,
         backend: ExecutionBackend | str | None = None,
         observability: Observability | str | bool | None = None,
+        shedding: SheddingConfig | str | bool | None = None,
     ):
         self.model = model
         #: the per-rule switches actually applied to the plan templates
@@ -337,6 +373,15 @@ class CaesarEngine:
         processing = [q for q in queries if q.is_processing]
         self._deriving_templates = self._templates(deriving)
         self._processing_templates = self._templates(processing)
+        #: overload management: ``None`` keeps the engine byte-identical
+        #: to its pre-shedding behaviour (strict no-op)
+        self.shedding = resolve_shedding(shedding)
+        self.shedder = (
+            LoadShedder(self.shedding) if self.shedding is not None else None
+        )
+        if self.shedder is not None:
+            self.shedder.attach(self)
+            self.shedder.bind_metrics(self.observability.registry)
         self._partitions: dict[object, _PartitionRuntime] = {}
         self._runs_started = 0
         #: set by ``restore_checkpoint`` so the next run resumes from the
@@ -453,6 +498,11 @@ class CaesarEngine:
         local_state = backend.local_state
         totals: RunTotals | None = None
         backend.begin_run(self)
+        shedder = self.shedder
+        if shedder is not None:
+            shedder.begin_run(
+                distributor=state.distributor, remote=not local_state
+            )
         try:
             for batch in stream.batches():
                 t = batch.timestamp
@@ -460,6 +510,9 @@ class CaesarEngine:
                     events = self._prepare_batch(list(batch), t)
                     if events:
                         state.distributor.distribute(events)
+                    self.instruments.queue_depth.set(
+                        state.distributor.total_pending()
+                    )
                     cost_before = (
                         self._total_cost_units() if local_state else 0.0
                     )
@@ -481,6 +534,16 @@ class CaesarEngine:
                     state.record_batch(
                         t, len(batch), batch_outputs, service, track_outputs
                     )
+                    if shedder is not None:
+                        if local_state:
+                            shedder.note_batch_cost(
+                                self._total_cost_units() - cost_before
+                            )
+                        else:
+                            shedder.note_batch_cost(backend.last_cost_delta)
+                            shedder.absorb_remote_feedback(
+                                backend.last_shed_feedback
+                            )
                     self._on_batch_end(t)
                 if observability.snapshot_due(state.batches):
                     self._refresh_gauges(state)
@@ -546,9 +609,22 @@ class CaesarEngine:
         The supervision layer overrides this to validate schemas and divert
         violators to the dead-letter queue *before* distribution — which is
         why a timestamp may legitimately reach the scheduler with no events
-        at all.  The base engine passes the batch through unchanged.
+        at all.  The base engine applies admission control (load shedding)
+        when configured and otherwise passes the batch through unchanged.
         """
+        if self.shedder is not None:
+            return self.shedder.admit(events, t)
         return events
+
+    def _shed_feedback(self):
+        """Picklable per-partition shed feedback (worker side, process
+        backend): the active contexts and hot partial-match types/keys the
+        parent's admission controller cannot read across the process
+        boundary.  ``None`` when shedding is off — zero protocol overhead.
+        """
+        if self.shedder is None:
+            return None
+        return self.shedder.collect_view(self._partitions)
 
     def _local_totals(self) -> RunTotals:
         """Run totals read from this process's partition runtimes."""
@@ -681,8 +757,10 @@ class CaesarEngine:
 
         Invoked by :meth:`run` and by
         :meth:`~repro.runtime.session.EngineSession.close`.  The base
-        engine adds nothing.
+        engine adds the overload-management counters when shedding is on.
         """
+        if self.shedder is not None:
+            self.shedder.populate_report(report)
 
     def _cost_by_context(self) -> dict[str, float]:
         # Per-partition subtotals first, then one addition into the global

@@ -24,7 +24,9 @@ from repro.runtime.engine import EngineReport
 #:    carrying the observability subsystem
 #: 3. adds the ``transport`` subdict (process-backend shared-memory /
 #:    pipe diagnostics; zeros for in-process backends)
-REPORT_SCHEMA_VERSION = 3
+#: 4. adds the ``overload`` subdict (load-shedding admission control) and
+#:    per-reason dead-letter drop accounting under ``supervision``
+REPORT_SCHEMA_VERSION = 4
 
 
 def report_to_dict(report: EngineReport, *, include_outputs: bool = False) -> dict:
@@ -56,8 +58,24 @@ def report_to_dict(report: EngineReport, *, include_outputs: bool = False) -> di
             "breaker_transitions": dict(report.breaker_transitions),
             "dead_lettered": dict(report.dead_lettered),
             "dead_letter_dropped": report.dead_letter_dropped,
+            "dead_letter_dropped_by_reason": dict(
+                report.dead_letter_dropped_by_reason
+            ),
             "checkpoints_taken": report.checkpoints_taken,
             "recovery_replays": report.recovery_replays,
+        },
+        "overload": {
+            "shed_events": report.shed_events,
+            "protected_events": report.protected_events,
+            "sampled_events": report.sampled_events,
+            "shed_ticks": report.shed_ticks,
+            "shed_by_class": dict(report.shed_by_class),
+            "shed_by_context": dict(report.shed_by_context),
+            "decision_digest": report.shed_decision_digest,
+            "pressure_peak": report.shed_pressure_peak,
+            "depth_peak": report.shed_depth_peak,
+            "backlog_peak_seconds": report.shed_backlog_peak_seconds,
+            "suspended_contexts": list(report.suspended_contexts),
         },
         "transport": {
             "bytes_out": report.transport_bytes_out,

@@ -47,6 +47,8 @@ class EngineSession:
         self._outputs_by_type: dict[str, int] = {}
         self._wall_started = _time.perf_counter()
         self._closed = False
+        if engine.shedder is not None:
+            engine.shedder.begin_run(distributor=self._distributor, remote=False)
 
     # ------------------------------------------------------------------
 
@@ -81,6 +83,7 @@ class EngineSession:
         prepared = engine._prepare_batch(list(batch), t)
         if prepared:
             self._distributor.distribute(prepared)
+        engine.instruments.queue_depth.set(self._distributor.total_pending())
         cost_before = engine._total_cost_units()
         wall_before = _time.perf_counter()
         outputs: list[Event] = []
@@ -107,6 +110,10 @@ class EngineSession:
         for event in outputs:
             self._outputs_by_type[event.type_name] = (
                 self._outputs_by_type.get(event.type_name, 0) + 1
+            )
+        if engine.shedder is not None:
+            engine.shedder.note_batch_cost(
+                engine._total_cost_units() - cost_before
             )
         engine._on_batch_end(t)
         if engine.observability.snapshot_due(self._batches):

@@ -95,7 +95,13 @@ class CircuitBreaker:
         self.state = to
         if to is BreakerState.OPEN:
             self.ever_opened = True
-            self.opened_at = now
+            # ``now`` can regress: a half-open probe may fail at a stream
+            # time *before* the original open (out-of-order advance_time
+            # under replay/reorder).  The cooldown deadline must never move
+            # backward, or a regressed reopen would expire immediately and
+            # the breaker would flap open/half-open on every batch.
+            if self.opened_at is None or now > self.opened_at:
+                self.opened_at = now
 
     def allow(self, now: TimePoint) -> bool:
         """May the plan run at stream time ``now``?
@@ -242,6 +248,8 @@ class SupervisedEngine(CaesarEngine):
         registry = self.observability.registry
         if registry.enabled:
             self.dead_letters.bind_metrics(registry)
+        if self.shedder is not None and self.shedder.config.dead_letter:
+            self.shedder.bind_dead_letters(self.dead_letters)
         self._failure_counter = registry.counter(
             "caesar_plan_failures_total",
             "Plan exceptions caught and isolated by the supervisor",
@@ -275,6 +283,9 @@ class SupervisedEngine(CaesarEngine):
         """
         self._dlq_counts_baseline = dict(self.dead_letters.counts_by_reason)
         self._dlq_dropped_baseline = self.dead_letters.dropped
+        self._dlq_dropped_by_reason_baseline = dict(
+            self.dead_letters.dropped_by_reason
+        )
 
     # ------------------------------------------------------------------
     # plan guarding
@@ -386,7 +397,7 @@ class SupervisedEngine(CaesarEngine):
         its timestamp empty, which the scheduler treats as a no-op.
         """
         if not self.validate_schemas:
-            return events
+            return super()._prepare_batch(events, t)
         valid: list[Event] = []
         for event in events:
             try:
@@ -399,7 +410,10 @@ class SupervisedEngine(CaesarEngine):
                 )
             else:
                 valid.append(event)
-        return valid
+        # Schema rejection happens *before* admission control, so the shed
+        # decision stream (and its digest) is identical whether validation
+        # is on or off for well-formed streams.
+        return super()._prepare_batch(valid, t)
 
     def _on_batch_end(self, t: TimePoint) -> None:
         if self.recovery is not None:
@@ -418,6 +432,7 @@ class SupervisedEngine(CaesarEngine):
         return counts
 
     def _finalize_report(self, report: EngineReport) -> None:
+        super()._finalize_report(report)
         report.plan_failures = self.plan_failures
         report.plans_quarantined = len(self.quarantined_plans())
         report.breaker_transitions = self.breaker_transition_counts()
@@ -429,6 +444,11 @@ class SupervisedEngine(CaesarEngine):
         report.dead_letter_dropped = (
             self.dead_letters.dropped - self._dlq_dropped_baseline
         )
+        report.dead_letter_dropped_by_reason = {
+            reason: count - self._dlq_dropped_by_reason_baseline.get(reason, 0)
+            for reason, count in self.dead_letters.dropped_by_reason.items()
+            if count - self._dlq_dropped_by_reason_baseline.get(reason, 0) > 0
+        }
         if self.recovery is not None:
             report.checkpoints_taken = self.recovery.checkpoints_taken
             report.recovery_replays = self.recovery.recovery_replays
@@ -453,6 +473,7 @@ class SupervisedEngine(CaesarEngine):
             "plan_failures": self.plan_failures,
             "dlq_total": self.dead_letters.total,
             "dlq_dropped": self.dead_letters.dropped,
+            "dlq_dropped_by_reason": dict(self.dead_letters.dropped_by_reason),
             "transitions": self.breaker_transition_counts(),
             "quarantined": set(self.quarantined_plans()),
         }
@@ -466,6 +487,7 @@ class SupervisedEngine(CaesarEngine):
             "plan_failures": 0,
             "dlq_total": 0,
             "dlq_dropped": 0,
+            "dlq_dropped_by_reason": {},
             "transitions": {},
             "quarantined": set(),
         }
@@ -478,6 +500,11 @@ class SupervisedEngine(CaesarEngine):
             "plan_failures": self.plan_failures - base["plan_failures"],
             "dlq_entries": new_entries,
             "dlq_dropped": self.dead_letters.dropped - base["dlq_dropped"],
+            "dlq_dropped_by_reason": {
+                reason: count - base["dlq_dropped_by_reason"].get(reason, 0)
+                for reason, count in self.dead_letters.dropped_by_reason.items()
+                if count - base["dlq_dropped_by_reason"].get(reason, 0) > 0
+            },
             "transitions": {
                 key: count - base_transitions.get(key, 0)
                 for key, count in transitions.items()
@@ -501,7 +528,9 @@ class SupervisedEngine(CaesarEngine):
         with self._failure_lock:
             self.plan_failures += supervision["plan_failures"]
         self.dead_letters.absorb(
-            supervision["dlq_entries"], dropped=supervision["dlq_dropped"]
+            supervision["dlq_entries"],
+            dropped=supervision["dlq_dropped"],
+            dropped_by_reason=supervision.get("dlq_dropped_by_reason"),
         )
         for key, count in supervision["transitions"].items():
             self._absorbed_transitions[key] = (

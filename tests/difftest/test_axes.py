@@ -1,10 +1,13 @@
-"""All five differential axes agree on every shipped scenario.
+"""All six differential axes agree on every shipped scenario.
 
 These are the headline acceptance checks of the harness: the same
 generated workload run through pairs of configurations that promise
 equivalence — optimizer rule sets, context-aware vs baseline, execution
 backends, checkpoint/restore-mid-stream, jittered arrival through the
-reorder buffer — produces identical canonical results.
+reorder buffer, load shedding off vs on — produces identical canonical
+results.  (The shed axis is exercised on noise-ballasted streams in
+``test_shed_axis.py``; here it runs on the bare scenario streams, whose
+types are all protected — the degenerate everything-admitted case.)
 """
 
 import pytest

@@ -1,0 +1,101 @@
+"""Half-open re-entry of the circuit breaker under stream-time regressions.
+
+The breaker runs on *stream* time, and stream time is allowed to regress
+across a half-open probe: under replay or reordered arrival, the probe
+batch a quarantined plan receives can carry a timestamp before the
+failure that originally opened the breaker.  The cooldown deadline must
+never move backward on such a reopen, or the breaker would expire
+immediately and flap open/half-open on every subsequent batch.
+"""
+
+import pytest
+
+from repro.runtime.supervisor import BreakerState, CircuitBreaker
+
+
+class TestHalfOpenReentry:
+    def test_regressed_probe_failure_keeps_the_open_deadline(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=60)
+        breaker.record_failure(100)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == 100
+
+        # cooldown expires → half-open, one probe admitted
+        assert breaker.allow(160)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+        # the probe fails at a *regressed* stream time (replay/reorder):
+        # the breaker reopens but the deadline must not move backward
+        breaker.record_failure(50)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == 100
+
+        # a moved-back deadline would admit this immediately (50 + 60 <= 110)
+        assert not breaker.allow(110)
+        assert breaker.state is BreakerState.OPEN
+
+        # the original deadline still governs re-entry
+        assert breaker.allow(160)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_repeated_regressions_never_flap(self):
+        """Probe failures at ever-earlier stream times don't shorten the
+        cooldown; each re-entry still waits the full window from the
+        latest *forward* open."""
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=60)
+        breaker.record_failure(100)
+        for regressed in (90, 70, 50, 10):
+            assert breaker.allow(160)
+            assert breaker.state is BreakerState.HALF_OPEN
+            breaker.record_failure(regressed)
+            assert breaker.state is BreakerState.OPEN
+            assert breaker.opened_at == 100
+            # never admitted before the original deadline
+            assert not breaker.allow(159)
+
+    def test_forward_probe_failure_extends_the_deadline(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=60)
+        breaker.record_failure(100)
+        assert breaker.allow(160)
+        breaker.record_failure(170)  # probe fails *later* — deadline moves
+        assert breaker.opened_at == 170
+        assert not breaker.allow(229)
+        assert breaker.allow(230)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_success_closes_and_resets(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=60)
+        breaker.record_failure(0)
+        breaker.record_failure(1)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.allow(61)
+        breaker.record_success(62)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+        # fully re-armed: it takes the full threshold to open again
+        breaker.record_failure(63)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(64)
+        assert breaker.state is BreakerState.OPEN
+
+    def test_transition_log_records_the_reentry_cycle(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=60)
+        breaker.record_failure(100)
+        breaker.allow(160)
+        breaker.record_failure(50)
+        breaker.allow(160)
+        breaker.record_success(161)
+        assert [(f.value, t.value) for _, f, t in breaker.transitions] == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+        assert breaker.ever_opened
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown=-1)

@@ -65,8 +65,39 @@ class TestQueueBasics:
         assert queue.summary() == {
             "retained": 2,
             "dropped": 1,
+            "dropped_by_reason": {REASON_LATE: 1},
             "by_reason": {REASON_LATE: 3},
         }
+
+    def test_drops_are_attributed_to_the_evicted_reason(self):
+        """Per-reason drop accounting follows the *evicted* entry's reason."""
+        queue = DeadLetterQueue(capacity=2)
+        queue.put(tick(0), reason=REASON_SCHEMA)
+        queue.put(tick(1), reason=REASON_LATE)
+        # evicts the schema entry, then the late one
+        queue.put(tick(2), reason=REASON_LATE)
+        queue.put(tick(3), reason=REASON_LATE)
+        assert queue.dropped == 2
+        assert queue.dropped_by_reason == {REASON_SCHEMA: 1, REASON_LATE: 1}
+
+    def test_absorb_merges_worker_drop_accounting(self):
+        """Absorbing a worker's entries merges its per-reason drop deltas."""
+        queue = DeadLetterQueue(capacity=2)
+        worker = DeadLetterQueue(capacity=1)
+        for t in range(3):
+            worker.put(tick(t), reason=REASON_LATE)
+        queue.put(tick(10), reason=REASON_SCHEMA)
+        queue.put(tick(11), reason=REASON_SCHEMA)
+        queue.absorb(
+            worker.entries(),
+            dropped=worker.dropped,
+            dropped_by_reason=worker.dropped_by_reason,
+        )
+        # worker evicted 2 late entries; absorbing its 1 retained entry
+        # pushed this queue over capacity, evicting the schema entry
+        assert queue.dropped == 3
+        assert queue.dropped_by_reason == {REASON_LATE: 2, REASON_SCHEMA: 1}
+        assert queue.counts_by_reason == {REASON_SCHEMA: 2, REASON_LATE: 1}
 
     def test_invalid_capacity(self):
         with pytest.raises(ValueError, match="capacity"):
