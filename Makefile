@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos test-overload difftest bench bench-hotpath bench-parallel bench-observability bench-shedding bench-tables examples validate lint-smoke all
+.PHONY: install test test-chaos test-overload test-service difftest bench bench-hotpath bench-parallel bench-observability bench-shedding bench-tables examples validate lint-smoke all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -36,6 +36,17 @@ test-overload:
 		tests/runtime/test_breaker_reentry.py \
 		tests/difftest/test_shed_axis.py \
 		-q -p no:randomly
+
+# streaming service mode: continuous ingestion, online deployment, the
+# session/service difftest axis, and the `repro serve` round-trip smoke
+test-service:
+	$(PYTHON) -m pytest tests/service/ \
+		tests/runtime/test_session.py \
+		tests/runtime/test_session_backends.py \
+		tests/runtime/test_preserve_state.py \
+		tests/difftest/test_service_axis.py \
+		-q -p no:randomly
+	$(PYTHON) -m repro diff --scenario all --axis service --scale 0.5
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,81 @@
+"""CI smoke: pipe a Linear Road slice through ``repro serve`` and assert
+the emitted derivations match a one-shot ``run()`` over the same stream.
+
+Exercises the whole service path as a real operator would — a child
+process, line-delimited JSON on stdin, emissions on stdout, graceful
+drain on EOF — which no in-process test covers.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+
+def main() -> int:
+    from repro.difftest.scenarios import get_scenario
+    from repro.events.stream import EventStream
+    from repro.runtime import CaesarEngine
+
+    scenario = get_scenario("traffic")
+    events = scenario.make_events(7, 0.5)
+
+    engine = CaesarEngine(
+        scenario.build_model(),
+        partition_by=scenario.partition_by,
+        retention=scenario.retention,
+    )
+    report = engine.run(EventStream(events))
+    expected = [
+        {"type": e.type_name, "time": e.timestamp, "payload": e.payload}
+        for e in report.outputs
+    ]
+
+    lines = [
+        json.dumps({
+            "type": event.type_name,
+            "time": event.timestamp,
+            "payload": event.payload,
+        })
+        for event in events
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("CAESAR_BACKEND", None)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--scenario", "traffic",
+         "--summary"],
+        input="\n".join(lines) + "\n",
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    if proc.returncode != 0:
+        print(proc.stderr, file=sys.stderr)
+        print(f"FAIL: serve exited {proc.returncode}")
+        return 1
+    emitted = [json.loads(line) for line in proc.stdout.splitlines() if line]
+    if emitted != expected:
+        print(
+            f"FAIL: serve emitted {len(emitted)} events, "
+            f"one-shot run produced {len(expected)}"
+        )
+        for i, (got, want) in enumerate(zip(emitted, expected)):
+            if got != want:
+                print(f"  first divergence at #{i}: {got} != {want}")
+                break
+        return 1
+    print(
+        f"serve round-trip OK: {len(emitted)} emitted events match the "
+        f"one-shot run ({proc.stderr.strip().splitlines()[-1]})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,9 @@ Commands
 ``parse``              parse a CAESAR query from the argument and dump it
 ``stats``              run a scenario with observability on and dump metrics
 ``diff``               differential correctness harness (see docs/difftest.md)
+``serve``              long-lived streaming service: line-delimited JSON
+                       events on stdin, derived events on stdout, graceful
+                       drain on EOF/SIGTERM, online deployment ops
 """
 
 from __future__ import annotations
@@ -107,7 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument(
         "--axis",
         choices=("optimizer", "context", "backend", "checkpoint",
-                 "reorder", "shed", "all"),
+                 "reorder", "shed", "service", "all"),
         default="all",
         help="equivalence axis to check (default: all)",
     )
@@ -125,6 +128,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-shrink", action="store_true",
         help="report the first divergence without ddmin-minimizing "
         "the failing stream",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived streaming service: line-delimited JSON events on "
+        "stdin, derived events on stdout; {\"op\": \"deploy\"|\"retire\"} "
+        "lines manage queries online; drains gracefully on EOF/SIGTERM",
+    )
+    serve.add_argument(
+        "--scenario",
+        choices=("traffic", "pam", "threshold"),
+        default="traffic",
+        help="model + partitioner + type registry to serve (default: traffic)",
+    )
+    serve.add_argument(
+        "--max-delay", type=float, default=0,
+        help="out-of-order tolerance in stream time units (older events "
+        "are dead-lettered as late)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=1024,
+        help="ingestion queue bound; a full queue blocks stdin reading "
+        "(backpressure)",
+    )
+    serve.add_argument(
+        "--backend", default=None,
+        help="execution backend (serial | thread)",
+    )
+    serve.add_argument(
+        "--summary", action="store_true",
+        help="print the final report summary to stderr on exit",
     )
     return parser
 
@@ -389,6 +423,125 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+class _Shutdown(Exception):
+    """SIGTERM/SIGINT during ``serve`` — triggers the graceful drain."""
+
+
+def _serve_type_registry(scenario_name: str) -> dict:
+    if scenario_name == "traffic":
+        from repro.linearroad.schema import type_registry
+
+        return type_registry()
+    if scenario_name == "pam":
+        from repro.pam.schema import type_registry
+
+        return type_registry()
+    from repro.difftest.scenarios import DIFF_READING
+
+    return {DIFF_READING.name: DIFF_READING}
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import signal
+
+    from repro.api import EngineConfig, create_engine
+    from repro.difftest.scenarios import get_scenario
+    from repro.events.event import Event
+    from repro.events.types import EventType
+    from repro.language import parse_query
+    from repro.runtime.service import EngineService
+
+    scenario = get_scenario(args.scenario)
+    engine = create_engine(
+        scenario.build_model(),
+        EngineConfig(
+            backend=args.backend,
+            partition_by=scenario.partition_by,
+            retention=scenario.retention,
+        ),
+    )
+    types = dict(_serve_type_registry(args.scenario))
+
+    def resolve_type(name: str) -> EventType:
+        event_type = types.get(name)
+        if event_type is None:
+            event_type = EventType(name)
+            types[name] = event_type
+        return event_type
+
+    out = sys.stdout
+
+    def emit(event: Event) -> None:
+        out.write(json.dumps({
+            "type": event.type_name,
+            "time": event.timestamp,
+            "payload": dict(event.payload),
+        }, default=str) + "\n")
+        out.flush()
+
+    service = EngineService(
+        engine,
+        max_delay=args.max_delay,
+        queue_size=args.queue_size,
+        on_emit=emit,
+    )
+
+    def on_signal(signum, frame):  # pragma: no cover - signal timing
+        raise _Shutdown()
+
+    previous = {
+        sig: signal.signal(sig, on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            message = json.loads(line)
+            if "op" in message:
+                op = message["op"]
+                if op == "deploy":
+                    query = parse_query(
+                        message["query"],
+                        name=message.get("name", "deployed"),
+                        types=types,
+                    )
+                    watermark = service.deploy_query(query)
+                    print(
+                        f"deployed {query.name!r} at watermark {watermark}",
+                        file=sys.stderr,
+                    )
+                elif op == "retire":
+                    watermark = service.retire_query(message["name"])
+                    print(
+                        f"retired {message['name']!r} at watermark "
+                        f"{watermark}",
+                        file=sys.stderr,
+                    )
+                elif op == "stop":
+                    break
+                else:
+                    print(f"unknown op {op!r}", file=sys.stderr)
+                continue
+            service.submit(Event(
+                resolve_type(message["type"]),
+                message["time"],
+                dict(message.get("payload", {})),
+            ))
+    except _Shutdown:
+        print("signal received, draining", file=sys.stderr)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        report = service.stop()
+        engine.close()
+    if args.summary:
+        print(report.summary(), file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -412,6 +565,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_stats(args)
         if args.command == "diff":
             return _cmd_diff(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except CaesarError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

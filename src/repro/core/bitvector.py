@@ -67,6 +67,23 @@ class ContextBitVector:
         self.time = time
         return was_set
 
+    def register(self, name: str) -> bool:
+        """Extend the layout with a new context name (online deployment).
+
+        The alphabetical bit order is re-derived, so existing names may move
+        to new indices; their set/clear state is carried over by name.
+        Returns True if the layout actually grew (False: already present).
+        """
+        if name in self._index:
+            return False
+        active = [n for n in self._names if self.test(n)]
+        self._names = tuple(sorted(self._names + (name,)))
+        self._index = {n: i for i, n in enumerate(self._names)}
+        self._bits = 0
+        for n in active:
+            self._bits |= 1 << self._index[n]
+        return True
+
     def test(self, name: str) -> bool:
         """Constant-time lookup: does the context window currently hold?"""
         return bool(self._bits & self._bit(name))

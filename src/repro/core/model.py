@@ -111,6 +111,28 @@ class CaesarModel:
             else:
                 context.processing_queries.append(query)
 
+    def remove_query(self, name: str) -> tuple[str, ...]:
+        """Detach a query from every context holding it (online retirement).
+
+        Returns the names of the contexts the query was attached to, so a
+        live engine knows which plan groups to rebuild.  Unknown names
+        raise :class:`~repro.errors.ModelError`.
+        """
+        affected: list[str] = []
+        for context in self._contexts.values():
+            before = len(context.workload)
+            context.deriving_queries = [
+                q for q in context.deriving_queries if q.name != name
+            ]
+            context.processing_queries = [
+                q for q in context.processing_queries if q.name != name
+            ]
+            if len(context.workload) != before:
+                affected.append(context.name)
+        if not affected:
+            raise ModelError(f"no query named {name!r} in the model")
+        return tuple(affected)
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------

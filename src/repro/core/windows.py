@@ -180,6 +180,14 @@ class ContextWindowStore:
         self._listeners: list = []
         self._restore_default(0)
 
+    def register_context(self, name: str) -> bool:
+        """Admit a new context type into the partition (online deployment).
+
+        Extends the bit vector's layout; open windows and the default
+        window are untouched.  Returns True if the type was actually new.
+        """
+        return self.vector.register(name)
+
     # ------------------------------------------------------------------
     # CI_c / CT_c semantics
     # ------------------------------------------------------------------

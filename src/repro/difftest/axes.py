@@ -1,4 +1,4 @@
-"""The six differential axes and their comparison pairs.
+"""The seven differential axes and their comparison pairs.
 
 Each axis names an equivalence the engine stack promises:
 
@@ -21,6 +21,13 @@ Each axis names an equivalence the engine stack promises:
     events whose lineage avoids every shed input must be identical), plus
     shed runs across backends, whose decision digests must be
     byte-identical — same seed, same stream, same decisions everywhere.
+``service``
+    One-shot ``run()`` vs chunked ``EngineSession.feed()`` vs continuous
+    ``EngineService`` ingestion — the chunk-boundary invariant: no partial
+    match or context state is ever lost between feeds.  Scenarios with a
+    deploy query additionally compare a mid-stream online deployment
+    against a from-scratch engine that had the query from its activation
+    watermark onward.
 
 :func:`run_comparison` executes one pair, and on divergence ddmin-shrinks
 the stream to a minimal failing reproduction.
@@ -38,7 +45,10 @@ from repro.difftest.shrink import ddmin
 from repro.events.event import Event
 from repro.events.types import EventType
 
-AXES = ("optimizer", "context", "backend", "checkpoint", "reorder", "shed")
+AXES = (
+    "optimizer", "context", "backend", "checkpoint", "reorder", "shed",
+    "service",
+)
 
 _BASELINE = RunSpec(label="baseline")
 
@@ -132,6 +142,40 @@ def comparisons_for(scenario: Scenario, axis: str) -> list[Comparison]:
                 axis, "shed-serial-vs-process",
                 shed_serial,
                 RunSpec(label="shed:process", backend="process", shed=True),
+            ))
+        return pairs
+    if axis == "service":
+        pairs = [
+            Comparison(
+                axis, "run-vs-session",
+                _BASELINE,
+                RunSpec(label="ingest:session", ingest="session"),
+            ),
+            Comparison(
+                axis, "run-vs-service",
+                _BASELINE,
+                RunSpec(label="ingest:service", ingest="service"),
+            ),
+        ]
+        if scenario.deploy_query is not None:
+            reference = RunSpec(label="deploy:reference", deploy="reference")
+            pairs.append(Comparison(
+                axis, "deploy-online-vs-reference",
+                reference,
+                RunSpec(
+                    label="deploy:online",
+                    ingest="session",
+                    deploy="online",
+                ),
+            ))
+            pairs.append(Comparison(
+                axis, "deploy-service-vs-reference",
+                reference,
+                RunSpec(
+                    label="deploy:service-online",
+                    ingest="service",
+                    deploy="online",
+                ),
             ))
         return pairs
     raise ValueError(f"unknown axis {axis!r} (have: {AXES})")

@@ -89,6 +89,16 @@ class RunSpec:
     runs the engine under :data:`DIFF_SHED_CONFIG` admission control; the
     decision digest and shed counters join the canonical counters, so two
     shed runs agree only when their decision streams are byte-identical.
+    ``ingest`` chooses the ingestion surface: one-shot ``run()`` (default),
+    chunked :class:`~repro.runtime.session.EngineSession` feeding, or
+    continuous :class:`~repro.runtime.service.EngineService` submission —
+    the ``service`` axis's chunk-boundary invariant.  ``deploy`` adds a
+    mid-stream online query deployment (``"online"``, requires a session
+    or service ingest) or builds the reference for it (``"reference"``: a
+    prefix run on the base model, checkpoint, restore into a from-scratch
+    engine whose model has the scenario's deploy query, suffix run — the
+    engine that had the query from its activation watermark onward);
+    ``deploy_at`` is the deployment point as a stream fraction.
     """
 
     label: str
@@ -101,6 +111,9 @@ class RunSpec:
     workload: str | None = None  # None | "shared" | "nonshared"
     drop_index: int | None = None
     shed: bool = False
+    ingest: str = "run"  # "run" | "session" | "service"
+    deploy: str | None = None  # None | "online" | "reference"
+    deploy_at: float = 0.5
 
     def __post_init__(self):
         resolve_rules(self.optimize)  # validate eagerly
@@ -113,6 +126,23 @@ class RunSpec:
             raise ValueError("checkpoint_at must be a fraction in (0, 1)")
         if self.jitter < 0:
             raise ValueError("jitter must be non-negative")
+        if self.ingest not in ("run", "session", "service"):
+            raise ValueError(
+                f"ingest must be 'run', 'session' or 'service', "
+                f"got {self.ingest!r}"
+            )
+        if self.deploy not in (None, "online", "reference"):
+            raise ValueError(
+                f"deploy must be None, 'online' or 'reference', "
+                f"got {self.deploy!r}"
+            )
+        if self.deploy == "online" and self.ingest == "run":
+            raise ValueError(
+                "deploy='online' needs a live ingestion surface "
+                "(ingest='session' or 'service')"
+            )
+        if not 0 < self.deploy_at < 1:
+            raise ValueError("deploy_at must be a fraction in (0, 1)")
 
 
 class HarnessError(CaesarError):
@@ -223,6 +253,96 @@ def _execute_workload(
     return canonicalize(report, dedup=True, compare_windows=False)
 
 
+def _fold_shed(result: CanonicalResult, report, spec: RunSpec) -> CanonicalResult:
+    """Fold the decision stream into the canon: two shed runs agree only
+    when every per-event decision matched, byte for byte."""
+    if not spec.shed:
+        return result
+    return dataclasses.replace(
+        result,
+        counters=result.counters
+        + (
+            ("shed:digest", report.shed_decision_digest),
+            ("shed:events", report.shed_events),
+            ("shed:protected", report.protected_events),
+        ),
+    )
+
+
+def _execute_ingest(
+    scenario: Scenario, spec: RunSpec, events: list[Event]
+) -> CanonicalResult:
+    """Feed the stream through a session or service instead of ``run()``.
+
+    Session ingestion splits the stream into chunks at transaction
+    boundaries and feeds each with a separate ``feed()`` call; service
+    ingestion submits events one at a time through the bounded queue and
+    the feeder thread.  A ``deploy='online'`` spec deploys the scenario's
+    query after the ``deploy_at`` boundary has committed.  Either way the
+    canonical result must be byte-identical to the one-shot run.
+    """
+    from repro.runtime.service import EngineService
+    from repro.runtime.session import EngineSession
+
+    engine = create_engine(scenario.build_model(), _engine_config(scenario, spec))
+    deploy_cut = (
+        _transaction_boundary(events, spec.deploy_at)
+        if spec.deploy == "online"
+        else None
+    )
+    if spec.ingest == "session":
+        session = EngineSession(engine)
+        if deploy_cut is None:
+            cuts = sorted({
+                _transaction_boundary(events, f) for f in (0.33, 0.66)
+            }) if len(events) > 3 else []
+            start = 0
+            for cut in cuts + [len(events)]:
+                session.feed(events[start:cut])
+                start = cut
+        else:
+            session.feed(events[:deploy_cut])
+            engine.deploy_query(scenario.deploy_query())
+            session.feed(events[deploy_cut:])
+        report = session.close()
+    else:
+        service = EngineService(engine, queue_size=64)
+        try:
+            if deploy_cut is None:
+                service.extend(events)
+            else:
+                service.extend(events[:deploy_cut])
+                service.deploy_query(scenario.deploy_query())
+                service.extend(events[deploy_cut:])
+        finally:
+            report = service.stop()
+    engine.close()
+    return _fold_shed(canonicalize(report), report, spec)
+
+
+def _execute_deploy_reference(
+    scenario: Scenario, spec: RunSpec, events: list[Event]
+) -> CanonicalResult:
+    """The from-scratch engine that had the deploy query from its
+    activation watermark onward: prefix on the base model, checkpoint,
+    restore into an engine whose model includes the query, suffix run."""
+    config = _engine_config(scenario, spec)
+    cut = _transaction_boundary(events, spec.deploy_at)
+    first = create_engine(scenario.build_model(), config)
+    prefix_report = first.run(EventStream(events[:cut]))
+    checkpoint = capture_checkpoint(first)
+    upgraded = scenario.build_model()
+    upgraded.add_query(scenario.deploy_query())
+    second = create_engine(upgraded, config)
+    restore_checkpoint(second, checkpoint)
+    suffix_report = second.run(EventStream(events[cut:]))
+    return canonicalize(
+        suffix_report,
+        extra_outputs=prefix_report.outputs,
+        extra_events_processed=prefix_report.events_processed,
+    )
+
+
 def execute(
     scenario: Scenario, spec: RunSpec, events: list[Event]
 ) -> CanonicalResult:
@@ -230,24 +350,15 @@ def execute(
     prepared = prepare_events(spec, events)
     if spec.workload is not None:
         return _execute_workload(scenario, spec, prepared)
+    if spec.deploy == "reference":
+        return _execute_deploy_reference(scenario, spec, prepared)
+    if spec.ingest != "run":
+        return _execute_ingest(scenario, spec, prepared)
     config = _engine_config(scenario, spec)
     if spec.checkpoint_at is None:
         engine = create_engine(scenario.build_model(), config)
         report = engine.run(EventStream(prepared))
-        result = canonicalize(report)
-        if spec.shed:
-            # fold the decision stream into the canon: two shed runs agree
-            # only when every per-event decision matched, byte for byte
-            result = dataclasses.replace(
-                result,
-                counters=result.counters
-                + (
-                    ("shed:digest", report.shed_decision_digest),
-                    ("shed:events", report.shed_events),
-                    ("shed:protected", report.protected_events),
-                ),
-            )
-        return result
+        return _fold_shed(canonicalize(report), report, spec)
     cut = _transaction_boundary(prepared, spec.checkpoint_at)
     prefix, suffix = prepared[:cut], prepared[cut:]
     first = create_engine(scenario.build_model(), config)

@@ -52,6 +52,9 @@ class Scenario:
     #: overlapping user windows for the sharing comparison (grouping
     #: on/off); ``None`` skips that comparison for the scenario
     window_specs: Callable[[], Sequence[WindowSpec]] | None = None
+    #: a processing query deployed mid-stream by the ``service`` axis's
+    #: online-deployment comparison; ``None`` skips that comparison
+    deploy_query: Callable[[], EventQuery] | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -83,6 +86,16 @@ def traffic_scenario(*, segments: int = 3, minutes: int = 6) -> Scenario:
         )
         return list(generate_stream(config))
 
+    def deploy_query() -> EventQuery:
+        from repro.linearroad.schema import type_registry
+
+        return parse_query(
+            "DERIVE CongestionPing(p.vid, p.sec, p.seg) "
+            "PATTERN PositionReport p CONTEXT congestion",
+            name="congestion_ping",
+            types=type_registry(),
+        )
+
     return Scenario(
         name="traffic",
         description=f"Linear Road, 1 road x {segments} segments",
@@ -91,6 +104,7 @@ def traffic_scenario(*, segments: int = 3, minutes: int = 6) -> Scenario:
         partition_by=segment_partitioner,
         retention=120,
         reorder_jitter=30,
+        deploy_query=deploy_query,
     )
 
 
@@ -113,6 +127,17 @@ def pam_scenario(*, subjects: int = 3, minutes: int = 8) -> Scenario:
         )
         return list(generate_pam_stream(config))
 
+    def deploy_query() -> EventQuery:
+        from repro.pam.schema import type_registry
+
+        return parse_query(
+            "DERIVE ModeratePulse(r.subject, r.sec, r.heart_rate) "
+            "PATTERN ActivityReport r WHERE r.heart_rate >= 100 "
+            "CONTEXT moderate",
+            name="moderate_pulse",
+            types=type_registry(),
+        )
+
     return Scenario(
         name="pam",
         description=f"activity monitoring, {subjects} subjects",
@@ -121,6 +146,7 @@ def pam_scenario(*, subjects: int = 3, minutes: int = 8) -> Scenario:
         partition_by=subject_partitioner,
         retention=60,
         reorder_jitter=15,
+        deploy_query=deploy_query,
     )
 
 
@@ -212,6 +238,14 @@ def _threshold_window_specs() -> list[WindowSpec]:
     ]
 
 
+def _threshold_deploy_query() -> EventQuery:
+    return parse_query(
+        "DERIVE Spike(r.value, r.sec) PATTERN DiffReading r "
+        "WHERE r.value > 18 CONTEXT alert",
+        name="spike",
+    )
+
+
 def threshold_scenario() -> Scenario:
     return Scenario(
         name="threshold",
@@ -222,6 +256,7 @@ def threshold_scenario() -> Scenario:
         retention=100,
         reorder_jitter=20,
         window_specs=_threshold_window_specs,
+        deploy_query=_threshold_deploy_query,
     )
 
 

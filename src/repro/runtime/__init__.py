@@ -8,7 +8,10 @@ aware) and :class:`~repro.runtime.baseline.ContextIndependentEngine` (the
 state-of-the-art comparator).
 
 Extensions: :class:`~repro.runtime.session.EngineSession` (incremental
-feeding), :class:`~repro.runtime.reorder.ReorderBuffer` (bounded
+feeding), :class:`~repro.runtime.service.EngineService` (long-lived
+streaming service: bounded ingestion queue with backpressure, live
+emission, online query/context deployment — ``repro serve``),
+:class:`~repro.runtime.reorder.ReorderBuffer` (bounded
 out-of-order handling), :mod:`~repro.runtime.reporting` (JSON export,
 ASCII context timelines) — and the supervision layer:
 :class:`~repro.runtime.supervisor.SupervisedEngine` (per-plan fault
@@ -37,6 +40,7 @@ from repro.runtime.history import ContextHistory
 from repro.runtime.garbage import GarbageCollector
 from repro.runtime.reorder import ReorderBuffer
 from repro.runtime.session import EngineSession
+from repro.runtime.service import EngineService
 from repro.runtime.checkpoint import capture_checkpoint, restore_checkpoint
 from repro.runtime.deadletter import (
     DeadLetterEntry,
@@ -81,6 +85,7 @@ __all__ = [
     "DeadLetterEntry",
     "DeadLetterQueue",
     "EngineReport",
+    "EngineService",
     "EngineSession",
     "EventDistributor",
     "GarbageCollector",

@@ -488,7 +488,6 @@ class CaesarEngine:
             ).get("track_outputs", track_outputs)
         if self._runs_started > 0 and not self._preserve_state_once:
             self.reset_run_state()
-        self._preserve_state_once = False
         self._runs_started += 1
 
         state = RunState(self.partition_by, self.instruments)
@@ -545,10 +544,16 @@ class CaesarEngine:
                                 backend.last_shed_feedback
                             )
                     self._on_batch_end(t)
+                    # Preservation (post-restore) is consumed only once a
+                    # batch actually committed: a run that aborts before
+                    # touching state must leave the restored state intact
+                    # for the retry (the chunk-boundary recall-bug class).
+                    self._preserve_state_once = False
                 if observability.snapshot_due(state.batches):
                     self._refresh_gauges(state)
                     observability.emit_snapshot(t)
                     self.instruments.snapshots.inc()
+            self._preserve_state_once = False
             totals = backend.collect_totals(self)
         finally:
             backend.end_run(self)
@@ -602,6 +607,135 @@ class CaesarEngine:
         lazily from the immutable templates, exactly as on a fresh engine.
         """
         self._partitions = {}
+
+    # ------------------------------------------------------------------
+    # online deployment (streaming service mode)
+    # ------------------------------------------------------------------
+
+    def _guard_plan(
+        self, partition_key: object, phase: str, context_name: str, plan
+    ):
+        """Hook: wrap a plan spliced into a live partition (supervision seam).
+
+        The base engine installs plans bare; :class:`SupervisedEngine`
+        overrides this to put a fresh circuit breaker around each one.
+        :meth:`_partition` construction routes through the same hook via
+        ``wrap_plans``, so initial and online-deployed plans are guarded
+        identically.
+        """
+        return plan
+
+    def _require_local_state(self, operation: str) -> None:
+        backend = self.backend.for_engine(self)
+        if not (backend.local_state and self._effective_backend.local_state):
+            raise RuntimeEngineError(
+                f"{operation} requires an execution backend with in-process "
+                f"partition state; {self._effective_backend.name!r} keeps "
+                "partitions in worker processes"
+            )
+
+    def deploy_query(self, query) -> None:
+        """Add a query to the live model without restarting the engine.
+
+        The grouping optimizer reruns incrementally — only the combined
+        plans of the contexts named in the query's CONTEXT clause are
+        rebuilt — and the fresh plans are spliced into every live
+        partition's routers with the old plans' pattern state restored, so
+        no partial match is lost at the deployment boundary.  The new
+        query's own plan starts empty; its activation watermark is the
+        next timestamp processed.  Interest sets are read live from the
+        spliced plans, so routing (and the shedder's protected-type
+        ladder, which is re-attached) picks the query up immediately.
+        """
+        self._require_local_state("deploy_query")
+        self.model.add_query(query)
+        affected = set(query.contexts or (self.model.default_context,))
+        try:
+            self._rebuild_templates_for(affected)
+        except Exception:
+            self.model.remove_query(query.name)
+            raise
+        self._splice_partitions(affected)
+
+    def retire_query(self, name: str) -> None:
+        """Remove a query from the live model without restarting.
+
+        Contexts whose workload becomes empty lose their combined plan
+        entirely; the remaining queries keep their pattern state.
+        """
+        self._require_local_state("retire_query")
+        affected = set(self.model.remove_query(name))
+        self._rebuild_templates_for(affected)
+        self._splice_partitions(affected)
+
+    def deploy_context(self, name: str) -> None:
+        """Declare a new context type on the live engine.
+
+        Every partition's bit vector grows to admit the new name (existing
+        bits are carried over); the context has no workload until queries
+        are deployed into it.
+        """
+        self._require_local_state("deploy_context")
+        self.model.add_context(name)
+        for runtime in self._partitions.values():
+            runtime.store.register_context(name)
+
+    def _rebuild_templates_for(self, contexts: set) -> None:
+        """Re-run plan building + grouping for the affected contexts only."""
+        queries = self.model.to_query_set()
+        for attr_name, predicate in (
+            ("_deriving_templates", lambda q: q.is_deriving),
+            ("_processing_templates", lambda q: q.is_processing),
+        ):
+            relevant = [
+                q
+                for q in queries
+                if predicate(q) and set(q.contexts) & contexts
+            ]
+            rebuilt = self._templates(relevant) if relevant else {}
+            templates = getattr(self, attr_name)
+            for name in contexts:
+                if name in rebuilt:
+                    templates[name] = rebuilt[name]
+                else:
+                    templates.pop(name, None)
+
+    def _splice_partitions(self, contexts: set) -> None:
+        """Swap the affected contexts' plans into every live partition.
+
+        Each surviving query's plan state is carried over by name
+        (``snapshot_state``/``restore_state``); names absent from the old
+        snapshot — the newly deployed query — start fresh.
+        """
+        for key, runtime in self._partitions.items():
+            for phase, router, templates in (
+                ("deriving", runtime.deriving_router, self._deriving_templates),
+                (
+                    "processing",
+                    runtime.processing_router,
+                    self._processing_templates,
+                ),
+            ):
+                for context_name in sorted(contexts):
+                    template = templates.get(context_name)
+                    old = router.plan_for(context_name)
+                    if template is None:
+                        if old is not None:
+                            router.remove_plan(context_name)
+                        continue
+                    plan = template.clone()
+                    if old is not None:
+                        plan.restore_state(old.snapshot_state())
+                    router.replace_plan(
+                        context_name,
+                        self._guard_plan(key, phase, context_name, plan),
+                    )
+            runtime.gc.set_plans(
+                runtime.deriving_router.all_plans()
+                + runtime.processing_router.all_plans()
+            )
+        if self.shedder is not None:
+            self.shedder.attach(self)
 
     def _prepare_batch(self, events: list[Event], t: TimePoint) -> list[Event]:
         """Hook: filter/augment a raw batch before it is distributed.

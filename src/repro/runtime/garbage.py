@@ -46,6 +46,14 @@ class GarbageCollector:
         self.collected = 0
         self.runs = 0
 
+    def set_plans(self, plans: Iterable[CombinedQueryPlan]) -> None:
+        """Swap the plan set being collected (online query deployment).
+
+        The interval clock and counters carry over — only *what* is swept
+        changes, not *when*.
+        """
+        self._plans = list(plans)
+
     def maybe_collect(self, now: TimePoint) -> int:
         """Run a collection if ``interval`` has elapsed; returns items freed.
 

@@ -90,6 +90,37 @@ class ContextAwareStreamRouter:
     def all_plans(self) -> list[CombinedQueryPlan]:
         return list(self._plans_by_context.values())
 
+    def replace_plan(self, context_name: str, plan: CombinedQueryPlan) -> None:
+        """Install or swap the plan of one context (online deployment).
+
+        Accumulated routing counters and per-context cost are preserved —
+        routing cost is charged by delta per batch, so swapping a plan
+        mid-run loses nothing.  New contexts get a zeroed cost slot and,
+        in detailed mode, their own plan timer; the interest set is read
+        live from the plan at every batch, so interest routing picks up
+        the new plan immediately.
+        """
+        self._plans_by_context[context_name] = plan
+        self.cost_by_context.setdefault(context_name, 0.0)
+        if (
+            self._plan_timers is not None
+            and context_name not in self._plan_timers
+        ):
+            self._plan_timers[context_name] = (
+                self._observability.registry.histogram(
+                    "caesar_plan_seconds",
+                    "Wall time per combined-plan evaluation",
+                    labels={"phase": self.phase, "context": context_name},
+                )
+            )
+
+    def remove_plan(self, context_name: str) -> None:
+        """Drop a context's plan (query retirement emptied its workload).
+
+        The cost slot survives — cost already spent is history, not state.
+        """
+        self._plans_by_context.pop(context_name, None)
+
     def wrap_plans(self, wrap) -> None:
         """Replace every plan with ``wrap(context_name, plan)``.
 

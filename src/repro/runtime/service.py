@@ -1,0 +1,306 @@
+"""Long-lived streaming service mode (library extension).
+
+:class:`EngineService` turns an engine into a continuously ingesting
+service: producers :meth:`~EngineService.submit` events into a bounded
+queue (blocking when it is full — backpressure that slows the producer
+down instead of growing memory, complementing the load shedder's admission
+control which keeps working on stream-time pressure unchanged), a feeder
+thread drains the queue through an :class:`~repro.runtime.session.EngineSession`,
+and derived events are emitted *as their stream transactions commit* — via
+an ``on_emit`` callback or the :meth:`~EngineService.outputs` iterator —
+not only in the end-of-run report.
+
+The session runs in frontier mode (``eager=False``): a timestamp's batch
+stays open until a strictly newer timestamp arrives, so events of one
+logical transaction may be submitted one at a time and still execute as
+one transaction — which is what makes continuous ingestion byte-identical
+to a one-shot ``run()`` over the same stream (the difftest ``service``
+axis enforces this).
+
+Online deployment — :meth:`~EngineService.deploy_query`,
+:meth:`~EngineService.retire_query`, :meth:`~EngineService.deploy_context`
+— is serialized through the same queue: the operation takes effect after
+every previously submitted event has committed, and returns that
+activation watermark.  Outputs of the new query from the watermark onward
+match a from-scratch engine that had the query all along (enforced by
+test against a checkpoint-restored reference).
+
+Periodic live snapshots come for free: a supervised engine with a
+:class:`~repro.runtime.recovery.RecoveryManager` autosaves at watermark
+boundaries because the session calls ``_on_batch_end`` per committed
+transaction, exactly like ``run()``.
+
+Service gauges (queue depth, watermark, watermark lag, emit latency) are
+registered on the engine's metrics registry under ``caesar_service_*``.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time as _time
+from typing import Callable, Iterable, Iterator, TYPE_CHECKING
+
+from repro.errors import RuntimeEngineError
+from repro.events.event import Event
+from repro.events.timebase import TimePoint
+from repro.runtime.session import EngineSession
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.engine import CaesarEngine, EngineReport
+
+#: sentinel closing the feeder loop (graceful drain)
+_STOP = object()
+#: sentinel terminating the outputs iterator
+_DONE = object()
+
+
+class _Op:
+    """A control operation serialized through the event queue."""
+
+    __slots__ = ("apply", "done", "result", "error")
+
+    def __init__(self, apply: Callable[[], object]):
+        self.apply = apply
+        self.done = threading.Event()
+        self.result: object = None
+        self.error: BaseException | None = None
+
+
+class EngineService:
+    """Continuous ingestion with live emission and online deployment.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve.  Must use an in-process (serial or thread)
+        backend when online deployment is exercised.
+    max_delay:
+        Out-of-order tolerance forwarded to the underlying session's
+        reorder buffer; older events are dead-lettered as late.
+    queue_size:
+        Bound of the ingestion queue; a full queue blocks :meth:`submit`
+        (backpressure).
+    on_emit:
+        Optional callback invoked with each derived event as it is
+        emitted (from the feeder thread).  Without one, consume
+        :meth:`outputs` instead.
+    track_outputs:
+        As in ``run()``: also accumulate derived events on the report.
+    """
+
+    def __init__(
+        self,
+        engine: "CaesarEngine",
+        *,
+        max_delay: TimePoint = 0,
+        queue_size: int = 1024,
+        on_emit: Callable[[Event], None] | None = None,
+        track_outputs: bool = True,
+    ):
+        self.engine = engine
+        self.session = EngineSession(
+            engine,
+            max_delay=max_delay,
+            eager=False,
+            track_outputs=track_outputs,
+        )
+        self.on_emit = on_emit
+        self.emitted_events = 0
+        self._queue: _queue.Queue = _queue.Queue(maxsize=queue_size)
+        self._emitted: _queue.Queue | None = (
+            _queue.Queue() if on_emit is None else None
+        )
+        self._error: BaseException | None = None
+        self._report: "EngineReport | None" = None
+        self._stopping = False
+        registry = engine.observability.registry
+        self._queue_gauge = registry.gauge(
+            "caesar_service_queue_depth",
+            "Events buffered in the service ingestion queue",
+        )
+        self._watermark_gauge = registry.gauge(
+            "caesar_service_watermark",
+            "Stream time of the service's last committed transaction",
+        )
+        self._lag_gauge = registry.gauge(
+            "caesar_service_watermark_lag",
+            "Stream-time distance between the newest submitted event and "
+            "the service watermark",
+        )
+        self._emit_latency = registry.histogram(
+            "caesar_service_emit_seconds",
+            "Wall seconds from submission to emission of the batch that "
+            "produced a derived event",
+        )
+        self._feeder = threading.Thread(
+            target=self._feed_loop, name="caesar-service-feeder", daemon=True
+        )
+        self._feeder.start()
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    def submit(self, event: Event, *, timeout: float | None = None) -> None:
+        """Enqueue one event; blocks while the queue is full (backpressure)."""
+        self._check_alive()
+        self._queue.put((event, _time.perf_counter()), timeout=timeout)
+        self._queue_gauge.set(self._queue.qsize())
+
+    def extend(self, events: Iterable[Event]) -> None:
+        """Enqueue many events (same backpressure per event)."""
+        for event in events:
+            self.submit(event)
+
+    def _check_alive(self) -> None:
+        if self._error is not None:
+            raise self._error
+        if self._stopping:
+            raise RuntimeEngineError("service is stopped")
+
+    # ------------------------------------------------------------------
+    # online deployment
+    # ------------------------------------------------------------------
+
+    def deploy_query(self, query, *, timeout: float | None = None):
+        """Deploy a query on the live engine; returns its activation
+        watermark (stream time of the last transaction committed under the
+        old model — the new query sees everything strictly after it)."""
+        return self._control(
+            lambda: self.engine.deploy_query(query), timeout=timeout
+        )
+
+    def retire_query(self, name: str, *, timeout: float | None = None):
+        """Retire a query from the live engine; returns the watermark."""
+        return self._control(
+            lambda: self.engine.retire_query(name), timeout=timeout
+        )
+
+    def deploy_context(self, name: str, *, timeout: float | None = None):
+        """Declare a new context type on the live engine."""
+        return self._control(
+            lambda: self.engine.deploy_context(name), timeout=timeout
+        )
+
+    def _control(self, apply: Callable[[], object], *, timeout=None):
+        """Run a deployment op after everything already submitted commits."""
+        self._check_alive()
+        op = _Op(apply)
+        self._queue.put(op)
+        if not op.done.wait(timeout):
+            raise RuntimeEngineError("deployment operation timed out")
+        if op.error is not None:
+            raise op.error
+        return op.result
+
+    # ------------------------------------------------------------------
+    # feeder thread
+    # ------------------------------------------------------------------
+
+    def _feed_loop(self) -> None:
+        try:
+            while True:
+                item = self._queue.get()
+                self._queue_gauge.set(self._queue.qsize())
+                if item is _STOP:
+                    self._emit(self.session.flush(), None)
+                    return
+                if isinstance(item, _Op):
+                    self._run_op(item)
+                    continue
+                event, submitted = item
+                self._emit(self.session.feed([event]), submitted)
+                self._refresh_gauges()
+        except BaseException as exc:  # surfaced on submit/stop
+            self._error = exc
+
+    def _run_op(self, op: _Op) -> None:
+        try:
+            # close the frontier first: events submitted before the op
+            # must commit under the pre-op model
+            self._emit(self.session.flush(), None)
+            op.apply()
+            op.result = self.session.watermark
+        except BaseException as exc:
+            op.error = exc
+        finally:
+            op.done.set()
+
+    def _emit(self, outputs: list[Event], submitted: float | None) -> None:
+        if not outputs:
+            return
+        if submitted is not None:
+            self._emit_latency.observe(_time.perf_counter() - submitted)
+        for event in outputs:
+            self.emitted_events += 1
+            if self.on_emit is not None:
+                self.on_emit(event)
+            else:
+                self._emitted.put(event)
+
+    def _refresh_gauges(self) -> None:
+        watermark = self.session.watermark
+        newest = self.session.now
+        if watermark is not None:
+            self._watermark_gauge.set(float(watermark))
+            if newest is not None:
+                self._lag_gauge.set(float(newest) - float(watermark))
+
+    # ------------------------------------------------------------------
+    # consumption / lifecycle
+    # ------------------------------------------------------------------
+
+    def outputs(self) -> Iterator[Event]:
+        """Iterate derived events as they are emitted.
+
+        Terminates after :meth:`stop`.  Only available without an
+        ``on_emit`` callback (one consumer owns the emission stream).
+        """
+        if self._emitted is None:
+            raise RuntimeEngineError(
+                "an on_emit callback consumes this service's emissions"
+            )
+        while True:
+            item = self._emitted.get()
+            if item is _DONE:
+                return
+            yield item
+
+    def stop(self, *, drain: bool = True) -> "EngineReport":
+        """Stop the service and return the final report.
+
+        ``drain=True`` (graceful, the SIGTERM path) processes everything
+        already submitted; ``drain=False`` discards events still queued.
+        Idempotent — repeated calls return the same report.
+        """
+        if self._report is not None:
+            return self._report
+        self._stopping = True
+        if not drain:
+            try:
+                while True:
+                    item = self._queue.get_nowait()
+                    if isinstance(item, _Op):
+                        item.error = RuntimeEngineError("service stopped")
+                        item.done.set()
+            except _queue.Empty:
+                pass
+        if self._feeder.is_alive():
+            self._queue.put(_STOP)
+        self._feeder.join()
+        if self._error is not None:
+            raise self._error
+        self._report = self.session.close()
+        if self._emitted is not None:
+            self._emitted.put(_DONE)
+        self._queue_gauge.set(0)
+        return self._report
+
+    close = stop
+
+    def __enter__(self) -> "EngineService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)

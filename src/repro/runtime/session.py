@@ -5,13 +5,29 @@ feed events as they arrive.  :class:`EngineSession` wraps an engine with an
 incremental interface::
 
     session = EngineSession(engine)
-    alarms = session.feed(batch_of_events)   # events in timestamp order
+    alarms = session.feed(batch_of_events)   # events as they arrive
     ...
     report = session.close()                 # final metrics
 
 Feeding preserves all engine semantics — per-partition context derivation
-before processing, suspension, history discard, garbage collection — and
-enforces the in-order arrival contract across calls.
+before processing, suspension, history discard, garbage collection,
+admission control, supervision hooks — because each timestamp's batch runs
+through exactly the same pipeline as one iteration of the ``run()`` loop:
+``_prepare_batch`` → distribute → scheduler collect → backend execute →
+commit → latency/shedder accounting → ``_on_batch_end``.  The session uses
+the engine's configured execution backend, so thread- and process-sharded
+engines feed incrementally too.
+
+Late arrivals are no longer an error: events flow through a
+:class:`~repro.runtime.reorder.ReorderBuffer` with the session's
+``max_delay`` bound, and events older than the watermark (or older than a
+timestamp whose transaction already committed) are counted in
+:attr:`EngineSession.late_events` and diverted to the engine's dead-letter
+queue under the ``late`` reason when one is attached.
+
+The central invariant — enforced by the difftest ``service`` axis — is
+that feeding a stream in chunks is byte-identical to one ``run()`` over
+the whole stream: same outputs, same windows, same deterministic counters.
 """
 
 from __future__ import annotations
@@ -19,138 +35,272 @@ from __future__ import annotations
 import time as _time
 from typing import Iterable, TYPE_CHECKING
 
-from repro.errors import RuntimeEngineError, StreamOrderError
+from repro.errors import RuntimeEngineError
 from repro.events.event import Event
 from repro.events.timebase import TimePoint
-from repro.runtime.metrics import LatencyTracker
-from repro.runtime.queues import EventDistributor
-from repro.runtime.scheduler import TimeDrivenScheduler
-from repro.runtime.transactions import StreamTransaction
+from repro.runtime.reorder import ReorderBuffer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.engine import CaesarEngine, EngineReport
 
 
 class EngineSession:
-    """A stateful, incremental run of a :class:`CaesarEngine`."""
+    """A stateful, incremental run of a :class:`CaesarEngine`.
 
-    def __init__(self, engine: "CaesarEngine"):
+    Parameters
+    ----------
+    engine:
+        The engine to drive.  As with ``run()``, a session on a previously
+        used engine starts from a clean slate unless the engine was just
+        restored from a checkpoint.
+    max_delay:
+        Bounded out-of-order tolerance: events may arrive up to
+        ``max_delay`` stream-time units late and are reordered before
+        processing; older ones are dead-lettered as late.  ``0`` (default)
+        keeps the strict in-order contract but demotes violations from an
+        exception to late accounting.
+    eager:
+        With ``eager=True`` (default) every event released by the reorder
+        buffer is processed before :meth:`feed` returns.  With
+        ``eager=False`` the newest timestamp's batch is held until a
+        strictly newer timestamp arrives, so equal-timestamp events split
+        across calls still form one stream transaction — the mode
+        :class:`~repro.runtime.service.EngineService` feeds single events
+        with.
+    track_outputs:
+        As in ``run()``: accumulate derived events on the final report.
+    """
+
+    def __init__(
+        self,
+        engine: "CaesarEngine",
+        *,
+        max_delay: TimePoint = 0,
+        eager: bool = True,
+        track_outputs: bool = True,
+    ):
+        from repro.runtime.engine import RunState
+
         self.engine = engine
-        self._distributor = EventDistributor(engine.partition_by)
-        self._scheduler = TimeDrivenScheduler(
-            self._distributor, instruments=engine.instruments
-        )
-        self._latency = LatencyTracker()
-        self._last_time: TimePoint | None = None
-        self._events_processed = 0
-        self._batches = 0
-        self._outputs_by_type: dict[str, int] = {}
-        self._wall_started = _time.perf_counter()
+        self.eager = eager
+        self.track_outputs = track_outputs
+        self.late_events = 0
+        if engine._runs_started > 0 and not engine._preserve_state_once:
+            engine.reset_run_state()
+        engine._runs_started += 1
+        self._state = RunState(engine.partition_by, engine.instruments)
+        self._reorder = ReorderBuffer(max_delay, on_late=self._record_late)
+        #: released-but-unprocessed events, sorted by construction (the
+        #: reorder buffer releases in timestamp order)
+        self._pending: list[Event] = []
+        self._last_fed: TimePoint | None = None
+        self._last_processed: TimePoint | None = None
         self._closed = False
+        self._report: "EngineReport | None" = None
+        self._backend = engine.backend.for_engine(engine)
+        engine._effective_backend = self._backend
+        self._local_state = self._backend.local_state
+        self._backend.begin_run(engine)
         if engine.shedder is not None:
-            engine.shedder.begin_run(distributor=self._distributor, remote=False)
+            engine.shedder.begin_run(
+                distributor=self._state.distributor,
+                remote=not self._local_state,
+            )
 
+    # ------------------------------------------------------------------
+    # feeding
     # ------------------------------------------------------------------
 
     def feed(self, events: Iterable[Event]) -> list[Event]:
-        """Process the next events (timestamp-ordered); returns derivations.
+        """Process the next events; returns the derivations they released.
 
         Events within one call may span several timestamps; each distinct
-        timestamp forms its own stream transactions.
+        timestamp forms its own stream transactions.  Arrival may be out
+        of order within the session's ``max_delay`` bound; older events
+        are dead-lettered as late instead of raising.
         """
         if self._closed:
             raise RuntimeEngineError("session is closed")
-        outputs: list[Event] = []
-        pending: list[Event] = []
         for event in events:
-            if self._last_time is not None and event.timestamp < self._last_time:
-                raise StreamOrderError(
-                    f"event at t={event.timestamp} arrived after "
-                    f"t={self._last_time}"
-                )
-            if pending and event.timestamp != pending[-1].timestamp:
-                outputs.extend(self._run_batch(pending))
-                pending = []
-            pending.append(event)
-            self._last_time = event.timestamp
-        if pending:
-            outputs.extend(self._run_batch(pending))
-        return outputs
+            self._last_fed = event.timestamp
+            self._pending.extend(self._reorder.push(event))
+        return self._drain_pending()
 
-    def _run_batch(self, batch: list[Event]) -> list[Event]:
-        engine = self.engine
-        t = batch[0].timestamp
-        prepared = engine._prepare_batch(list(batch), t)
-        if prepared:
-            self._distributor.distribute(prepared)
-        engine.instruments.queue_depth.set(self._distributor.total_pending())
-        cost_before = engine._total_cost_units()
-        wall_before = _time.perf_counter()
-        outputs: list[Event] = []
+    def flush(self) -> list[Event]:
+        """Release and process everything the reorder buffer still holds."""
+        if self._closed:
+            raise RuntimeEngineError("session is closed")
+        self._pending.extend(self._reorder.flush())
+        return self._drain_pending(final=True)
 
-        def execute(transaction: StreamTransaction) -> None:
-            outputs.extend(engine._execute_transaction(transaction))
+    def _record_late(self, event: Event) -> None:
+        self.late_events += 1
+        dead_letters = getattr(self.engine, "dead_letters", None)
+        if dead_letters is not None:
+            dead_letters.record_late(event)
 
-        self._scheduler.run_time(t, execute)
-        if engine.seconds_per_cost_unit is not None:
-            service = (
-                engine._total_cost_units() - cost_before
-            ) * engine.seconds_per_cost_unit
+    def _drain_pending(self, *, final: bool = False) -> list[Event]:
+        pending = self._pending
+        if not pending:
+            return []
+        if not self.eager and not final:
+            # hold the frontier timestamp's batch open: equal-timestamp
+            # events arriving in later calls must join its transaction
+            frontier = pending[-1].timestamp
+            if pending[0].timestamp == frontier:
+                return []
         else:
-            service = _time.perf_counter() - wall_before
-        batch_latency = self._latency.record(float(t), service)
-        self._events_processed += len(batch)
-        self._batches += 1
-        instruments = engine.instruments
-        instruments.batches.inc()
-        instruments.events.inc(len(batch))
-        instruments.outputs.inc(len(outputs))
-        instruments.batch_service.observe(service)
-        instruments.batch_latency.observe(batch_latency)
-        for event in outputs:
-            self._outputs_by_type[event.type_name] = (
-                self._outputs_by_type.get(event.type_name, 0) + 1
-            )
-        if engine.shedder is not None:
-            engine.shedder.note_batch_cost(
-                engine._total_cost_units() - cost_before
-            )
-        engine._on_batch_end(t)
-        if engine.observability.snapshot_due(self._batches):
-            engine.observability.emit_snapshot(t)
-            instruments.snapshots.inc()
+            frontier = None
+        outputs: list[Event] = []
+        self._pending = []
+        index = 0
+        while index < len(pending):
+            t = pending[index].timestamp
+            if frontier is not None and t == frontier:
+                self._pending = pending[index:]
+                break
+            end = index
+            while end < len(pending) and pending[end].timestamp == t:
+                end += 1
+            batch = pending[index:end]
+            index = end
+            if self._last_processed is not None and t <= self._last_processed:
+                # the transaction for t already committed — a closed
+                # timestamp cannot be reopened, so these count as late
+                # even though the reorder bound admitted them
+                for event in batch:
+                    self._record_late(event)
+                continue
+            outputs.extend(self._run_batch(t, batch))
         return outputs
 
+    def _run_batch(self, t: TimePoint, batch: list[Event]) -> list[Event]:
+        """One iteration of the ``run()`` loop, verbatim semantics."""
+        engine = self.engine
+        state = self._state
+        backend = self._backend
+        local_state = self._local_state
+        with engine.observability.span("batch", t=t):
+            events = engine._prepare_batch(list(batch), t)
+            if events:
+                state.distributor.distribute(events)
+            engine.instruments.queue_depth.set(
+                state.distributor.total_pending()
+            )
+            cost_before = engine._total_cost_units() if local_state else 0.0
+            wall_before = _time.perf_counter()
+            transactions = state.scheduler.collect(t)
+            results = backend.execute(t, transactions, engine)
+            state.scheduler.commit(transactions)
+            batch_outputs = [
+                event for outputs in results for event in outputs
+            ]
+            if engine.seconds_per_cost_unit is not None:
+                if local_state:
+                    cost_delta = engine._total_cost_units() - cost_before
+                else:
+                    cost_delta = backend.last_cost_delta
+                service = cost_delta * engine.seconds_per_cost_unit
+            else:
+                service = _time.perf_counter() - wall_before
+            state.record_batch(
+                t, len(batch), batch_outputs, service, self.track_outputs
+            )
+            shedder = engine.shedder
+            if shedder is not None:
+                if local_state:
+                    shedder.note_batch_cost(
+                        engine._total_cost_units() - cost_before
+                    )
+                else:
+                    shedder.note_batch_cost(backend.last_cost_delta)
+                    shedder.absorb_remote_feedback(backend.last_shed_feedback)
+            engine._on_batch_end(t)
+            engine._preserve_state_once = False
+        if engine.observability.snapshot_due(state.batches):
+            engine._refresh_gauges(state)
+            engine.observability.emit_snapshot(t)
+            engine.instruments.snapshots.inc()
+        self._last_processed = t
+        return batch_outputs
+
+    # ------------------------------------------------------------------
+    # introspection
     # ------------------------------------------------------------------
 
     @property
     def now(self) -> TimePoint | None:
         """Timestamp of the most recently fed event."""
-        return self._last_time
+        return self._last_fed
+
+    @property
+    def watermark(self) -> TimePoint | None:
+        """Timestamp of the most recently committed stream transaction."""
+        return self._last_processed
+
+    @property
+    def reordered_events(self) -> int:
+        """Events the reorder buffer released out of arrival order."""
+        return self._reorder.reordered_events
 
     def active_contexts(self, partition=None) -> tuple[str, ...]:
         """Currently active contexts of a partition (for dashboards)."""
         return self.engine._partition(partition).store.active_contexts()
 
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
     def close(self) -> "EngineReport":
-        """Finish the session and return the accumulated report."""
+        """Finish the session and return the accumulated report.
+
+        Flushes the reorder buffer, finalizes the backend (worker fan-in)
+        and the shedder, and builds the same report ``run()`` would —
+        including outputs, windows, backend/transport and overload
+        accounting — so ``repro stats`` and the difftest axes see chunked
+        and one-shot execution identically.  Idempotent: a second call
+        returns the same report.
+        """
+        if self._report is not None:
+            return self._report
         from repro.runtime.engine import EngineReport
 
+        engine = self.engine
+        self._pending.extend(self._reorder.flush())
+        self._drain_pending(final=True)
         self._closed = True
-        self.engine._observe_totals(self.engine._local_totals())
+        totals = None
+        try:
+            totals = self._backend.collect_totals(engine)
+        finally:
+            self._backend.end_run(engine)
+        if totals is None:
+            totals = engine._local_totals()
+        engine._observe_totals(totals)
+        engine._refresh_gauges(self._state, totals)
+        state = self._state
         report = EngineReport(
-            outputs=[],
-            events_processed=self._events_processed,
-            batches=self._batches,
-            cost_units=self.engine._total_cost_units(),
-            wall_seconds=_time.perf_counter() - self._wall_started,
-            max_latency=self._latency.max_latency,
-            mean_latency=self._latency.mean_latency,
-            outputs_by_type=dict(self._outputs_by_type),
-            windows_by_partition={
-                key: runtime.store.all_windows()
-                for key, runtime in self.engine._partitions.items()
-            },
+            outputs=state.outputs,
+            events_processed=state.events_processed,
+            batches=state.batches,
+            cost_units=totals.cost_units,
+            wall_seconds=state.wall_seconds,
+            max_latency=state.latency.max_latency,
+            mean_latency=state.latency.mean_latency,
+            outputs_by_type=state.outputs_by_type,
+            windows_by_partition=totals.windows_by_partition,
+            suppressed_batches=totals.suppressed_batches,
+            routed_batches=totals.routed_batches,
+            interest_suppressed_batches=totals.interest_suppressed_batches,
+            gc_collected=totals.gc_collected,
+            history_discards=totals.history_discards,
+            cost_by_context=totals.cost_by_context,
+            backend=self._backend.name,
+            transport_bytes_out=totals.transport_bytes_out,
+            transport_bytes_in=totals.transport_bytes_in,
+            batches_shm=totals.batches_shm,
+            batches_pickled_fallback=totals.batches_pickled_fallback,
         )
-        self.engine._finalize_report(report)
+        engine._finalize_report(report)
+        self._report = report
         return report

@@ -339,16 +339,27 @@ class SupervisedEngine(CaesarEngine):
                 ("processing", runtime.processing_router),
             ):
                 def guard(context_name, plan, _key=key, _phase=phase):
-                    plan_key = (_key, _phase, context_name)
-                    breaker = CircuitBreaker(
-                        failure_threshold=self.failure_threshold,
-                        cooldown=self.cooldown,
-                    )
-                    self._breakers[plan_key] = breaker
-                    return _GuardedPlan(plan, self, plan_key, breaker)
+                    return self._guard_plan(_key, _phase, context_name, plan)
 
                 router.wrap_plans(guard)
         return runtime
+
+    def _guard_plan(
+        self, partition_key: object, phase: str, context_name: str, plan
+    ):
+        """Wrap a plan in a circuit breaker (initial build *and* online
+        deployment splices route through here).  A context whose plan is
+        replaced keeps its breaker — failure history is per (partition,
+        phase, context), not per plan object."""
+        plan_key = (partition_key, phase, context_name)
+        breaker = self._breakers.get(plan_key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                cooldown=self.cooldown,
+            )
+            self._breakers[plan_key] = breaker
+        return _GuardedPlan(plan, self, plan_key, breaker)
 
     def _on_plan_failure(
         self,

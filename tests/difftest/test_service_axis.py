@@ -1,0 +1,89 @@
+"""The ``service`` differential axis: chunked and continuous ingestion
+are byte-identical to one-shot ``run()``, and online deployment matches a
+from-scratch engine that had the query from its activation watermark.
+
+The full three-scenario sweep runs in CI's difftest job (``repro diff
+--axis service``); this suite pins the axis wiring plus the cheap
+threshold scenario end-to-end.
+"""
+
+import pytest
+
+from repro.difftest import AXES, comparisons_for, get_scenario
+from repro.difftest.axes import run_axis
+from repro.difftest.harness import RunSpec, execute
+
+SEED = 13
+SCALE = 0.4
+
+
+def test_service_is_a_registered_axis():
+    assert "service" in AXES
+
+
+def test_service_comparison_labels():
+    labels = [
+        c.label for c in comparisons_for(get_scenario("threshold"), "service")
+    ]
+    assert labels == [
+        "run-vs-session",
+        "run-vs-service",
+        "deploy-online-vs-reference",
+        "deploy-service-vs-reference",
+    ]
+
+
+def test_every_scenario_carries_a_deploy_query():
+    for name in ("traffic", "pam", "threshold"):
+        scenario = get_scenario(name)
+        assert scenario.deploy_query is not None
+        query = scenario.deploy_query()
+        assert query.contexts  # deploys into a real context
+
+
+def test_runspec_validation():
+    with pytest.raises(ValueError):
+        RunSpec(label="bad", ingest="carrier-pigeon")
+    with pytest.raises(ValueError):
+        RunSpec(label="bad", deploy="online")  # one-shot cannot deploy
+    with pytest.raises(ValueError):
+        RunSpec(label="bad", ingest="session", deploy_at=1.5)
+
+
+def test_threshold_axis_passes():
+    scenario = get_scenario("threshold")
+    results = run_axis(scenario, "service", seed=SEED, scale=SCALE,
+                       shrink=False)
+    assert len(results) == 4
+    for result in results:
+        assert result.passed, (
+            f"threshold/service/{result.label}: "
+            f"{result.divergence.describe()}"
+        )
+
+
+def test_session_and_service_projections_match_run_exactly():
+    scenario = get_scenario("threshold")
+    events = scenario.make_events(SEED, SCALE)
+    baseline = execute(scenario, RunSpec(label="baseline"), events)
+    session = execute(
+        scenario, RunSpec(label="session", ingest="session"), events
+    )
+    service = execute(
+        scenario, RunSpec(label="service", ingest="service"), events
+    )
+    assert session == baseline
+    assert service == baseline
+
+
+def test_axis_detects_injected_divergence():
+    from repro.difftest.axes import run_comparison
+
+    scenario = get_scenario("threshold")
+    events = scenario.make_events(SEED, SCALE)
+    comparison = comparisons_for(scenario, "service")[0]
+    result = run_comparison(
+        scenario, comparison, events,
+        shrink=False, inject_divergence=True,
+    )
+    assert not result.passed

@@ -1,0 +1,127 @@
+"""Regression tests for the restore-then-run preserve flag.
+
+``restore_checkpoint`` arms ``_preserve_state_once`` so the next run
+continues from the restored state instead of resetting.  The flag used to
+be consumed at run *entry*, so a run (or session) that failed before
+committing its first transaction silently burned it — the retry then
+started from a clean slate and recomputed the whole stream, the
+chunk-boundary state-loss bug class this suite pins down.  The flag is
+now consumed only after the first transaction commits.
+"""
+
+import pytest
+
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime import (
+    CaesarEngine,
+    EngineSession,
+    capture_checkpoint,
+    outputs_to_rows,
+    restore_checkpoint,
+)
+
+READING = EventType.define("PsReading", value="int", sec="int")
+
+
+def build_model():
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN PsReading r WHERE r.value > 100 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN PsReading r WHERE r.value <= 100 "
+        "CONTEXT alert", name="down"))
+    model.add_query(parse_query(
+        "DERIVE Alarm(r.value, r.sec) PATTERN PsReading r CONTEXT alert",
+        name="alarm"))
+    return model
+
+
+def reading(t, value):
+    return Event(READING, t, {"value": value, "sec": t})
+
+
+VALUES = [50, 150, 170, 90, 120, 30]
+PREFIX = [reading(t * 10, v) for t, v in enumerate(VALUES[:3])]
+SUFFIX = [reading((t + 3) * 10, v) for t, v in enumerate(VALUES[3:])]
+
+
+class _PrepareBoom(Exception):
+    pass
+
+
+def restored_engine():
+    base = CaesarEngine(build_model())
+    base.run(EventStream(PREFIX))
+    checkpoint = capture_checkpoint(base)
+    engine = CaesarEngine(build_model())
+    restore_checkpoint(engine, checkpoint)
+    return engine
+
+
+class TestPreserveSurvivesAbortedRun:
+    def test_run_aborting_before_first_batch_keeps_restored_state(self):
+        engine = restored_engine()
+        original = engine._prepare_batch
+
+        def boom(batch, t):
+            raise _PrepareBoom()
+
+        engine._prepare_batch = boom
+        with pytest.raises(_PrepareBoom):
+            engine.run(EventStream(SUFFIX))
+        engine._prepare_batch = original
+
+        # the aborted run processed nothing, so the retry must still see
+        # the restored alert context: value 120 at t=40 alarms
+        report = engine.run(EventStream(SUFFIX))
+        assert report.outputs_by_type.get("Alarm") == 1
+
+    def test_session_aborting_before_first_batch_keeps_restored_state(self):
+        engine = restored_engine()
+        original = engine._prepare_batch
+
+        def boom(batch, t):
+            raise _PrepareBoom()
+
+        engine._prepare_batch = boom
+        session = EngineSession(engine)
+        with pytest.raises(_PrepareBoom):
+            session.feed(SUFFIX[:1])
+        engine._prepare_batch = original
+
+        retry = EngineSession(engine)
+        retry.feed(SUFFIX)
+        report = retry.close()
+        assert report.outputs_by_type.get("Alarm") == 1
+
+    def test_flag_consumed_after_first_transaction(self):
+        engine = restored_engine()
+        assert engine._preserve_state_once
+        session = EngineSession(engine)
+        session.feed(SUFFIX[:1])
+        assert not engine._preserve_state_once
+        session.close()
+
+
+class TestChunkedMatchesOneShot:
+    def test_restored_suffix_in_chunks_matches_straight_run(self):
+        straight = CaesarEngine(build_model()).run(
+            EventStream(PREFIX + SUFFIX)
+        )
+
+        session = EngineSession(restored_engine())
+        outputs = []
+        for event in SUFFIX:
+            outputs.extend(session.feed([event]))
+        session.close()
+        suffix_rows = [
+            row for row in outputs_to_rows(straight)
+            if row["time"] >= SUFFIX[0].timestamp
+        ]
+        assert outputs_to_rows(outputs) == suffix_rows

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.model import CaesarModel
-from repro.errors import RuntimeEngineError, StreamOrderError
+from repro.errors import RuntimeEngineError
 from repro.events.event import Event
 from repro.events.stream import EventStream
 from repro.events.types import EventType
@@ -67,23 +67,75 @@ class TestIncrementalFeeding:
         outputs = session.feed(events)
         assert [e["value"] for e in outputs] == [150, 170, 120]
 
-    def test_out_of_order_rejected(self):
+    def test_out_of_order_counts_late(self):
         session = EngineSession(CaesarEngine(build_model()))
         session.feed([reading(10, 50)])
-        with pytest.raises(StreamOrderError):
-            session.feed([reading(5, 50)])
+        assert session.feed([reading(5, 50)]) == []
+        assert session.late_events == 1
+
+    def test_out_of_order_dead_lettered(self):
+        from repro.runtime.deadletter import REASON_LATE
+        from repro.runtime.supervisor import SupervisedEngine
+
+        session = EngineSession(SupervisedEngine(build_model()))
+        session.feed([reading(10, 50)])
+        session.feed([reading(5, 50)])
+        dlq = session.engine.dead_letters
+        assert dlq.counts_by_reason.get(REASON_LATE) == 1
+
+    def test_out_of_order_within_delay_bound_recovered(self):
+        events = [reading(t * 10, v) for t, v in enumerate(VALUES)]
+        expected = CaesarEngine(build_model()).run(EventStream(events))
+
+        session = EngineSession(CaesarEngine(build_model()), max_delay=20)
+        shuffled = [events[1], events[0], events[3], events[2],
+                    events[4], events[5]]
+        outputs = []
+        for event in shuffled:
+            outputs.extend(session.feed([event]))
+        outputs.extend(session.flush())
+        report = session.close()
+        assert session.late_events == 0
+        assert sorted(
+            (e.type_name, e.timestamp) for e in outputs
+        ) == sorted((e.type_name, e.timestamp) for e in expected.outputs)
+        assert report.events_processed == expected.events_processed
 
     def test_equal_timestamps_across_calls(self):
         session = EngineSession(CaesarEngine(build_model()))
-        session.feed([reading(10, 150)])
-        with pytest.raises(RuntimeEngineError):
-            # the scheduler already closed t=10
-            session.feed([reading(10, 150)])
+        alarms = session.feed([reading(10, 150)])
+        assert len(alarms) == 1
+        # the transaction for t=10 already committed: the second event
+        # cannot reopen it and is accounted late, not an error
+        assert session.feed([reading(10, 150)]) == []
+        assert session.late_events == 1
+
+    def test_frontier_mode_batches_equal_timestamps(self):
+        # two events at t=10 submitted in separate calls must still form
+        # ONE stream transaction in frontier mode
+        events = [reading(0, 150), reading(10, 120), reading(10, 130),
+                  reading(20, 50)]
+        expected = CaesarEngine(build_model()).run(EventStream(events))
+
+        session = EngineSession(CaesarEngine(build_model()), eager=False)
+        outputs = []
+        for event in events:
+            outputs.extend(session.feed([event]))
+        report = session.close()
+        assert session.late_events == 0
+        assert report.events_processed == expected.events_processed
+        assert report.outputs_by_type == expected.outputs_by_type
+        assert sorted(
+            (e.type_name, e.timestamp) for e in report.outputs
+        ) == sorted((e.type_name, e.timestamp) for e in expected.outputs)
 
 
 class TestSessionIntrospection:
     def test_now_and_active_contexts(self):
-        session = EngineSession(CaesarEngine(build_model()))
+        # active_contexts() reads the parent-side partition store, so pin
+        # an in-process backend (CAESAR_BACKEND=process keeps state in
+        # workers and the parent view would be empty)
+        session = EngineSession(CaesarEngine(build_model(), backend="serial"))
         assert session.now is None
         session.feed([reading(0, 50)])
         assert session.now == 0

@@ -1,0 +1,244 @@
+"""Tests for the streaming service mode (:class:`EngineService`).
+
+The contract: continuously submitting events one at a time — across
+thread boundaries, through the bounded ingestion queue — produces exactly
+the report a one-shot ``run()`` over the same stream would, and derived
+events are emitted as their stream transactions commit.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.model import CaesarModel
+from repro.errors import RuntimeEngineError
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+from repro.runtime import (
+    CaesarEngine,
+    EngineService,
+    outputs_to_rows,
+    report_to_dict,
+)
+from repro.runtime.service import _Op
+
+READING = EventType.define("SvReading", value="int", sec="int", zone="int")
+
+
+def build_model():
+    model = CaesarModel(default_context="normal")
+    model.add_context("alert")
+    model.add_query(parse_query(
+        "INITIATE CONTEXT alert PATTERN SvReading r WHERE r.value > 100 "
+        "CONTEXT normal", name="up"))
+    model.add_query(parse_query(
+        "TERMINATE CONTEXT alert PATTERN SvReading r WHERE r.value <= 100 "
+        "CONTEXT alert", name="down"))
+    model.add_query(parse_query(
+        "DERIVE Alarm(r.value, r.sec) PATTERN SvReading r CONTEXT alert",
+        name="alarm"))
+    return model
+
+
+def reading(t, value, zone=0):
+    return Event(READING, t, {"value": value, "sec": t, "zone": zone})
+
+
+def by_zone(event):
+    return event["zone"]
+
+
+VALUES = [50, 150, 170, 90, 120, 30, 160, 20]
+
+
+def stream_events():
+    return [
+        reading(t * 10, v, zone=t % 2) for t, v in enumerate(VALUES)
+    ]
+
+
+def comparable(report):
+    d = report_to_dict(report)
+    for key in ("wall_seconds", "throughput", "backend", "transport"):
+        d.pop(key)
+    return d
+
+
+class TestContinuousIngestion:
+    def test_matches_one_shot_run(self):
+        expected = CaesarEngine(
+            build_model(), partition_by=by_zone, seconds_per_cost_unit=1e-6
+        ).run(EventStream(stream_events()))
+
+        engine = CaesarEngine(
+            build_model(), partition_by=by_zone, seconds_per_cost_unit=1e-6
+        )
+        service = EngineService(engine, on_emit=lambda e: None)
+        for event in stream_events():
+            service.submit(event)
+        report = service.stop()
+        assert outputs_to_rows(report) == outputs_to_rows(expected)
+        assert comparable(report) == comparable(expected)
+
+    def test_on_emit_receives_outputs_in_commit_order(self):
+        emitted = []
+        service = EngineService(
+            CaesarEngine(build_model()), on_emit=emitted.append
+        )
+        service.extend(stream_events())
+        report = service.stop()
+        assert [(e.type_name, e.timestamp) for e in emitted] == [
+            (e.type_name, e.timestamp) for e in report.outputs
+        ]
+        assert service.emitted_events == len(report.outputs)
+
+    def test_outputs_iterator(self):
+        service = EngineService(CaesarEngine(build_model()))
+        collected = []
+        consumer = threading.Thread(
+            target=lambda: collected.extend(service.outputs())
+        )
+        consumer.start()
+        service.extend(stream_events())
+        report = service.stop()
+        consumer.join(timeout=5)
+        assert not consumer.is_alive()
+        assert sorted((e.type_name, e.timestamp) for e in collected) == sorted(
+            (e.type_name, e.timestamp) for e in report.outputs
+        )
+
+    def test_outputs_iterator_unavailable_with_callback(self):
+        service = EngineService(
+            CaesarEngine(build_model()), on_emit=lambda e: None
+        )
+        with pytest.raises(RuntimeEngineError, match="on_emit"):
+            next(service.outputs())
+        service.stop()
+
+    def test_frontier_holds_equal_timestamps_together(self):
+        # two t=10 events submitted separately must form one transaction,
+        # exactly as in a one-shot run
+        events = [reading(0, 150), reading(10, 120), reading(10, 130),
+                  reading(20, 50)]
+        expected = CaesarEngine(build_model()).run(EventStream(events))
+
+        service = EngineService(
+            CaesarEngine(build_model()), on_emit=lambda e: None
+        )
+        for event in events:
+            service.submit(event)
+        report = service.stop()
+        assert report.events_processed == expected.events_processed
+        assert report.batches == expected.batches
+        assert outputs_to_rows(report) == outputs_to_rows(expected)
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent(self):
+        service = EngineService(
+            CaesarEngine(build_model()), on_emit=lambda e: None
+        )
+        service.extend(stream_events())
+        first = service.stop()
+        assert service.stop() is first
+        assert service.close() is first
+
+    def test_submit_after_stop_raises(self):
+        service = EngineService(
+            CaesarEngine(build_model()), on_emit=lambda e: None
+        )
+        service.stop()
+        with pytest.raises(RuntimeEngineError, match="stopped"):
+            service.submit(reading(0, 50))
+
+    def test_context_manager_drains(self):
+        expected = CaesarEngine(build_model()).run(
+            EventStream(stream_events())
+        )
+        with EngineService(
+            CaesarEngine(build_model()), on_emit=lambda e: None
+        ) as service:
+            service.extend(stream_events())
+        report = service.stop()
+        assert outputs_to_rows(report) == outputs_to_rows(expected)
+
+    def test_stop_without_drain_discards_queued_events(self):
+        import time
+
+        from repro.runtime.service import _STOP
+
+        service = EngineService(
+            CaesarEngine(build_model()), on_emit=lambda e: None
+        )
+        service.extend(stream_events()[:2])
+        # park the feeder on a gate so the later submissions provably sit
+        # in the queue when stop(drain=False) empties it
+        entered = threading.Event()
+        gate = threading.Event()
+
+        def park():
+            entered.set()
+            gate.wait()
+
+        service._queue.put(_Op(park))
+        service.extend(stream_events()[2:])
+        assert entered.wait(timeout=5)  # first two events are fed, feeder parked
+        stopper = threading.Thread(
+            target=service.stop, kwargs={"drain": False}
+        )
+        stopper.start()
+        # open the gate only once the drain loop has finished (the _STOP
+        # sentinel is enqueued strictly after it)
+        for _ in range(500):
+            with service._queue.mutex:
+                if any(item is _STOP for item in service._queue.queue):
+                    break
+            time.sleep(0.01)
+        gate.set()
+        stopper.join(timeout=5)
+        assert not stopper.is_alive()
+        report = service.stop()
+        assert report.events_processed == 2
+
+    def test_feeder_error_surfaces_on_stop(self):
+        from repro.testing import InjectedFaultError, inject_plan_fault
+
+        engine = CaesarEngine(build_model())
+        inject_plan_fault(engine, "alert", at_times={20})
+        service = EngineService(engine, on_emit=lambda e: None)
+        service.extend(stream_events())
+        with pytest.raises(InjectedFaultError):
+            service.stop()
+
+    def test_backpressure_blocks_then_recovers(self):
+        service = EngineService(
+            CaesarEngine(build_model()),
+            queue_size=1,
+            on_emit=lambda e: None,
+        )
+        for event in stream_events():
+            service.submit(event, timeout=5)
+        report = service.stop()
+        assert report.events_processed == len(VALUES)
+
+
+class TestServiceObservability:
+    def test_gauges_registered_and_updated(self):
+        engine = CaesarEngine(build_model())
+        service = EngineService(engine, on_emit=lambda e: None)
+        service.extend(stream_events())
+        service.stop()
+        registry = engine.observability.registry
+        names = {i.name for i in registry.instruments()}
+        assert {
+            "caesar_service_queue_depth",
+            "caesar_service_watermark",
+            "caesar_service_watermark_lag",
+            "caesar_service_emit_seconds",
+        } <= names
+        assert service._queue_gauge.value == 0
+        # frontier mode: the last committed transaction is the one before
+        # the final (held-open, then flushed) timestamp
+        assert service._watermark_gauge.value == 60.0
