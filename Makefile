@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos test-overload test-service difftest bench bench-hotpath bench-parallel bench-observability bench-shedding bench-tables examples validate lint-smoke all
+.PHONY: install test test-chaos test-overload test-service test-aggregation difftest bench bench-aggregation bench-hotpath bench-parallel bench-observability bench-shedding bench-tables examples validate lint-smoke all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -37,6 +37,15 @@ test-overload:
 		tests/difftest/test_shed_axis.py \
 		-q -p no:randomly
 
+# online SEQ aggregation: operator/property suites plus the aggregate
+# difftest axis (online vs materialize oracle, across backends, and
+# shared vs non-shared aggregate state under the grouping optimizer)
+test-aggregation:
+	$(PYTHON) -m pytest tests/algebra/test_seq_aggregate.py \
+		tests/language/test_roundtrip.py \
+		-q -p no:randomly
+	$(PYTHON) -m repro diff --scenario all --axis aggregate --scale 0.5
+
 # streaming service mode: continuous ingestion, online deployment, the
 # session/service difftest axis, and the `repro serve` round-trip smoke
 test-service:
@@ -50,6 +59,12 @@ test-service:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# online SEQ aggregation vs match materialization: asserts identical
+# aggregate values, linear-vs-combinatorial scaling, and >=10x at the
+# largest size (table recorded in docs/benchmarks.md)
+bench-aggregation:
+	$(PYTHON) -m pytest benchmarks/bench_aggregation.py --benchmark-only -s
 
 # hot-path micro-benchmarks only (predicate eval, partial advance, routing)
 bench-hotpath:

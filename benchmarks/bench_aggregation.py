@@ -1,0 +1,126 @@
+"""Online SEQ aggregation vs match materialization.
+
+Not a paper figure, but Fig-14-style in spirit: the incremental
+aggregation path (Sharon-style summary propagation) promises work
+*linear* in the number of events, while the materialize-then-fold oracle
+enumerates every SEQ match — combinatorial in the stream.  On a stream
+where every event pair matches ``SEQ(AggTick a, AggTick b)``, the match
+count grows as n(n-1)/2, so the oracle's advantage-free quadratic curve
+separates quickly from the online path's flat per-event cost.
+
+Two checks:
+
+* **shape** — online wall time grows ~linearly while materialize grows
+  superlinearly (its per-event cost rises with stream size);
+* **magnitude** — at the largest size online is >=10x faster.
+
+Both engines must agree on the aggregate values (the ``aggregate``
+differential axis asserts this byte-identically; here we spot-check) —
+the speedup is not bought with a different answer.
+
+Numbers for the PR introducing this path are recorded in
+``docs/benchmarks.md`` ("Online SEQ aggregation").
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import FigureTable
+from repro.api import EngineConfig, create_engine
+from repro.core.model import CaesarModel
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.events.types import EventType
+from repro.language import parse_query
+
+AGG_TICK = EventType.define("AggTick", v="int")
+
+SIZES = (50, 100, 200, 400)
+REPEATS = 3
+
+
+def build_model() -> CaesarModel:
+    model = CaesarModel(default_context="always")
+    model.add_query(parse_query(
+        "DERIVE TickStats(COUNT(*), SUM(a.v), MIN(b.v)) "
+        "PATTERN SEQ(AggTick a, AggTick b) CONTEXT always",
+        name="tick_stats",
+    ))
+    return model
+
+
+def make_events(size: int) -> list[Event]:
+    # deterministic values; consecutive timestamps; retention exceeds the
+    # stream span so no pair ever expires -> n(n-1)/2 live matches
+    return [
+        Event(AGG_TICK, t, {"v": (t * 37) % 101}) for t in range(size)
+    ]
+
+
+def timed_run(size: int, aggregation: str):
+    events = make_events(size)
+    best = None
+    report = None
+    for _ in range(REPEATS):
+        engine = create_engine(build_model(), EngineConfig(
+            retention=2 * SIZES[-1],
+            aggregation=aggregation,
+        ))
+        stream = EventStream(iter(events))
+        started = time.perf_counter()
+        report = engine.run(stream, track_outputs=True)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, report
+
+
+def final_stats(report):
+    """The last TickStats emission (running totals at end of stream)."""
+    outputs = [e for e in report.outputs if e.type_name == "TickStats"]
+    assert outputs, "aggregate query produced no output"
+    return outputs[-1].payload
+
+
+@pytest.fixture(scope="module")
+def aggregation_results():
+    rows = []
+    for size in SIZES:
+        online_s, online_report = timed_run(size, "online")
+        oracle_s, oracle_report = timed_run(size, "materialize")
+        assert final_stats(online_report) == final_stats(oracle_report)
+        assert online_report.matches_aggregated == size * (size - 1) // 2
+        assert oracle_report.matches_materialized == size * (size - 1) // 2
+        rows.append((size, online_s, oracle_s))
+    return rows
+
+
+def test_online_aggregation_beats_materialization(
+    aggregation_results, benchmark
+):
+    table = FigureTable(
+        "Aggregation", "online propagation vs match materialization",
+        "events",
+    )
+    for size, online_s, oracle_s in aggregation_results:
+        table.add(
+            size,
+            online_s=online_s,
+            materialize_s=oracle_s,
+            speedup=oracle_s / max(online_s, 1e-9),
+        )
+    table.show()
+
+    online = table.series("online_s")
+    oracle = table.series("materialize_s")
+    speedups = table.series("speedup")
+
+    # Shape: doubling the stream grows the oracle's cost much faster than
+    # the online path's (quadratic match count vs linear event count).
+    assert oracle[-1] / oracle[0] > (online[-1] / online[0]) * 2
+
+    # Magnitude: at the largest size the online path wins by >=10x.
+    print(f"\nspeedup at {SIZES[-1]} events: {speedups[-1]:.1f}x")
+    assert speedups[-1] >= 10.0
+
+    benchmark(lambda: timed_run(SIZES[0], "online"))

@@ -26,7 +26,10 @@ from repro.events.event import Event
 from repro.events.timebase import TimeInterval, TimePoint
 from repro.events.types import EventType
 
-#: Supported aggregate function names.
+#: Supported aggregate function names.  This is the single registry both
+#: aggregate surfaces validate against: the windowed preprocessing operator
+#: below and the online SEQ-match aggregation of
+#: :mod:`repro.algebra.seq_aggregate`.
 AGGREGATE_FUNCTIONS = (
     "count",
     "count_distinct",
@@ -35,6 +38,11 @@ AGGREGATE_FUNCTIONS = (
     "min",
     "max",
 )
+
+#: The subset computable incrementally over SEQ matches.  ``count_distinct``
+#: is excluded: distinct sets are not mergeable into the constant-size
+#: per-stage summaries the online propagation carries.
+MATCH_AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
 
 
 @dataclass(frozen=True)
@@ -60,6 +68,52 @@ class AggregateFunction:
             raise PlanError(
                 f"aggregate {self.name!r}: {self.func} needs an attribute"
             )
+
+
+@dataclass(frozen=True)
+class MatchAggregate:
+    """One DERIVE aggregate column over SEQ matches: ``func(var.attr)``.
+
+    ``name`` is the output attribute; ``var``/``attribute`` locate the
+    aggregated value in the match binding (both ``None`` for ``count(*)``,
+    whose value is the number of matches).  Validated against the same
+    :data:`AGGREGATE_FUNCTIONS` registry as :class:`AggregateFunction`,
+    restricted to :data:`MATCH_AGGREGATE_FUNCTIONS`.
+    """
+
+    name: str
+    func: str
+    var: str | None = None
+    attribute: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.func not in AGGREGATE_FUNCTIONS:
+            raise PlanError(
+                f"unknown aggregate function {self.func!r}; expected one of "
+                f"{AGGREGATE_FUNCTIONS}"
+            )
+        if self.func not in MATCH_AGGREGATE_FUNCTIONS:
+            raise PlanError(
+                f"aggregate {self.name!r}: {self.func} cannot be computed "
+                f"incrementally over SEQ matches; expected one of "
+                f"{MATCH_AGGREGATE_FUNCTIONS}"
+            )
+        if self.func == "count":
+            if self.attribute is not None:
+                raise PlanError(
+                    f"aggregate {self.name!r}: count over matches takes no "
+                    "attribute (use COUNT(*))"
+                )
+        elif self.attribute is None:
+            raise PlanError(
+                f"aggregate {self.name!r}: {self.func} needs an attribute"
+            )
+
+    def __str__(self) -> str:
+        if self.func == "count":
+            return "COUNT(*)"
+        target = f"{self.var}.{self.attribute}" if self.var else self.attribute
+        return f"{self.func.upper()}({target})"
 
 
 class _Accumulator:

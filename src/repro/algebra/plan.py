@@ -20,6 +20,10 @@ from repro.algebra.operators import ExecutionContext, Operator, OperatorStats
 from repro.algebra.pattern import EventMatch, NegatedSpec, PatternOperator
 from repro.algebra.pattern import Sequence as SeqSpec
 from repro.algebra.relational_ops import Filter, Projection
+from repro.algebra.seq_aggregate import (
+    MatchAggregateProjection,
+    PatternAggregateOperator,
+)
 from repro.errors import PlanError
 from repro.events.event import Event
 from repro.events.timebase import TimePoint
@@ -57,6 +61,15 @@ def clone_operator(operator: Operator) -> Operator:
         return Projection(operator.event_type, operator.items)
     if isinstance(operator, PatternOperator):
         return PatternOperator(operator.spec, retention=operator.retention)
+    if isinstance(operator, PatternAggregateOperator):
+        return PatternAggregateOperator(
+            operator.spec,
+            operator.outputs,
+            where=operator.where,
+            retention=operator.retention,
+        )
+    if isinstance(operator, MatchAggregateProjection):
+        return MatchAggregateProjection(operator.outputs)
     raise PlanError(f"cannot clone operator of type {type(operator).__name__}")
 
 
@@ -142,17 +155,26 @@ class QueryPlan:
         if self._input_types is None:
             types: set[str] = set()
             for operator in self.operators:
-                if isinstance(operator, PatternOperator):
+                if isinstance(operator, (PatternOperator, PatternAggregateOperator)):
                     types = _spec_types(operator.spec)
                     break
             self._input_types = types
         return self._input_types
 
     def output_type(self) -> str | None:
-        """Name of the derived event type, if the plan ends in a projection."""
+        """Name of the derived event type, if the plan derives exactly one."""
         for operator in reversed(self.operators):
             if isinstance(operator, Projection):
                 return operator.event_type.name
+            if isinstance(
+                operator, (PatternAggregateOperator, MatchAggregateProjection)
+            ):
+                # A fused operator derives several types; producer routing in
+                # combined plans only supports single-output plans, and fused
+                # plans only run inside scheduled workloads.
+                if len(operator.outputs) == 1:
+                    return operator.outputs[0].event_type.name
+                return None
         return None
 
     def total_cost_units(self) -> float:
@@ -188,7 +210,9 @@ class QueryPlan:
 
     def state_size(self) -> int:
         return sum(
-            op.state_size() for op in self.operators if isinstance(op, PatternOperator)
+            op.state_size()
+            for op in self.operators
+            if isinstance(op, (PatternOperator, PatternAggregateOperator))
         )
 
     def clone(self, *, name: str | None = None) -> "QueryPlan":

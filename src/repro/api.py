@@ -40,6 +40,8 @@ from repro.runtime.backend import ExecutionBackend
 from repro.runtime.deadletter import DeadLetterQueue
 from repro.runtime.engine import CaesarEngine, ScheduledWorkloadEngine
 from repro.runtime.queues import Partitioner, single_partition
+from repro.runtime.recovery import RecoveryManager
+from repro.runtime.shedding import SheddingConfig
 from repro.runtime.supervisor import SupervisedEngine
 
 
@@ -71,6 +73,11 @@ class EngineConfig:
     to consult ``CAESAR_BACKEND`` / ``CAESAR_OBSERVABILITY``); ``shedding``
     accepts a :class:`~repro.runtime.shedding.SheddingConfig`, a spec
     string, ``True``/``False``, or ``None`` to consult ``CAESAR_SHED``.
+    ``recovery`` accepts a :class:`~repro.runtime.recovery.RecoveryManager`,
+    ``True`` for one with the default autosave interval, or ``False`` /
+    ``None`` for no checkpointing.  ``aggregation`` selects how aggregating
+    DERIVE queries run (``"online"`` | ``"materialize"``; it does not apply
+    to a pre-built :class:`~repro.optimizer.sharing.SharedWorkload`).
     ``optimize`` additionally accepts an
     :class:`~repro.optimizer.apply.OptimizationRules` for per-rewrite
     control (the differential harness's optimizer axis).
@@ -80,15 +87,37 @@ class EngineConfig:
     optimize: bool | OptimizationRules = True
     backend: ExecutionBackend | str | None = None
     supervision: SupervisionConfig | bool | None = None
-    recovery: object | None = None
+    recovery: RecoveryManager | bool | None = None
     observability: Observability | str | bool | None = None
-    shedding: object | None = None
+    shedding: SheddingConfig | str | bool | None = None
     partition_by: Partitioner = single_partition
     retention: TimePoint = 300
+    aggregation: str = "online"
     gc_interval: TimePoint = 60
     seconds_per_cost_unit: float | None = None
     preprocessors: tuple = ()
     on_context_transition: Callable | None = None
+
+    #: autosave interval (stream-time units) used when ``recovery=True``
+    DEFAULT_RECOVERY_INTERVAL = 60
+
+    def recovery_manager(self) -> RecoveryManager | None:
+        """The effective recovery manager, normalising ``True``/``None``.
+
+        ``True`` builds a manager with the default autosave interval;
+        an explicit :class:`~repro.runtime.recovery.RecoveryManager`
+        passes through untouched.
+        """
+        if isinstance(self.recovery, RecoveryManager):
+            return self.recovery
+        if self.recovery is True:
+            return RecoveryManager(interval=self.DEFAULT_RECOVERY_INTERVAL)
+        if self.recovery in (None, False):
+            return None
+        raise TypeError(
+            f"recovery must be a RecoveryManager, True, False or None, "
+            f"got {self.recovery!r}"
+        )
 
     def supervision_config(self) -> SupervisionConfig | None:
         """The effective supervision settings, normalising ``True``/``None``.
@@ -99,7 +128,7 @@ class EngineConfig:
         if isinstance(self.supervision, SupervisionConfig):
             return self.supervision
         if self.supervision is True or (
-            self.supervision is None and self.recovery is not None
+            self.supervision is None and self.recovery not in (None, False)
         ):
             return SupervisionConfig()
         if self.supervision in (None, False):
@@ -131,6 +160,13 @@ def create_engine(
             f"config must be an EngineConfig or None, got {config!r}"
         )
     if overrides:
+        valid = {f.name for f in dataclasses.fields(EngineConfig)}
+        unknown = set(overrides) - valid
+        if unknown:
+            raise TypeError(
+                f"create_engine() got unknown override(s) "
+                f"{sorted(unknown)}; valid fields: {sorted(valid)}"
+            )
         config = dataclasses.replace(config, **overrides)
 
     if isinstance(model, SharedWorkload):
@@ -157,6 +193,7 @@ def create_engine(
         optimize=config.optimize,
         context_aware=config.context_aware,
         retention=config.retention,
+        aggregation=config.aggregation,
         partition_by=config.partition_by,
         seconds_per_cost_unit=config.seconds_per_cost_unit,
         gc_interval=config.gc_interval,
@@ -174,7 +211,7 @@ def create_engine(
         failure_threshold=supervision.failure_threshold,
         cooldown=supervision.cooldown,
         dead_letters=supervision.dead_letters,
-        recovery=config.recovery,
+        recovery=config.recovery_manager(),
         validate_schemas=supervision.validate_schemas,
         **engine_kwargs,
     )

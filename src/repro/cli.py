@@ -110,7 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument(
         "--axis",
         choices=("optimizer", "context", "backend", "checkpoint",
-                 "reorder", "shed", "service", "all"),
+                 "reorder", "shed", "aggregate", "service", "all"),
         default="all",
         help="equivalence axis to check (default: all)",
     )

@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.algebra.aggregate import MatchAggregate
 from repro.algebra.expressions import Expr
 from repro.algebra.pattern import PatternSpec
 from repro.errors import ModelError
@@ -62,6 +63,12 @@ class EventQuery:
     derive_type / derive_items:
         For processing queries: the DERIVE clause's output event type and its
         ``(attribute_name, expression)`` argument list.
+    derive_aggregates:
+        For aggregating processing queries: the DERIVE clause's
+        :class:`~repro.algebra.aggregate.MatchAggregate` columns, one per
+        output attribute, computed over the pattern's matches.  Mutually
+        exclusive with ``derive_items`` — a DERIVE clause either projects
+        per-match expressions or aggregates over all matches.
     """
 
     name: str
@@ -72,8 +79,14 @@ class EventQuery:
     target_context: str | None = None
     derive_type: EventType | None = None
     derive_items: tuple[tuple[str, Expr], ...] = ()
+    derive_aggregates: tuple[MatchAggregate, ...] = ()
 
     def __post_init__(self) -> None:
+        if self.derive_aggregates and self.derive_items:
+            raise ModelError(
+                f"query {self.name!r}: DERIVE cannot mix per-match "
+                "expressions and aggregates"
+            )
         if self.action in DERIVING_ACTIONS:
             if not self.target_context:
                 raise ModelError(
@@ -84,6 +97,11 @@ class EventQuery:
                 raise ModelError(
                     f"query {self.name!r}: a context deriving query cannot "
                     "also carry a DERIVE clause"
+                )
+            if self.derive_aggregates:
+                raise ModelError(
+                    f"query {self.name!r}: a context deriving query cannot "
+                    "carry aggregates"
                 )
         else:
             if self.derive_type is None:
@@ -106,6 +124,11 @@ class EventQuery:
         """True for DERIVE queries."""
         return not self.is_deriving
 
+    @property
+    def is_aggregating(self) -> bool:
+        """True for DERIVE queries whose clause aggregates over matches."""
+        return bool(self.derive_aggregates)
+
     def with_contexts(self, contexts: Sequence[str]) -> "EventQuery":
         """The same query re-targeted at a different CONTEXT clause.
 
@@ -122,6 +145,7 @@ class EventQuery:
             target_context=self.target_context,
             derive_type=self.derive_type,
             derive_items=self.derive_items,
+            derive_aggregates=self.derive_aggregates,
         )
 
     def signature(self) -> tuple:
@@ -139,13 +163,20 @@ class EventQuery:
             self.target_context,
             self.derive_type.name if self.derive_type else None,
             tuple((name, str(expr)) for name, expr in self.derive_items),
+            tuple(
+                (aggregate.name, str(aggregate))
+                for aggregate in self.derive_aggregates
+            ),
         )
 
     def __str__(self) -> str:
         if self.is_deriving:
             head = f"{self.action.value.upper()} CONTEXT {self.target_context}"
         else:
-            args = ", ".join(str(expr) for _, expr in self.derive_items)
+            if self.derive_aggregates:
+                args = ", ".join(str(a) for a in self.derive_aggregates)
+            else:
+                args = ", ".join(str(expr) for _, expr in self.derive_items)
             assert self.derive_type is not None
             head = f"DERIVE {self.derive_type.name}({args})"
         clauses = [head, f"PATTERN {self.pattern}"]

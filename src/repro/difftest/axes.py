@@ -1,4 +1,4 @@
-"""The seven differential axes and their comparison pairs.
+"""The eight differential axes and their comparison pairs.
 
 Each axis names an equivalence the engine stack promises:
 
@@ -21,6 +21,12 @@ Each axis names an equivalence the engine stack promises:
     events whose lineage avoids every shed input must be identical), plus
     shed runs across backends, whose decision digests must be
     byte-identical — same seed, same stream, same decisions everywhere.
+``aggregate``
+    Incremental (online) SEQ aggregation vs the materialize-then-fold
+    oracle, compared byte-identically across the serial, thread and
+    process backends; scenarios carrying a user-window schedule also
+    compare non-shared vs shared execution of aggregate queries that
+    fuse into one propagation pass.
 ``service``
     One-shot ``run()`` vs chunked ``EngineSession.feed()`` vs continuous
     ``EngineService`` ingestion — the chunk-boundary invariant: no partial
@@ -47,7 +53,7 @@ from repro.events.types import EventType
 
 AXES = (
     "optimizer", "context", "backend", "checkpoint", "reorder", "shed",
-    "service",
+    "aggregate", "service",
 )
 
 _BASELINE = RunSpec(label="baseline")
@@ -142,6 +148,52 @@ def comparisons_for(scenario: Scenario, axis: str) -> list[Comparison]:
                 axis, "shed-serial-vs-process",
                 shed_serial,
                 RunSpec(label="shed:process", backend="process", shed=True),
+            ))
+        return pairs
+    if axis == "aggregate":
+        online_serial = RunSpec(label="aggregate:online")
+        pairs = [
+            Comparison(
+                axis, "online-vs-materialize",
+                RunSpec(
+                    label="aggregate:materialize", aggregation="materialize"
+                ),
+                online_serial,
+            ),
+            Comparison(
+                axis, "aggregate-serial-vs-thread",
+                online_serial,
+                RunSpec(label="aggregate:thread", backend="thread"),
+            ),
+        ]
+        if _process_backend_available():
+            pairs.append(Comparison(
+                axis, "aggregate-serial-vs-process",
+                online_serial,
+                RunSpec(label="aggregate:process", backend="process"),
+            ))
+        if scenario.window_specs is not None:
+            pairs.append(Comparison(
+                axis, "aggregate-nonshared-vs-shared",
+                RunSpec(
+                    label="aggregate:workload-nonshared",
+                    workload="nonshared",
+                ),
+                RunSpec(
+                    label="aggregate:workload-shared", workload="shared"
+                ),
+            ))
+            pairs.append(Comparison(
+                axis, "aggregate-materialize-vs-shared-online",
+                RunSpec(
+                    label="aggregate:workload-materialize",
+                    workload="nonshared",
+                    aggregation="materialize",
+                ),
+                RunSpec(
+                    label="aggregate:workload-shared-online",
+                    workload="shared",
+                ),
             ))
         return pairs
     if axis == "service":

@@ -19,6 +19,7 @@ import dataclasses
 import random
 from dataclasses import dataclass
 
+from repro.algebra.plan import _spec_types as pattern_input_types
 from repro.api import EngineConfig, create_engine
 from repro.difftest.canonical import (
     CanonicalResult,
@@ -99,6 +100,10 @@ class RunSpec:
     engine whose model has the scenario's deploy query, suffix run — the
     engine that had the query from its activation watermark onward);
     ``deploy_at`` is the deployment point as a stream fraction.
+    ``aggregation`` selects how aggregating DERIVE queries evaluate
+    (``"online"`` summary propagation vs the ``"materialize"`` oracle);
+    workload runs pass it to the workload builders, so the shared side's
+    aggregate-state fusion is exercised under ``"online"``.
     """
 
     label: str
@@ -114,9 +119,15 @@ class RunSpec:
     ingest: str = "run"  # "run" | "session" | "service"
     deploy: str | None = None  # None | "online" | "reference"
     deploy_at: float = 0.5
+    aggregation: str = "online"  # "online" | "materialize"
 
     def __post_init__(self):
         resolve_rules(self.optimize)  # validate eagerly
+        if self.aggregation not in ("online", "materialize"):
+            raise ValueError(
+                f"aggregation must be 'online' or 'materialize', "
+                f"got {self.aggregation!r}"
+            )
         if self.workload not in (None, "shared", "nonshared"):
             raise ValueError(
                 f"workload must be None, 'shared' or 'nonshared', "
@@ -213,6 +224,7 @@ def _engine_config(scenario: Scenario, spec: RunSpec) -> EngineConfig:
         backend=spec.backend,
         partition_by=scenario.partition_by,
         retention=scenario.retention,
+        aggregation=spec.aggregation,
         shedding=DIFF_SHED_CONFIG if spec.shed else False,
     )
 
@@ -242,7 +254,9 @@ def _execute_workload(
         else build_nonshared_workload
     )
     workload = builder(
-        list(scenario.window_specs()), retention=scenario.retention
+        list(scenario.window_specs()),
+        retention=scenario.retention,
+        aggregation=spec.aggregation,
     )
     engine = create_engine(
         workload, EngineConfig(context_aware=spec.context_aware)
@@ -417,16 +431,24 @@ def _shed_protected_divergence(
     The shed-on engine is run first so its shedder can report exactly
     which input events it dropped; derived events whose lineage touches a
     shed input are then projected out of *both* reports (the off-run may
-    legitimately derive from events the on-run never saw).  Everything
-    else — protected-derived outputs, context windows, events processed —
-    must agree exactly.
+    legitimately derive from events the on-run never saw).  Online
+    aggregate outputs carry no per-match lineage (``derived_from=()`` by
+    design — lineage would be combinatorial), so aggregate-query output
+    types whose *input* types intersect the shed types are projected out
+    of both reports wholesale.  Everything else — protected-derived
+    outputs, context windows, events processed — must agree exactly.
     """
     on_config = _engine_config(scenario, right)
     on_engine = create_engine(
         scenario.build_model(), on_config
     )
-    on_report = on_engine.run(EventStream(prepare_events(right, events)))
+    on_events = prepare_events(right, events)
+    on_report = on_engine.run(EventStream(on_events))
     shed_keys = set(on_engine.shedder.shed_event_keys)
+    shed_types = {
+        e.type_name for e in on_events if event_value_key(e) in shed_keys
+    }
+    excluded_types = _aggregate_types_touching(scenario, shed_types)
     off_engine = create_engine(
         scenario.build_model(), _engine_config(scenario, left)
     )
@@ -434,11 +456,31 @@ def _shed_protected_divergence(
 
     def projected(report):
         kept = [
-            e for e in report.outputs if not _lineage_touches(e, shed_keys)
+            e
+            for e in report.outputs
+            if e.type_name not in excluded_types
+            and not _lineage_touches(e, shed_keys)
         ]
         return canonicalize(dataclasses.replace(report, outputs=kept))
 
     return first_divergence(projected(off_report), projected(on_report))
+
+
+def _aggregate_types_touching(
+    scenario: Scenario, shed_types: set[str]
+) -> frozenset[str]:
+    """Output types of aggregating queries whose patterns consume a shed
+    type.  A shed input changes such a query's aggregate values without
+    leaving a lineage trace, so its whole output type is incomparable."""
+    if not shed_types:
+        return frozenset()
+    excluded = set()
+    for query in scenario.build_model().to_query_set():
+        if not query.derive_aggregates or query.derive_type is None:
+            continue
+        if pattern_input_types(query.pattern) & shed_types:
+            excluded.add(query.derive_type.name)
+    return frozenset(excluded)
 
 
 def run_pair(

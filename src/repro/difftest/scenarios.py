@@ -185,6 +185,14 @@ def _build_threshold_model() -> CaesarModel:
     model.add_query(parse_query(
         "DERIVE Pair(a.sec, b.sec) PATTERN SEQ(DiffReading a, DiffReading b) "
         "WHERE a.value = b.value CONTEXT alert", name="pairs"))
+    # aggregating DERIVE: evaluated by summary propagation under
+    # aggregation="online", by full match materialization otherwise —
+    # the aggregate differential axis asserts the two agree.
+    model.add_query(parse_query(
+        "DERIVE PairStats(COUNT(*), SUM(a.value), MIN(b.value)) "
+        "PATTERN SEQ(DiffReading a, DiffReading b) "
+        "WHERE a.value > 8 AND b.value > 12 CONTEXT alert",
+        name="pair_stats"))
     return model
 
 
@@ -224,17 +232,42 @@ def _threshold_query(name: str, threshold: int) -> EventQuery:
     )
 
 
+def _threshold_aggregate_queries() -> tuple[EventQuery, EventQuery]:
+    """Two aggregates over the same SEQ pattern and predicate.
+
+    They differ only in aggregate function and target, so the shared
+    workload fuses them into a single propagation pass
+    (:func:`~repro.optimizer.sharing.build_shared_workload`); the
+    nonshared workload runs them separately.  The workload comparisons
+    on the aggregate axis assert both routes agree.
+    """
+    q_count = parse_query(
+        "DERIVE SurgeCount(COUNT(*)) "
+        "PATTERN SEQ(DiffReading a, DiffReading b) "
+        "WHERE a.value > 5 AND b.value > 11",
+        name="surge_count")
+    q_sum = parse_query(
+        "DERIVE SurgeSum(SUM(b.value)) "
+        "PATTERN SEQ(DiffReading a, DiffReading b) "
+        "WHERE a.value > 5 AND b.value > 11",
+        name="surge_sum")
+    return q_count, q_sum
+
+
 def _threshold_window_specs() -> list[WindowSpec]:
     """Overlapping and contained user windows exercising Listing 1:
-    partial overlap, containment, and an identical-span merge."""
+    partial overlap, containment, and an identical-span merge.  The
+    identical-span pair carries one aggregate query each, so the merged
+    unit exercises aggregate-state fusion."""
     q_low = _threshold_query("low", 3)
     q_mid = _threshold_query("mid", 9)
     q_high = _threshold_query("high", 15)
+    q_count, q_sum = _threshold_aggregate_queries()
     return [
         WindowSpec("morning", start=0, end=250, queries=(q_low, q_mid)),
-        WindowSpec("rush", start=150, end=400, queries=(q_mid, q_high)),
+        WindowSpec("rush", start=150, end=400, queries=(q_mid, q_high, q_count)),
         WindowSpec("incident", start=200, end=300, queries=(q_high,)),
-        WindowSpec("audit", start=150, end=400, queries=(q_low,)),
+        WindowSpec("audit", start=150, end=400, queries=(q_low, q_sum)),
     ]
 
 

@@ -45,11 +45,36 @@ class SeqPatternNode(PatternNode):
 
 
 @dataclass(frozen=True)
+class AggregateCallNode:
+    """``FUNC(var.attr)`` or ``COUNT(*)`` inside a DERIVE argument list.
+
+    ``func`` is the lowercase function name; ``var``/``attribute`` are empty
+    / ``None`` for ``COUNT(*)``.  Not an expression node — aggregates are
+    only legal as DERIVE arguments, and a clause is either all aggregates
+    or all plain expressions (the compiler enforces the split).
+    """
+
+    func: str
+    var: str = ""
+    attribute: str | None = None
+
+    def __str__(self) -> str:
+        if self.attribute is None:
+            return f"{self.func.upper()}(*)"
+        target = f"{self.var}.{self.attribute}" if self.var else self.attribute
+        return f"{self.func.upper()}({target})"
+
+
+@dataclass(frozen=True)
 class DeriveClause:
-    """``DERIVE EventType(arg, ...)`` — the output type and its arguments."""
+    """``DERIVE EventType(arg, ...)`` — the output type and its arguments.
+
+    Arguments are either plain expressions (per-match projection) or
+    :class:`AggregateCallNode` calls (aggregation over all matches).
+    """
 
     type_name: str
-    args: tuple[Expr, ...]
+    args: tuple[Union[Expr, AggregateCallNode], ...]
 
     def __str__(self) -> str:
         return f"DERIVE {self.type_name}({', '.join(str(a) for a in self.args)})"

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro.algebra.aggregate import MatchAggregate
 from repro.algebra.expressions import AttrRef, Expr, conjoin, conjuncts
 from repro.algebra.pattern import EventMatch, NegatedSpec, PatternSpec, Sequence
 from repro.core.queries import EventQuery, QueryAction
 from repro.errors import CompileError
 from repro.events.types import EventType
 from repro.language.ast import (
+    AggregateCallNode,
     EventPatternNode,
     PatternNode,
     QueryNode,
@@ -186,6 +188,25 @@ def compile_query(
         )
     assert isinstance(node, RetrievalQueryNode)
     derive_type = types.get(node.derive.type_name) or EventType(node.derive.type_name)
+    aggregate_args = [
+        arg for arg in node.derive.args if isinstance(arg, AggregateCallNode)
+    ]
+    if aggregate_args:
+        if len(aggregate_args) != len(node.derive.args):
+            raise CompileError(
+                f"DERIVE {node.derive.type_name} mixes aggregate calls and "
+                "plain expressions; a clause is either all aggregates or "
+                "all per-match expressions"
+            )
+        return EventQuery(
+            name=name,
+            action=QueryAction.DERIVE,
+            pattern=pattern,
+            contexts=node.contexts,
+            where=residual_where,
+            derive_type=derive_type,
+            derive_aggregates=_lower_aggregates(aggregate_args, pattern),
+        )
     items: list[tuple[str, Expr]] = []
     used_names: set[str] = set()
     for index, arg in enumerate(node.derive.args):
@@ -209,6 +230,46 @@ def compile_query(
         derive_type=derive_type,
         derive_items=tuple(items),
     )
+
+
+def _lower_aggregates(
+    args: list[AggregateCallNode], pattern: PatternSpec
+) -> tuple[MatchAggregate, ...]:
+    """Lower aggregate calls, naming output attributes with deduplication.
+
+    ``SUM(a.value)`` names its column ``value`` (``value2`` on a clash);
+    ``COUNT(*)`` names its column ``count``.  Aggregated variables must be
+    positive pattern variables — negated elements never appear in a match.
+    """
+    if isinstance(pattern, Sequence):
+        positive_vars = {e.var for e in pattern.positives}
+    else:
+        assert isinstance(pattern, EventMatch)
+        positive_vars = {pattern.var}
+    aggregates: list[MatchAggregate] = []
+    used_names: set[str] = set()
+    for arg in args:
+        if arg.attribute is not None and arg.var not in positive_vars:
+            raise CompileError(
+                f"aggregate {arg} references unknown pattern variable "
+                f"{arg.var!r}; positive variables: {sorted(positive_vars)}"
+            )
+        base = arg.attribute if arg.attribute is not None else arg.func
+        attr_name = base
+        suffix = 1
+        while attr_name in used_names:
+            suffix += 1
+            attr_name = f"{base}{suffix}"
+        used_names.add(attr_name)
+        aggregates.append(
+            MatchAggregate(
+                name=attr_name,
+                func=arg.func,
+                var=arg.var if arg.attribute is not None else None,
+                attribute=arg.attribute,
+            )
+        )
+    return tuple(aggregates)
 
 
 def parse_query(

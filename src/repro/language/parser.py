@@ -8,7 +8,10 @@ sequence carries a temporal constraint)::
     WindowQuery:= (INITIATE | SWITCH | TERMINATE) CONTEXT ident
                   Pattern Where? Within? ContextClause?
     Retrieval  := Derive Pattern Where? Within? ContextClause?
-    Derive     := DERIVE ident "(" (Expr ("," Expr)*)? ")"
+    Derive     := DERIVE ident "(" (DeriveArg ("," DeriveArg)*)? ")"
+    DeriveArg  := Aggregate | Expr
+    Aggregate  := ("COUNT" "(" "*" ")")
+                | (("SUM"|"AVG"|"MIN"|"MAX") "(" ident ("." ident)? ")")
     Pattern    := PATTERN Patt
     Patt       := NOT? ident ident? | SEQ "(" Patt ("," Patt)* ")"
     Where      := WHERE Expr
@@ -33,7 +36,9 @@ from repro.algebra.expressions import (
     Or,
 )
 from repro.errors import ParseError
+from repro.algebra.aggregate import MATCH_AGGREGATE_FUNCTIONS
 from repro.language.ast import (
+    AggregateCallNode,
     DeriveClause,
     EventPatternNode,
     PatternNode,
@@ -153,14 +158,56 @@ class Parser:
     def _derive_clause(self) -> DeriveClause:
         self._expect_keyword("DERIVE")
         type_name = self._expect(TokenKind.IDENT).text
-        args: list[Expr] = []
+        args: list[Expr | AggregateCallNode] = []
         if self._match(TokenKind.LPAREN):
             if not self._check(TokenKind.RPAREN):
-                args.append(self._expression())
+                args.append(self._derive_arg())
                 while self._match(TokenKind.COMMA):
-                    args.append(self._expression())
+                    args.append(self._derive_arg())
             self._expect(TokenKind.RPAREN)
         return DeriveClause(type_name, tuple(args))
+
+    def _derive_arg(self) -> Expr | AggregateCallNode:
+        """One DERIVE argument: an aggregate call or a plain expression.
+
+        Aggregate names are plain identifiers, not keywords, so ``COUNT``
+        is only an aggregate when followed by ``(`` — ``DERIVE Out(count)``
+        still projects an attribute named ``count``.
+        """
+        token = self._peek()
+        if (
+            token.kind is TokenKind.IDENT
+            and token.text.lower() in MATCH_AGGREGATE_FUNCTIONS
+            and self._tokens[self._index + 1].kind is TokenKind.LPAREN
+        ):
+            return self._aggregate_call()
+        return self._expression()
+
+    def _aggregate_call(self) -> AggregateCallNode:
+        func = self._advance().text.lower()
+        self._expect(TokenKind.LPAREN)
+        if self._match(TokenKind.OPERATOR, "*"):
+            if func != "count":
+                raise ParseError(
+                    f"{func.upper()}(*) is not valid; only COUNT takes '*'"
+                )
+            self._expect(TokenKind.RPAREN)
+            return AggregateCallNode(func)
+        if func == "count":
+            token = self._peek()
+            raise ParseError(
+                f"COUNT over matches takes '*', found "
+                f"{token.text or 'end of input'!r} "
+                f"(line {token.line}, column {token.column})"
+            )
+        first = self._expect(TokenKind.IDENT).text
+        if self._match(TokenKind.DOT):
+            second = self._expect(TokenKind.IDENT).text
+            var, attribute = first, second
+        else:
+            var, attribute = "", first
+        self._expect(TokenKind.RPAREN)
+        return AggregateCallNode(func, var=var, attribute=attribute)
 
     def _pattern_clause(self) -> PatternNode:
         self._expect_keyword("PATTERN")

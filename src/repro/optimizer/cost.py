@@ -26,6 +26,10 @@ from repro.algebra.operators import Operator
 from repro.algebra.pattern import PatternOperator
 from repro.algebra.plan import QueryPlan
 from repro.algebra.relational_ops import Filter, Projection
+from repro.algebra.seq_aggregate import (
+    MatchAggregateProjection,
+    PatternAggregateOperator,
+)
 
 
 @dataclass
@@ -41,12 +45,24 @@ class CostModel:
     projection_cost: float = 0.5
     context_op_cost: float = 0.1
     window_cost: float = 0.05
+    #: the fused pattern+filter+aggregation operator does the pattern's
+    #: per-event work plus a constant-size summary merge
+    pattern_aggregate_cost: float = 2.2
+    #: the oracle's post-hoc aggregation touches every materialized match
+    match_aggregate_cost: float = 0.5
     pattern_selectivity: float = 0.8
     filter_selectivity: float = 0.5
+    #: an aggregating operator emits at most one event per output per
+    #: completion timestamp, regardless of how many matches it absorbs
+    aggregate_selectivity: float = 0.1
     context_activity: dict[str, float] = field(default_factory=dict)
     default_activity: float = 0.5
 
     def unit_cost(self, operator: Operator) -> float:
+        if isinstance(operator, PatternAggregateOperator):
+            return self.pattern_aggregate_cost
+        if isinstance(operator, MatchAggregateProjection):
+            return self.match_aggregate_cost
         if isinstance(operator, PatternOperator):
             return self.pattern_cost
         if isinstance(operator, Filter):
@@ -60,6 +76,10 @@ class CostModel:
         return 1.0
 
     def selectivity(self, operator: Operator) -> float:
+        if isinstance(operator, PatternAggregateOperator):
+            return self.aggregate_selectivity
+        if isinstance(operator, MatchAggregateProjection):
+            return self.aggregate_selectivity
         if isinstance(operator, PatternOperator):
             return self.pattern_selectivity
         if isinstance(operator, Filter):
@@ -93,3 +113,76 @@ def estimate_plan_cost(
             total += rate * model.unit_cost(operator)
         rate *= model.selectivity(operator)
     return total
+
+
+@dataclass
+class SharingBenefit:
+    """Estimated payoff of grouping a window workload (Section 5.3).
+
+    Costs are cost-model units integrated over each plan's activation
+    length: a shared plan is charged once for the union of its windows,
+    the non-shared baseline once per (window, query) pair.  Aggregate
+    fusion shows up as fewer shared plans — and therefore fewer summary
+    propagation passes — for the same query set.
+    """
+
+    shared_cost: float
+    nonshared_cost: float
+    shared_plans: int
+    nonshared_plans: int
+
+    @property
+    def benefit(self) -> float:
+        """Estimated cost units saved by sharing (>= 0 when sharing wins)."""
+        return self.nonshared_cost - self.shared_cost
+
+    @property
+    def ratio(self) -> float:
+        """Non-shared cost over shared cost (1.0 = no benefit)."""
+        if self.shared_cost <= 0:
+            return float("inf") if self.nonshared_cost > 0 else 1.0
+        return self.nonshared_cost / self.shared_cost
+
+
+def estimate_sharing_benefit(
+    specs,
+    model: CostModel | None = None,
+    *,
+    retention: float = 300,
+    aggregation: str = "online",
+    input_rate: float = 1.0,
+) -> SharingBenefit:
+    """Compare the estimated cost of shared vs. non-shared execution.
+
+    ``specs`` is a sequence of :class:`~repro.core.windows.WindowSpec`.
+    The estimate drives grouping decisions: a workload whose ratio is
+    near 1.0 gains nothing from sharing (disjoint windows, disjoint
+    queries), while overlapping windows carrying fusible aggregate
+    queries multiply the benefit — one propagation pass serves them all.
+    """
+    from repro.optimizer.sharing import (
+        build_nonshared_workload,
+        build_shared_workload,
+    )
+
+    model = model or CostModel()
+    shared = build_shared_workload(
+        specs, retention=retention, aggregation=aggregation
+    )
+    nonshared = build_nonshared_workload(
+        specs, retention=retention, aggregation=aggregation
+    )
+
+    def workload_cost(workload) -> float:
+        return sum(
+            estimate_plan_cost(unit.plan, model, input_rate=input_rate)
+            * float(unit.total_active_length())
+            for unit in workload.units
+        )
+
+    return SharingBenefit(
+        shared_cost=workload_cost(shared),
+        nonshared_cost=workload_cost(nonshared),
+        shared_plans=shared.plan_count,
+        nonshared_plans=nonshared.plan_count,
+    )

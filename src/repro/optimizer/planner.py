@@ -34,9 +34,20 @@ from repro.algebra.operators import Operator
 from repro.algebra.pattern import PatternOperator
 from repro.algebra.plan import CombinedQueryPlan, QueryPlan
 from repro.algebra.relational_ops import Filter, Projection
+from repro.algebra.seq_aggregate import (
+    AggregateOutput,
+    MatchAggregateProjection,
+    PatternAggregateOperator,
+    online_aggregation_supported,
+)
 from repro.core.queries import EventQuery, QueryAction
 from repro.errors import PlanError
 from repro.events.timebase import TimePoint
+
+#: How DERIVE aggregates are evaluated: ``"online"`` propagates summaries
+#: during pattern evaluation (linear in events), ``"materialize"``
+#: enumerates every match and aggregates afterwards (the oracle).
+AGGREGATION_MODES = ("online", "materialize")
 
 
 def build_query_plan(
@@ -45,12 +56,34 @@ def build_query_plan(
     *,
     retention: TimePoint = 300,
     with_context_window: bool = True,
+    aggregation: str = "online",
 ) -> QueryPlan:
     """Translate one query, scoped to ``context``, into an individual plan.
 
     ``with_context_window=False`` omits the ``CW`` operator — this is how the
     context-independent baseline builds its always-on plans.
+
+    ``aggregation`` selects the evaluation strategy for aggregating DERIVE
+    queries.  Online-ineligible queries (negation, cross-variable
+    predicates) silently fall back to materialization, so both modes accept
+    every query.
     """
+    if aggregation not in AGGREGATION_MODES:
+        raise PlanError(
+            f"unknown aggregation mode {aggregation!r}; expected one of "
+            f"{AGGREGATION_MODES}"
+        )
+    if query.derive_aggregates:
+        return _build_aggregate_plan(
+            query,
+            context,
+            retention=retention,
+            with_context_window=with_context_window,
+            online=(
+                aggregation == "online"
+                and online_aggregation_supported(query.pattern, query.where)
+            ),
+        )
     operators: list[Operator] = [PatternOperator(query.pattern, retention=retention)]
     if query.where is not None:
         operators.append(Filter(query.where))
@@ -77,11 +110,52 @@ def build_query_plan(
     )
 
 
+def _build_aggregate_plan(
+    query: EventQuery,
+    context: str,
+    *,
+    retention: TimePoint,
+    with_context_window: bool,
+    online: bool,
+) -> QueryPlan:
+    """The plan of an aggregating DERIVE query.
+
+    Online: one :class:`PatternAggregateOperator` absorbs pattern, filter
+    and aggregation.  Materialize: the regular pattern/filter pipeline with
+    a :class:`MatchAggregateProjection` on top — the oracle shape.
+    """
+    assert query.derive_type is not None
+    output = AggregateOutput(query.derive_type, query.derive_aggregates)
+    operators: list[Operator]
+    if online:
+        operators = [
+            PatternAggregateOperator(
+                query.pattern,
+                (output,),
+                where=query.where,
+                retention=retention,
+            )
+        ]
+        if with_context_window:
+            operators.append(ContextWindowOperator(context))
+    else:
+        operators = [PatternOperator(query.pattern, retention=retention)]
+        if query.where is not None:
+            operators.append(Filter(query.where))
+        if with_context_window:
+            operators.append(ContextWindowOperator(context))
+        operators.append(MatchAggregateProjection((output,)))
+    return QueryPlan(
+        operators, name=f"{query.name}@{context}", context_name=context
+    )
+
+
 def build_plans_for_queries(
     queries: Iterable[EventQuery],
     *,
     retention: TimePoint = 300,
     with_context_window: bool = True,
+    aggregation: str = "online",
 ) -> list[QueryPlan]:
     """One plan per (query, context) pair, in stable order."""
     plans: list[QueryPlan] = []
@@ -94,6 +168,7 @@ def build_plans_for_queries(
                     context,
                     retention=retention,
                     with_context_window=with_context_window,
+                    aggregation=aggregation,
                 )
             )
     return plans

@@ -11,7 +11,13 @@ workloads, the sharing optimizer:
    once per window;
 3. merges adjacent activation intervals, which is what keeps a query's
    partial matches alive across consecutive grouped windows split from the
-   same user window (the *context history* requirement of Section 6.2).
+   same user window (the *context history* requirement of Section 6.2);
+4. **fuses aggregate state**: online-eligible aggregating DERIVE queries
+   that share the same pattern and predicate — differing only in aggregate
+   function or target attribute — collapse into one
+   :class:`~repro.algebra.seq_aggregate.PatternAggregateOperator` carrying
+   every fused query's output, so the summary propagation pass runs once
+   for the whole group (Sharon-style shared aggregation).
 
 The non-shared baseline (:func:`build_nonshared_workload`) instantiates one
 plan per (window, query) pair — each window runs its own copy of every
@@ -24,6 +30,11 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.algebra.plan import QueryPlan
+from repro.algebra.seq_aggregate import (
+    AggregateOutput,
+    PatternAggregateOperator,
+    online_aggregation_supported,
+)
 from repro.core.grouping import GroupedWindow, group_context_windows
 from repro.core.queries import EventQuery
 from repro.core.windows import WindowSpec
@@ -104,42 +115,107 @@ def _merge_intervals(
     return tuple(merged)
 
 
+def _aggregate_fusion_key(query: EventQuery) -> tuple | None:
+    """The fusion group of an aggregating query, or None if not fusible.
+
+    Queries whose plans would run the *same* summary-propagation pass —
+    same pattern, same predicate, online-eligible — share one fused
+    operator even when their aggregate functions, target attributes or
+    output types differ.
+
+    The fused operator admits an event only if it carries every
+    aggregation attribute of the *union* across fused outputs (the
+    shared-admission rule, mirrored by the materialization oracle).  On
+    schema-total streams — every typed event carrying its declared
+    attributes — this coincides with per-query admission; an event
+    missing an attribute is dropped for all fused outputs at once.
+    """
+    if not query.derive_aggregates:
+        return None
+    if not online_aggregation_supported(query.pattern, query.where):
+        return None
+    return ("aggregate", str(query.pattern), str(query.where))
+
+
 def build_shared_workload(
     specs: Sequence[WindowSpec],
     *,
     retention: TimePoint = 300,
+    aggregation: str = "online",
 ) -> SharedWorkload:
     """Shared execution of the windows' workloads via window grouping.
 
     One plan per distinct query signature; the plan's activation is the
     union of all grouped windows whose workload contains the query.
+    With ``aggregation="online"``, fusible aggregating queries (same
+    pattern and predicate) additionally collapse into one plan whose
+    fused operator emits every member query's output from a single
+    shared summary propagation (see :func:`_aggregate_fusion_key`).
     """
     grouped = group_context_windows(specs)
     plan_for: dict[tuple, QueryPlan] = {}
     intervals_for: dict[tuple, list[tuple[TimePoint, TimePoint]]] = {}
     names_for: dict[tuple, list[str]] = {}
+    # fusion groups: key -> exemplar queries by signature, first-seen order
+    fused_members: dict[tuple, dict[tuple, EventQuery]] = {}
+    fused_context: dict[tuple, str] = {}
     for window in grouped:
         for query in window.queries:
-            signature = query.signature()
-            if signature not in plan_for:
-                plan_for[signature] = build_query_plan(
+            key: tuple = query.signature()
+            fusion_key = (
+                _aggregate_fusion_key(query)
+                if aggregation == "online"
+                else None
+            )
+            if fusion_key is not None:
+                members = fused_members.setdefault(fusion_key, {})
+                members.setdefault(query.signature(), query)
+                fused_context.setdefault(
+                    fusion_key, "+".join(window.source_names)
+                )
+                key = fusion_key
+                # placeholder keeps first-seen unit order; filled below
+                plan_for.setdefault(key, None)
+            elif key not in plan_for:
+                plan_for[key] = build_query_plan(
                     query,
                     context="+".join(window.source_names),
                     retention=retention,
                     with_context_window=False,
+                    aggregation=aggregation,
                 )
-                intervals_for[signature] = []
-                names_for[signature] = []
-            intervals_for[signature].append((window.start, window.end))
-            if query.name not in names_for[signature]:
-                names_for[signature].append(query.name)
+            if key not in intervals_for:
+                intervals_for[key] = []
+                names_for[key] = []
+            intervals_for[key].append((window.start, window.end))
+            if query.name not in names_for[key]:
+                names_for[key].append(query.name)
+    for fusion_key, members in fused_members.items():
+        exemplars = list(members.values())
+        first = exemplars[0]
+        outputs = tuple(
+            AggregateOutput(query.derive_type, query.derive_aggregates)
+            for query in exemplars
+        )
+        operator = PatternAggregateOperator(
+            first.pattern,
+            outputs,
+            where=first.where,
+            retention=retention,
+        )
+        plan_for[fusion_key] = QueryPlan(
+            [operator],
+            name=f"{'+'.join(names_for[fusion_key])}@"
+            f"{fused_context[fusion_key]}",
+            context_name=fused_context[fusion_key],
+        )
     units = [
         ExecutionUnit(
             plan=plan,
-            intervals=_merge_intervals(intervals_for[signature]),
-            query_names=tuple(names_for[signature]),
+            intervals=_merge_intervals(intervals_for[key]),
+            query_names=tuple(names_for[key]),
         )
-        for signature, plan in plan_for.items()
+        for key, plan in plan_for.items()
     ]
     return SharedWorkload(units=units, grouped=grouped, shared=True)
 
@@ -148,12 +224,14 @@ def build_nonshared_workload(
     specs: Sequence[WindowSpec],
     *,
     retention: TimePoint = 300,
+    aggregation: str = "online",
 ) -> SharedWorkload:
     """The default non-shared execution: one plan per (window, query).
 
     Overlapping windows each run their own instance of every query they
     carry — the redundant work the sharing optimizer removes (Figure 14's
-    baseline).
+    baseline).  Aggregating queries keep one operator per query here;
+    only the shared workload fuses their propagation passes.
     """
     units: list[ExecutionUnit] = []
     for spec in specs:
@@ -163,6 +241,7 @@ def build_nonshared_workload(
                 context=spec.name,
                 retention=retention,
                 with_context_window=False,
+                aggregation=aggregation,
             )
             units.append(
                 ExecutionUnit(

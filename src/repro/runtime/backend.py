@@ -75,6 +75,10 @@ class RunTotals:
     interest_suppressed_batches: int = 0
     gc_collected: int = 0
     history_discards: int = 0
+    #: SEQ matches folded into running summaries (online aggregation)
+    matches_aggregated: int = 0
+    #: SEQ matches enumerated then aggregated (materialize oracle)
+    matches_materialized: int = 0
     cost_by_context: dict[str, float] = field(default_factory=dict)
     # -- transport diagnostics (process backend only; excluded from the
     # -- cross-backend parity projection) --------------------------------
@@ -332,6 +336,7 @@ def _partition_summaries(engine: "CaesarEngine") -> dict:
             ),
             "gc_collected": runtime.gc.collected,
             "history_discards": runtime.history.discards,
+            "aggregation_counts": runtime.aggregation_counts(),
             "cost_by_context": cost_by_context,
         }
     return summaries
@@ -799,6 +804,11 @@ class ProcessPoolBackend(ExecutionBackend):
             totals.interest_suppressed_batches += summary["uninterested"]
             totals.gc_collected += summary["gc_collected"]
             totals.history_discards += summary["history_discards"]
+            aggregated, materialized = summary.get(
+                "aggregation_counts", (0, 0)
+            )
+            totals.matches_aggregated += aggregated
+            totals.matches_materialized += materialized
             for name, cost in summary["cost_by_context"].items():
                 totals.cost_by_context[name] = (
                     totals.cost_by_context.get(name, 0.0) + cost

@@ -20,11 +20,14 @@ design.
 from __future__ import annotations
 
 import time as _time
-import warnings
 from dataclasses import dataclass, field
 
 from repro.algebra.operators import ExecutionContext, Operator
 from repro.algebra.plan import CombinedQueryPlan, clone_operator
+from repro.algebra.seq_aggregate import (
+    MatchAggregateProjection,
+    PatternAggregateOperator,
+)
 from repro.core.model import CaesarModel
 from repro.core.windows import ContextWindow, ContextWindowStore
 from repro.errors import RuntimeEngineError
@@ -39,7 +42,11 @@ from repro.observability import (
     resolve_observability,
 )
 from repro.optimizer.apply import OptimizationRules, optimize_combined
-from repro.optimizer.planner import build_plans_for_queries, build_combined_plans
+from repro.optimizer.planner import (
+    AGGREGATION_MODES,
+    build_combined_plans,
+    build_plans_for_queries,
+)
 from repro.optimizer.sharing import ExecutionUnit, SharedWorkload
 from repro.runtime.backend import ExecutionBackend, RunTotals, resolve_backend
 from repro.runtime.garbage import GarbageCollector
@@ -52,38 +59,35 @@ from repro.runtime.shedding import LoadShedder, SheddingConfig, resolve_shedding
 from repro.runtime.transactions import StreamTransaction
 
 
-#: ``run()`` keywords accepted for backward compatibility, mapped to their
-#: current names.  Used by every engine's ``run`` so the keyword set stays
-#: unified across :class:`CaesarEngine`, :class:`SupervisedEngine` and
-#: :class:`ScheduledWorkloadEngine`.
-_RENAMED_RUN_KWARGS = {
+#: ``run()`` keywords that were deprecated aliases for two releases and are
+#: now *removed*, mapped to their replacement.  Passing one raises
+#: ``TypeError`` naming the replacement instead of silently translating —
+#: the keyword set stays unified across :class:`CaesarEngine`,
+#: :class:`SupervisedEngine` and :class:`ScheduledWorkloadEngine`.
+_REMOVED_RUN_KWARGS = {
     "collect_outputs": "track_outputs",
     "keep_outputs": "track_outputs",
 }
 
 
-def _apply_run_kwarg_shims(engine_name: str, kwargs: dict) -> dict:
-    """Translate deprecated ``run()`` keywords, warning once per call site.
+def _reject_unknown_run_kwargs(engine_name: str, kwargs: dict) -> None:
+    """Raise ``TypeError`` for any unexpected ``run()`` keyword.
 
-    Unknown keywords raise ``TypeError`` exactly as a plain signature
-    mismatch would, naming the engine for a readable message.
+    Removed aliases get a message naming their replacement; anything else
+    fails exactly as a plain signature mismatch would, naming the engine
+    for a readable message.
     """
-    translated: dict = {}
-    for name, value in kwargs.items():
-        current = _RENAMED_RUN_KWARGS.get(name)
-        if current is None:
+    for name in kwargs:
+        replacement = _REMOVED_RUN_KWARGS.get(name)
+        if replacement is not None:
             raise TypeError(
-                f"{engine_name}.run() got an unexpected keyword argument "
-                f"{name!r}"
+                f"{engine_name}.run() keyword {name!r} was removed; "
+                f"use {replacement!r}"
             )
-        warnings.warn(
-            f"{engine_name}.run() keyword {name!r} is deprecated; "
-            f"use {current!r}",
-            DeprecationWarning,
-            stacklevel=3,
+        raise TypeError(
+            f"{engine_name}.run() got an unexpected keyword argument "
+            f"{name!r}"
         )
-        translated[current] = value
-    return translated
 
 
 @dataclass
@@ -109,6 +113,14 @@ class EngineReport:
     interest_suppressed_batches: int = 0
     gc_collected: int = 0
     history_discards: int = 0
+    # -- DERIVE aggregation accounting (Section 4.2's Table 1 extension):
+    # -- how many SEQ matches each strategy accounted for.  The two
+    # -- counters differ *by construction* between aggregation modes, so
+    # -- they are excluded from the cross-run parity projection. ----------
+    #: matches folded into running summaries without ever materializing
+    matches_aggregated: int = 0
+    #: matches enumerated by a pattern operator and aggregated afterwards
+    matches_materialized: int = 0
     #: cost units per context across all partitions (deriving + processing),
     #: the observable footprint of suspension: suspended contexts spend 0
     cost_by_context: dict[str, float] = field(default_factory=dict)
@@ -207,6 +219,20 @@ class _PartitionRuntime:
             + sum(op.stats.cost_units for op in self.preprocessors)
         )
 
+    def aggregation_counts(self) -> tuple[int, int]:
+        """(matches_aggregated, matches_materialized) over all plans."""
+        aggregated = 0
+        materialized = 0
+        for router in (self.deriving_router, self.processing_router):
+            for combined in router.all_plans():
+                for plan in combined.plans:
+                    for operator in plan.operators:
+                        if isinstance(operator, PatternAggregateOperator):
+                            aggregated += operator.matches_aggregated
+                        elif isinstance(operator, MatchAggregateProjection):
+                            materialized += operator.matches_materialized
+        return aggregated, materialized
+
 
 class RunState:
     """All state scoped to *one* :meth:`CaesarEngine.run`.
@@ -288,6 +314,14 @@ class CaesarEngine:
         both flags False the engine is the context-independent baseline.
     retention:
         Pattern-state retention horizon in stream time units.
+    aggregation:
+        How aggregating DERIVE queries are evaluated: ``"online"``
+        (default) propagates running summaries during pattern evaluation
+        without ever enumerating matches; ``"materialize"`` enumerates
+        every match and aggregates afterwards (the oracle shape the
+        differential harness compares against).  Queries the online
+        operator cannot express (negation, cross-variable predicates)
+        silently fall back to materialization in both modes.
     partition_by:
         Maps each event to its partition key (e.g. road segment).  Each
         partition gets its own context bit vector and plan instances.
@@ -326,6 +360,7 @@ class CaesarEngine:
         optimize: bool | OptimizationRules = True,
         context_aware: bool = True,
         retention: TimePoint = 300,
+        aggregation: str = "online",
         partition_by: Partitioner = single_partition,
         seconds_per_cost_unit: float | None = None,
         gc_interval: TimePoint = 60,
@@ -343,6 +378,12 @@ class CaesarEngine:
         self.optimize = bool(self.optimize_rules)
         self.context_aware = context_aware
         self.retention = retention
+        if aggregation not in AGGREGATION_MODES:
+            raise RuntimeEngineError(
+                f"unknown aggregation mode {aggregation!r}; expected one of "
+                f"{AGGREGATION_MODES}"
+            )
+        self.aggregation = aggregation
         self.partition_by = partition_by
         self.seconds_per_cost_unit = seconds_per_cost_unit
         self.gc_interval = gc_interval
@@ -393,7 +434,9 @@ class CaesarEngine:
     # ------------------------------------------------------------------
 
     def _templates(self, queries) -> dict[str, CombinedQueryPlan]:
-        plans = build_plans_for_queries(queries, retention=self.retention)
+        plans = build_plans_for_queries(
+            queries, retention=self.retention, aggregation=self.aggregation
+        )
         combined = build_combined_plans(plans)
         if self.optimize_rules:
             combined = [
@@ -465,7 +508,7 @@ class CaesarEngine:
         stream: EventStream,
         *,
         track_outputs: bool = True,
-        **deprecated,
+        **unsupported,
     ) -> EngineReport:
         """Process a whole stream and report metrics.
 
@@ -482,10 +525,8 @@ class CaesarEngine:
         :func:`~repro.runtime.checkpoint.restore_checkpoint`, which resumes
         from the restored state.
         """
-        if deprecated:
-            track_outputs = _apply_run_kwarg_shims(
-                type(self).__name__, deprecated
-            ).get("track_outputs", track_outputs)
+        if unsupported:
+            _reject_unknown_run_kwargs(type(self).__name__, unsupported)
         if self._runs_started > 0 and not self._preserve_state_once:
             self.reset_run_state()
         self._runs_started += 1
@@ -577,6 +618,8 @@ class CaesarEngine:
             interest_suppressed_batches=totals.interest_suppressed_batches,
             gc_collected=totals.gc_collected,
             history_discards=totals.history_discards,
+            matches_aggregated=totals.matches_aggregated,
+            matches_materialized=totals.matches_materialized,
             cost_by_context=totals.cost_by_context,
             backend=backend.name,
             transport_bytes_out=totals.transport_bytes_out,
@@ -763,7 +806,12 @@ class CaesarEngine:
     def _local_totals(self) -> RunTotals:
         """Run totals read from this process's partition runtimes."""
         partitions = self._partitions
+        aggregation_counts = [
+            p.aggregation_counts() for p in partitions.values()
+        ]
         return RunTotals(
+            matches_aggregated=sum(a for a, _ in aggregation_counts),
+            matches_materialized=sum(m for _, m in aggregation_counts),
             cost_units=self._total_cost_units(),
             windows_by_partition={
                 key: runtime.store.all_windows()
@@ -1054,12 +1102,10 @@ class ScheduledWorkloadEngine:
         stream: EventStream,
         *,
         track_outputs: bool = True,
-        **deprecated,
+        **unsupported,
     ) -> EngineReport:
-        if deprecated:
-            track_outputs = _apply_run_kwarg_shims(
-                type(self).__name__, deprecated
-            ).get("track_outputs", track_outputs)
+        if unsupported:
+            _reject_unknown_run_kwargs(type(self).__name__, unsupported)
         latency = LatencyTracker()
         outputs: list[Event] = []
         outputs_by_type: dict[str, int] = {}
@@ -1130,6 +1176,14 @@ class ScheduledWorkloadEngine:
         self.instruments.cost_units.inc(cost_total)
         self.instruments.suppressed.inc(suppressed)
         self.instruments.routed.inc(routed)
+        matches_aggregated = 0
+        matches_materialized = 0
+        for unit in self.workload.units:
+            for operator in unit.plan.operators:
+                if isinstance(operator, PatternAggregateOperator):
+                    matches_aggregated += operator.matches_aggregated
+                elif isinstance(operator, MatchAggregateProjection):
+                    matches_materialized += operator.matches_materialized
         return EngineReport(
             outputs=outputs,
             events_processed=events_processed,
@@ -1141,4 +1195,6 @@ class ScheduledWorkloadEngine:
             outputs_by_type=outputs_by_type,
             suppressed_batches=suppressed,
             routed_batches=routed,
+            matches_aggregated=matches_aggregated,
+            matches_materialized=matches_materialized,
         )

@@ -26,7 +26,9 @@ from repro.runtime.engine import EngineReport
 #:    pipe diagnostics; zeros for in-process backends)
 #: 4. adds the ``overload`` subdict (load-shedding admission control) and
 #:    per-reason dead-letter drop accounting under ``supervision``
-REPORT_SCHEMA_VERSION = 4
+#: 5. adds the ``aggregation`` subdict (DERIVE aggregate accounting:
+#:    matches folded online vs. matches materialized by the oracle path)
+REPORT_SCHEMA_VERSION = 5
 
 
 def report_to_dict(report: EngineReport, *, include_outputs: bool = False) -> dict:
@@ -76,6 +78,10 @@ def report_to_dict(report: EngineReport, *, include_outputs: bool = False) -> di
             "depth_peak": report.shed_depth_peak,
             "backlog_peak_seconds": report.shed_backlog_peak_seconds,
             "suspended_contexts": list(report.suspended_contexts),
+        },
+        "aggregation": {
+            "matches_aggregated": report.matches_aggregated,
+            "matches_materialized": report.matches_materialized,
         },
         "transport": {
             "bytes_out": report.transport_bytes_out,

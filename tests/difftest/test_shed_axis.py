@@ -25,7 +25,7 @@ SCALE = 0.4
 
 def test_shed_is_a_registered_axis():
     assert "shed" in AXES
-    assert len(AXES) == 7
+    assert len(AXES) == 8
 
 
 def test_shed_comparison_labels():

@@ -143,3 +143,41 @@ class TestRoundTrip:
         query = parse_query(source, name="q1")
         reparsed = parse_query(str(query), name="q1b")
         assert reparsed.signature() == query.signature()
+
+
+class TestAggregateLowering:
+    def test_lowered_columns(self):
+        query = parse_query(
+            "DERIVE Out(COUNT(*), SUM(a.v), AVG(b.v)) "
+            "PATTERN SEQ(A a, B b)",
+            name="agg",
+        )
+        assert [
+            (m.name, m.func, m.var, m.attribute)
+            for m in query.derive_aggregates
+        ] == [
+            ("count", "count", None, None),
+            ("v", "sum", "a", "v"),
+            ("v2", "avg", "b", "v"),  # name clash gets a suffix
+        ]
+        assert query.derive_items == ()
+        assert query.derive_type is not None
+
+    def test_mixing_aggregates_and_expressions_rejected(self):
+        with pytest.raises(CompileError, match="mixes aggregate calls"):
+            parse_query(
+                "DERIVE Out(COUNT(*), a.v) PATTERN A a", name="bad"
+            )
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(CompileError, match="unknown pattern variable"):
+            parse_query(
+                "DERIVE Out(SUM(z.v)) PATTERN SEQ(A a, B b)", name="bad"
+            )
+
+    def test_negated_variable_rejected(self):
+        with pytest.raises(CompileError, match="unknown pattern variable"):
+            parse_query(
+                "DERIVE Out(SUM(n.v)) PATTERN SEQ(A a, NOT B n, C c)",
+                name="bad",
+            )

@@ -161,3 +161,40 @@ class TestParseErrors:
     def test_error_reports_location(self):
         with pytest.raises(ParseError, match=r"line 1, column"):
             parse("DERIVE X PATTERN A a WHERE +")
+
+
+class TestAggregateClauses:
+    def test_count_star(self):
+        from repro.language.ast import AggregateCallNode
+
+        node = parse("DERIVE Out(COUNT(*)) PATTERN SEQ(A a, B b)")
+        (arg,) = node.derive.args
+        assert isinstance(arg, AggregateCallNode)
+        assert arg.func == "count"
+
+    def test_var_qualified_target(self):
+        from repro.language.ast import AggregateCallNode
+
+        node = parse("DERIVE Out(SUM(a.speed), MIN(b.lane)) PATTERN SEQ(A a, B b)")
+        first, second = node.derive.args
+        assert isinstance(first, AggregateCallNode)
+        assert (first.func, first.var, first.attribute) == ("sum", "a", "speed")
+        assert (second.func, second.var, second.attribute) == ("min", "b", "lane")
+
+    def test_aggregate_names_are_not_keywords(self):
+        # COUNT without '(' is an ordinary attribute reference
+        node = parse("DERIVE Out(a.count) PATTERN A a")
+        (arg,) = node.derive.args
+        assert isinstance(arg, AttrRef)
+
+    @pytest.mark.parametrize(
+        "source,message",
+        [
+            ("DERIVE Out(SUM(*)) PATTERN A a", r"only COUNT takes '\*'"),
+            ("DERIVE Out(COUNT(a.v)) PATTERN A a", r"COUNT over matches takes '\*'"),
+            ("DERIVE Out(AVG(a.v", r"expected '\)'"),
+        ],
+    )
+    def test_error_cases(self, source, message):
+        with pytest.raises(ParseError, match=message):
+            parse(source)

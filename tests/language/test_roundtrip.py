@@ -84,3 +84,41 @@ class TestRoundTrip:
         a = parse_query(source, name="q")
         b = parse_query(source, name="q")
         assert a.signature() == b.signature()
+
+
+@st.composite
+def aggregate_query(draw):
+    out_type = draw(type_names)
+    elements = draw(st.lists(
+        st.tuples(type_names, identifiers), min_size=1, max_size=3,
+        unique_by=lambda p: p[1],
+    ))
+    columns = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        func = draw(st.sampled_from(["COUNT", "SUM", "AVG", "MIN", "MAX"]))
+        if func == "COUNT":
+            columns.append("COUNT(*)")
+        else:
+            var = draw(st.sampled_from([v for _, v in elements]))
+            columns.append(f"{func}({var}.{draw(identifiers)})")
+    if len(elements) == 1:
+        pattern = f"{elements[0][0]} {elements[0][1]}"
+    else:
+        pattern = "SEQ(" + ", ".join(f"{t} {v}" for t, v in elements) + ")"
+    source = f"DERIVE {out_type}({', '.join(columns)}) PATTERN {pattern}"
+    if draw(st.booleans()):
+        source += f" WHERE {draw(where_clause(elements[0][1]))}"
+    contexts = draw(st.lists(identifiers, max_size=2, unique=True))
+    if contexts:
+        source += f" CONTEXT {', '.join(contexts)}"
+    return source
+
+
+class TestAggregateRoundTrip:
+    @given(aggregate_query())
+    @settings(max_examples=150, deadline=None)
+    def test_aggregate_round_trip(self, source):
+        first = parse_query(source, name="q")
+        second = parse_query(str(first), name="q")
+        assert first.signature() == second.signature()
+        assert first.derive_aggregates == second.derive_aggregates

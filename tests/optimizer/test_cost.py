@@ -75,3 +75,91 @@ class TestPlanCost:
         assert estimate_plan_cost(shielded, model) < estimate_plan_cost(
             exposed, model
         )
+
+
+class TestAggregateCosts:
+    def _pattern_aggregate(self):
+        from repro.algebra.aggregate import MatchAggregate
+        from repro.algebra.pattern import Sequence
+        from repro.algebra.seq_aggregate import (
+            AggregateOutput,
+            MatchAggregateProjection,
+            PatternAggregateOperator,
+        )
+
+        online = PatternAggregateOperator(
+            Sequence((EventMatch("A", "a"), EventMatch("B", "b"))),
+            (AggregateOutput(OUT, (MatchAggregate("n", "count"),)),),
+        )
+        oracle = MatchAggregateProjection(
+            (AggregateOutput(OUT, (MatchAggregate("n", "count"),)),)
+        )
+        return online, oracle
+
+    def test_unit_costs(self):
+        model = CostModel()
+        online, oracle = self._pattern_aggregate()
+        assert model.unit_cost(online) == model.pattern_aggregate_cost
+        assert model.unit_cost(oracle) == model.match_aggregate_cost
+        # the aggregate operator costs slightly more per event than the
+        # plain pattern operator (summary bookkeeping) but emits far less
+        assert model.unit_cost(online) > model.unit_cost(
+            PatternOperator(EventMatch("A"))
+        )
+
+    def test_selectivity(self):
+        model = CostModel()
+        online, oracle = self._pattern_aggregate()
+        assert model.selectivity(online) == model.aggregate_selectivity
+        assert model.selectivity(oracle) == model.aggregate_selectivity
+
+
+class TestSharingBenefit:
+    def _specs(self, queries_per_window=2):
+        from repro.core.windows import WindowSpec
+        from repro.language import parse_query
+
+        queries = tuple(
+            parse_query(
+                f"DERIVE Fused{i}(COUNT(*)) "
+                "PATTERN SEQ(CbA a, CbB b) WHERE a.v > 3",
+                name=f"fused{i}",
+            )
+            for i in range(queries_per_window)
+        )
+        return [
+            WindowSpec("w1", start=0, end=100, queries=queries),
+            WindowSpec("w2", start=0, end=100, queries=queries),
+        ]
+
+    def test_fusible_aggregates_make_sharing_win(self):
+        from repro.optimizer.cost import estimate_sharing_benefit
+
+        benefit = estimate_sharing_benefit(self._specs())
+        assert benefit.shared_plans < benefit.nonshared_plans
+        assert benefit.benefit > 0
+        assert benefit.ratio > 1.0
+
+    def test_benefit_grows_with_fused_query_count(self):
+        from repro.optimizer.cost import estimate_sharing_benefit
+
+        small = estimate_sharing_benefit(self._specs(2))
+        large = estimate_sharing_benefit(self._specs(4))
+        assert large.ratio > small.ratio
+
+    def test_no_overlap_no_benefit(self):
+        from repro.core.windows import WindowSpec
+        from repro.language import parse_query
+        from repro.optimizer.cost import estimate_sharing_benefit
+
+        specs = [
+            WindowSpec("w1", start=0, end=100, queries=(
+                parse_query("DERIVE CbOut1(a.v) PATTERN CbA a", name="q1"),
+            )),
+            WindowSpec("w2", start=200, end=300, queries=(
+                parse_query("DERIVE CbOut2(a.v) PATTERN CbA a", name="q2"),
+            )),
+        ]
+        benefit = estimate_sharing_benefit(specs)
+        assert benefit.ratio == pytest.approx(1.0)
+        assert benefit.benefit == pytest.approx(0.0)

@@ -1,8 +1,8 @@
 """Tests for the unified construction API and engine-surface consistency.
 
 Covers the frozen config objects and ``create_engine`` dispatch, the
-deprecation shims on ``run()``, report schema versioning, and the strict
-backend resolution errors.
+removed ``run()`` keyword aliases, report schema versioning, and the
+strict backend resolution errors.
 """
 
 import dataclasses
@@ -143,22 +143,60 @@ class TestCreateEngine:
         assert report.events_processed == 6
 
 
-class TestRunKwargShims:
-    def test_renamed_kwarg_warns_and_applies(self):
+class TestRunKwargRemoval:
+    def test_removed_kwarg_raises_naming_replacement(self):
         engine = create_engine(build_model())
-        with pytest.warns(DeprecationWarning, match="track_outputs"):
-            report = engine.run(small_stream(), collect_outputs=False)
-        assert report.outputs == []
+        with pytest.raises(TypeError, match="use 'track_outputs'"):
+            engine.run(small_stream(), collect_outputs=False)
 
-    def test_shared_workload_engine_shim(self):
+    def test_shared_workload_engine_removed_kwarg(self):
         engine = create_engine(build_workload())
-        with pytest.warns(DeprecationWarning, match="track_outputs"):
+        with pytest.raises(TypeError, match="use 'track_outputs'"):
             engine.run(small_stream(), keep_outputs=False)
 
     def test_unknown_kwarg_raises_type_error(self):
         engine = create_engine(build_model())
         with pytest.raises(TypeError, match="unexpected keyword"):
             engine.run(small_stream(), bogus=True)
+
+    def test_error_names_the_engine_class(self):
+        engine = create_engine(build_model())
+        with pytest.raises(TypeError, match="CaesarEngine"):
+            engine.run(small_stream(), keep_outputs=True)
+
+
+class TestCreateEngineOverrideValidation:
+    def test_unknown_override_lists_valid_fields(self):
+        with pytest.raises(TypeError, match="retention"):
+            create_engine(build_model(), EngineConfig(), retenshun=50)
+
+    def test_unknown_override_names_the_offender(self):
+        with pytest.raises(TypeError, match="bogus_knob"):
+            create_engine(build_model(), bogus_knob=1)
+
+
+class TestEngineConfigTyping:
+    def test_recovery_true_builds_default_manager(self):
+        manager = EngineConfig(recovery=True).recovery_manager()
+        assert isinstance(manager, RecoveryManager)
+        assert manager.interval == EngineConfig.DEFAULT_RECOVERY_INTERVAL
+
+    def test_recovery_false_and_none_disable(self):
+        assert EngineConfig(recovery=False).recovery_manager() is None
+        assert EngineConfig().recovery_manager() is None
+        assert EngineConfig(recovery=False).supervision_config() is None
+
+    def test_recovery_explicit_instance_passes_through(self):
+        manager = RecoveryManager(interval=25)
+        assert EngineConfig(recovery=manager).recovery_manager() is manager
+
+    def test_recovery_invalid_type(self):
+        with pytest.raises(TypeError, match="recovery must be"):
+            EngineConfig(recovery="often").recovery_manager()
+
+    def test_aggregation_mode_validated_by_engine(self):
+        with pytest.raises(RuntimeEngineError, match="aggregation mode"):
+            create_engine(build_model(), aggregation="sideways")
 
 
 class TestReportSchema:
