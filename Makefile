@@ -47,9 +47,11 @@ test-aggregation:
 	$(PYTHON) -m repro diff --scenario all --axis aggregate --scale 0.5
 
 # streaming service mode: continuous ingestion, online deployment, the
-# session/service difftest axis, and the `repro serve` round-trip smoke
+# session/service difftest axis, the network front ends, and the
+# `repro serve` round-trip smokes (stdin and TCP/HTTP)
 test-service:
 	$(PYTHON) -m pytest tests/service/ \
+		tests/net/ \
 		tests/runtime/test_session.py \
 		tests/runtime/test_session_backends.py \
 		tests/runtime/test_preserve_state.py \

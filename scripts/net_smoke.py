@@ -1,0 +1,185 @@
+"""CI smoke: ingest Linear Road over the network from N concurrent TCP
+clients and assert the emissions are byte-identical to a one-shot
+``run()`` over the same stream.
+
+The full production shape, end to end:
+
+* ``repro serve --listen 127.0.0.1:0 --http 127.0.0.1:0`` as a child
+  process (ephemeral ports discovered from its stderr announcements);
+* the original stream is seq-tagged and sharded round-robin across
+  N producer connections (:class:`repro.net.client.ServeClient`) —
+  the server's resequencer reassembles the exact global order;
+* one subscriber connection collects the emission lines;
+* a few events ride in over ``POST /events`` first (HTTP path), and
+  ``/healthz`` + ``/metrics`` are checked under load;
+* SIGTERM triggers the graceful drain; the subscriber's stream must end
+  with EOF, the collected lines must equal the one-shot run's emissions
+  byte for byte, and ``--summary`` must print a full report line.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+NUM_PRODUCERS = 4
+
+
+def main() -> int:
+    from repro.difftest.scenarios import get_scenario
+    from repro.events.stream import EventStream
+    from repro.net.client import ServeClient
+    from repro.net.protocol import encode_event
+    from repro.runtime import CaesarEngine
+
+    scenario = get_scenario("traffic")
+    events = scenario.make_events(7, 0.5)
+
+    engine = CaesarEngine(
+        scenario.build_model(),
+        partition_by=scenario.partition_by,
+        retention=scenario.retention,
+    )
+    report = engine.run(EventStream(events))
+    expected = [encode_event(e) for e in report.outputs]
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("CAESAR_BACKEND", None)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--scenario", "traffic",
+         "--listen", "127.0.0.1:0", "--http", "127.0.0.1:0", "--summary"],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        addresses = {}
+        for _ in range(2):
+            line = proc.stderr.readline()
+            match = re.match(r"(listening|http) on ([\d.]+):(\d+)", line)
+            if not match:
+                raise AssertionError(f"unexpected announcement: {line!r}")
+            addresses[match.group(1)] = (
+                match.group(2), int(match.group(3))
+            )
+        host, port = addresses["listening"]
+        http_host, http_port = addresses["http"]
+        http_base = f"http://{http_host}:{http_port}"
+
+        # the subscriber must be in place before any event commits —
+        # emissions are broadcast live, not replayed
+        subscriber = ServeClient(host, port)
+        subscriber.subscribe()
+        emitted: list[str] = []
+        collector = threading.Thread(
+            target=lambda: emitted.extend(subscriber.emission_lines()),
+            daemon=True,
+        )
+        collector.start()
+
+        # a slice of the stream rides in over HTTP (seq-tagged like the
+        # rest, so order survives the transport mix)
+        http_count = min(50, len(events) // 10)
+        body = "".join(
+            json.dumps({
+                "type": e.type_name,
+                "time": e.timestamp,
+                "payload": e.payload,
+                "seq": i,
+            }) + "\n"
+            for i, e in enumerate(events[:http_count])
+        ).encode("utf-8")
+        request = urllib.request.Request(
+            f"{http_base}/events", data=body, method="POST"
+        )
+        accepted = json.load(urllib.request.urlopen(request, timeout=60))
+        assert accepted["accepted"] == http_count, accepted
+        assert accepted["rejected"] == 0, accepted
+
+        producers = [
+            ServeClient(host, port) for _ in range(NUM_PRODUCERS)
+        ]
+
+        def produce(client: ServeClient, offset: int) -> None:
+            for seq in range(http_count + offset, len(events), NUM_PRODUCERS):
+                client.send_event_obj(events[seq], seq=seq)
+            client.close_write()
+
+        threads = [
+            threading.Thread(target=produce, args=(client, i), daemon=True)
+            for i, client in enumerate(producers)
+        ]
+        for thread in threads:
+            thread.start()
+
+        # health + metrics while the load is in flight
+        health = json.load(
+            urllib.request.urlopen(f"{http_base}/healthz", timeout=60)
+        )
+        assert health["status"] == "ok", health
+        metrics = urllib.request.urlopen(
+            f"{http_base}/metrics", timeout=60
+        ).read().decode("utf-8")
+        for needle in (
+            "caesar_service_queue_depth",
+            "caesar_net_connections_total",
+            "caesar_net_events_total",
+            "caesar_net_http_requests_total",
+        ):
+            assert needle in metrics, f"/metrics missing {needle}"
+
+        for thread in threads:
+            thread.join(timeout=600)
+            assert not thread.is_alive(), "producer did not finish"
+        for client in producers:
+            client.close()
+
+        proc.send_signal(signal.SIGTERM)
+        collector.join(timeout=600)
+        assert not collector.is_alive(), "subscriber saw no EOF on drain"
+        subscriber.close()
+        stdout, stderr = proc.communicate(timeout=600)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    if proc.returncode != 0:
+        print(stderr, file=sys.stderr)
+        print(f"FAIL: serve exited {proc.returncode}")
+        return 1
+    if emitted != expected:
+        print(
+            f"FAIL: {NUM_PRODUCERS} clients emitted {len(emitted)} lines, "
+            f"one-shot run produced {len(expected)}"
+        )
+        for i, (got, want) in enumerate(zip(emitted, expected)):
+            if got != want:
+                print(f"  first divergence at #{i}:\n    {got}\n    {want}")
+                break
+        return 1
+    summary = [l for l in stderr.splitlines() if "events=" in l]
+    if not summary:
+        print("FAIL: no report summary on stderr after SIGTERM drain")
+        print(stderr, file=sys.stderr)
+        return 1
+    print(
+        f"net round-trip OK: {len(emitted)} emissions from "
+        f"{NUM_PRODUCERS} TCP clients + {http_count} HTTP events match "
+        f"the one-shot run ({summary[-1].strip()})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,10 @@ Commands
 ``diff``               differential correctness harness (see docs/difftest.md)
 ``serve``              long-lived streaming service: line-delimited JSON
                        events on stdin, derived events on stdout, graceful
-                       drain on EOF/SIGTERM, online deployment ops
+                       drain on EOF/SIGTERM, online deployment ops; with
+                       ``--listen HOST:PORT`` / ``--http HOST:PORT`` the
+                       same protocol is served over TCP / HTTP instead
+                       (see ``repro.net``)
 """
 
 from __future__ import annotations
@@ -159,6 +162,21 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--summary", action="store_true",
         help="print the final report summary to stderr on exit",
+    )
+    serve.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="serve the line protocol over TCP instead of stdin; "
+        "PORT 0 picks an ephemeral port (announced on stderr)",
+    )
+    serve.add_argument(
+        "--http", metavar="HOST:PORT", default=None,
+        help="also serve HTTP: POST /events (NDJSON), GET /healthz, "
+        "GET /metrics (Prometheus text)",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=300.0,
+        help="per-connection idle bound in seconds for --listen "
+        "(0 disables)",
     )
     return parser
 
@@ -441,6 +459,117 @@ def _serve_type_registry(scenario_name: str) -> dict:
     return {DIFF_READING.name: DIFF_READING}
 
 
+def _parse_hostport(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise CaesarError(f"expected HOST:PORT, got {value!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _serve_network(args: argparse.Namespace, engine, types: dict) -> int:
+    """``repro serve --listen/--http``: network front ends, no stdin loop.
+
+    Runs until SIGTERM/SIGINT or an inline ``{"op": "stop"}``, then
+    drains gracefully and (with ``--summary``) reports to stderr.
+    Bound addresses are announced on stderr as ``listening on H:P`` /
+    ``http on H:P`` so callers can bind to port 0 and discover.
+    """
+    import signal
+    import threading
+
+    from repro.net import HttpFrontEnd, NetServer, TypeResolver
+    from repro.runtime.service import EngineService
+
+    resolver = TypeResolver(types)
+    emit_sinks: list = []
+
+    def emit(event):
+        for sink in emit_sinks:
+            sink(event)
+
+    service = EngineService(
+        engine,
+        max_delay=args.max_delay,
+        queue_size=args.queue_size,
+        on_emit=emit,
+    )
+    server = None
+    front = None
+
+    def on_signal(signum, frame):  # pragma: no cover - signal timing
+        raise _Shutdown()
+
+    # handlers go in before the bound addresses are announced: a client
+    # that reads the announcement may send SIGTERM immediately, and the
+    # default handler would kill the process instead of draining
+    previous = {
+        sig: signal.signal(sig, on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        try:
+            if args.listen:
+                host, port = _parse_hostport(args.listen)
+                server = NetServer(
+                    service,
+                    host=host,
+                    port=port,
+                    types=resolver,
+                    read_timeout=args.read_timeout or None,
+                )
+                emit_sinks.append(server.emit)
+                bound = server.start()
+                print(f"listening on {bound[0]}:{bound[1]}", file=sys.stderr)
+            else:
+                # http-only: no subscription channel, emissions go to
+                # stdout exactly like the stdin mode
+                import json as _json
+
+                def stdout_emit(event):
+                    sys.stdout.write(_json.dumps({
+                        "type": event.type_name,
+                        "time": event.timestamp,
+                        "payload": dict(event.payload),
+                    }, default=str) + "\n")
+                    sys.stdout.flush()
+
+                emit_sinks.append(stdout_emit)
+            if args.http:
+                host, port = _parse_hostport(args.http)
+                front = HttpFrontEnd(
+                    service,
+                    host=host,
+                    port=port,
+                    resolve_type=resolver,
+                    sequencer=(
+                        server.sequencer if server is not None else None
+                    ),
+                )
+                bound = front.start()
+                print(f"http on {bound[0]}:{bound[1]}", file=sys.stderr)
+            sys.stderr.flush()
+            stopper = (
+                server.stopped if server is not None else threading.Event()
+            )
+            stopper.wait()
+            print("stop requested, draining", file=sys.stderr)
+        except _Shutdown:
+            print("signal received, draining", file=sys.stderr)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        if front is not None:
+            front.shutdown()
+        if server is not None:
+            report = server.shutdown(drain=True)
+        else:
+            report = service.stop()
+        engine.close()
+    if args.summary:
+        print(report.summary(), file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
     import signal
@@ -462,6 +591,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
     )
     types = dict(_serve_type_registry(args.scenario))
+    if args.listen or args.http:
+        return _serve_network(args, engine, types)
 
     def resolve_type(name: str) -> EventType:
         event_type = types.get(name)

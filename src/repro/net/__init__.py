@@ -1,0 +1,49 @@
+"""Network ingestion front ends for the streaming service.
+
+``repro serve`` reads the line protocol on stdin; this package puts the
+same protocol on the network:
+
+* :mod:`repro.net.protocol` — the line protocol itself (parsing,
+  replies, the limit-enforcing :class:`~repro.net.protocol.LineReader`);
+* :mod:`repro.net.server` — the TCP server
+  (:class:`~repro.net.server.NetServer`): many concurrent producers,
+  backpressure via TCP flow control, emission subscriptions, graceful
+  drain;
+* :mod:`repro.net.http` — the HTTP front end
+  (:class:`~repro.net.http.HttpFrontEnd`): ``POST /events``,
+  ``GET /healthz``, ``GET /metrics``;
+* :mod:`repro.net.client` — :class:`~repro.net.client.ServeClient`,
+  a thin producer/subscriber client.
+"""
+
+from repro.net.client import ServeClient, ServeClientError
+from repro.net.http import HttpFrontEnd
+from repro.net.protocol import (
+    DEFAULT_MAX_LINE_BYTES,
+    LineReader,
+    LineTooLong,
+    ProtocolError,
+    TypeResolver,
+    encode_event,
+    event_row,
+    parse_line,
+    scenario_types,
+)
+from repro.net.server import NetServer, Resequencer
+
+__all__ = [
+    "DEFAULT_MAX_LINE_BYTES",
+    "HttpFrontEnd",
+    "LineReader",
+    "LineTooLong",
+    "NetServer",
+    "ProtocolError",
+    "Resequencer",
+    "ServeClient",
+    "ServeClientError",
+    "TypeResolver",
+    "encode_event",
+    "event_row",
+    "parse_line",
+    "scenario_types",
+]

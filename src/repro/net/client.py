@@ -1,0 +1,199 @@
+"""A small client for the TCP line protocol.
+
+:class:`ServeClient` connects to a ``repro serve --listen`` endpoint
+with retry-and-backoff (servers race their clients at startup), sends
+events and control ops, and — when subscribed — iterates the server's
+emission stream until the server drains and closes the connection.
+
+The client is deliberately thin: it never buffers events locally, so a
+blocked ``send`` *is* the server's backpressure reaching the producer
+(the server stops reading while the engine's ingestion queue is full,
+the kernel's windows fill, and ``send`` parks).
+
+One client, one socket, one thread.  Concurrency is the caller's:
+``scripts/net_smoke.py`` runs N clients on N threads.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Iterator
+
+from repro.errors import CaesarError
+from repro.net.protocol import event_row
+
+
+class ServeClientError(CaesarError):
+    """The server refused an operation or closed the connection."""
+
+
+class ServeClient:
+    """A connection to a ``repro serve`` TCP endpoint.
+
+    Parameters
+    ----------
+    host, port:
+        The server's listen address.
+    connect_timeout:
+        Total wall time budget for connecting, spent across retries
+        with exponential backoff (servers usually win the startup race
+        within the first attempt or two).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 10.0,
+        backoff: float = 0.05,
+    ):
+        self.host = host
+        self.port = port
+        self._sock = self._connect(connect_timeout, backoff)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self.subscribed = False
+
+    def _connect(self, budget: float, backoff: float) -> socket.socket:
+        deadline = time.monotonic() + budget
+        attempt = 0
+        while True:
+            try:
+                return socket.create_connection(
+                    (self.host, self.port), timeout=budget
+                )
+            except OSError:
+                delay = min(backoff * (2 ** attempt), 1.0)
+                if time.monotonic() + delay >= deadline:
+                    raise
+                time.sleep(delay)
+                attempt += 1
+
+    # ------------------------------------------------------------------
+    # producing
+    # ------------------------------------------------------------------
+
+    def send_line(self, line: str) -> None:
+        """Send one raw protocol line (newline appended).
+
+        Blocks when the server is exerting backpressure — that is the
+        feature, not a bug."""
+        self._sock.sendall((line + "\n").encode("utf-8"))
+
+    def send_event(
+        self,
+        type_name: str,
+        time_point,
+        payload: dict | None = None,
+        *,
+        seq: int | None = None,
+    ) -> None:
+        message = {
+            "type": type_name,
+            "time": time_point,
+            "payload": payload or {},
+        }
+        if seq is not None:
+            message["seq"] = seq
+        self.send_line(json.dumps(message, default=str))
+
+    def send_event_obj(self, event, *, seq: int | None = None) -> None:
+        """Send a :class:`~repro.events.event.Event` instance."""
+        message = event_row(event)
+        if seq is not None:
+            message["seq"] = seq
+        self.send_line(json.dumps(message, default=str))
+
+    # ------------------------------------------------------------------
+    # control ops (request/reply)
+    # ------------------------------------------------------------------
+
+    def request(self, op: str, **fields) -> dict:
+        """Send a control op and block for its reply line.
+
+        Error replies for *previous* bad event lines may arrive first;
+        they are raised as :class:`ServeClientError` (an event producer
+        that interleaves garbage with ops sees the garbage reported
+        here rather than silently skipped)."""
+        self.send_line(json.dumps({"op": op, **fields}))
+        while True:
+            line = self._reader.readline()
+            if not line:
+                raise ServeClientError(
+                    f"server closed the connection awaiting {op!r} reply"
+                )
+            reply = json.loads(line)
+            if reply.get("ok"):
+                return reply
+            raise ServeClientError(
+                f"{reply.get('error', 'error')}: "
+                f"{reply.get('message', line.strip())}"
+            )
+
+    def deploy(self, query: str, *, name: str = "deployed") -> dict:
+        return self.request("deploy", query=query, name=name)
+
+    def retire(self, name: str) -> dict:
+        return self.request("retire", name=name)
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def stop_server(self) -> dict:
+        """Ask the server to drain and shut down (the protocol's
+        ``stop`` op — equivalent to sending it SIGTERM)."""
+        return self.request("stop")
+
+    # ------------------------------------------------------------------
+    # consuming
+    # ------------------------------------------------------------------
+
+    def subscribe(self) -> None:
+        """Register this connection for the emission stream."""
+        self.request("subscribe")
+        self.subscribed = True
+
+    def emissions(self) -> Iterator[dict]:
+        """Iterate emitted events (as wire dicts) until the server
+        drains and closes the connection.  Call :meth:`subscribe` first."""
+        if not self.subscribed:
+            raise ServeClientError("subscribe() before iterating emissions")
+        for line in self._reader:
+            yield json.loads(line)
+
+    def emission_lines(self) -> Iterator[str]:
+        """Like :meth:`emissions` but yields raw lines (no newline) —
+        what byte-identity checks compare."""
+        if not self.subscribed:
+            raise ServeClientError("subscribe() before iterating emissions")
+        for line in self._reader:
+            yield line.rstrip("\n")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close_write(self) -> None:
+        """Half-close: signal EOF to the server, keep reading replies."""
+        try:
+            self._sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -51,8 +51,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: sentinel closing the feeder loop (graceful drain)
 _STOP = object()
-#: sentinel terminating the outputs iterator
-_DONE = object()
+
+
+class _Finish:
+    """Terminates the :meth:`EngineService.outputs` iterator.
+
+    Carries the feeder error when the service died instead of stopping:
+    a blocked consumer must wake up and see the failure, not wait on an
+    emission queue nobody will ever feed again.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException | None = None):
+        self.error = error
+
+
+#: sentinel terminating the outputs iterator after a clean stop
+_DONE = _Finish()
 
 
 class _Op:
@@ -114,6 +130,15 @@ class EngineService:
         self._error: BaseException | None = None
         self._report: "EngineReport | None" = None
         self._stopping = False
+        #: serializes the alive-check-then-enqueue step of ``submit`` and
+        #: ``_control`` against ``stop`` marking the service stopped: an
+        #: ingestion call either lands strictly ahead of the ``_STOP``
+        #: sentinel (and is processed) or raises — never silently dropped
+        self._gate = threading.Lock()
+        #: events discarded without processing: queued behind a feeder
+        #: crash, or still queued at a ``stop(drain=False)``
+        self.dropped_events = 0
+        self._emissions_closed = False
         registry = engine.observability.registry
         self._queue_gauge = registry.gauge(
             "caesar_service_queue_depth",
@@ -143,9 +168,23 @@ class EngineService:
     # ------------------------------------------------------------------
 
     def submit(self, event: Event, *, timeout: float | None = None) -> None:
-        """Enqueue one event; blocks while the queue is full (backpressure)."""
-        self._check_alive()
-        self._queue.put((event, _time.perf_counter()), timeout=timeout)
+        """Enqueue one event; blocks while the queue is full (backpressure).
+
+        Raises the stored feeder error after a crash, and
+        :class:`~repro.errors.RuntimeEngineError` after :meth:`stop` —
+        a submission that does not raise is guaranteed to be processed
+        (the check-then-enqueue step is serialized against ``stop``).
+        """
+        with self._gate:
+            self._check_alive()
+            self._queue.put((event, _time.perf_counter()), timeout=timeout)
+            if self._error is not None:
+                # the feeder died while (or just before) we enqueued: our
+                # event would sit unprocessed forever.  Resolve the queue
+                # (dropping it, counted) and surface the error instead of
+                # silently losing the submission.
+                self._fail_queued()
+                raise self._error
         self._queue_gauge.set(self._queue.qsize())
 
     def extend(self, events: Iterable[Event]) -> None:
@@ -184,10 +223,19 @@ class EngineService:
         )
 
     def _control(self, apply: Callable[[], object], *, timeout=None):
-        """Run a deployment op after everything already submitted commits."""
-        self._check_alive()
+        """Run a deployment op after everything already submitted commits.
+
+        Never blocks forever: if the feeder thread dies, every queued op —
+        including this one — is failed with the stored error (either by
+        the dying feeder's :meth:`_fail_queued` sweep or by our own
+        post-enqueue re-check, whichever observes the crash).
+        """
         op = _Op(apply)
-        self._queue.put(op)
+        with self._gate:
+            self._check_alive()
+            self._queue.put(op)
+            if self._error is not None:
+                self._fail_queued()
         if not op.done.wait(timeout):
             raise RuntimeEngineError("deployment operation timed out")
         if op.error is not None:
@@ -212,8 +260,43 @@ class EngineService:
                 event, submitted = item
                 self._emit(self.session.feed([event]), submitted)
                 self._refresh_gauges()
-        except BaseException as exc:  # surfaced on submit/stop
+        except BaseException as exc:  # surfaced on submit/stop/outputs
+            # Order matters: the error must be visible before the queue is
+            # swept, so an ingestion call racing this crash either sees the
+            # error up front or finds its just-enqueued item resolved by
+            # the sweep (or by its own post-enqueue re-check).
             self._error = exc
+            self._fail_queued()
+            self._finish_emissions(exc)
+
+    def _fail_queued(self) -> None:
+        """Resolve everything still queued after a feeder crash.
+
+        Pending control ops are failed with the stored error (their
+        waiters wake up instead of hanging forever); queued events are
+        discarded and counted in :attr:`dropped_events`.  Draining also
+        frees queue slots, unblocking producers parked in a full-queue
+        ``put`` so their own error re-check can run.  Idempotent — the
+        dying feeder and any number of racing producers may all sweep.
+        """
+        error = self._error
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except _queue.Empty:
+                return
+            if isinstance(item, _Op):
+                item.error = error
+                item.done.set()
+            elif item is not _STOP:
+                self.dropped_events += 1
+
+    def _finish_emissions(self, error: BaseException | None) -> None:
+        """Terminate the :meth:`outputs` iterator (once)."""
+        if self._emitted is None or self._emissions_closed:
+            return
+        self._emissions_closed = True
+        self._emitted.put(_DONE if error is None else _Finish(error))
 
     def _run_op(self, op: _Op) -> None:
         try:
@@ -251,10 +334,26 @@ class EngineService:
     # consumption / lifecycle
     # ------------------------------------------------------------------
 
+    @property
+    def error(self) -> BaseException | None:
+        """The feeder thread's stored crash, if any (read-only)."""
+        return self._error
+
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` has been requested or has completed."""
+        return self._stopping or self._report is not None
+
+    @property
+    def queue_depth(self) -> int:
+        """Events and ops currently buffered in the ingestion queue."""
+        return self._queue.qsize()
+
     def outputs(self) -> Iterator[Event]:
         """Iterate derived events as they are emitted.
 
-        Terminates after :meth:`stop`.  Only available without an
+        Terminates after :meth:`stop`; if the feeder thread died, raises
+        its error instead of blocking forever.  Only available without an
         ``on_emit`` callback (one consumer owns the emission stream).
         """
         if self._emitted is None:
@@ -263,7 +362,9 @@ class EngineService:
             )
         while True:
             item = self._emitted.get()
-            if item is _DONE:
+            if isinstance(item, _Finish):
+                if item.error is not None:
+                    raise item.error
                 return
             yield item
 
@@ -276,7 +377,10 @@ class EngineService:
         """
         if self._report is not None:
             return self._report
-        self._stopping = True
+        with self._gate:
+            # under the gate: no submit/_control can pass its alive check
+            # and enqueue behind the _STOP sentinel anymore
+            self._stopping = True
         if not drain:
             try:
                 while True:
@@ -284,17 +388,29 @@ class EngineService:
                     if isinstance(item, _Op):
                         item.error = RuntimeEngineError("service stopped")
                         item.done.set()
+                    elif item is not _STOP:
+                        self.dropped_events += 1
             except _queue.Empty:
                 pass
         if self._feeder.is_alive():
             self._queue.put(_STOP)
         self._feeder.join()
-        if self._error is not None:
-            raise self._error
-        self._report = self.session.close()
-        if self._emitted is not None:
-            self._emitted.put(_DONE)
         self._queue_gauge.set(0)
+        if self._error is not None:
+            # the feeder's crash path already failed queued ops and
+            # terminated the outputs iterator with this error; re-raising
+            # here (every call, for idempotency) surfaces it to stoppers
+            self._finish_emissions(self._error)
+            raise self._error
+        try:
+            self._report = self.session.close()
+        except BaseException as exc:
+            # a crash in the final close must not strand the outputs()
+            # consumer either
+            self._error = exc
+            self._finish_emissions(exc)
+            raise
+        self._finish_emissions(None)
         return self._report
 
     close = stop
@@ -303,4 +419,15 @@ class EngineService:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.stop(drain=exc_type is None)
+        if exc_type is None:
+            self.stop()
+            return
+        try:
+            self.stop(drain=False)
+        except BaseException as stop_error:
+            # the in-flight exception triggered this exit and must win;
+            # a feeder error raised by stop() here would mask it.  The
+            # suppressed error stays inspectable via the chained context
+            # and keeps surfacing from later stop() calls.
+            if stop_error is not exc:
+                exc.__context__ = stop_error

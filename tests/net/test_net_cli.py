@@ -1,0 +1,132 @@
+"""Round-trip tests for ``repro serve --listen/--http`` as a child
+process — the production shape: ephemeral ports discovered from stderr,
+a subscriber collecting emissions, SIGTERM driving the graceful drain.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import urllib.request
+
+from tests.service.test_serve_cli import EVENTS, event_line, expected_rows
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def spawn(*extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("CAESAR_BACKEND", None)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--scenario", "threshold",
+         "--listen", "127.0.0.1:0", "--summary", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    announced = 2 if "--http" in extra else 1
+    addresses = {}
+    for _ in range(announced):
+        line = proc.stderr.readline()
+        match = re.match(r"(listening|http) on ([\d.]+):(\d+)", line)
+        assert match, f"unexpected announcement: {line!r}"
+        addresses[match.group(1)] = (match.group(2), int(match.group(3)))
+    return proc, addresses
+
+
+def finish(proc):
+    try:
+        out, err = proc.communicate(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    return out, err
+
+
+class TestServeListen:
+    def test_tcp_round_trip_with_sigterm_drain(self):
+        from repro.net.client import ServeClient
+
+        proc, addresses = spawn()
+        try:
+            host, port = addresses["listening"]
+            subscriber = ServeClient(host, port)
+            subscriber.subscribe()
+            rows = []
+            collector = threading.Thread(
+                target=lambda: rows.extend(subscriber.emissions()),
+                daemon=True,
+            )
+            collector.start()
+
+            producer = ServeClient(host, port)
+            for t, v in EVENTS:
+                producer.send_event(
+                    "DiffReading", t, {"value": v, "sec": t, "zone": 0}
+                )
+            assert producer.ping()["ok"]  # everything above was read
+            producer.close()
+
+            proc.send_signal(signal.SIGTERM)
+            collector.join(timeout=60)
+            assert not collector.is_alive(), "no EOF after SIGTERM drain"
+            subscriber.close()
+        finally:
+            out, err = finish(proc)
+        assert proc.returncode == 0, err
+        assert rows == expected_rows()
+        assert "draining" in err
+        assert "events=" in err  # --summary report after the drain
+
+    def test_stop_op_drains_and_exits(self):
+        from repro.net.client import ServeClient
+
+        proc, addresses = spawn()
+        try:
+            host, port = addresses["listening"]
+            client = ServeClient(host, port)
+            for t, v in EVENTS[:2]:
+                client.send_event(
+                    "DiffReading", t, {"value": v, "sec": t, "zone": 0}
+                )
+            assert client.stop_server()["ok"]
+            client.close()
+        finally:
+            out, err = finish(proc)
+        assert proc.returncode == 0, err
+        assert "events=" in err
+
+    def test_http_alongside_tcp(self):
+        proc, addresses = spawn("--http", "127.0.0.1:0")
+        try:
+            host, port = addresses["http"]
+            base = f"http://{host}:{port}"
+            body = "\n".join(
+                event_line(t, v) for t, v in EVENTS
+            ).encode("utf-8") + b"\n"
+            request = urllib.request.Request(
+                f"{base}/events", data=body, method="POST"
+            )
+            result = json.load(urllib.request.urlopen(request, timeout=60))
+            assert result["accepted"] == len(EVENTS)
+            health = json.load(
+                urllib.request.urlopen(f"{base}/healthz", timeout=60)
+            )
+            assert health["status"] == "ok"
+            metrics = urllib.request.urlopen(
+                f"{base}/metrics", timeout=60
+            ).read().decode("utf-8")
+            assert "caesar_net_http_requests_total" in metrics
+            assert "caesar_service_queue_depth" in metrics
+            proc.send_signal(signal.SIGTERM)
+        finally:
+            out, err = finish(proc)
+        assert proc.returncode == 0, err
+        assert "events=" in err

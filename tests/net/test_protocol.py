@@ -1,0 +1,145 @@
+"""Unit tests for the line protocol: parsing, replies, the
+limit-enforcing :class:`LineReader`."""
+
+import json
+import socket
+
+import pytest
+
+from repro.net.protocol import (
+    LineReader,
+    LineTooLong,
+    ProtocolError,
+    TypeResolver,
+    encode_event,
+    event_row,
+    parse_line,
+    scenario_types,
+)
+
+
+def resolver():
+    return TypeResolver(scenario_types("threshold"))
+
+
+class TestParseLine:
+    def test_event_line(self):
+        parsed = parse_line(json.dumps({
+            "type": "DiffReading",
+            "time": 10,
+            "payload": {"value": 5, "sec": 10, "zone": 0},
+        }), resolver())
+        assert parsed.kind == "event"
+        assert parsed.seq is None
+        assert parsed.event.timestamp == 10
+        assert parsed.event.payload["value"] == 5
+
+    def test_known_type_is_reused_and_unknown_created(self):
+        resolve = resolver()
+        known = parse_line(
+            '{"type": "DiffReading", "time": 0}', resolve
+        ).event.event_type
+        assert known is resolve.types["DiffReading"]
+        fresh = parse_line(
+            '{"type": "Novel", "time": 0}', resolve
+        ).event.event_type
+        assert fresh.name == "Novel"
+        # and it is remembered: same name resolves to the same type
+        again = parse_line('{"type": "Novel", "time": 1}', resolve).event
+        assert again.event_type is fresh
+
+    def test_seq_tag(self):
+        parsed = parse_line(
+            '{"type": "DiffReading", "time": 0, "seq": 7}', resolver()
+        )
+        assert parsed.seq == 7
+
+    def test_op_line(self):
+        parsed = parse_line('{"op": "ping"}', resolver())
+        assert parsed.kind == "op"
+        assert parsed.op == {"op": "ping"}
+
+    @pytest.mark.parametrize("line,code", [
+        ("not json", "parse"),
+        ("[1, 2]", "parse"),
+        ('"just a string"', "parse"),
+        ('{"time": 3}', "bad-event"),  # missing type
+        ('{"type": "X"}', "bad-event"),  # missing time
+        ('{"type": 7, "time": 3}', "bad-event"),
+        ('{"type": "X", "time": "soon"}', "bad-event"),
+        ('{"type": "X", "time": true}', "bad-event"),
+        ('{"type": "X", "time": 3, "payload": [1]}', "bad-event"),
+        ('{"type": "X", "time": 3, "seq": 1.5}', "bad-event"),
+        ('{"type": "X", "time": 3, "seq": true}', "bad-event"),
+        ('{"op": 42}', "bad-op"),
+    ])
+    def test_rejections_carry_codes(self, line, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_line(line, resolver())
+        assert excinfo.value.code == code
+        reply = json.loads(excinfo.value.reply())
+        assert reply["ok"] is False
+        assert reply["error"] == code
+
+    def test_round_trip_through_encode(self):
+        resolve = resolver()
+        original = parse_line(json.dumps({
+            "type": "DiffReading",
+            "time": 4,
+            "payload": {"value": 9, "sec": 4, "zone": 1},
+        }), resolve).event
+        again = parse_line(encode_event(original), resolve).event
+        assert event_row(again) == event_row(original)
+
+
+class TestLineReader:
+    def pair(self, **kwargs):
+        left, right = socket.socketpair()
+        return left, LineReader(right, **kwargs)
+
+    def test_reads_lines_across_chunks(self):
+        left, reader = self.pair()
+        left.sendall(b"alpha\nbe")
+        assert reader.readline() == "alpha"
+        left.sendall(b"ta\n")
+        assert reader.readline() == "beta"
+        left.close()
+        assert reader.readline() is None
+
+    def test_final_unterminated_line(self):
+        left, reader = self.pair()
+        left.sendall(b"tail without newline")
+        left.close()
+        assert reader.readline() == "tail without newline"
+        assert reader.readline() is None
+
+    def test_oversized_line_is_rejected_and_resyncs(self):
+        left, reader = self.pair(max_line_bytes=16)
+        left.sendall(b"x" * 100 + b"\nok\n")
+        with pytest.raises(LineTooLong):
+            reader.readline()
+        assert reader.readline() == "ok"
+
+    def test_oversized_line_is_never_buffered_whole(self):
+        left, reader = self.pair(max_line_bytes=16)
+        left.sendall(b"y" * 4096)  # no newline yet
+        with pytest.raises(LineTooLong):
+            reader.readline()
+        assert len(reader._buffer) <= 4096  # discarded as read, not grown
+        left.sendall(b"more junk\nclean\n")
+        assert reader.readline() == "clean"
+
+    def test_bytes_are_counted(self):
+        counted = []
+        left, reader = self.pair(on_bytes=counted.append)
+        left.sendall(b"one\ntwo\n")
+        assert reader.readline() == "one"
+        assert reader.readline() == "two"
+        assert sum(counted) == len(b"one\ntwo\n")
+
+    def test_rejects_nonpositive_limit(self):
+        left, right = socket.socketpair()
+        with pytest.raises(ValueError):
+            LineReader(right, max_line_bytes=0)
+        left.close()
+        right.close()
